@@ -1,0 +1,147 @@
+//! H-SpFF: the optimized HPC baseline (Demirci & Ferhatosmanoglu, ICS'21).
+//!
+//! A distributed sparse feed-forward engine on an on-premise cluster with
+//! MPI over a fast interconnect. We model `P` well-provisioned nodes running
+//! the same hypergraph-partitioned workload, with per-layer communication at
+//! interconnect bandwidth and microsecond message latency — the environment
+//! FSD-Inference is benchmarked *against* (the paper reports ≈ 40 % higher
+//! latency than H-SpFF at N = 65536, at far lower cost of entry).
+
+use crate::server::PlatformReport;
+use fsd_faas::ComputeModel;
+use fsd_model::SparseDnn;
+use fsd_partition::{partition_model, CommPlan, PartitionScheme};
+use fsd_sparse::SparseRows;
+
+/// HPC cluster parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HpcConfig {
+    /// Cluster nodes used.
+    pub nodes: u32,
+    /// vCPUs (cores) per node.
+    pub cores_per_node: u32,
+    /// MPI point-to-point bandwidth (bytes/s) — e.g. 100 Gb/s fabric.
+    pub interconnect_bps: u64,
+    /// Per-message MPI latency (seconds).
+    pub message_latency_secs: f64,
+}
+
+impl Default for HpcConfig {
+    fn default() -> Self {
+        HpcConfig {
+            nodes: 16,
+            cores_per_node: 24,
+            interconnect_bps: 10_000_000_000,
+            message_latency_secs: 5e-6,
+        }
+    }
+}
+
+/// Runs the H-SpFF model: real inference output, modeled HPC latency.
+/// Cost is `None` — the paper has no cost figures for the HPC platform.
+pub fn run_hspff(
+    dnn: &SparseDnn,
+    inputs: &SparseRows,
+    cfg: &HpcConfig,
+    compute: &ComputeModel,
+) -> PlatformReport {
+    let (output, trace) = dnn.serial_inference_traced(inputs);
+    // Compute: work split across nodes (hypergraph-balanced), each node
+    // multithreaded across its cores.
+    let per_node_work = trace.work / cfg.nodes.max(1) as u64;
+    let compute_secs = compute.seconds_on_vcpus(per_node_work, cfg.cores_per_node as f64);
+    // Communication: the same partitioning structure FSD uses, but over the
+    // interconnect. Volume ≈ plan row-sends × average row payload bytes.
+    let part = partition_model(dnn, cfg.nodes as usize, PartitionScheme::Hgp, 17);
+    let plan = CommPlan::build(dnn, &part);
+    let avg_row_nnz = if inputs.n_rows() == 0 {
+        0.0
+    } else {
+        inputs.nnz() as f64 / inputs.n_rows() as f64
+    };
+    let bytes_per_row = avg_row_nnz * 8.0; // index + f32 value
+    let total_bytes = plan.total_row_sends() as f64 * bytes_per_row;
+    // Per layer the exchange is spread over P nodes; the critical path sees
+    // roughly total/P bytes plus a message latency per pair.
+    let comm_secs = total_bytes / cfg.nodes.max(1) as f64 / cfg.interconnect_bps as f64
+        + plan.total_pairs() as f64 / cfg.nodes.max(1) as f64 * cfg.message_latency_secs;
+    PlatformReport {
+        platform: format!("H-SpFF ({} nodes)", cfg.nodes),
+        latency_secs: compute_secs + comm_secs,
+        cost_per_query: None,
+        daily_fixed_cost: None,
+        output,
+        samples: inputs.width(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+
+    fn setup() -> (SparseDnn, SparseRows) {
+        let dnn = generate_dnn(&DnnSpec {
+            neurons: 128,
+            layers: 4,
+            nnz_per_row: 8,
+            bias: -0.3,
+            clip: 32.0,
+            seed: 21,
+        });
+        let inputs = generate_inputs(128, &InputSpec::scaled(32, 21));
+        (dnn, inputs)
+    }
+
+    #[test]
+    fn output_matches_ground_truth_and_no_cost() {
+        let (dnn, inputs) = setup();
+        let r = run_hspff(&dnn, &inputs, &HpcConfig::default(), &ComputeModel::default());
+        assert_eq!(r.output, dnn.serial_inference(&inputs));
+        assert!(r.cost_per_query.is_none());
+        assert!(r.daily_fixed_cost.is_none());
+        assert!(r.latency_secs > 0.0);
+    }
+
+    #[test]
+    fn more_nodes_is_faster_when_compute_bound() {
+        // A compute-heavy workload (big batch, slow cores) must scale with
+        // node count; at toy scale comm noise can win, so pin the regime.
+        let dnn = generate_dnn(&DnnSpec {
+            neurons: 256,
+            layers: 8,
+            nnz_per_row: 8,
+            bias: -0.3,
+            clip: 32.0,
+            seed: 4,
+        });
+        let inputs = generate_inputs(256, &InputSpec::scaled(256, 4));
+        let cm = ComputeModel { units_per_sec_per_vcpu: 1e6, ..ComputeModel::default() };
+        let small = run_hspff(&dnn, &inputs, &HpcConfig { nodes: 2, ..HpcConfig::default() }, &cm);
+        let big = run_hspff(&dnn, &inputs, &HpcConfig { nodes: 16, ..HpcConfig::default() }, &cm);
+        assert!(
+            big.latency_secs < small.latency_secs,
+            "16 nodes {} vs 2 nodes {}",
+            big.latency_secs,
+            small.latency_secs
+        );
+    }
+
+    #[test]
+    fn hpc_beats_single_small_server() {
+        use crate::server::{run_server, ServerKind, ServerTimings, C5_2XLARGE};
+        let (dnn, inputs) = setup();
+        let cm = ComputeModel::default();
+        let hpc = run_hspff(&dnn, &inputs, &HpcConfig::default(), &cm);
+        let server = run_server(
+            &dnn,
+            &inputs,
+            ServerKind::AlwaysOnHot,
+            C5_2XLARGE,
+            &cm,
+            &ServerTimings::default(),
+        )
+        .expect("fits");
+        assert!(hpc.latency_secs < server.latency_secs);
+    }
+}

@@ -1,0 +1,53 @@
+//! Microbench: channel send/receive round trips (simulated services).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsd_comm::{CloudConfig, CloudEnv, VirtualTime};
+use fsd_core::{ChannelOptions, FsiChannel, ObjectChannel, QueueChannel, RecvTracker, Tag};
+use fsd_faas::{ComputeModel, FaasPlatform, FunctionConfig};
+use fsd_model::{generate_inputs, InputSpec};
+
+fn roundtrip(c: &mut Criterion) {
+    let block = generate_inputs(1024, &InputSpec::scaled(64, 3));
+    let mut g = c.benchmark_group("channel_roundtrip");
+    g.sample_size(20);
+    g.bench_function("queue", |b| {
+        b.iter(|| {
+            let env = CloudEnv::new(CloudConfig::deterministic(1));
+            let ch = QueueChannel::setup(env.clone(), 2, ChannelOptions::default());
+            let platform = FaasPlatform::new(env, ComputeModel::default());
+            let ch2 = ch.clone();
+            let send_block = block.clone();
+            let s = platform.invoke(FunctionConfig::worker("s", 1769), VirtualTime::ZERO, move |ctx| {
+                ch2.send_layer(ctx, Tag::Layer(0), 0, &[(1, send_block)])
+            });
+            let r = platform.invoke(FunctionConfig::worker("r", 1769), VirtualTime::ZERO, move |ctx| {
+                let mut t = RecvTracker::expecting([0u32]);
+                ch.receive_all(ctx, Tag::Layer(0), 1, &mut t)
+            });
+            s.join().expect("send ok");
+            r.join().expect("recv ok").0.len()
+        })
+    });
+    g.bench_function("object", |b| {
+        b.iter(|| {
+            let env = CloudEnv::new(CloudConfig::deterministic(1));
+            let ch = ObjectChannel::setup(env.clone(), 2, ChannelOptions::default());
+            let platform = FaasPlatform::new(env, ComputeModel::default());
+            let ch2 = ch.clone();
+            let send_block = block.clone();
+            let s = platform.invoke(FunctionConfig::worker("s", 1769), VirtualTime::ZERO, move |ctx| {
+                ch2.send_layer(ctx, Tag::Layer(0), 0, &[(1, send_block)])
+            });
+            let r = platform.invoke(FunctionConfig::worker("r", 1769), VirtualTime::ZERO, move |ctx| {
+                let mut t = RecvTracker::expecting([0u32]);
+                ch.receive_all(ctx, Tag::Layer(0), 1, &mut t)
+            });
+            s.join().expect("send ok");
+            r.join().expect("recv ok").0.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, roundtrip);
+criterion_main!(benches);

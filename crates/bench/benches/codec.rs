@@ -1,0 +1,35 @@
+//! Microbench: wire codec and the LZ-style compressor.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fsd_model::{generate_inputs, InputSpec};
+use fsd_sparse::{codec, compress};
+
+fn bench_codec(c: &mut Criterion) {
+    let block = generate_inputs(4096, &InputSpec::scaled(256, 7));
+    let encoded = codec::encode(&block);
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| codec::encode(&block)));
+    g.bench_function("decode", |b| b.iter(|| codec::decode(&encoded).expect("ok")));
+    g.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let block = generate_inputs(4096, &InputSpec::scaled(256, 7));
+    let encoded = codec::encode(&block);
+    let compressed = compress::compress(&encoded);
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("compress", |b| b.iter(|| compress::compress(&encoded)));
+    g.bench_function("decompress", |b| b.iter(|| compress::decompress(&compressed).expect("ok")));
+    g.finish();
+    println!(
+        "payload {} B -> {} B ({:.2}x)",
+        encoded.len(),
+        compressed.len(),
+        encoded.len() as f64 / compressed.len() as f64
+    );
+}
+
+criterion_group!(benches, bench_codec, bench_compress);
+criterion_main!(benches);

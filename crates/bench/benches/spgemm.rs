@@ -1,0 +1,42 @@
+//! Microbench: the distributed MVP/MMP kernel (Gustavson-style scatter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+use fsd_sparse::{ColMajorBlock, LayerAccumulator};
+
+fn bench_spgemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spgemm_accumulate");
+    for &n in &[512usize, 2048] {
+        let spec = DnnSpec { neurons: n, layers: 1, nnz_per_row: 8, bias: -0.3, clip: 32.0, seed: 1 };
+        let dnn = generate_dnn(&spec);
+        let inputs = generate_inputs(n, &InputSpec::scaled(64, 1));
+        let all: Vec<u32> = (0..n as u32).collect();
+        let block = ColMajorBlock::from_layer(dnn.layer(0), &all);
+        g.throughput(Throughput::Elements(block.matched_work(&inputs)));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut acc = LayerAccumulator::new(n, 64);
+            b.iter(|| {
+                acc.reset(n);
+                acc.accumulate(&block, &inputs)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_finalize(c: &mut Criterion) {
+    let n = 2048usize;
+    let spec = DnnSpec { neurons: n, layers: 1, nnz_per_row: 8, bias: -0.3, clip: 32.0, seed: 1 };
+    let dnn = generate_dnn(&spec);
+    let inputs = generate_inputs(n, &InputSpec::scaled(64, 1));
+    let all: Vec<u32> = (0..n as u32).collect();
+    let block = ColMajorBlock::from_layer(dnn.layer(0), &all);
+    let mut acc = LayerAccumulator::new(n, 64);
+    acc.accumulate(&block, &inputs);
+    c.bench_function("relu_bias_clip_finalize", |b| {
+        b.iter(|| acc.finalize(&all, -0.3, 32.0))
+    });
+}
+
+criterion_group!(benches, bench_spgemm, bench_finalize);
+criterion_main!(benches);

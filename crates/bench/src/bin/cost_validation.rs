@@ -1,0 +1,55 @@
+//! §VI-F — cost model validation: predicted vs actual charges.
+//!
+//! The engine's client-side metrics (its "51 per-layer / 26 per-batch
+//! captured metrics") are priced by the Section IV cost model and compared
+//! against the service-side billing meters (the simulation's "AWS Cost &
+//! Usage report"), for both channels. The paper reports exact agreement at
+//! N = 16384, P = 20: Queue (comp. $0.10, comms. $0.25), Object (comp.
+//! $0.09, comms. $0.28).
+
+use fsd_bench::{engine_for, run_checked, usd, Scale, Table};
+use fsd_core::Variant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (n, p) = match scale {
+        Scale::Scaled => (1024usize, 4u32),
+        Scale::Paper => (16384, 20),
+    };
+    let w = fsd_bench::workload(scale, n, 42);
+    let mem = scale.worker_memory_mb(n);
+
+    let mut t = Table::new(&[
+        "variant",
+        "pred comp",
+        "pred comms",
+        "pred total",
+        "act comp",
+        "act comms",
+        "act total",
+        "rel err",
+    ]);
+    for variant in [Variant::Queue, Variant::Object] {
+        let mut engine = engine_for(&w, scale, 42);
+        let r = run_checked(&mut engine, &w, variant, p, mem);
+        let err = r.cost_actual.relative_error(&r.cost_predicted);
+        t.row(vec![
+            variant.to_string(),
+            usd(r.cost_predicted.compute),
+            usd(r.cost_predicted.comms),
+            usd(r.cost_predicted.total()),
+            usd(r.cost_actual.compute),
+            usd(r.cost_actual.comms),
+            usd(r.cost_actual.total()),
+            format!("{:.4}", err),
+        ]);
+        assert!(
+            err < 0.02,
+            "{variant}: predicted {} vs actual {} diverge ({err:.4})",
+            usd(r.cost_predicted.total()),
+            usd(r.cost_actual.total())
+        );
+    }
+    t.print(&format!("Cost model validation (N = {n}, P = {p})"));
+    println!("\nPredicted charges match the metered charges for both channels — OK");
+}

@@ -1,0 +1,66 @@
+//! Figure 6 — per-sample runtime and cost vs worker parallelism.
+//!
+//! For each model size and each `P` in the grid, runs FSD-Inf-Queue and
+//! FSD-Inf-Object and reports per-sample runtime (ms) and per-sample cost.
+//! Expected shape (paper §VI-D): the two channels have similar runtime
+//! profiles, while object-storage *cost* grows linearly with `P` and
+//! queue cost grows much more slowly — the cost gap widening with
+//! parallelism.
+
+use fsd_bench::{engine_for, run_checked, Scale, Table};
+use fsd_core::Variant;
+
+fn main() {
+    let scale = Scale::from_args();
+    for &n in &scale.neuron_grid() {
+        let w = fsd_bench::workload(scale, n, 42);
+        let mem = scale.worker_memory_mb(n);
+        let mut t = Table::new(&[
+            "P",
+            "Queue ms/sample",
+            "Object ms/sample",
+            "Queue $/sample",
+            "Object $/sample",
+        ]);
+        let mut queue_costs = Vec::new();
+        let mut object_costs = Vec::new();
+        for &p in &scale.worker_grid() {
+            let mut engine = engine_for(&w, scale, 42);
+            let q = run_checked(&mut engine, &w, Variant::Queue, p, mem);
+            let o = run_checked(&mut engine, &w, Variant::Object, p, mem);
+            t.row(vec![
+                p.to_string(),
+                format!("{:.3}", q.per_sample_ms()),
+                format!("{:.3}", o.per_sample_ms()),
+                format!("{:.9}", q.per_sample_cost()),
+                format!("{:.9}", o.per_sample_cost()),
+            ]);
+            queue_costs.push(q.per_sample_cost());
+            object_costs.push(o.per_sample_cost());
+        }
+        t.print(&format!("Figure 6: per-sample runtime and cost, N = {n}"));
+
+        // Shape checks (paper §VI-D): object cost rises with P and ends
+        // above queue cost at the highest parallelism; queue cost grows
+        // more slowly than object cost.
+        let first = 0;
+        let last = object_costs.len() - 1;
+        assert!(
+            object_costs[last] > object_costs[first],
+            "N={n}: object cost must grow with P"
+        );
+        assert!(
+            object_costs[last] > queue_costs[last],
+            "N={n}: object must be pricier than queue at high P"
+        );
+        let object_growth = object_costs[last] / object_costs[first];
+        let queue_growth = queue_costs[last] / queue_costs[first].max(1e-18);
+        println!(
+            "Shape check N={n}: cost growth with P — object {object_growth:.2}x vs queue {queue_growth:.2}x"
+        );
+        assert!(
+            object_growth > queue_growth,
+            "N={n}: queue cost must grow more slowly with P than object cost"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Table I — features of potential inter-worker communication channels.
+//!
+//! The qualitative design-space comparison behind Section II-D: which cloud
+//! service categories satisfy each requirement for fully serverless FaaS
+//! IPC. Encoded as data (not prose) so the recommendation logic can be
+//! inspected programmatically.
+
+use fsd_bench::Table;
+
+/// Feature support level (✓ / partial / blank in the paper).
+#[derive(Clone, Copy, PartialEq)]
+enum Support {
+    Yes,
+    Partial,
+    No,
+}
+
+impl Support {
+    fn cell(self) -> String {
+        match self {
+            Support::Yes => "yes".to_string(),
+            Support::Partial => "partial".to_string(),
+            Support::No => "-".to_string(),
+        }
+    }
+}
+
+struct ChannelCategory {
+    name: &'static str,
+    serverless: Support,
+    low_latency_high_thrpt: Support,
+    cost_effective: Support,
+    flexible_payloads: Support,
+    many_producers_consumers: Support,
+    service_side_filtering: Support,
+    direct_consumer_access: Support,
+}
+
+impl ChannelCategory {
+    fn suitable(&self) -> bool {
+        // The paper selects categories with full support on every column
+        // except cost (where partial is tolerable for object storage).
+        use Support::{Partial, Yes};
+        self.serverless == Yes
+            && self.low_latency_high_thrpt == Yes
+            && (self.cost_effective == Yes || self.cost_effective == Partial)
+            && self.many_producers_consumers == Yes
+            && self.service_side_filtering == Yes
+            && self.direct_consumer_access == Yes
+    }
+}
+
+fn categories() -> Vec<ChannelCategory> {
+    use Support::{No, Partial, Yes};
+    vec![
+        ChannelCategory {
+            name: "Stream",
+            serverless: Partial,
+            low_latency_high_thrpt: Yes,
+            cost_effective: Partial,
+            flexible_payloads: No,
+            many_producers_consumers: Partial,
+            service_side_filtering: No,
+            direct_consumer_access: Yes,
+        },
+        ChannelCategory {
+            name: "Stream (ETL)",
+            serverless: Yes,
+            low_latency_high_thrpt: Yes,
+            cost_effective: Yes,
+            flexible_payloads: No,
+            many_producers_consumers: Yes,
+            service_side_filtering: Yes,
+            direct_consumer_access: No,
+        },
+        ChannelCategory {
+            name: "NoSQL",
+            serverless: Partial,
+            low_latency_high_thrpt: Yes,
+            cost_effective: No,
+            flexible_payloads: No,
+            many_producers_consumers: Yes,
+            service_side_filtering: Yes,
+            direct_consumer_access: Yes,
+        },
+        ChannelCategory {
+            name: "Pub-Sub",
+            serverless: Yes,
+            low_latency_high_thrpt: Yes,
+            cost_effective: Yes,
+            flexible_payloads: No,
+            many_producers_consumers: Yes,
+            service_side_filtering: Yes,
+            direct_consumer_access: No,
+        },
+        ChannelCategory {
+            name: "Queues",
+            serverless: Yes,
+            low_latency_high_thrpt: Yes,
+            cost_effective: Yes,
+            flexible_payloads: No,
+            many_producers_consumers: Yes,
+            service_side_filtering: No,
+            direct_consumer_access: Yes,
+        },
+        ChannelCategory {
+            name: "Pub-Sub+Queues",
+            serverless: Yes,
+            low_latency_high_thrpt: Yes,
+            cost_effective: Yes,
+            flexible_payloads: No,
+            many_producers_consumers: Yes,
+            service_side_filtering: Yes,
+            direct_consumer_access: Yes,
+        },
+        ChannelCategory {
+            name: "Object Storage",
+            serverless: Yes,
+            low_latency_high_thrpt: Yes,
+            cost_effective: Partial,
+            flexible_payloads: Yes,
+            many_producers_consumers: Yes,
+            service_side_filtering: Yes,
+            direct_consumer_access: Yes,
+        },
+    ]
+}
+
+fn main() {
+    let mut t = Table::new(&[
+        "channel",
+        "serverless",
+        "lat/thrpt",
+        "cost",
+        "payloads",
+        "many P/C",
+        "filtering",
+        "direct",
+        "suitable",
+    ]);
+    let cats = categories();
+    for c in &cats {
+        t.row(vec![
+            c.name.to_string(),
+            c.serverless.cell(),
+            c.low_latency_high_thrpt.cell(),
+            c.cost_effective.cell(),
+            c.flexible_payloads.cell(),
+            c.many_producers_consumers.cell(),
+            c.service_side_filtering.cell(),
+            c.direct_consumer_access.cell(),
+            if c.suitable() { "<-- selected" } else { "" }.to_string(),
+        ]);
+    }
+    t.print("Table I: inter-worker communication channel features");
+    let selected: Vec<&str> = cats.iter().filter(|c| c.suitable()).map(|c| c.name).collect();
+    println!("\nSelected categories (as in the paper): {selected:?}");
+    assert_eq!(selected, vec!["Pub-Sub+Queues", "Object Storage"]);
+}

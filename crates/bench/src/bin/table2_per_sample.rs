@@ -1,0 +1,76 @@
+//! Table II — end-to-end per-sample runtime (ms) of the optimal parallel
+//! FSD-Inference variant, FSD-Inf-Serial, and Sage-SL-Inf.
+//!
+//! Expected shape: serial wins for the smallest models (no IPC), parallel
+//! wins from mid-size on, Sage-SL-Inf trails serial throughout and starts
+//! truncating batches / failing outright as the model grows.
+
+use fsd_baselines::{run_sagemaker, BaselineError, SageConfig};
+use fsd_bench::{engine_for, run_checked, Scale, Table};
+use fsd_core::Variant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let grid = scale.neuron_grid();
+    let mut t = Table::new(&["N", "FSD-Inf-Parallel", "FSD-Inf-Serial", "Sage-SL-Inf", "Sage samples"]);
+    let mut parallel_ms = Vec::new();
+    let mut serial_ms = Vec::new();
+    for &n in &grid {
+        let w = fsd_bench::workload(scale, n, 42);
+        let mem = scale.worker_memory_mb(n);
+
+        // Optimal parallel: best (runtime) configuration over the P grid
+        // and both channels — "FSD-Inf-Parallel" in the paper.
+        let mut best: Option<fsd_core::InferenceReport> = None;
+        for &p in &scale.worker_grid() {
+            let mut engine = engine_for(&w, scale, 42);
+            for variant in [Variant::Queue, Variant::Object] {
+                let r = run_checked(&mut engine, &w, variant, p, mem);
+                if best.as_ref().is_none_or(|b| r.latency < b.latency) {
+                    best = Some(r);
+                }
+            }
+        }
+        let best = best.expect("at least one parallel run");
+
+        let mut engine = engine_for(&w, scale, 42);
+        let serial = run_checked(&mut engine, &w, Variant::Serial, 1, mem);
+
+        let sage = run_sagemaker(&w.dnn, &w.inputs, &SageConfig::default(), &scale.compute());
+        let (sage_cell, sage_samples) = match &sage {
+            Ok(r) => (
+                format!("{:.3}*", r.latency_secs * 1000.0 / r.samples.max(1) as f64),
+                r.samples.to_string(),
+            ),
+            Err(BaselineError::OutOfMemory { .. }) => ("OOM".to_string(), "0".to_string()),
+            Err(BaselineError::QuotaExceeded(_)) => ("quota".to_string(), "0".to_string()),
+        };
+        t.row(vec![
+            n.to_string(),
+            format!("{:.3} (P={}, {})", best.per_sample_ms(), best.workers, best.variant),
+            format!("{:.3}", serial.per_sample_ms()),
+            sage_cell,
+            sage_samples,
+        ]);
+        parallel_ms.push(best.per_sample_ms());
+        serial_ms.push(serial.per_sample_ms());
+    }
+    t.print("Table II: end-to-end per-sample runtime (ms); * = truncated batch");
+
+    // Shape checks: serial leads at the smallest N; parallel leads at the
+    // largest (paper: 2.00 vs 6.43 at N=1024, 12.97 vs 32.62 at N=16384).
+    assert!(
+        serial_ms[0] < parallel_ms[0],
+        "smallest model: serial {:.3} should beat parallel {:.3}",
+        serial_ms[0],
+        parallel_ms[0]
+    );
+    let last = grid.len() - 1;
+    assert!(
+        parallel_ms[last] < serial_ms[last],
+        "largest model: parallel {:.3} should beat serial {:.3}",
+        parallel_ms[last],
+        serial_ms[last]
+    );
+    println!("\nShape check: serial wins at N={}, parallel wins at N={} — OK", grid[0], grid[last]);
+}

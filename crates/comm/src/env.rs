@@ -1,0 +1,189 @@
+//! The shared cloud environment: services + meters + timing sources.
+
+use crate::latency::{Jitter, LatencyModel};
+use crate::meter::{MeterSnapshot, ServiceMeter};
+use crate::object::ObjectStore;
+use crate::pubsub::PubSub;
+use crate::queue::SqsQueue;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration of a simulated cloud region.
+#[derive(Debug, Clone, Copy)]
+pub struct CloudConfig {
+    /// Service latency/bandwidth model.
+    pub latency: LatencyModel,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+    /// Number of parallel pub-sub topics (the paper uses 10).
+    pub n_topics: usize,
+    /// Number of object-storage buckets (the paper uses 10).
+    pub n_buckets: usize,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig { latency: LatencyModel::default(), seed: 0, n_topics: 10, n_buckets: 10 }
+    }
+}
+
+impl CloudConfig {
+    /// Jitter-free configuration for deterministic tests and validation.
+    pub fn deterministic(seed: u64) -> CloudConfig {
+        CloudConfig { latency: LatencyModel::deterministic(), seed, ..CloudConfig::default() }
+    }
+}
+
+/// One simulated cloud region holding all communication services. Shared
+/// (via `Arc`) by every FaaS worker thread in a run.
+pub struct CloudEnv {
+    config: CloudConfig,
+    meter: Arc<ServiceMeter>,
+    jitter: Arc<Jitter>,
+    pubsub: PubSub,
+    store: ObjectStore,
+    queues: Mutex<HashMap<String, Arc<SqsQueue>>>,
+}
+
+impl CloudEnv {
+    /// Brings up a region: pre-creates topics and buckets (named
+    /// `bucket-{i}`), mirroring the paper's pre-created resources.
+    pub fn new(config: CloudConfig) -> Arc<CloudEnv> {
+        let meter = Arc::new(ServiceMeter::new());
+        let jitter = Arc::new(Jitter::new(config.seed, config.latency.jitter));
+        let pubsub = PubSub::new(config.n_topics, meter.clone(), config.latency, jitter.clone());
+        let store = ObjectStore::new(meter.clone(), config.latency, jitter.clone());
+        for i in 0..config.n_buckets {
+            store.create_bucket(&bucket_name(i));
+        }
+        Arc::new(CloudEnv { config, meter, jitter, pubsub, store, queues: Mutex::new(HashMap::new()) })
+    }
+
+    /// The region's configuration.
+    pub fn config(&self) -> &CloudConfig {
+        &self.config
+    }
+
+    /// The latency model used by all services.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.config.latency
+    }
+
+    /// The shared billing meter.
+    pub fn meter(&self) -> &ServiceMeter {
+        &self.meter
+    }
+
+    /// Convenience: snapshot of the billing meter.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        self.meter.snapshot()
+    }
+
+    /// The deterministic jitter stream (shared by FaaS timing too).
+    pub fn jitter(&self) -> &Arc<Jitter> {
+        &self.jitter
+    }
+
+    /// The pub-sub service.
+    pub fn pubsub(&self) -> &PubSub {
+        &self.pubsub
+    }
+
+    /// The object store.
+    pub fn object_store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Creates (or returns) the queue with the given name. Queues are
+    /// pre-created per worker before inference, at no idle cost.
+    pub fn queue(&self, name: &str) -> Arc<SqsQueue> {
+        self.queues
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(SqsQueue::new(
+                    name.to_string(),
+                    self.meter.clone(),
+                    self.config.latency,
+                    self.jitter.clone(),
+                ))
+            })
+            .clone()
+    }
+
+    /// Purges all queues and intermediate objects (between repetitions).
+    pub fn reset_channels(&self) {
+        for q in self.queues.lock().values() {
+            q.purge();
+        }
+        for i in 0..self.config.n_buckets {
+            self.store.delete_prefix(&bucket_name(i), "");
+        }
+    }
+}
+
+/// Canonical bucket naming: `bucket-{i}` as in the paper's examples.
+pub fn bucket_name(i: usize) -> String {
+    format!("bucket-{i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::VClock;
+
+    #[test]
+    fn env_precreates_buckets_and_topics() {
+        let env = CloudEnv::new(CloudConfig::deterministic(1));
+        assert_eq!(env.pubsub().n_topics(), 10);
+        for i in 0..10 {
+            assert!(env.object_store().bucket_exists(&bucket_name(i)), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn queue_is_created_once_and_shared() {
+        let env = CloudEnv::new(CloudConfig::deterministic(1));
+        let a = env.queue("worker-3");
+        let b = env.queue("worker-3");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.name(), "worker-3");
+    }
+
+    #[test]
+    fn reset_channels_clears_state() {
+        let env = CloudEnv::new(CloudConfig::deterministic(1));
+        let q = env.queue("w");
+        q.enqueue(
+            crate::time::VirtualTime::ZERO,
+            crate::message::Message {
+                attributes: crate::message::MessageAttributes {
+                    source: 0,
+                    target: 0,
+                    layer: 0,
+                    total_chunks: 1,
+                    batch: 0,
+                },
+                body: vec![1],
+            },
+        );
+        let mut clock = VClock::default();
+        env.object_store().put(&bucket_name(0), "x", &b"y"[..], &mut clock).expect("put");
+        env.reset_channels();
+        assert_eq!(q.visible_len(), 0);
+        assert_eq!(env.object_store().object_count(&bucket_name(0)), 0);
+    }
+
+    #[test]
+    fn meter_is_shared_across_services() {
+        let env = CloudEnv::new(CloudConfig::deterministic(1));
+        let mut clock = VClock::default();
+        env.object_store().put(&bucket_name(1), "k", &b"v"[..], &mut clock).expect("put");
+        let q = env.queue("w0");
+        q.poll(&mut clock, crate::queue::PollKind::Short);
+        let snap = env.snapshot();
+        assert_eq!(snap.s3_put_requests, 1);
+        assert_eq!(snap.sqs_api_calls, 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Billing meters — the simulation's "AWS Cost & Usage report".
+//!
+//! Every simulated service increments these counters as API events happen,
+//! *independently* of the cost model's predictions (Section IV of the
+//! paper). Cost-model validation (§VI-F) compares the two.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters of billable service events.
+#[derive(Debug, Default)]
+pub struct ServiceMeter {
+    /// SNS billed publish requests (64 KiB increments, min 1 per batch).
+    sns_publish_requests: AtomicU64,
+    /// Raw SNS `PublishBatch` API calls (un-billed unit, for diagnostics).
+    sns_publish_batches: AtomicU64,
+    /// Bytes delivered from topics into queues (`Z` in the cost model).
+    sns_delivered_bytes: AtomicU64,
+    /// SQS API calls: receives + deletes (`Q` in the cost model).
+    sqs_api_calls: AtomicU64,
+    /// SQS receive calls that returned no messages (long-poll timeouts).
+    sqs_empty_polls: AtomicU64,
+    /// Messages delivered through queues.
+    sqs_messages: AtomicU64,
+    /// S3 PUT requests (`V`).
+    s3_put_requests: AtomicU64,
+    /// S3 GET requests (`R`).
+    s3_get_requests: AtomicU64,
+    /// S3 LIST requests (`L`).
+    s3_list_requests: AtomicU64,
+    /// Bytes written to object storage.
+    s3_put_bytes: AtomicU64,
+    /// Bytes read from object storage.
+    s3_get_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of the meters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeterSnapshot {
+    pub sns_publish_requests: u64,
+    pub sns_publish_batches: u64,
+    pub sns_delivered_bytes: u64,
+    pub sqs_api_calls: u64,
+    pub sqs_empty_polls: u64,
+    pub sqs_messages: u64,
+    pub s3_put_requests: u64,
+    pub s3_get_requests: u64,
+    pub s3_list_requests: u64,
+    pub s3_put_bytes: u64,
+    pub s3_get_bytes: u64,
+}
+
+impl MeterSnapshot {
+    /// Difference `self − earlier`, for windowed measurements.
+    pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            sns_publish_requests: self.sns_publish_requests - earlier.sns_publish_requests,
+            sns_publish_batches: self.sns_publish_batches - earlier.sns_publish_batches,
+            sns_delivered_bytes: self.sns_delivered_bytes - earlier.sns_delivered_bytes,
+            sqs_api_calls: self.sqs_api_calls - earlier.sqs_api_calls,
+            sqs_empty_polls: self.sqs_empty_polls - earlier.sqs_empty_polls,
+            sqs_messages: self.sqs_messages - earlier.sqs_messages,
+            s3_put_requests: self.s3_put_requests - earlier.s3_put_requests,
+            s3_get_requests: self.s3_get_requests - earlier.s3_get_requests,
+            s3_list_requests: self.s3_list_requests - earlier.s3_list_requests,
+            s3_put_bytes: self.s3_put_bytes - earlier.s3_put_bytes,
+            s3_get_bytes: self.s3_get_bytes - earlier.s3_get_bytes,
+        }
+    }
+}
+
+impl ServiceMeter {
+    /// Fresh meter, all zeros.
+    pub fn new() -> ServiceMeter {
+        ServiceMeter::default()
+    }
+
+    pub(crate) fn record_sns_publish(&self, billed_requests: u64) {
+        self.sns_publish_batches.fetch_add(1, Ordering::Relaxed);
+        self.sns_publish_requests.fetch_add(billed_requests, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_sns_delivery(&self, bytes: u64) {
+        self.sns_delivered_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_sqs_call(&self, messages: u64, empty: bool) {
+        self.sqs_api_calls.fetch_add(1, Ordering::Relaxed);
+        self.sqs_messages.fetch_add(messages, Ordering::Relaxed);
+        if empty {
+            self.sqs_empty_polls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_s3_put(&self, bytes: u64) {
+        self.s3_put_requests.fetch_add(1, Ordering::Relaxed);
+        self.s3_put_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_s3_get(&self, bytes: u64) {
+        self.s3_get_requests.fetch_add(1, Ordering::Relaxed);
+        self.s3_get_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_s3_list(&self) {
+        self.s3_list_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current counters.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot {
+            sns_publish_requests: self.sns_publish_requests.load(Ordering::Relaxed),
+            sns_publish_batches: self.sns_publish_batches.load(Ordering::Relaxed),
+            sns_delivered_bytes: self.sns_delivered_bytes.load(Ordering::Relaxed),
+            sqs_api_calls: self.sqs_api_calls.load(Ordering::Relaxed),
+            sqs_empty_polls: self.sqs_empty_polls.load(Ordering::Relaxed),
+            sqs_messages: self.sqs_messages.load(Ordering::Relaxed),
+            s3_put_requests: self.s3_put_requests.load(Ordering::Relaxed),
+            s3_get_requests: self.s3_get_requests.load(Ordering::Relaxed),
+            s3_list_requests: self.s3_list_requests.load(Ordering::Relaxed),
+            s3_put_bytes: self.s3_put_bytes.load(Ordering::Relaxed),
+            s3_get_bytes: self.s3_get_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let m = ServiceMeter::new();
+        m.record_sns_publish(4);
+        m.record_sns_publish(1);
+        m.record_sns_delivery(1000);
+        m.record_sqs_call(10, false);
+        m.record_sqs_call(0, true);
+        m.record_s3_put(500);
+        m.record_s3_get(300);
+        m.record_s3_list();
+        let s = m.snapshot();
+        assert_eq!(s.sns_publish_requests, 5);
+        assert_eq!(s.sns_publish_batches, 2);
+        assert_eq!(s.sns_delivered_bytes, 1000);
+        assert_eq!(s.sqs_api_calls, 2);
+        assert_eq!(s.sqs_empty_polls, 1);
+        assert_eq!(s.sqs_messages, 10);
+        assert_eq!(s.s3_put_requests, 1);
+        assert_eq!(s.s3_get_requests, 1);
+        assert_eq!(s.s3_list_requests, 1);
+        assert_eq!(s.s3_put_bytes, 500);
+        assert_eq!(s.s3_get_bytes, 300);
+    }
+
+    #[test]
+    fn since_computes_window() {
+        let m = ServiceMeter::new();
+        m.record_s3_put(100);
+        let a = m.snapshot();
+        m.record_s3_put(250);
+        m.record_s3_list();
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.s3_put_requests, 1);
+        assert_eq!(d.s3_put_bytes, 250);
+        assert_eq!(d.s3_list_requests, 1);
+        assert_eq!(d.sqs_api_calls, 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let m = std::sync::Arc::new(ServiceMeter::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.record_sqs_call(1, false);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("thread");
+        }
+        assert_eq!(m.snapshot().sqs_api_calls, 8000);
+        assert_eq!(m.snapshot().sqs_messages, 8000);
+    }
+}

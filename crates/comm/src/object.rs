@@ -1,0 +1,456 @@
+//! S3-like object storage.
+//!
+//! FSD-Inf-Object spreads intermediate-result files over multiple buckets
+//! (`bucket-{n % 10}`) and per-target prefixes; each worker scans a single
+//! prefix with LIST and reads `.dat` files with GET (never the 0-byte
+//! `.nul` markers). PUT/GET/LIST are billed per request regardless of
+//! object size — the economics the paper's cost model builds on.
+//!
+//! Visibility follows virtual time: an object written at virtual time `t`
+//! is visible to LIST/GET calls whose clock has reached `t` (read-after-
+//! write consistency in simulated time, preventing causality violations
+//! between workers whose clocks have drifted apart).
+
+use crate::latency::{Jitter, LatencyModel};
+use crate::message::CommError;
+use crate::meter::ServiceMeter;
+use crate::time::{VClock, VirtualTime};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Real-time wait before an empty LIST returns (prevents busy-spinning
+/// while producer threads catch up; virtual cost is modeled separately).
+const REAL_WAIT: Duration = Duration::from_millis(2);
+
+/// Real-time grace used by [`ObjectStore::list_wait`] before giving up and
+/// returning an empty (billed) scan.
+const REAL_WAIT_LONG: Duration = Duration::from_millis(150);
+
+#[derive(Clone)]
+struct StoredObject {
+    bytes: Arc<[u8]>,
+    available_at: VirtualTime,
+}
+
+/// The object storage service.
+pub struct ObjectStore {
+    buckets: Mutex<HashMap<String, BTreeMap<String, StoredObject>>>,
+    cond: Condvar,
+    meter: Arc<ServiceMeter>,
+    latency: LatencyModel,
+    jitter: Arc<Jitter>,
+}
+
+impl ObjectStore {
+    pub(crate) fn new(
+        meter: Arc<ServiceMeter>,
+        latency: LatencyModel,
+        jitter: Arc<Jitter>,
+    ) -> ObjectStore {
+        ObjectStore {
+            buckets: Mutex::new(HashMap::new()),
+            cond: Condvar::new(),
+            meter,
+            latency,
+            jitter,
+        }
+    }
+
+    /// Creates a bucket (idempotent). Buckets are pre-created offline in
+    /// the paper's deployment, so this is not billed.
+    pub fn create_bucket(&self, name: &str) {
+        self.buckets.lock().entry(name.to_string()).or_default();
+    }
+
+    /// Whether a bucket exists.
+    pub fn bucket_exists(&self, name: &str) -> bool {
+        self.buckets.lock().contains_key(name)
+    }
+
+    /// One `PUT`: stores `bytes` under `bucket/key`, visible at the
+    /// caller's clock plus the PUT duration. Overwrites are allowed (S3
+    /// semantics); billing is per request, independent of size.
+    pub fn put(
+        &self,
+        bucket: &str,
+        key: &str,
+        bytes: impl Into<Arc<[u8]>>,
+        clock: &mut VClock,
+    ) -> Result<(), CommError> {
+        let bytes = bytes.into();
+        let dur = self.jitter.apply(self.latency.s3_put_total_us(bytes.len()));
+        clock.advance_micros(dur);
+        let mut buckets = self.buckets.lock();
+        let b = buckets
+            .get_mut(bucket)
+            .ok_or_else(|| CommError::NoSuchBucket { bucket: bucket.to_string() })?;
+        self.meter.record_s3_put(bytes.len() as u64);
+        b.insert(key.to_string(), StoredObject { bytes, available_at: clock.now() });
+        drop(buckets);
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Offline PUT: stores an object visible from time zero, without
+    /// billing. Used for artifacts staged *before* a run (model blocks,
+    /// partition maps) — the paper treats partitioning and staging as
+    /// offline post-processing of the trained model.
+    pub fn put_offline(
+        &self,
+        bucket: &str,
+        key: &str,
+        bytes: impl Into<Arc<[u8]>>,
+    ) -> Result<(), CommError> {
+        let bytes = bytes.into();
+        let mut buckets = self.buckets.lock();
+        let b = buckets
+            .get_mut(bucket)
+            .ok_or_else(|| CommError::NoSuchBucket { bucket: bucket.to_string() })?;
+        b.insert(key.to_string(), StoredObject { bytes, available_at: VirtualTime::ZERO });
+        drop(buckets);
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// One `GET`: returns the object body if it exists and is visible at
+    /// the caller's clock. Billed even when it fails (as on AWS).
+    pub fn get(&self, bucket: &str, key: &str, clock: &mut VClock) -> Result<Arc<[u8]>, CommError> {
+        let buckets = self.buckets.lock();
+        let b = buckets
+            .get(bucket)
+            .ok_or_else(|| CommError::NoSuchBucket { bucket: bucket.to_string() })?;
+        let found = b.get(key).filter(|o| o.available_at <= clock.now()).cloned();
+        drop(buckets);
+        match found {
+            Some(obj) => {
+                self.meter.record_s3_get(obj.bytes.len() as u64);
+                clock.advance_micros(self.jitter.apply(self.latency.s3_get_total_us(obj.bytes.len())));
+                Ok(obj.bytes)
+            }
+            None => {
+                self.meter.record_s3_get(0);
+                clock.advance_micros(self.jitter.apply(self.latency.s3_get_us));
+                Err(CommError::NoSuchKey { key: format!("{bucket}/{key}") })
+            }
+        }
+    }
+
+    /// One `LIST`: keys under `prefix` visible at the caller's clock (after
+    /// the LIST round trip). If nothing is visible, blocks briefly in real
+    /// time for producers before re-checking, then returns (possibly empty).
+    pub fn list(&self, bucket: &str, prefix: &str, clock: &mut VClock) -> Result<Vec<String>, CommError> {
+        self.meter.record_s3_list();
+        clock.advance_micros(self.jitter.apply(self.latency.s3_list_us));
+        let mut buckets = self.buckets.lock();
+        if !buckets.contains_key(bucket) {
+            return Err(CommError::NoSuchBucket { bucket: bucket.to_string() });
+        }
+        let collect = |buckets: &HashMap<String, BTreeMap<String, StoredObject>>| {
+            buckets[bucket]
+                .range(prefix.to_string()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .filter(|(_, o)| o.available_at <= clock.now())
+                .map(|(k, _)| k.clone())
+                .collect::<Vec<String>>()
+        };
+        let mut keys = collect(&buckets);
+        if keys.is_empty() {
+            self.cond.wait_for(&mut buckets, REAL_WAIT);
+            keys = collect(&buckets);
+        }
+        Ok(keys)
+    }
+
+    /// The FSI scan primitive: LIST with continuous-rescan billing.
+    ///
+    /// FSD-Inf-Object workers scan their prefix in a tight multi-threaded
+    /// loop until **new** files appear. Objects persist after being
+    /// processed, so the caller passes `known` — how many keys under the
+    /// prefix it has already handled; a listing is only *productive* when
+    /// more keys than that exist. Unproductive scans block briefly in real
+    /// time (letting producer threads run) and bill a single LIST.
+    ///
+    /// When the earliest unseen object is stamped `gap` ahead of the
+    /// caller's clock, the continuous scan loop it models is billed as
+    /// `ceil(gap / scan_interval)` LIST requests and the clock advances to
+    /// the stamp (`scan_interval` defaults to the LIST round trip —
+    /// back-to-back scanning).
+    ///
+    /// Returns `(visible keys, billed LISTs)`.
+    pub fn list_wait(
+        &self,
+        bucket: &str,
+        prefix: &str,
+        clock: &mut VClock,
+        scan_interval_us: Option<u64>,
+        known: usize,
+    ) -> Result<(Vec<String>, u64), CommError> {
+        let interval = scan_interval_us.unwrap_or(self.latency.s3_list_us).max(1);
+        let mut buckets = self.buckets.lock();
+        if !buckets.contains_key(bucket) {
+            return Err(CommError::NoSuchBucket { bucket: bucket.to_string() });
+        }
+        let matches = |buckets: &HashMap<String, BTreeMap<String, StoredObject>>| {
+            buckets[bucket]
+                .range(prefix.to_string()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, o)| (k.clone(), o.available_at))
+                .collect::<Vec<(String, VirtualTime)>>()
+        };
+        let mut found = matches(&buckets);
+        if found.len() <= known {
+            // Nothing new yet: real-time grace for producers (notified on
+            // every PUT), then re-check.
+            let deadline = std::time::Instant::now() + REAL_WAIT_LONG;
+            while found.len() <= known {
+                let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+                if timeout.is_zero() {
+                    break;
+                }
+                self.cond.wait_for(&mut buckets, timeout);
+                found = matches(&buckets);
+            }
+        }
+        drop(buckets);
+        let now = clock.now();
+        let visible = |found: &[(String, VirtualTime)], now: VirtualTime| {
+            found.iter().filter(|(_, t)| *t <= now).map(|(k, _)| k.clone()).collect::<Vec<_>>()
+        };
+        if found.len() <= known {
+            // Still nothing new: one empty-ish scan, caller loops.
+            self.meter.record_s3_list();
+            clock.advance_micros(self.jitter.apply(self.latency.s3_list_us));
+            return Ok((visible(&found, clock.now()), 1));
+        }
+        let vis_now = found.iter().filter(|(_, t)| *t <= now).count();
+        let scans = if vis_now > known {
+            // New keys are already visible: a single productive scan.
+            1
+        } else {
+            // New keys exist but are stamped in the virtual future: model
+            // the continuous re-scan loop until the earliest one lands.
+            let earliest = found
+                .iter()
+                .filter(|(_, t)| *t > now)
+                .map(|(_, t)| *t)
+                .min()
+                .expect("future key exists");
+            let gap = earliest.as_micros().saturating_sub(now.as_micros());
+            clock.observe(earliest);
+            1 + gap / interval
+        };
+        for _ in 0..scans {
+            self.meter.record_s3_list();
+        }
+        clock.advance_micros(self.jitter.apply(self.latency.s3_list_us));
+        Ok((visible(&found, clock.now()), scans))
+    }
+
+    /// Deletes every object under `prefix` (inter-run cleanup; modeled as
+    /// lifecycle expiry, not billed).
+    pub fn delete_prefix(&self, bucket: &str, prefix: &str) {
+        if let Some(b) = self.buckets.lock().get_mut(bucket) {
+            b.retain(|k, _| !k.starts_with(prefix));
+        }
+    }
+
+    /// Total object count in a bucket (diagnostics/tests).
+    pub fn object_count(&self, bucket: &str) -> usize {
+        self.buckets.lock().get(bucket).map_or(0, |b| b.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ObjectStore {
+        ObjectStore::new(
+            Arc::new(ServiceMeter::new()),
+            LatencyModel::deterministic(),
+            Arc::new(Jitter::new(5, 0.0)),
+        )
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = store();
+        s.create_bucket("b0");
+        let mut clock = VClock::default();
+        s.put("b0", "1/2/3_4.dat", &b"payload"[..], &mut clock).expect("put");
+        let got = s.get("b0", "1/2/3_4.dat", &mut clock).expect("get");
+        assert_eq!(&got[..], b"payload");
+    }
+
+    #[test]
+    fn get_missing_key_fails_but_is_billed() {
+        let s = store();
+        s.create_bucket("b0");
+        let mut clock = VClock::default();
+        assert!(matches!(
+            s.get("b0", "nope", &mut clock),
+            Err(CommError::NoSuchKey { .. })
+        ));
+        assert_eq!(s.meter.snapshot().s3_get_requests, 1);
+    }
+
+    #[test]
+    fn missing_bucket_fails() {
+        let s = store();
+        let mut clock = VClock::default();
+        assert!(matches!(
+            s.put("ghost", "k", &b"x"[..], &mut clock),
+            Err(CommError::NoSuchBucket { .. })
+        ));
+        assert!(matches!(s.list("ghost", "", &mut clock), Err(CommError::NoSuchBucket { .. })));
+    }
+
+    #[test]
+    fn list_filters_by_prefix() {
+        let s = store();
+        s.create_bucket("b");
+        let mut clock = VClock::default();
+        s.put("b", "1/5/0_5.dat", &b"x"[..], &mut clock).expect("put");
+        s.put("b", "1/5/2_5.nul", &[][..], &mut clock).expect("put");
+        s.put("b", "1/6/0_6.dat", &b"x"[..], &mut clock).expect("put");
+        s.put("b", "2/5/0_5.dat", &b"x"[..], &mut clock).expect("put");
+        let mut reader = VClock::starting_at(VirtualTime::from_secs_f64(100.0));
+        let keys = s.list("b", "1/5/", &mut reader).expect("list");
+        assert_eq!(keys, vec!["1/5/0_5.dat".to_string(), "1/5/2_5.nul".to_string()]);
+    }
+
+    #[test]
+    fn objects_invisible_before_available_at() {
+        let s = store();
+        s.create_bucket("b");
+        // Writer with a fast-forwarded clock writes "in the future".
+        let mut writer = VClock::starting_at(VirtualTime::from_secs_f64(50.0));
+        s.put("b", "k.dat", &b"x"[..], &mut writer).expect("put");
+        // Reader still at t=0 cannot see or read it...
+        let mut reader = VClock::default();
+        assert!(s.list("b", "", &mut reader).expect("list").is_empty());
+        assert!(s.get("b", "k.dat", &mut reader).is_err());
+        // ...until its clock passes the availability stamp.
+        let mut late = VClock::starting_at(VirtualTime::from_secs_f64(60.0));
+        assert_eq!(s.list("b", "", &mut late).expect("list").len(), 1);
+        assert!(s.get("b", "k.dat", &mut late).is_ok());
+    }
+
+    #[test]
+    fn put_duration_scales_with_size() {
+        let s = store();
+        s.create_bucket("b");
+        let mut small = VClock::default();
+        s.put("b", "s", &b"x"[..], &mut small).expect("put");
+        let mut large = VClock::default();
+        s.put("b", "l", &vec![0u8; 50_000_000][..], &mut large).expect("put");
+        assert!(large.now() > small.now().plus_micros(100_000), "bandwidth not modeled");
+    }
+
+    #[test]
+    fn overwrite_replaces_body() {
+        let s = store();
+        s.create_bucket("b");
+        let mut clock = VClock::default();
+        s.put("b", "k", &b"v1"[..], &mut clock).expect("put");
+        s.put("b", "k", &b"v2"[..], &mut clock).expect("put");
+        assert_eq!(&s.get("b", "k", &mut clock).expect("get")[..], b"v2");
+        assert_eq!(s.object_count("b"), 1);
+    }
+
+    #[test]
+    fn delete_prefix_cleans_up() {
+        let s = store();
+        s.create_bucket("b");
+        let mut clock = VClock::default();
+        s.put("b", "1/x", &b"a"[..], &mut clock).expect("put");
+        s.put("b", "1/y", &b"b"[..], &mut clock).expect("put");
+        s.put("b", "2/z", &b"c"[..], &mut clock).expect("put");
+        s.delete_prefix("b", "1/");
+        assert_eq!(s.object_count("b"), 1);
+    }
+
+    #[test]
+    fn meters_count_every_call() {
+        let s = store();
+        s.create_bucket("b");
+        let mut clock = VClock::default();
+        s.put("b", "k", &b"abc"[..], &mut clock).expect("put");
+        s.get("b", "k", &mut clock).expect("get");
+        s.list("b", "", &mut clock).expect("list");
+        let snap = s.meter.snapshot();
+        assert_eq!(snap.s3_put_requests, 1);
+        assert_eq!(snap.s3_put_bytes, 3);
+        assert_eq!(snap.s3_get_requests, 1);
+        assert_eq!(snap.s3_get_bytes, 3);
+        assert_eq!(snap.s3_list_requests, 1);
+    }
+
+    #[test]
+    fn list_wait_bills_scan_rounds_for_future_objects() {
+        let s = store();
+        s.create_bucket("b");
+        let mut writer = VClock::starting_at(VirtualTime::from_secs_f64(1.0));
+        s.put("b", "5/3/1_3.dat", &b"x"[..], &mut writer).expect("put");
+        let stamp = writer.now();
+        let before = s.meter.snapshot().s3_list_requests;
+        // Reader 1s of virtual time behind; scan interval 100ms → ~10 scans.
+        let mut reader = VClock::starting_at(stamp.as_micros().checked_sub(1_000_000).map(VirtualTime).unwrap());
+        let (keys, billed) = s.list_wait("b", "5/3/", &mut reader, Some(100_000), 0).expect("list");
+        assert_eq!(keys.len(), 1);
+        assert!(billed >= 10);
+        let scans = s.meter.snapshot().s3_list_requests - before;
+        assert!((10..=11).contains(&scans), "expected ~10 scans, billed {scans}");
+        assert!(reader.now() >= stamp);
+    }
+
+    #[test]
+    fn list_wait_single_scan_when_ready() {
+        let s = store();
+        s.create_bucket("b");
+        let mut writer = VClock::default();
+        s.put("b", "k.dat", &b"x"[..], &mut writer).expect("put");
+        let before = s.meter.snapshot().s3_list_requests;
+        let mut reader = VClock::starting_at(VirtualTime::from_secs_f64(10.0));
+        let (keys, billed) = s.list_wait("b", "", &mut reader, None, 0).expect("list");
+        assert_eq!(keys.len(), 1);
+        assert_eq!(billed, 1);
+        assert_eq!(s.meter.snapshot().s3_list_requests - before, 1);
+    }
+
+    #[test]
+    fn list_wait_empty_when_nothing_arrives() {
+        let s = store();
+        s.create_bucket("b");
+        let mut reader = VClock::default();
+        let (keys, billed) = s.list_wait("b", "none/", &mut reader, None, 0).expect("list");
+        assert!(keys.is_empty());
+        assert_eq!(billed, 1);
+        assert_eq!(s.meter.snapshot().s3_list_requests, 1);
+    }
+
+    #[test]
+    fn concurrent_writers_and_reader() {
+        let s = Arc::new(store());
+        s.create_bucket("b");
+        let mut writers = Vec::new();
+        for w in 0..4 {
+            let s = s.clone();
+            writers.push(std::thread::spawn(move || {
+                let mut clock = VClock::default();
+                for i in 0..25 {
+                    s.put("b", &format!("w{w}/{i}.dat"), &b"data"[..], &mut clock)
+                        .expect("put");
+                }
+            }));
+        }
+        for h in writers {
+            h.join().expect("writer");
+        }
+        let mut reader = VClock::starting_at(VirtualTime::from_secs_f64(1e6));
+        let keys = s.list("b", "", &mut reader).expect("list");
+        assert_eq!(keys.len(), 100);
+    }
+}

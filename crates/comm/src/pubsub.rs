@@ -1,0 +1,227 @@
+//! SNS-like pub-sub topics with filter-policy fan-out.
+//!
+//! FSD-Inf-Queue publishes message batches to one of several parallel topics
+//! (`topic-{m % 10}` in the paper — parallel topics raise aggregate
+//! throughput and dodge per-topic API limits). Each topic holds filter-policy
+//! subscriptions keyed by the `target` message attribute; delivery of each
+//! message is offloaded to the service, which routes it into the matching
+//! worker's dedicated queue. Messages whose target has no subscription are
+//! silently dropped — exact SNS filter semantics.
+
+use crate::latency::{Jitter, LatencyModel};
+use crate::message::{quota, CommError, Message};
+use crate::meter::ServiceMeter;
+use crate::queue::SqsQueue;
+use crate::time::VClock;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Topic {
+    /// Filter policy: `target` attribute → subscribed queue.
+    subs: RwLock<HashMap<u32, Arc<SqsQueue>>>,
+}
+
+/// The pub-sub service: a fixed set of pre-created topics (the paper
+/// pre-creates all communication resources to keep them off the inference
+/// critical path — they carry no idle cost).
+pub struct PubSub {
+    topics: Vec<Topic>,
+    meter: Arc<ServiceMeter>,
+    latency: LatencyModel,
+    jitter: Arc<Jitter>,
+}
+
+impl PubSub {
+    pub(crate) fn new(
+        n_topics: usize,
+        meter: Arc<ServiceMeter>,
+        latency: LatencyModel,
+        jitter: Arc<Jitter>,
+    ) -> PubSub {
+        let topics = (0..n_topics.max(1)).map(|_| Topic { subs: RwLock::new(HashMap::new()) }).collect();
+        PubSub { topics, meter, latency, jitter }
+    }
+
+    /// Number of parallel topics.
+    pub fn n_topics(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Subscribes `queue` to `topic` with a filter policy matching messages
+    /// whose `target` attribute equals `target`.
+    pub fn subscribe(&self, topic: usize, target: u32, queue: Arc<SqsQueue>) -> Result<(), CommError> {
+        let t = self.topics.get(topic).ok_or(CommError::NoSuchTopic { topic })?;
+        t.subs.write().insert(target, queue);
+        Ok(())
+    }
+
+    /// One `PublishBatch` call: validates quotas, advances the caller's
+    /// clock by the publish round trip, bills `ceil(total/64 KiB)` requests,
+    /// and fan-outs each message to its target's queue with the topic→queue
+    /// delivery delay.
+    ///
+    /// Returns the number of billed requests.
+    pub fn publish_batch(
+        &self,
+        topic: usize,
+        clock: &mut VClock,
+        messages: Vec<Message>,
+    ) -> Result<u64, CommError> {
+        let t = self.topics.get(topic).ok_or(CommError::NoSuchTopic { topic })?;
+        if messages.len() > quota::MAX_BATCH_MESSAGES {
+            return Err(CommError::TooManyMessages { got: messages.len() });
+        }
+        let total: usize = messages.iter().map(|m| m.len()).sum();
+        if total > quota::MAX_PUBLISH_BYTES {
+            return Err(CommError::PayloadTooLarge { bytes: total });
+        }
+        // Billed in 64 KiB increments, minimum one request per batch.
+        let billed = (total.div_ceil(quota::BILLING_INCREMENT)).max(1) as u64;
+        self.meter.record_sns_publish(billed);
+        clock.advance_micros(self.jitter.apply(self.latency.sns_publish_total_us(total)));
+
+        // Service-side distribution: each message becomes visible in its
+        // target queue after an independent delivery delay.
+        let subs = t.subs.read();
+        for msg in messages {
+            if let Some(queue) = subs.get(&msg.attributes.target) {
+                let delay = self.jitter.apply(self.latency.sns_delivery_us);
+                let available_at = clock.now().plus_micros(delay);
+                self.meter.record_sns_delivery(msg.len() as u64);
+                queue.enqueue(available_at, msg);
+            }
+            // No matching filter policy: dropped, exactly like SNS.
+        }
+        Ok(billed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageAttributes;
+    use crate::queue::PollKind;
+    use crate::time::VirtualTime;
+
+    fn setup(n_topics: usize) -> (PubSub, Arc<SqsQueue>, Arc<SqsQueue>) {
+        let meter = Arc::new(ServiceMeter::new());
+        let jitter = Arc::new(Jitter::new(3, 0.0));
+        let lat = LatencyModel::deterministic();
+        let ps = PubSub::new(n_topics, meter.clone(), lat, jitter.clone());
+        let q0 = Arc::new(SqsQueue::new("q0".into(), meter.clone(), lat, jitter.clone()));
+        let q1 = Arc::new(SqsQueue::new("q1".into(), meter, lat, jitter));
+        ps.subscribe(0, 0, q0.clone()).expect("subscribe q0");
+        ps.subscribe(0, 1, q1.clone()).expect("subscribe q1");
+        (ps, q0, q1)
+    }
+
+    fn msg(target: u32, body: &[u8]) -> Message {
+        Message {
+            attributes: MessageAttributes { source: 9, target, layer: 0, total_chunks: 1, batch: 0 },
+            body: body.to_vec(),
+        }
+    }
+
+    #[test]
+    fn fan_out_routes_by_target_attribute() {
+        let (ps, q0, q1) = setup(1);
+        let mut clock = VClock::default();
+        ps.publish_batch(0, &mut clock, vec![msg(0, b"to-0"), msg(1, b"to-1"), msg(0, b"to-0b")])
+            .expect("publish");
+        assert_eq!(q0.visible_len(), 2);
+        assert_eq!(q1.visible_len(), 1);
+        let mut c = VClock::starting_at(VirtualTime::from_secs_f64(10.0));
+        let got = q1.poll(&mut c, PollKind::Long { wait_secs: 1.0 });
+        assert_eq!(got[0].message.body, b"to-1");
+    }
+
+    #[test]
+    fn unmatched_target_is_dropped() {
+        let (ps, q0, q1) = setup(1);
+        let mut clock = VClock::default();
+        ps.publish_batch(0, &mut clock, vec![msg(7, b"nobody")]).expect("publish");
+        assert_eq!(q0.visible_len(), 0);
+        assert_eq!(q1.visible_len(), 0);
+    }
+
+    #[test]
+    fn rejects_oversized_batches() {
+        let (ps, _q0, _q1) = setup(1);
+        let mut clock = VClock::default();
+        let too_many: Vec<Message> = (0..11).map(|_| msg(0, b"x")).collect();
+        assert_eq!(
+            ps.publish_batch(0, &mut clock, too_many),
+            Err(CommError::TooManyMessages { got: 11 })
+        );
+        let huge = vec![msg(0, &vec![0u8; 300 * 1024])];
+        assert!(matches!(
+            ps.publish_batch(0, &mut clock, huge),
+            Err(CommError::PayloadTooLarge { .. })
+        ));
+        // Two messages summing over the cap also rejected (batch-level cap).
+        let pair = vec![msg(0, &vec![0u8; 200 * 1024]), msg(1, &vec![0u8; 100 * 1024])];
+        assert!(matches!(
+            ps.publish_batch(0, &mut clock, pair),
+            Err(CommError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn billing_in_64k_increments() {
+        let meter = Arc::new(ServiceMeter::new());
+        let jitter = Arc::new(Jitter::new(3, 0.0));
+        let lat = LatencyModel::deterministic();
+        let ps = PubSub::new(1, meter.clone(), lat, jitter.clone());
+        let q = Arc::new(SqsQueue::new("q".into(), meter.clone(), lat, jitter));
+        ps.subscribe(0, 0, q).expect("subscribe");
+        let mut clock = VClock::default();
+        // Tiny batch: 1 billed request.
+        let b = ps.publish_batch(0, &mut clock, vec![msg(0, b"small")]).expect("ok");
+        assert_eq!(b, 1);
+        // 256 KiB across 4 messages: billed as 4 (the paper's example).
+        let batch: Vec<Message> = (0..4).map(|_| msg(0, &vec![0u8; 64 * 1024])).collect();
+        let b = ps.publish_batch(0, &mut clock, batch).expect("ok");
+        assert_eq!(b, 4);
+        // 64 KiB + 1 byte: 2 requests.
+        let b = ps
+            .publish_batch(0, &mut clock, vec![msg(0, &vec![0u8; 64 * 1024 + 1])])
+            .expect("ok");
+        assert_eq!(b, 2);
+        assert_eq!(meter.snapshot().sns_publish_requests, 7);
+        assert_eq!(meter.snapshot().sns_publish_batches, 3);
+    }
+
+    #[test]
+    fn delivery_bytes_metered_only_for_matches() {
+        let (ps, _q0, _q1) = setup(1);
+        let meter_before = ps.meter.snapshot();
+        let mut clock = VClock::default();
+        ps.publish_batch(0, &mut clock, vec![msg(0, b"match"), msg(9, b"drop-me")])
+            .expect("publish");
+        let d = ps.meter.snapshot().since(&meter_before);
+        assert_eq!(d.sns_delivered_bytes, 5);
+    }
+
+    #[test]
+    fn delivery_stamp_is_after_publish() {
+        let (ps, q0, _q1) = setup(1);
+        let mut clock = VClock::default();
+        ps.publish_batch(0, &mut clock, vec![msg(0, b"timed")]).expect("publish");
+        let publish_done = clock.now();
+        let mut c = VClock::default();
+        let got = q0.poll(&mut c, PollKind::Long { wait_secs: 1.0 });
+        assert!(got[0].available_at > publish_done, "delivery must add topic→queue delay");
+    }
+
+    #[test]
+    fn bad_topic_is_an_error() {
+        let (ps, q0, _q1) = setup(2);
+        let mut clock = VClock::default();
+        assert_eq!(
+            ps.publish_batch(5, &mut clock, vec![msg(0, b"x")]),
+            Err(CommError::NoSuchTopic { topic: 5 })
+        );
+        assert!(matches!(ps.subscribe(9, 0, q0), Err(CommError::NoSuchTopic { topic: 9 })));
+    }
+}

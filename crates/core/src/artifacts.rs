@@ -1,0 +1,323 @@
+//! Model/input artifact staging and loading.
+//!
+//! Partitioning is *offline post-processing* of a trained model (paper
+//! §III): weight row-blocks, ownership lists and send/recv maps are written
+//! to object storage ahead of time. At inference time each worker GETs its
+//! own artifacts — those requests and transfer times are part of the
+//! measured run (the paper attributes serial's slow small-model latency to
+//! exactly this unpartitioned-weight read).
+
+use crate::wire;
+use fsd_comm::CloudEnv;
+use fsd_faas::{FaasError, WorkerCtx};
+use fsd_model::SparseDnn;
+use fsd_partition::{CommPlan, Partition};
+use fsd_sparse::{codec, ColMajorBlock, CsrMatrix, SparseRows};
+
+/// Bucket holding model and input artifacts (distinct from the
+/// intermediate-result buckets so channel LIST scans never see them).
+pub const ARTIFACT_BUCKET: &str = "fsd-artifacts";
+
+/// Artifact parsing throughput (bytes/second on one full vCPU).
+const ARTIFACT_DECODE_BPS: f64 = 200e6;
+
+/// Key layout helpers.
+fn full_layer_key(model: &str, k: usize) -> String {
+    format!("{model}/full/L{k}")
+}
+fn worker_layer_key(model: &str, p: u32, m: u32, k: usize) -> String {
+    format!("{model}/p{p}/w{m}/L{k}")
+}
+fn worker_owned_key(model: &str, p: u32, m: u32) -> String {
+    format!("{model}/p{p}/w{m}/owned")
+}
+fn worker_send_key(model: &str, p: u32, m: u32) -> String {
+    format!("{model}/p{p}/w{m}/send")
+}
+fn worker_recv_key(model: &str, p: u32, m: u32) -> String {
+    format!("{model}/p{p}/w{m}/recv")
+}
+fn input_full_key(input: &str) -> String {
+    format!("{input}/full")
+}
+fn input_worker_key(input: &str, p: u32, m: u32) -> String {
+    format!("{input}/p{p}/w{m}")
+}
+
+/// Stages the *unpartitioned* model (for FSD-Inf-Serial and the server
+/// baselines). Offline: uses a throwaway clock; callers snapshot meters
+/// after staging.
+pub fn stage_full_model(env: &CloudEnv, model_key: &str, dnn: &SparseDnn) {
+    env.object_store().create_bucket(ARTIFACT_BUCKET);
+    for (k, layer) in dnn.layers().iter().enumerate() {
+        env.object_store()
+            .put_offline(ARTIFACT_BUCKET, &full_layer_key(model_key, k), wire::encode_csr(layer))
+            .expect("artifact bucket exists");
+    }
+}
+
+/// Stages the partitioned model for `P = partition.n_parts()` workers:
+/// per-worker weight blocks (rows owned, global columns), ownership lists
+/// and per-layer send/recv maps.
+pub fn stage_partitioned_model(
+    env: &CloudEnv,
+    model_key: &str,
+    dnn: &SparseDnn,
+    partition: &Partition,
+    plan: &CommPlan,
+) {
+    env.object_store().create_bucket(ARTIFACT_BUCKET);
+    let p = partition.n_parts() as u32;
+    let store = env.object_store();
+    for m in 0..p {
+        let owned = partition.owned(m);
+        store
+            .put_offline(ARTIFACT_BUCKET, &worker_owned_key(model_key, p, m), wire::encode_ids(owned))
+            .expect("bucket exists");
+        for (k, layer) in dnn.layers().iter().enumerate() {
+            let sub = layer.select_rows(owned);
+            store
+                .put_offline(ARTIFACT_BUCKET, &worker_layer_key(model_key, p, m, k), wire::encode_csr(&sub))
+                .expect("bucket exists");
+        }
+        let send: Vec<Vec<(u32, Vec<u32>)>> =
+            (0..plan.n_layers()).map(|k| plan.layer(k).send[m as usize].clone()).collect();
+        let recv: Vec<Vec<(u32, Vec<u32>)>> =
+            (0..plan.n_layers()).map(|k| plan.layer(k).recv[m as usize].clone()).collect();
+        store
+            .put_offline(ARTIFACT_BUCKET, &worker_send_key(model_key, p, m), wire::encode_maps(&send))
+            .expect("bucket exists");
+        store
+            .put_offline(ARTIFACT_BUCKET, &worker_recv_key(model_key, p, m), wire::encode_maps(&recv))
+            .expect("bucket exists");
+    }
+}
+
+/// Stages an input batch: the full block (serial) plus per-worker shares.
+pub fn stage_inputs(env: &CloudEnv, input_key: &str, inputs: &SparseRows, partition: Option<&Partition>) {
+    env.object_store().create_bucket(ARTIFACT_BUCKET);
+    let store = env.object_store();
+    store
+        .put_offline(ARTIFACT_BUCKET, &input_full_key(input_key), codec::encode(inputs))
+        .expect("bucket exists");
+    if let Some(part) = partition {
+        let p = part.n_parts() as u32;
+        for m in 0..p {
+            let share = inputs.extract(part.owned(m));
+            store
+                .put_offline(ARTIFACT_BUCKET, &input_worker_key(input_key, p, m), codec::encode(&share))
+                .expect("bucket exists");
+        }
+    }
+}
+
+/// Everything one distributed worker loads before inference starts
+/// (inputs are fetched separately, per batch — see [`load_input_share`]).
+pub struct WorkerArtifacts {
+    /// Global row ids this worker owns (sorted).
+    pub owned: Vec<u32>,
+    /// Column-major weight blocks, one per layer.
+    pub weights: Vec<ColMajorBlock>,
+    /// Per-layer send maps `[(target, rows)]`.
+    pub send: Vec<Vec<(u32, Vec<u32>)>>,
+    /// Per-layer recv maps `[(source, rows)]`.
+    pub recv: Vec<Vec<(u32, Vec<u32>)>>,
+    /// Number of artifact GET requests issued (cost-model input).
+    pub n_gets: u64,
+    /// Tracked resident bytes for the FaaS memory model.
+    pub mem_bytes: usize,
+}
+
+fn fetch(ctx: &mut WorkerCtx, key: &str) -> Result<Vec<u8>, FaasError> {
+    let env = ctx.env().clone();
+    let body = env
+        .object_store()
+        .get(ARTIFACT_BUCKET, key, ctx.clock_mut())
+        .map_err(|e| FaasError::Comm(format!("artifact {key}: {e}")))?;
+    ctx.charge_bytes(body.len() as u64, ARTIFACT_DECODE_BPS);
+    Ok(body.to_vec())
+}
+
+/// Loads a distributed worker's artifacts, charging GET latencies, decode
+/// work and resident memory against the FaaS context.
+pub fn load_worker_artifacts(
+    ctx: &mut WorkerCtx,
+    model_key: &str,
+    p: u32,
+    m: u32,
+    n_layers: usize,
+) -> Result<WorkerArtifacts, FaasError> {
+    let mut n_gets = 0u64;
+    let owned = wire::decode_ids(&fetch(ctx, &worker_owned_key(model_key, p, m))?)
+        .map_err(|e| FaasError::Comm(format!("owned ids: {e}")))?;
+    n_gets += 1;
+    let local_ids: Vec<u32> = (0..owned.len() as u32).collect();
+    let mut weights = Vec::with_capacity(n_layers);
+    let mut mem = owned.len() * 4;
+    for k in 0..n_layers {
+        let sub = wire::decode_csr(&fetch(ctx, &worker_layer_key(model_key, p, m, k))?)
+            .map_err(|e| FaasError::Comm(format!("layer {k}: {e}")))?;
+        n_gets += 1;
+        // The sub-block's rows are local (0..owned); columns stay global.
+        let block = ColMajorBlock::from_layer(&sub, &local_ids);
+        ctx.charge_work(block.nnz() as u64 * 2); // transpose construction
+        mem += block.mem_bytes();
+        weights.push(block);
+    }
+    let send = wire::decode_maps(&fetch(ctx, &worker_send_key(model_key, p, m))?)
+        .map_err(|e| FaasError::Comm(format!("send maps: {e}")))?;
+    let recv = wire::decode_maps(&fetch(ctx, &worker_recv_key(model_key, p, m))?)
+        .map_err(|e| FaasError::Comm(format!("recv maps: {e}")))?;
+    n_gets += 2;
+    mem += send.iter().chain(recv.iter()).flatten().map(|(_, r)| 8 + r.len() * 4).sum::<usize>();
+    ctx.track_alloc(mem);
+    ctx.check_limits()?;
+    Ok(WorkerArtifacts { owned, weights, send, recv, n_gets, mem_bytes: mem })
+}
+
+/// Loads one worker's share of one input batch (a GET + decode, tracked
+/// against the FaaS memory model).
+pub fn load_input_share(
+    ctx: &mut WorkerCtx,
+    input_key: &str,
+    p: u32,
+    m: u32,
+) -> Result<SparseRows, FaasError> {
+    let inputs = codec::decode(&fetch(ctx, &input_worker_key(input_key, p, m))?)
+        .map_err(|e| FaasError::Comm(format!("inputs: {e}")))?;
+    ctx.track_alloc(inputs.mem_bytes());
+    ctx.check_limits()?;
+    Ok(inputs)
+}
+
+/// Loads the full model (FSD-Inf-Serial path; inputs are fetched per batch).
+/// Returns `(layers, n_gets, mem_bytes)`.
+pub fn load_full_model(
+    ctx: &mut WorkerCtx,
+    model_key: &str,
+    n_layers: usize,
+) -> Result<(Vec<CsrMatrix>, u64, usize), FaasError> {
+    let mut n_gets = 0u64;
+    let mut layers = Vec::with_capacity(n_layers);
+    let mut mem = 0usize;
+    for k in 0..n_layers {
+        let layer = wire::decode_csr(&fetch(ctx, &full_layer_key(model_key, k))?)
+            .map_err(|e| FaasError::Comm(format!("layer {k}: {e}")))?;
+        n_gets += 1;
+        mem += layer.mem_bytes();
+        layers.push(layer);
+        // Track as we go: serial OOM must trigger while loading, exactly as
+        // a real single instance would die mid-load.
+        ctx.track_alloc(layers.last().expect("just pushed").mem_bytes());
+        ctx.check_limits()?;
+    }
+    Ok((layers, n_gets, mem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsd_comm::{CloudConfig, VirtualTime};
+    use fsd_faas::{ComputeModel, FaasPlatform, FunctionConfig};
+    use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+    use fsd_partition::{partition_model, PartitionScheme};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<CloudEnv>, SparseDnn, Partition, CommPlan, SparseRows) {
+        let env = CloudEnv::new(CloudConfig::deterministic(7));
+        let dnn = generate_dnn(&DnnSpec {
+            neurons: 64,
+            layers: 3,
+            nnz_per_row: 8,
+            bias: -0.2,
+            clip: 32.0,
+            seed: 5,
+        });
+        let part = partition_model(&dnn, 4, PartitionScheme::Block, 1);
+        let plan = CommPlan::build(&dnn, &part);
+        let inputs = generate_inputs(64, &InputSpec::scaled(16, 2));
+        (env, dnn, part, plan, inputs)
+    }
+
+    #[test]
+    fn staged_worker_artifacts_roundtrip() {
+        let (env, dnn, part, plan, inputs) = setup();
+        stage_partitioned_model(&env, "m1", &dnn, &part, &plan);
+        stage_inputs(&env, "i1", &inputs, Some(&part));
+        let platform = FaasPlatform::new(env, ComputeModel::default());
+        for m in 0..4u32 {
+            let part = part.clone();
+            let plan = plan.clone();
+            let inputs = inputs.clone();
+            let (art, _) = platform
+                .invoke(FunctionConfig::worker("w", 4096), VirtualTime::ZERO, move |ctx| {
+                    let art = load_worker_artifacts(ctx, "m1", 4, m, 3)?;
+                    let share = load_input_share(ctx, "i1", 4, m)?;
+                    assert_eq!(art.owned, part.owned(m));
+                    assert_eq!(art.weights.len(), 3);
+                    assert_eq!(art.send.len(), 3);
+                    assert_eq!(art.send[0], plan.layer(0).send[m as usize]);
+                    assert_eq!(art.recv[2], plan.layer(2).recv[m as usize]);
+                    assert_eq!(share, inputs.extract(part.owned(m)));
+                    assert!(art.n_gets >= 5);
+                    assert!(art.mem_bytes > 0);
+                    Ok(art.n_gets)
+                })
+                .join()
+                .expect("load ok");
+            assert!(art >= 6);
+        }
+    }
+
+    #[test]
+    fn staged_full_model_roundtrip() {
+        let (env, dnn, _part, _plan, inputs) = setup();
+        stage_full_model(&env, "m1", &dnn);
+        stage_inputs(&env, "i1", &inputs, None);
+        let platform = FaasPlatform::new(env, ComputeModel::default());
+        let l0 = dnn.layer(0).clone();
+        let (got, _) = platform
+            .invoke(FunctionConfig::worker("w", 10_240), VirtualTime::ZERO, move |ctx| {
+                let (layers, gets, _mem) = load_full_model(ctx, "m1", 3)?;
+                assert_eq!(layers.len(), 3);
+                assert_eq!(layers[0], l0);
+                let _ = &inputs;
+                Ok(gets)
+            })
+            .join()
+            .expect("load ok");
+        assert_eq!(got, 3);
+    }
+
+    #[test]
+    fn serial_load_of_oversized_model_oomk() {
+        let (env, dnn, _part, _plan, inputs) = setup();
+        stage_full_model(&env, "m1", &dnn);
+        stage_inputs(&env, "i1", &inputs, None);
+        let platform = FaasPlatform::new(env, ComputeModel::default());
+        // 128 MB box, but track_alloc counts real artifact bytes plus the
+        // oversized claim below via a synthetic large model is overkill —
+        // instead assert the mechanism: preallocate nearly all memory.
+        let res = platform
+            .invoke(FunctionConfig::worker("w", 128), VirtualTime::ZERO, move |ctx| {
+                ctx.track_alloc(128 * 1024 * 1024);
+                let _ = load_full_model(ctx, "m1", 3)?;
+                let _ = &inputs;
+                Ok(())
+            })
+            .join();
+        assert!(matches!(res, Err(FaasError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn missing_artifacts_error_cleanly() {
+        let (env, ..) = setup();
+        let platform = FaasPlatform::new(env, ComputeModel::default());
+        let res = platform
+            .invoke(FunctionConfig::worker("w", 1024), VirtualTime::ZERO, |ctx| {
+                load_worker_artifacts(ctx, "ghost", 4, 0, 3).map(|_| ())
+            })
+            .join();
+        assert!(matches!(res, Err(FaasError::Comm(_))));
+    }
+}

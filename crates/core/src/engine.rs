@@ -1,0 +1,433 @@
+//! The FSD-Inference engine: staging, launching, measuring.
+
+use crate::artifacts::{stage_full_model, stage_inputs, stage_partitioned_model};
+use crate::channel::FsiChannel;
+use crate::cost::{CostBreakdown, CostModel};
+use crate::object_channel::ObjectChannel;
+use crate::queue_channel::{ChannelOptions, QueueChannel};
+use crate::stats::ChannelStatsSnapshot;
+use crate::worker::{run_serial, run_worker, WorkerOutput, WorkerParams};
+use fsd_comm::{CloudConfig, CloudEnv, MeterSnapshot, VirtualTime};
+use fsd_faas::{
+    ComputeModel, FaasError, FaasPlatform, FunctionConfig, InvocationReport, LambdaSnapshot,
+    MAX_MEMORY_MB,
+};
+use fsd_model::SparseDnn;
+use fsd_partition::{partition_model, CommPlan, Partition, PartitionScheme};
+use fsd_sparse::SparseRows;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which FSD-Inference variant executes a request (paper §VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Single instance, no communication.
+    Serial,
+    /// Pub-sub/queueing channel (FSI Algorithm 1).
+    Queue,
+    /// Object-storage channel (FSI Algorithm 2).
+    Object,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variant::Serial => write!(f, "FSD-Inf-Serial"),
+            Variant::Queue => write!(f, "FSD-Inf-Queue"),
+            Variant::Object => write!(f, "FSD-Inf-Object"),
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Simulated cloud region parameters.
+    pub cloud: CloudConfig,
+    /// FaaS compute-time model.
+    pub compute: ComputeModel,
+    /// Channel tuning (threads, long-poll wait, compression, chunking).
+    pub channel: ChannelOptions,
+    /// Launch-tree branching factor.
+    pub branching: usize,
+    /// Partitioning scheme for distributed variants.
+    pub scheme: PartitionScheme,
+    /// Seed for partitioning.
+    pub seed: u64,
+    /// Memory for the FSD-Inf-Serial instance (defaults to Lambda's
+    /// maximum, as in the paper; tests lower it to exercise OOM paths).
+    pub serial_memory_mb: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cloud: CloudConfig::default(),
+            compute: ComputeModel::default(),
+            channel: ChannelOptions::default(),
+            branching: 4,
+            scheme: PartitionScheme::Hgp,
+            seed: 0,
+            serial_memory_mb: MAX_MEMORY_MB,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Jitter-free configuration for tests and validation runs.
+    pub fn deterministic(seed: u64) -> EngineConfig {
+        EngineConfig { cloud: CloudConfig::deterministic(seed), seed, ..EngineConfig::default() }
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    /// Execution variant.
+    pub variant: Variant,
+    /// Worker count `P` (ignored for Serial).
+    pub workers: u32,
+    /// Per-worker memory MB (Serial uses the 10 GB maximum, as the paper).
+    pub memory_mb: u32,
+    /// The input batch.
+    pub inputs: SparseRows,
+}
+
+/// A request carrying several successive batches, processed by one worker
+/// tree with a SYNC between batches (paper Fig. 1) — launch and weight
+/// loads amortize across the batches.
+#[derive(Debug, Clone)]
+pub struct BatchedRequest {
+    /// Execution variant.
+    pub variant: Variant,
+    /// Worker count `P` (ignored for Serial).
+    pub workers: u32,
+    /// Per-worker memory MB.
+    pub memory_mb: u32,
+    /// The successive input batches.
+    pub batches: Vec<SparseRows>,
+}
+
+/// Per-worker runtime facts extracted from invocation reports.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerReport {
+    pub rank: u32,
+    pub started: VirtualTime,
+    pub finished: VirtualTime,
+    pub billed_ms: u64,
+    pub peak_mem_bytes: usize,
+    pub memory_mb: u32,
+}
+
+/// Everything measured about one inference run.
+#[derive(Debug, Clone)]
+pub struct InferenceReport {
+    pub variant: Variant,
+    pub workers: u32,
+    /// End-to-end query latency: request arrival → root holds the result.
+    pub latency: VirtualTime,
+    pub per_worker: Vec<WorkerReport>,
+    /// Service-side billing events during the run.
+    pub comm: MeterSnapshot,
+    /// Lambda billing during the run.
+    pub lambda: LambdaSnapshot,
+    /// Client-side channel statistics.
+    pub client: ChannelStatsSnapshot,
+    /// Cost from the service meters ("Cost & Usage report").
+    pub cost_actual: CostBreakdown,
+    /// Cost from the application's own metrics (§VI-F validation).
+    pub cost_predicted: CostBreakdown,
+    /// The inference result of the first batch (single-batch requests).
+    pub output: SparseRows,
+    /// Results of every batch, in order.
+    pub outputs: Vec<SparseRows>,
+    /// Total samples across batches.
+    pub samples: usize,
+    /// Total kernel work units charged.
+    pub work_done: u64,
+}
+
+impl InferenceReport {
+    /// End-to-end per-sample runtime in milliseconds (Table II metric).
+    pub fn per_sample_ms(&self) -> f64 {
+        self.latency.as_millis_f64() / self.samples.max(1) as f64
+    }
+
+    /// Per-sample cost in dollars (Figure 6 metric).
+    pub fn per_sample_cost(&self) -> f64 {
+        self.cost_actual.total() / self.samples.max(1) as f64
+    }
+
+    /// Average worker runtime `T̄` in seconds (cost model Eq. 4).
+    pub fn avg_worker_runtime_s(&self) -> f64 {
+        if self.per_worker.is_empty() {
+            return 0.0;
+        }
+        self.per_worker
+            .iter()
+            .map(|w| (w.finished.as_micros() - w.started.as_micros()) as f64 / 1e6)
+            .sum::<f64>()
+            / self.per_worker.len() as f64
+    }
+}
+
+/// The engine: owns the simulated region, the platform, and the staged
+/// model artifacts.
+pub struct FsdInference {
+    env: Arc<CloudEnv>,
+    platform: Arc<FaasPlatform>,
+    dnn: Arc<SparseDnn>,
+    cfg: EngineConfig,
+    cost: CostModel,
+    model_key: String,
+    full_staged: bool,
+    partitions: HashMap<u32, Arc<Partition>>,
+    run_counter: u64,
+}
+
+impl FsdInference {
+    /// Creates an engine for a model over a fresh simulated region.
+    pub fn new(dnn: Arc<SparseDnn>, cfg: EngineConfig) -> FsdInference {
+        let env = CloudEnv::new(cfg.cloud);
+        let platform = FaasPlatform::new(env.clone(), cfg.compute);
+        FsdInference {
+            env,
+            platform,
+            dnn,
+            cfg,
+            cost: CostModel::default(),
+            model_key: "model".to_string(),
+            full_staged: false,
+            partitions: HashMap::new(),
+            run_counter: 0,
+        }
+    }
+
+    /// The simulated environment (inspection/tests).
+    pub fn env(&self) -> &Arc<CloudEnv> {
+        &self.env
+    }
+
+    /// The model being served.
+    pub fn dnn(&self) -> &Arc<SparseDnn> {
+        &self.dnn
+    }
+
+    /// The partition used for `P` workers (preparing it if needed).
+    pub fn partition(&mut self, p: u32) -> Arc<Partition> {
+        self.prepare(p);
+        self.partitions[&p].clone()
+    }
+
+    /// Recommends a variant for this model at parallelism `p`, from the
+    /// Section IV-C rules: estimated per-pair payload volume (plan rows x
+    /// typical row bytes) against the publish quota, and whether the model
+    /// fits a single instance.
+    pub fn recommend(&mut self, p: u32, est_bytes_per_row: usize) -> crate::recommend::Recommendation {
+        let model_bytes = self.dnn.mem_bytes();
+        if p <= 1 {
+            return crate::recommend::Recommendation {
+                variant: Variant::Serial,
+                profile: crate::recommend::WorkloadProfile {
+                    model_bytes,
+                    workers: 1,
+                    bytes_per_pair_layer: 0,
+                },
+            };
+        }
+        self.prepare(p);
+        let part = self.partitions[&p].clone();
+        let plan = fsd_partition::CommPlan::build(&self.dnn, &part);
+        let pairs = plan.total_pairs().max(1);
+        let bytes_per_pair_layer =
+            (plan.total_row_sends() as usize * est_bytes_per_row) / pairs as usize;
+        let profile = crate::recommend::WorkloadProfile { model_bytes, workers: p, bytes_per_pair_layer };
+        crate::recommend::Recommendation {
+            variant: crate::recommend::recommend_variant(&profile),
+            profile,
+        }
+    }
+
+    /// Offline step: partition for `P` workers and stage the artifacts.
+    /// Idempotent; done "a priori, not per request" (paper §III).
+    pub fn prepare(&mut self, p: u32) {
+        if p <= 1 {
+            if !self.full_staged {
+                stage_full_model(&self.env, &self.model_key, &self.dnn);
+                self.full_staged = true;
+            }
+            return;
+        }
+        if self.partitions.contains_key(&p) {
+            return;
+        }
+        let part = partition_model(&self.dnn, p as usize, self.cfg.scheme, self.cfg.seed);
+        let plan = CommPlan::build(&self.dnn, &part);
+        stage_partitioned_model(&self.env, &self.model_key, &self.dnn, &part, &plan);
+        self.partitions.insert(p, Arc::new(part));
+    }
+
+    /// Runs one single-batch inference request end to end.
+    pub fn run(&mut self, req: &InferenceRequest) -> Result<InferenceReport, FaasError> {
+        self.run_batched(&BatchedRequest {
+            variant: req.variant,
+            workers: req.workers,
+            memory_mb: req.memory_mb,
+            batches: vec![req.inputs.clone()],
+        })
+    }
+
+    /// Runs several successive batches through one worker tree (paper
+    /// Fig. 1): the tree is launched once, weights are loaded once, and a
+    /// barrier + reduce closes each batch.
+    pub fn run_batched(&mut self, req: &BatchedRequest) -> Result<InferenceReport, FaasError> {
+        assert!(!req.batches.is_empty(), "need at least one batch");
+        let p = if req.variant == Variant::Serial { 1 } else { req.workers.max(1) };
+        self.prepare(p);
+        self.run_counter += 1;
+        let input_key = format!("inputs/run{}", self.run_counter);
+        let partition = self.partitions.get(&p).cloned();
+        for (b, batch) in req.batches.iter().enumerate() {
+            stage_inputs(&self.env, &format!("{input_key}/b{b}"), batch, partition.as_deref());
+        }
+        self.env.reset_channels();
+
+        // Measurement window starts after offline staging.
+        let comm_before = self.env.snapshot();
+        let lambda_before = self.platform.lambda_snapshot();
+        let samples: usize = req.batches.iter().map(|b| b.width()).sum();
+        let widths: Vec<usize> = req.batches.iter().map(|b| b.width()).collect();
+
+        let (root_out, reports, client) = match req.variant {
+            Variant::Serial => {
+                let (out, report) = self.launch_serial(&input_key, widths.len())?;
+                (out, vec![(0u32, report)], ChannelStatsSnapshot::default())
+            }
+            Variant::Queue => {
+                let channel = QueueChannel::setup(self.env.clone(), p, self.cfg.channel);
+                let r = self.launch_tree(channel.clone(), p, req.memory_mb, &input_key, &widths)?;
+                (r.0, r.1, channel.stats().snapshot())
+            }
+            Variant::Object => {
+                let channel = ObjectChannel::setup(self.env.clone(), p, self.cfg.channel);
+                let r = self.launch_tree(channel.clone(), p, req.memory_mb, &input_key, &widths)?;
+                (r.0, r.1, channel.stats().snapshot())
+            }
+        };
+
+        let comm = self.env.snapshot().since(&comm_before);
+        let lambda_after = self.platform.lambda_snapshot();
+        let lambda = LambdaSnapshot {
+            invocations: lambda_after.invocations - lambda_before.invocations,
+            mb_ms: lambda_after.mb_ms - lambda_before.mb_ms,
+        };
+        let per_worker: Vec<WorkerReport> = reports
+            .iter()
+            .map(|(rank, r)| WorkerReport {
+                rank: *rank,
+                started: r.started,
+                finished: r.finished,
+                billed_ms: r.billed_ms,
+                peak_mem_bytes: r.peak_mem_bytes,
+                memory_mb: r.memory_mb,
+            })
+            .collect();
+        let latency = per_worker
+            .iter()
+            .map(|w| w.finished)
+            .max()
+            .unwrap_or(VirtualTime::ZERO);
+        let outputs = root_out.final_batches.ok_or_else(|| {
+            FaasError::Comm("root worker returned no final output".to_string())
+        })?;
+        let output = outputs.first().cloned().unwrap_or_else(|| SparseRows::new(0));
+        let cost_actual = self.cost.actual(&lambda, &comm);
+        let cost_predicted =
+            self.cost.predicted(&lambda, &client, root_out.artifact_gets, 0);
+        Ok(InferenceReport {
+            variant: req.variant,
+            workers: p,
+            latency,
+            per_worker,
+            comm,
+            lambda,
+            client,
+            cost_actual,
+            cost_predicted,
+            output,
+            outputs,
+            samples,
+            work_done: root_out.work_done,
+        })
+    }
+
+    /// Coordinator (128 MB) + serial worker at the maximum memory.
+    fn launch_serial(
+        &self,
+        input_key: &str,
+        n_batches: usize,
+    ) -> Result<(WorkerOutput, InvocationReport), FaasError> {
+        let spec = *self.dnn.spec();
+        let model_key = self.model_key.clone();
+        let input_key = input_key.to_string();
+        let platform = self.platform.clone();
+        let serial_memory = self.cfg.serial_memory_mb;
+        let coordinator = self.platform.invoke(
+            FunctionConfig::coordinator(),
+            VirtualTime::ZERO,
+            move |ctx| {
+                ctx.charge_work(10_000); // request parsing
+                let at = ctx.now();
+                let inv = platform.invoke(
+                    FunctionConfig::worker("fsd-serial", serial_memory),
+                    at,
+                    move |worker_ctx| {
+                        run_serial(worker_ctx, &model_key, &input_key, &spec, n_batches)
+                    },
+                );
+                inv.join()
+            },
+        );
+        let ((out, report), _coord_report) = coordinator.join()?;
+        Ok((out, report))
+    }
+
+    /// Coordinator + hierarchical worker tree over a channel.
+    fn launch_tree(
+        &self,
+        channel: Arc<dyn FsiChannel>,
+        p: u32,
+        memory_mb: u32,
+        input_key: &str,
+        widths: &[usize],
+    ) -> Result<(WorkerOutput, Vec<(u32, InvocationReport)>), FaasError> {
+        let params = WorkerParams {
+            n_workers: p,
+            branching: self.cfg.branching,
+            memory_mb,
+            model_key: self.model_key.clone(),
+            input_key: input_key.to_string(),
+            spec: *self.dnn.spec(),
+            batch_widths: widths.to_vec(),
+        };
+        let platform = self.platform.clone();
+        let coordinator = self.platform.invoke(
+            FunctionConfig::coordinator(),
+            VirtualTime::ZERO,
+            move |ctx| {
+                ctx.charge_work(10_000); // request parsing
+                let at = ctx.now();
+                let inv = platform.invoke(
+                    FunctionConfig::worker("fsd-worker-0", params.memory_mb),
+                    at,
+                    move |worker_ctx| run_worker(worker_ctx, channel, 0, params),
+                );
+                inv.join()
+            },
+        );
+        let ((root_out, root_report), _coord) = coordinator.join()?;
+        let mut reports = vec![(0u32, root_report)];
+        reports.extend(root_out.subtree_reports.iter().copied());
+        Ok((root_out, reports))
+    }
+}

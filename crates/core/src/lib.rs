@@ -1,0 +1,63 @@
+//! # fsd-core — FSD-Inference: fully serverless distributed inference
+//!
+//! The paper's primary contribution, faithfully reproduced:
+//!
+//! * **FSI Algorithms 1 & 2** ([`worker`] + the two channels): intra-layer
+//!   model parallelism over disconnected FaaS instances, with communication
+//!   overlapped against the local sparse product;
+//! * **[`QueueChannel`]** — pub-sub + per-worker queues, byte-string
+//!   chunking by NNZ heuristic, ≤10-message/≤256 KiB publish batching,
+//!   service-side filter fan-out, long polling;
+//! * **[`ObjectChannel`]** — one object per (source, target) pair, multiple
+//!   buckets, `.nul` markers, redundant-read avoidance;
+//! * **hierarchical launch** — `worker_invoke_children` b-ary tree;
+//! * **collectives** — [`channel::barrier`] / [`channel::reduce`] built on
+//!   the same serverless primitives;
+//! * **cost model** (Section IV) — [`cost::CostModel`] with actual
+//!   (service-metered) vs predicted (client-metered) breakdowns;
+//! * **design recommendations** (Section IV-C) — [`recommend_variant`].
+//!
+//! Entry point: [`FsdInference`].
+//!
+//! ```
+//! use fsd_core::{EngineConfig, FsdInference, InferenceRequest, Variant};
+//! use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+//! use std::sync::Arc;
+//!
+//! let spec = DnnSpec { neurons: 64, layers: 3, nnz_per_row: 8,
+//!                      bias: -0.2, clip: 32.0, seed: 1 };
+//! let dnn = Arc::new(generate_dnn(&spec));
+//! let inputs = generate_inputs(64, &InputSpec::scaled(8, 1));
+//! let expected = dnn.serial_inference(&inputs);
+//!
+//! let mut engine = FsdInference::new(dnn, EngineConfig::deterministic(1));
+//! let report = engine
+//!     .run(&InferenceRequest { variant: Variant::Queue, workers: 3, memory_mb: 1024, inputs })
+//!     .unwrap();
+//! assert_eq!(report.output, expected);
+//! ```
+
+mod artifacts;
+pub mod channel;
+pub mod cost;
+mod engine;
+mod object_channel;
+mod queue_channel;
+mod recommend;
+mod stats;
+pub mod wire;
+pub mod worker;
+
+pub use artifacts::{
+    load_full_model, load_input_share, load_worker_artifacts, stage_full_model, stage_inputs,
+    stage_partitioned_model, WorkerArtifacts, ARTIFACT_BUCKET,
+};
+pub use channel::{barrier, reduce, FsiChannel, RecvTracker, Tag};
+pub use engine::{
+    BatchedRequest, EngineConfig, FsdInference, InferenceReport, InferenceRequest, Variant,
+    WorkerReport,
+};
+pub use object_channel::ObjectChannel;
+pub use queue_channel::{ChannelOptions, QueueChannel};
+pub use recommend::{recommend_variant, Recommendation, WorkloadProfile};
+pub use stats::{ChannelStats, ChannelStatsSnapshot};

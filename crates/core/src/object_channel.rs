@@ -1,0 +1,306 @@
+//! FSD-Inf-Object: the object-storage channel (FSI Algorithm 2).
+//!
+//! Send path: exactly one object per (source, target) pair per tag —
+//! `bucket-{n % B}/r/{tag}/{n}/{m}_{n}.dat` for data, or a 0-byte
+//! `….nul` marker when the source has nothing to ship (so targets never
+//! read empty files). Puts are issued over a modeled thread pool.
+//!
+//! Receive path: each worker scans only its own bucket/prefix with LIST,
+//! skips `.nul` markers and files from already-completed sources (the
+//! paper's redundant-read optimization), and GETs the rest.
+
+use crate::channel::{FsiChannel, RecvTracker, Tag};
+use crate::queue_channel::{decode_payload, encode_payload, ChannelOptions};
+use crate::stats::ChannelStats;
+use fsd_comm::{bucket_name, CloudEnv, CommError, VClock};
+use fsd_faas::{FaasError, WorkerCtx};
+use fsd_sparse::SparseRows;
+use std::sync::Arc;
+
+/// The object-storage channel.
+pub struct ObjectChannel {
+    env: Arc<CloudEnv>,
+    n_workers: u32,
+    n_buckets: usize,
+    opts: ChannelOptions,
+    stats: ChannelStats,
+}
+
+impl ObjectChannel {
+    /// Binds the channel to the environment's pre-created buckets.
+    pub fn setup(env: Arc<CloudEnv>, n_workers: u32, opts: ChannelOptions) -> Arc<ObjectChannel> {
+        let n_buckets = env.config().n_buckets.max(1);
+        Arc::new(ObjectChannel { env, n_workers, n_buckets, opts, stats: ChannelStats::new() })
+    }
+
+    /// Client-side statistics (cost-model inputs).
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Worker count this channel was set up for.
+    pub fn n_workers(&self) -> u32 {
+        self.n_workers
+    }
+
+    /// Bucket for a target worker: `bucket-{n % B}` (k-fold API limit).
+    fn bucket_for(&self, target: u32) -> String {
+        bucket_name(target as usize % self.n_buckets)
+    }
+
+    /// Prefix a target scans for a tag: `{tag}/{target}/`.
+    fn prefix_for(tag: Tag, target: u32) -> String {
+        format!("{}/{}/", tag.key_segment(), target)
+    }
+}
+
+/// Parses `{src}_{target}.(dat|nul)` file names; returns `(src, is_nul)`.
+fn parse_handle(key: &str) -> Option<(u32, bool)> {
+    let name = key.rsplit('/').next()?;
+    let (stem, ext) = name.rsplit_once('.')?;
+    let is_nul = match ext {
+        "nul" => true,
+        "dat" => false,
+        _ => return None,
+    };
+    let (src, _target) = stem.split_once('_')?;
+    Some((src.parse().ok()?, is_nul))
+}
+
+impl FsiChannel for ObjectChannel {
+    fn send_layer(
+        &self,
+        ctx: &mut WorkerCtx,
+        tag: Tag,
+        src: u32,
+        sends: &[(u32, SparseRows)],
+    ) -> Result<(), FaasError> {
+        if sends.is_empty() {
+            return Ok(());
+        }
+        // Build bodies first (single-threaded CPU work)…
+        let mut puts: Vec<(String, String, Vec<u8>)> = Vec::with_capacity(sends.len());
+        for (target, rows) in sends {
+            let bucket = self.bucket_for(*target);
+            let prefix = Self::prefix_for(tag, *target);
+            if rows.is_empty() && self.opts.nul_markers {
+                // Algorithm 2 line 5: a 0-byte marker instead of data.
+                puts.push((bucket, format!("{prefix}{src}_{target}.nul"), Vec::new()));
+            } else {
+                let body = encode_payload(ctx, &self.stats, rows, self.opts.compression);
+                puts.push((bucket, format!("{prefix}{src}_{target}.dat"), body));
+            }
+        }
+        // …then issue the PUTs over the modeled thread pool.
+        let lanes = self.opts.send_threads.max(1);
+        let mut lane_clocks: Vec<VClock> = vec![VClock::starting_at(ctx.now()); lanes];
+        for (i, (bucket, key, body)) in puts.into_iter().enumerate() {
+            let lane = &mut lane_clocks[i % lanes];
+            let bytes = body.len() as u64;
+            self.env
+                .object_store()
+                .put(&bucket, &key, body, lane)
+                .map_err(|e| FaasError::Comm(format!("put: {e}")))?;
+            self.stats.add(&self.stats.s3_puts, 1);
+            self.stats.add(&self.stats.s3_bytes_put, bytes);
+        }
+        let slowest = lane_clocks.iter().map(|c| c.now()).max().expect("≥1 lane");
+        ctx.clock_mut().observe(slowest);
+        Ok(())
+    }
+
+    fn receive_round(
+        &self,
+        ctx: &mut WorkerCtx,
+        tag: Tag,
+        me: u32,
+        tracker: &mut RecvTracker,
+    ) -> Result<Vec<(u32, SparseRows)>, FaasError> {
+        let bucket = self.bucket_for(me);
+        let prefix = Self::prefix_for(tag, me);
+        // `known`: files already consumed under this prefix — one per
+        // completed source (objects persist after processing, so a scan is
+        // only productive when it surfaces more keys than that).
+        let (keys, scans) = self
+            .env
+            .object_store()
+            .list_wait(&bucket, &prefix, ctx.clock_mut(), None, tracker.completed())
+            .map_err(|e| FaasError::Comm(format!("list: {e}")))?;
+        self.stats.add(&self.stats.s3_lists, scans);
+        let mut out = Vec::new();
+        for key in keys {
+            let Some((src, is_nul)) = parse_handle(&key) else {
+                continue;
+            };
+            // Redundant-read optimization: completed sources are skipped.
+            if !tracker.is_pending(src) {
+                continue;
+            }
+            if is_nul {
+                tracker.complete(src);
+                continue;
+            }
+            match self.env.object_store().get(&bucket, &key, ctx.clock_mut()) {
+                Ok(body) => {
+                    self.stats.add(&self.stats.s3_gets, 1);
+                    let rows = decode_payload(ctx, &body, self.opts.compression)?;
+                    tracker.complete(src);
+                    if !rows.is_empty() {
+                        out.push((src, rows));
+                    }
+                }
+                // Listed but not yet visible to our clock: retry next scan.
+                Err(CommError::NoSuchKey { .. }) => {
+                    self.stats.add(&self.stats.s3_gets, 1);
+                }
+                Err(e) => return Err(FaasError::Comm(format!("get: {e}"))),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsd_comm::{CloudConfig, VirtualTime};
+    use fsd_faas::{ComputeModel, FaasPlatform, FunctionConfig};
+
+    fn with_ctx<T: Send + 'static>(
+        env: Arc<CloudEnv>,
+        body: impl FnOnce(&mut WorkerCtx) -> Result<T, FaasError> + Send + 'static,
+    ) -> T {
+        let platform = FaasPlatform::new(env, ComputeModel::default());
+        platform
+            .invoke(FunctionConfig::worker("t", 2048), VirtualTime::ZERO, body)
+            .join()
+            .expect("test body ok")
+            .0
+    }
+
+    fn rows(ids: &[u32]) -> SparseRows {
+        SparseRows::from_rows(4, ids.iter().map(|&i| (i, vec![1u32, 3], vec![0.5f32, 2.5])))
+    }
+
+    #[test]
+    fn parse_handles() {
+        assert_eq!(parse_handle("L3/5/2_5.dat"), Some((2, false)));
+        assert_eq!(parse_handle("L3/5/12_5.nul"), Some((12, true)));
+        assert_eq!(parse_handle("L3/5/garbage"), None);
+        assert_eq!(parse_handle("L3/5/x_5.tmp"), None);
+    }
+
+    #[test]
+    fn send_receive_roundtrip() {
+        let env = CloudEnv::new(CloudConfig::deterministic(11));
+        let ch = ObjectChannel::setup(env.clone(), 2, ChannelOptions::default());
+        let ch2 = ch.clone();
+        let sent = rows(&[0, 9]);
+        let sent2 = sent.clone();
+        with_ctx(env.clone(), move |ctx| ch2.send_layer(ctx, Tag::Layer(2), 0, &[(1, sent2)]));
+        let got = with_ctx(env, move |ctx| {
+            let mut tracker = RecvTracker::expecting([0u32]);
+            ch.receive_all(ctx, Tag::Layer(2), 1, &mut tracker)
+        });
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, sent);
+    }
+
+    #[test]
+    fn nul_marker_completes_without_get() {
+        let env = CloudEnv::new(CloudConfig::deterministic(12));
+        let ch = ObjectChannel::setup(env.clone(), 2, ChannelOptions::default());
+        let ch2 = ch.clone();
+        with_ctx(env.clone(), move |ctx| {
+            ch2.send_layer(ctx, Tag::Layer(0), 0, &[(1, SparseRows::new(4))])
+        });
+        let before_gets = env.snapshot().s3_get_requests;
+        let got = with_ctx(env.clone(), move |ctx| {
+            let mut tracker = RecvTracker::expecting([0u32]);
+            ch.receive_all(ctx, Tag::Layer(0), 1, &mut tracker)
+        });
+        assert!(got.is_empty());
+        assert_eq!(env.snapshot().s3_get_requests, before_gets, ".nul file was GET-read");
+    }
+
+    #[test]
+    fn one_put_per_target_per_layer() {
+        let env = CloudEnv::new(CloudConfig::deterministic(13));
+        let ch = ObjectChannel::setup(env.clone(), 4, ChannelOptions::default());
+        let ch2 = ch.clone();
+        let sends: Vec<(u32, SparseRows)> =
+            vec![(1, rows(&[0])), (2, rows(&[1, 2])), (3, SparseRows::new(4))];
+        with_ctx(env, move |ctx| ch2.send_layer(ctx, Tag::Layer(0), 0, &sends));
+        let snap = ch.stats().snapshot();
+        assert_eq!(snap.s3_puts, 3, "object channel must put exactly one file per target");
+    }
+
+    #[test]
+    fn completed_sources_not_reread() {
+        let env = CloudEnv::new(CloudConfig::deterministic(14));
+        let ch = ObjectChannel::setup(env.clone(), 2, ChannelOptions::default());
+        let ch_send = ch.clone();
+        with_ctx(env.clone(), move |ctx| ch_send.send_layer(ctx, Tag::Layer(0), 0, &[(1, rows(&[5]))]));
+        let ch_recv = ch.clone();
+        with_ctx(env.clone(), move |ctx| {
+            let mut tracker = RecvTracker::expecting([0u32]);
+            ch_recv.receive_all(ctx, Tag::Layer(0), 1, &mut tracker)?;
+            // Second round on a fresh tracker that does NOT expect source 0:
+            // the .dat file is still listed, but must not be fetched again.
+            let gets_before = ch_recv.stats().snapshot().s3_gets;
+            let mut empty_tracker = RecvTracker::expecting([]);
+            ch_recv.receive_round(ctx, Tag::Layer(0), 1, &mut empty_tracker)?;
+            assert_eq!(ch_recv.stats().snapshot().s3_gets, gets_before);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn different_targets_use_disjoint_prefixes() {
+        let env = CloudEnv::new(CloudConfig::deterministic(15));
+        // 2 workers share bucket count 10 → different buckets; force the
+        // collision case with 12 workers: 1 and 11 share bucket-1.
+        let ch = ObjectChannel::setup(env.clone(), 12, ChannelOptions::default());
+        let ch2 = ch.clone();
+        with_ctx(env.clone(), move |ctx| {
+            ch2.send_layer(ctx, Tag::Layer(0), 0, &[(1, rows(&[1])), (11, rows(&[2]))])
+        });
+        let ch_recv = ch.clone();
+        let got1 = with_ctx(env.clone(), move |ctx| {
+            let mut t = RecvTracker::expecting([0u32]);
+            ch_recv.receive_all(ctx, Tag::Layer(0), 1, &mut t)
+        });
+        assert_eq!(got1[0].1.ids(), &[1]);
+        let got11 = with_ctx(env, move |ctx| {
+            let mut t = RecvTracker::expecting([0u32]);
+            ch.receive_all(ctx, Tag::Layer(0), 11, &mut t)
+        });
+        assert_eq!(got11[0].1.ids(), &[2]);
+    }
+
+    #[test]
+    fn barrier_and_reduce_work_over_objects() {
+        use crate::channel::{barrier, reduce};
+        let env = CloudEnv::new(CloudConfig::deterministic(16));
+        let ch = ObjectChannel::setup(env.clone(), 3, ChannelOptions::default());
+        let platform = FaasPlatform::new(env, ComputeModel::default());
+        let mut handles = Vec::new();
+        for m in 0..3u32 {
+            let ch = ch.clone();
+            handles.push(platform.invoke(
+                FunctionConfig::worker(format!("w{m}"), 2048),
+                VirtualTime::ZERO,
+                move |ctx| {
+                    barrier(ch.as_ref(), ctx, m, 3, 0)?;
+                    let mine = rows(&[m * 10]);
+                    reduce(ch.as_ref(), ctx, m, 3, mine, 0)
+                },
+            ));
+        }
+        let outs: Vec<Option<SparseRows>> =
+            handles.into_iter().map(|h| h.join().expect("worker ok").0).collect();
+        let root = outs.iter().flatten().next().expect("root produced output");
+        assert_eq!(root.ids(), &[0, 10, 20]);
+        assert_eq!(outs.iter().filter(|o| o.is_some()).count(), 1);
+    }
+}

@@ -1,0 +1,434 @@
+//! FSD-Inf-Queue: the pub-sub/queueing channel (FSI Algorithm 1).
+//!
+//! Send path: per-target row blocks are split into byte strings sized by
+//! the NNZ heuristic, serialized, compressed, and packed greedily into
+//! publish batches (≤ 10 messages, ≤ 256 KiB) to maximize payload
+//! utilization — the paper's main cost lever for `S`. Batches are issued to
+//! the sender's topic (`topic-{m % T}`) over a modeled thread pool; the
+//! service fans each message out to its target's dedicated queue via
+//! filter policies.
+//!
+//! Receive path: long polls against the worker's own queue; each message
+//! carries `(source, total_chunks)` attributes so the tracker knows when a
+//! source is complete. Early messages for later tags (a fast sender already
+//! one layer ahead) are stashed, never dropped.
+
+use crate::channel::{FsiChannel, RecvTracker, Tag};
+use crate::stats::ChannelStats;
+use fsd_comm::{quota, CloudEnv, Message, MessageAttributes, SqsQueue, VClock};
+use fsd_faas::{FaasError, WorkerCtx};
+use fsd_sparse::{codec, compress, SparseRows};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Tuning knobs for both channels.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelOptions {
+    /// Modeled sender-side thread pool width (the paper multi-threads
+    /// message construction and publication).
+    pub send_threads: usize,
+    /// Long-poll wait `W` in seconds.
+    pub long_poll_secs: f64,
+    /// Whether payloads are compressed (ablation lever; paper uses ZLIB).
+    pub compression: bool,
+    /// Target nonzeros per byte string — the NNZ packing heuristic.
+    pub chunk_nnz: usize,
+    /// Object channel: write 0-byte `.nul` markers for empty sends instead
+    /// of `.dat` files the receiver must GET (ablation lever; paper §III-C2).
+    pub nul_markers: bool,
+    /// Queue channel: pack messages into multi-message publish batches
+    /// (ablation lever; `false` = one message per publish, inflating `S`).
+    pub packing: bool,
+}
+
+impl Default for ChannelOptions {
+    fn default() -> Self {
+        ChannelOptions {
+            send_threads: 8,
+            long_poll_secs: 2.0,
+            compression: true,
+            chunk_nnz: 28_000,
+            nul_markers: true,
+            packing: true,
+        }
+    }
+}
+
+/// Single-thread payload-processing throughputs (bytes/second on one full
+/// vCPU) — the CPU property behind the paper's serialization/compression
+/// overheads, independent of the kernel-work compute model.
+const ENCODE_BPS: f64 = 150e6;
+const COMPRESS_BPS: f64 = 60e6;
+const DECODE_BPS: f64 = 140e6;
+
+/// Serializes (and optionally compresses) a block, charging the worker.
+/// Returns the wire body. Shared by both channels.
+pub(crate) fn encode_payload(
+    ctx: &mut WorkerCtx,
+    stats: &ChannelStats,
+    rows: &SparseRows,
+    compression: bool,
+) -> Vec<u8> {
+    let encoded = codec::encode(rows);
+    ctx.charge_bytes(encoded.len() as u64, ENCODE_BPS);
+    stats.add(&stats.bytes_precompress, encoded.len() as u64);
+    if compression {
+        let compressed = compress::compress(&encoded);
+        ctx.charge_bytes(encoded.len() as u64, COMPRESS_BPS);
+        compressed
+    } else {
+        encoded
+    }
+}
+
+/// Decodes a wire body produced by [`encode_payload`], charging the worker.
+pub(crate) fn decode_payload(
+    ctx: &mut WorkerCtx,
+    body: &[u8],
+    compression: bool,
+) -> Result<SparseRows, FaasError> {
+    ctx.charge_bytes(body.len() as u64, DECODE_BPS);
+    let encoded = if compression {
+        compress::decompress(body).map_err(|e| FaasError::Comm(format!("decompress: {e}")))?
+    } else {
+        body.to_vec()
+    };
+    codec::decode(&encoded).map_err(|e| FaasError::Comm(format!("decode: {e}")))
+}
+
+/// Early-arrival stash entry: `(source, total_chunks, rows)`.
+type StashedChunk = (u32, u32, SparseRows);
+
+/// The pub-sub/queueing channel.
+pub struct QueueChannel {
+    env: Arc<CloudEnv>,
+    n_workers: u32,
+    opts: ChannelOptions,
+    queues: Vec<Arc<SqsQueue>>,
+    stats: ChannelStats,
+    /// Early-arrival stash: `(receiver, tag) → [(source, total_chunks, rows)]`.
+    stash: Mutex<HashMap<(u32, u32), Vec<StashedChunk>>>,
+}
+
+impl QueueChannel {
+    /// Pre-creates one queue per worker and subscribes each to every topic
+    /// with a filter policy on its rank (done offline in the paper; no
+    /// per-inference setup cost).
+    pub fn setup(env: Arc<CloudEnv>, n_workers: u32, opts: ChannelOptions) -> Arc<QueueChannel> {
+        let mut queues = Vec::with_capacity(n_workers as usize);
+        for m in 0..n_workers {
+            let q = env.queue(&format!("fsd-q{m}"));
+            for t in 0..env.pubsub().n_topics() {
+                env.pubsub().subscribe(t, m, q.clone()).expect("topic pre-created");
+            }
+            queues.push(q);
+        }
+        Arc::new(QueueChannel {
+            env,
+            n_workers,
+            opts,
+            queues,
+            stats: ChannelStats::new(),
+            stash: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Client-side statistics (cost-model inputs).
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Worker count this channel was set up for.
+    pub fn n_workers(&self) -> u32 {
+        self.n_workers
+    }
+
+    /// Builds the byte-string chunk list for one target.
+    fn chunks_for(
+        &self,
+        ctx: &mut WorkerCtx,
+        rows: &SparseRows,
+    ) -> Vec<Vec<u8>> {
+        if rows.is_empty() {
+            // An empty send still announces itself with one tiny message so
+            // the receiver's tracker can complete the source.
+            return vec![encode_payload(ctx, &self.stats, rows, self.opts.compression)];
+        }
+        let mut bodies = Vec::new();
+        // NNZ heuristic first, then a hard re-split on the byte cap.
+        let mut pending: Vec<SparseRows> = rows.split_by_nnz(self.opts.chunk_nnz);
+        while let Some(chunk) = pending.pop() {
+            let body = encode_payload(ctx, &self.stats, &chunk, self.opts.compression);
+            if body.len() > quota::MAX_PUBLISH_BYTES && chunk.n_rows() > 1 {
+                // Rare: compression underperformed the heuristic; halve.
+                let halves = chunk.split_by_nnz((chunk.nnz() / 2).max(1));
+                pending.extend(halves);
+                continue;
+            }
+            bodies.push(body);
+        }
+        bodies
+    }
+}
+
+impl FsiChannel for QueueChannel {
+    fn send_layer(
+        &self,
+        ctx: &mut WorkerCtx,
+        tag: Tag,
+        src: u32,
+        sends: &[(u32, SparseRows)],
+    ) -> Result<(), FaasError> {
+        if sends.is_empty() {
+            return Ok(());
+        }
+        // 1. Build all byte strings (Xsend_list in Algorithm 1).
+        let mut messages: Vec<Message> = Vec::new();
+        for (target, rows) in sends {
+            let bodies = self.chunks_for(ctx, rows);
+            let total_chunks = bodies.len() as u32;
+            for body in bodies {
+                messages.push(Message {
+                    attributes: MessageAttributes {
+                        source: src,
+                        target: *target,
+                        layer: tag.encode(),
+                        total_chunks,
+                        batch: 0,
+                    },
+                    body,
+                });
+            }
+        }
+        // 2. Greedy batch packing: ≤ 10 messages and ≤ 256 KiB per publish
+        //    (or one message per publish with packing disabled — ablation).
+        let max_batch = if self.opts.packing { quota::MAX_BATCH_MESSAGES } else { 1 };
+        let mut batches: Vec<Vec<Message>> = Vec::new();
+        let mut cur: Vec<Message> = Vec::new();
+        let mut cur_bytes = 0usize;
+        for msg in messages {
+            let too_full = cur.len() == max_batch
+                || (!cur.is_empty() && cur_bytes + msg.len() > quota::MAX_PUBLISH_BYTES);
+            if too_full {
+                batches.push(std::mem::take(&mut cur));
+                cur_bytes = 0;
+            }
+            cur_bytes += msg.len();
+            cur.push(msg);
+        }
+        if !cur.is_empty() {
+            batches.push(cur);
+        }
+        // 3. Publish over the modeled thread pool: lane i handles batches
+        //    i, i+T, i+2T, …; the caller's clock joins the slowest lane.
+        let topic = src as usize % self.env.pubsub().n_topics();
+        let lanes = self.opts.send_threads.max(1);
+        let mut lane_clocks: Vec<VClock> = vec![VClock::starting_at(ctx.now()); lanes];
+        for (i, batch) in batches.into_iter().enumerate() {
+            let lane = &mut lane_clocks[i % lanes];
+            let bytes: u64 = batch.iter().map(|m| m.len() as u64).sum();
+            let n_msgs = batch.len() as u64;
+            let billed = self
+                .env
+                .pubsub()
+                .publish_batch(topic, lane, batch)
+                .map_err(|e| FaasError::Comm(format!("publish: {e}")))?;
+            self.stats.add(&self.stats.sns_billed, billed);
+            self.stats.add(&self.stats.sns_batches, 1);
+            self.stats.add(&self.stats.messages, n_msgs);
+            self.stats.add(&self.stats.bytes_sent, bytes);
+        }
+        let slowest = lane_clocks.iter().map(|c| c.now()).max().expect("≥1 lane");
+        ctx.clock_mut().observe(slowest);
+        Ok(())
+    }
+
+    fn receive_round(
+        &self,
+        ctx: &mut WorkerCtx,
+        tag: Tag,
+        me: u32,
+        tracker: &mut RecvTracker,
+    ) -> Result<Vec<(u32, SparseRows)>, FaasError> {
+        let want = tag.encode();
+        let mut out = Vec::new();
+        // Drain any stashed early arrivals for this tag first.
+        if let Some(stashed) = self.stash.lock().remove(&(me, want)) {
+            for (source, total, rows) in stashed {
+                tracker.record_chunk(source, total);
+                if !rows.is_empty() {
+                    out.push((source, rows));
+                }
+            }
+            if tracker.done() {
+                return Ok(out);
+            }
+        }
+        let queue = &self.queues[me as usize];
+        let (msgs, rounds) = queue.receive_wait(ctx.clock_mut(), self.opts.long_poll_secs);
+        self.stats.add(&self.stats.sqs_calls, rounds);
+        if msgs.is_empty() {
+            return Ok(out);
+        }
+        let handles: Vec<u64> = msgs.iter().map(|m| m.handle).collect();
+        for msg in msgs {
+            let attrs = msg.message.attributes;
+            let rows = decode_payload(ctx, &msg.message.body, self.opts.compression)?;
+            if attrs.layer == want {
+                tracker.record_chunk(attrs.source, attrs.total_chunks);
+                if !rows.is_empty() {
+                    out.push((attrs.source, rows));
+                }
+            } else {
+                // A sender already working on a later tag; keep for later.
+                self.stash
+                    .lock()
+                    .entry((me, attrs.layer))
+                    .or_default()
+                    .push((attrs.source, attrs.total_chunks, rows));
+            }
+        }
+        // Algorithm 1 line 15: delete the polled batch.
+        queue.delete_batch(ctx.clock_mut(), &handles);
+        self.stats.add(&self.stats.sqs_calls, 1);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsd_comm::CloudConfig;
+    use fsd_faas::{ComputeModel, FaasPlatform, FunctionConfig};
+    use fsd_comm::VirtualTime;
+
+    fn with_ctx<T: Send + 'static>(
+        env: Arc<CloudEnv>,
+        body: impl FnOnce(&mut WorkerCtx) -> Result<T, FaasError> + Send + 'static,
+    ) -> T {
+        let platform = FaasPlatform::new(env, ComputeModel::default());
+        platform
+            .invoke(FunctionConfig::worker("t", 2048), VirtualTime::ZERO, body)
+            .join()
+            .expect("test body ok")
+            .0
+    }
+
+    fn rows(ids: &[u32]) -> SparseRows {
+        SparseRows::from_rows(4, ids.iter().map(|&i| (i, vec![0u32, 2], vec![1.0f32, 2.0])))
+    }
+
+    #[test]
+    fn send_receive_roundtrip() {
+        let env = CloudEnv::new(CloudConfig::deterministic(1));
+        let ch = QueueChannel::setup(env.clone(), 2, ChannelOptions::default());
+        let ch2 = ch.clone();
+        let sent = rows(&[3, 8]);
+        let sent2 = sent.clone();
+        with_ctx(env.clone(), move |ctx| {
+            ch2.send_layer(ctx, Tag::Layer(0), 0, &[(1, sent2)])
+        });
+        let got = with_ctx(env, move |ctx| {
+            let mut tracker = RecvTracker::expecting([0u32]);
+            ch.receive_all(ctx, Tag::Layer(0), 1, &mut tracker)
+        });
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 0);
+        assert_eq!(got[0].1, sent);
+    }
+
+    #[test]
+    fn empty_send_completes_tracker_without_rows() {
+        let env = CloudEnv::new(CloudConfig::deterministic(2));
+        let ch = QueueChannel::setup(env.clone(), 2, ChannelOptions::default());
+        let ch2 = ch.clone();
+        with_ctx(env.clone(), move |ctx| {
+            ch2.send_layer(ctx, Tag::Layer(0), 0, &[(1, SparseRows::new(4))])
+        });
+        let got = with_ctx(env, move |ctx| {
+            let mut tracker = RecvTracker::expecting([0u32]);
+            ch.receive_all(ctx, Tag::Layer(0), 1, &mut tracker)
+        });
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn large_blocks_split_into_multiple_chunks() {
+        let env = CloudEnv::new(CloudConfig::deterministic(3));
+        let opts = ChannelOptions { chunk_nnz: 8, ..ChannelOptions::default() };
+        let ch = QueueChannel::setup(env.clone(), 2, opts);
+        let ch2 = ch.clone();
+        let big = SparseRows::from_rows(
+            64,
+            (0..32u32).map(|i| (i, (0..8u32).collect::<Vec<_>>(), vec![1.5f32; 8])),
+        );
+        let big2 = big.clone();
+        with_ctx(env.clone(), move |ctx| ch2.send_layer(ctx, Tag::Layer(1), 0, &[(1, big2)]));
+        assert!(ch.stats().snapshot().messages >= 4, "NNZ heuristic did not chunk");
+        let got = with_ctx(env, move |ctx| {
+            let mut tracker = RecvTracker::expecting([0u32]);
+            ch.receive_all(ctx, Tag::Layer(1), 1, &mut tracker)
+        });
+        let mut merged = SparseRows::new(64);
+        for (_, b) in got {
+            merged.merge(&b);
+        }
+        assert_eq!(merged, big);
+    }
+
+    #[test]
+    fn early_arrivals_are_stashed_not_lost() {
+        let env = CloudEnv::new(CloudConfig::deterministic(4));
+        let ch = QueueChannel::setup(env.clone(), 2, ChannelOptions::default());
+        let ch_send = ch.clone();
+        // Sender ships layer 0 AND layer 1 before the receiver polls at all.
+        with_ctx(env.clone(), move |ctx| {
+            ch_send.send_layer(ctx, Tag::Layer(0), 0, &[(1, rows(&[1]))])?;
+            ch_send.send_layer(ctx, Tag::Layer(1), 0, &[(1, rows(&[2]))])
+        });
+        let ch_recv = ch.clone();
+        let (l0, l1) = with_ctx(env, move |ctx| {
+            let mut t0 = RecvTracker::expecting([0u32]);
+            let l0 = ch_recv.receive_all(ctx, Tag::Layer(0), 1, &mut t0)?;
+            let mut t1 = RecvTracker::expecting([0u32]);
+            let l1 = ch_recv.receive_all(ctx, Tag::Layer(1), 1, &mut t1)?;
+            Ok((l0, l1))
+        });
+        assert_eq!(l0[0].1.ids(), &[1]);
+        assert_eq!(l1[0].1.ids(), &[2]);
+    }
+
+    #[test]
+    fn batches_pack_up_to_ten_messages() {
+        let env = CloudEnv::new(CloudConfig::deterministic(5));
+        let ch = QueueChannel::setup(env.clone(), 12, ChannelOptions::default());
+        let ch2 = ch.clone();
+        // 11 small sends → 11 messages → 2 publish batches (10 + 1).
+        let sends: Vec<(u32, SparseRows)> = (1..12u32).map(|t| (t, rows(&[t]))).collect();
+        with_ctx(env, move |ctx| ch2.send_layer(ctx, Tag::Layer(0), 0, &sends));
+        let snap = ch.stats().snapshot();
+        assert_eq!(snap.messages, 11);
+        assert_eq!(snap.sns_batches, 2);
+        assert_eq!(snap.sns_billed, 2, "small batches bill one request each");
+    }
+
+    #[test]
+    fn client_stats_match_service_meter() {
+        let env = CloudEnv::new(CloudConfig::deterministic(6));
+        let ch = QueueChannel::setup(env.clone(), 3, ChannelOptions::default());
+        let ch2 = ch.clone();
+        let sends: Vec<(u32, SparseRows)> = vec![(1, rows(&[0, 5])), (2, rows(&[7]))];
+        with_ctx(env.clone(), move |ctx| ch2.send_layer(ctx, Tag::Layer(0), 0, &sends));
+        let ch3 = ch.clone();
+        with_ctx(env.clone(), move |ctx| {
+            let mut t = RecvTracker::expecting([0u32]);
+            ch3.receive_all(ctx, Tag::Layer(0), 1, &mut t)
+        });
+        let client = ch.stats().snapshot();
+        let service = env.snapshot();
+        assert_eq!(client.sns_billed, service.sns_publish_requests);
+        assert_eq!(client.bytes_sent, service.sns_delivered_bytes);
+        assert_eq!(client.messages, service.sqs_messages + 1 /* undelivered to w2 */);
+    }
+}

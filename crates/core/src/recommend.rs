@@ -1,0 +1,108 @@
+//! Design recommendations (paper Section IV-C).
+//!
+//! * Models that fit one instance comfortably → **Serial** (no IPC latency);
+//! * otherwise **Queue** while per-pair payloads stay within a few publish
+//!   quotas (its API requests are ~1 OOM cheaper and batch 10 targets);
+//! * **Object** once per-layer pairwise volumes saturate pub-sub payload
+//!   limits (object size is effectively unbounded and transfer is free).
+
+use crate::engine::Variant;
+use fsd_comm::quota;
+use fsd_faas::MAX_MEMORY_MB;
+
+/// Workload description for the recommender.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadProfile {
+    /// In-memory bytes of the whole (unpartitioned) model.
+    pub model_bytes: usize,
+    /// Planned worker parallelism.
+    pub workers: u32,
+    /// Estimated bytes shipped per (source, target) pair per layer.
+    pub bytes_per_pair_layer: usize,
+}
+
+/// Fraction of instance memory the model may take before Serial stops
+/// being recommended (activations, buffers and runtime need the rest).
+const SERIAL_FIT_FRACTION: f64 = 0.55;
+
+/// Publish quotas a pair/layer may consume before the queue channel starts
+/// paying multiple billed requests per target consistently (§IV-C: queue
+/// wins "until multiple publishes are consistently required per target").
+const QUEUE_SATURATION_PUBLISHES: usize = 4;
+
+/// A recommendation with the profile that produced it (diagnostics).
+#[derive(Debug, Clone, Copy)]
+pub struct Recommendation {
+    /// The recommended execution variant.
+    pub variant: Variant,
+    /// The workload profile the rules were evaluated on.
+    pub profile: WorkloadProfile,
+}
+
+/// Recommends the variant for a workload.
+pub fn recommend_variant(w: &WorkloadProfile) -> Variant {
+    let serial_budget =
+        (MAX_MEMORY_MB as usize * 1024 * 1024) as f64 * SERIAL_FIT_FRACTION;
+    if (w.model_bytes as f64) <= serial_budget {
+        return Variant::Serial;
+    }
+    if w.bytes_per_pair_layer <= quota::MAX_PUBLISH_BYTES * QUEUE_SATURATION_PUBLISHES {
+        Variant::Queue
+    } else {
+        Variant::Object
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_models_run_serial() {
+        let w = WorkloadProfile {
+            model_bytes: 100 * 1024 * 1024,
+            workers: 8,
+            bytes_per_pair_layer: 10_000,
+        };
+        assert_eq!(recommend_variant(&w), Variant::Serial);
+    }
+
+    #[test]
+    fn medium_models_use_queue() {
+        let w = WorkloadProfile {
+            model_bytes: 8 * 1024 * 1024 * 1024,
+            workers: 20,
+            bytes_per_pair_layer: 200 * 1024,
+        };
+        assert_eq!(recommend_variant(&w), Variant::Queue);
+    }
+
+    #[test]
+    fn huge_volumes_use_object() {
+        let w = WorkloadProfile {
+            model_bytes: 30 * 1024 * 1024 * 1024,
+            workers: 62,
+            bytes_per_pair_layer: 4 * 1024 * 1024,
+        };
+        assert_eq!(recommend_variant(&w), Variant::Object);
+    }
+
+    #[test]
+    fn boundary_is_the_publish_quota_multiple() {
+        let base = WorkloadProfile {
+            model_bytes: 8 * 1024 * 1024 * 1024,
+            workers: 40,
+            bytes_per_pair_layer: 0,
+        };
+        let at = WorkloadProfile {
+            bytes_per_pair_layer: quota::MAX_PUBLISH_BYTES * QUEUE_SATURATION_PUBLISHES,
+            ..base
+        };
+        let over = WorkloadProfile {
+            bytes_per_pair_layer: quota::MAX_PUBLISH_BYTES * QUEUE_SATURATION_PUBLISHES + 1,
+            ..base
+        };
+        assert_eq!(recommend_variant(&at), Variant::Queue);
+        assert_eq!(recommend_variant(&over), Variant::Object);
+    }
+}

@@ -1,0 +1,115 @@
+//! Client-side channel statistics.
+//!
+//! The paper validates its cost model by capturing fine-grained per-layer /
+//! per-batch metrics *inside the application* and comparing the predicted
+//! charges against the AWS Cost & Usage report. [`ChannelStats`] plays the
+//! application-side role here: channels count the work they believe they
+//! did, the service meters (`fsd_comm::ServiceMeter`) independently count
+//! what was billed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic client-side counters, aggregated across all workers of a run.
+#[derive(Debug, Default)]
+pub struct ChannelStats {
+    /// Billed SNS publish requests (client's own 64 KiB accounting): `S`.
+    pub sns_billed: AtomicU64,
+    /// `PublishBatch` API calls issued.
+    pub sns_batches: AtomicU64,
+    /// Messages handed to the pub-sub service.
+    pub messages: AtomicU64,
+    /// Payload bytes shipped through pub-sub (= SNS→SQS transfer): `Z`.
+    pub bytes_sent: AtomicU64,
+    /// SQS API calls (receive rounds + deletes): `Q`.
+    pub sqs_calls: AtomicU64,
+    /// Object PUT requests: `V`.
+    pub s3_puts: AtomicU64,
+    /// Object GET requests: `R`.
+    pub s3_gets: AtomicU64,
+    /// Object LIST requests: `L`.
+    pub s3_lists: AtomicU64,
+    /// Bytes written to object storage (diagnostics; not billed by S3).
+    pub s3_bytes_put: AtomicU64,
+    /// Pre-compression payload bytes (compression-effectiveness metric).
+    pub bytes_precompress: AtomicU64,
+}
+
+/// Plain-data snapshot of [`ChannelStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStatsSnapshot {
+    pub sns_billed: u64,
+    pub sns_batches: u64,
+    pub messages: u64,
+    pub bytes_sent: u64,
+    pub sqs_calls: u64,
+    pub s3_puts: u64,
+    pub s3_gets: u64,
+    pub s3_lists: u64,
+    pub s3_bytes_put: u64,
+    pub bytes_precompress: u64,
+}
+
+impl ChannelStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> ChannelStats {
+        ChannelStats::default()
+    }
+
+    pub(crate) fn add(&self, field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> ChannelStatsSnapshot {
+        ChannelStatsSnapshot {
+            sns_billed: self.sns_billed.load(Ordering::Relaxed),
+            sns_batches: self.sns_batches.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            sqs_calls: self.sqs_calls.load(Ordering::Relaxed),
+            s3_puts: self.s3_puts.load(Ordering::Relaxed),
+            s3_gets: self.s3_gets.load(Ordering::Relaxed),
+            s3_lists: self.s3_lists.load(Ordering::Relaxed),
+            s3_bytes_put: self.s3_bytes_put.load(Ordering::Relaxed),
+            bytes_precompress: self.bytes_precompress.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ChannelStatsSnapshot {
+    /// Achieved compression ratio (pre / post), 1.0 when nothing was sent.
+    pub fn compression_ratio(&self) -> f64 {
+        let post = self.bytes_sent + self.s3_bytes_put;
+        if post == 0 {
+            return 1.0;
+        }
+        self.bytes_precompress as f64 / post as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_adds() {
+        let s = ChannelStats::new();
+        s.add(&s.sns_billed, 4);
+        s.add(&s.messages, 10);
+        s.add(&s.bytes_sent, 1000);
+        let snap = s.snapshot();
+        assert_eq!(snap.sns_billed, 4);
+        assert_eq!(snap.messages, 10);
+        assert_eq!(snap.bytes_sent, 1000);
+        assert_eq!(snap.sqs_calls, 0);
+    }
+
+    #[test]
+    fn compression_ratio() {
+        let s = ChannelStats::new();
+        assert_eq!(s.snapshot().compression_ratio(), 1.0);
+        s.add(&s.bytes_precompress, 4000);
+        s.add(&s.bytes_sent, 1000);
+        assert!((s.snapshot().compression_ratio() - 4.0).abs() < 1e-9);
+    }
+}

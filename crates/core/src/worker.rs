@@ -1,0 +1,225 @@
+//! The FSI worker routine (Algorithms 1 & 2, channel-generic).
+//!
+//! Each worker: launches its subtree of children (hierarchical launch),
+//! loads its weight/map artifacts once, then — per inference batch (paper
+//! Fig. 1: "Batch 1 … Batch n, SYNC") — per layer: sends its owed rows,
+//! computes the local product to overlap communication with computation,
+//! receives and accumulates inbound rows until its receive map is
+//! satisfied, and applies the activation. A barrier + reduce per batch
+//! delivers that batch's result to rank 0. Launch and weight-load costs
+//! amortize across batches — the data-parallel batch processing the paper
+//! builds in.
+
+use crate::artifacts::{load_full_model, load_input_share, load_worker_artifacts};
+use crate::channel::{barrier, reduce, FsiChannel, RecvTracker, Tag};
+use fsd_faas::{launch, FaasError, FunctionConfig, InvocationReport, WorkerCtx};
+use fsd_model::DnnSpec;
+use fsd_sparse::{codec, layer_forward_reference, LayerAccumulator, SparseRows};
+use std::sync::Arc;
+
+/// Parameters shared by every worker of a run.
+#[derive(Clone)]
+pub struct WorkerParams {
+    /// Total workers `P`.
+    pub n_workers: u32,
+    /// Launch-tree branching factor.
+    pub branching: usize,
+    /// Worker memory (MB).
+    pub memory_mb: u32,
+    /// Staged model prefix.
+    pub model_key: String,
+    /// Staged input prefix (batch `b` lives under `{input_key}/b{b}`).
+    pub input_key: String,
+    /// Model shape/activation parameters.
+    pub spec: DnnSpec,
+    /// Width (samples) of each successive batch.
+    pub batch_widths: Vec<usize>,
+}
+
+/// What bubbles up from a worker: its own measurements plus everything from
+/// its subtree, and (rank 0 only) the final inference outputs per batch.
+pub struct WorkerOutput {
+    /// Rank that produced this output.
+    pub rank: u32,
+    /// Final activations per batch (root only, after each reduce).
+    pub final_batches: Option<Vec<SparseRows>>,
+    /// `(rank, report)` for every descendant that has completed.
+    pub subtree_reports: Vec<(u32, InvocationReport)>,
+    /// Artifact GETs issued by this worker alone.
+    pub artifact_gets: u64,
+    /// Kernel work units this worker charged.
+    pub work_done: u64,
+}
+
+/// Batch-aware layer tag: tags must be distinct across batches so early
+/// arrivals stash correctly and object keys never collide with a previous
+/// batch's persisted files.
+fn layer_tag(spec: &DnnSpec, batch: usize, k: usize) -> Tag {
+    Tag::Layer((batch * spec.layers + k) as u32)
+}
+
+/// Runs worker `rank` of a distributed FSI inference.
+pub fn run_worker(
+    ctx: &mut WorkerCtx,
+    channel: Arc<dyn FsiChannel>,
+    rank: u32,
+    params: WorkerParams,
+) -> Result<WorkerOutput, FaasError> {
+    // --- 1. worker_invoke_children(): launch the subtree ---------------
+    let children = launch::children_of(rank as usize, params.branching, params.n_workers as usize);
+    let mut child_invocations = Vec::with_capacity(children.len());
+    for &child in &children {
+        // The (async) Invoke API call costs the parent one round trip.
+        let lat = ctx.env().latency().lambda_invoke_us;
+        let jittered = ctx.env().jitter().apply(lat);
+        ctx.clock_mut().advance_micros(jittered);
+        let cfg = FunctionConfig::worker(format!("fsd-worker-{child}"), params.memory_mb);
+        let channel = channel.clone();
+        let params_c = params.clone();
+        let at = ctx.now();
+        let inv = ctx.platform().clone().invoke(cfg, at, move |child_ctx| {
+            run_worker(child_ctx, channel, child as u32, params_c)
+        });
+        child_invocations.push((child as u32, inv));
+    }
+
+    // --- 2. load weights and maps (once; amortized across batches) ------
+    let art = load_worker_artifacts(ctx, &params.model_key, params.n_workers, rank, params.spec.layers)?;
+    let mut artifact_gets = art.n_gets;
+    let mut work_done = 0u64;
+    let mut final_batches: Vec<SparseRows> = Vec::new();
+
+    // --- 3. successive batches (paper Fig. 1) ---------------------------
+    for (b, &width) in params.batch_widths.iter().enumerate() {
+        let mut x = load_input_share(ctx, &format!("{}/b{b}", params.input_key), params.n_workers, rank)?;
+        artifact_gets += 1;
+        let mut acc = LayerAccumulator::new(art.owned.len(), width);
+        ctx.track_alloc(art.owned.len() * width * 4);
+        ctx.check_limits()?;
+
+        // --- the layer loop (Algorithms 1 & 2) --------------------------
+        for k in 0..params.spec.layers {
+            let tag = layer_tag(&params.spec, b, k);
+            // Sends: extract and ship the rows each target needs.
+            let sends: Vec<(u32, SparseRows)> = art.send[k]
+                .iter()
+                .map(|(target, rows)| (*target, x.extract(rows)))
+                .collect();
+            channel.send_layer(ctx, tag, rank, &sends)?;
+            drop(sends);
+
+            // Local product overlaps with inbound communication: its
+            // compute time is charged *now* (before polling), while the
+            // numeric accumulation is deferred and done over the merged,
+            // id-sorted input set — so the f32 summation order (and hence
+            // the result) is bit-identical to the serial ground truth.
+            let local_work = art.weights[k].matched_work(&x);
+            ctx.charge_work(local_work);
+            work_done += local_work;
+
+            // Receive until every expected source delivered, charging each
+            // block's accumulate work as it arrives (still overlapped).
+            let mut tracker = RecvTracker::expecting(art.recv[k].iter().map(|(s, _)| *s));
+            while !tracker.done() {
+                ctx.check_limits()?;
+                let blocks = channel.receive_round(ctx, tag, rank, &mut tracker)?;
+                for (_, block) in blocks {
+                    let w = art.weights[k].matched_work(&block);
+                    ctx.charge_work(w);
+                    work_done += w;
+                    ctx.track_alloc(block.mem_bytes());
+                    x.merge(&block);
+                }
+            }
+
+            // One deterministic accumulation over all inputs (work already
+            // charged above), then the activation x^k = f(z^k).
+            acc.reset(art.owned.len());
+            acc.accumulate(&art.weights[k], &x);
+            let old_mem = x.mem_bytes();
+            let (next, fw) = acc.finalize(&art.owned, params.spec.bias, params.spec.clip);
+            ctx.charge_work(fw);
+            work_done += fw;
+            ctx.track_free(old_mem);
+            ctx.track_alloc(next.mem_bytes());
+            x = next;
+            ctx.check_limits()?;
+        }
+
+        // --- synchronize and reduce this batch to rank 0 ----------------
+        barrier(channel.as_ref(), ctx, rank, params.n_workers, b as u32)?;
+        let batch_mem = x.mem_bytes();
+        if let Some(out) = reduce(channel.as_ref(), ctx, rank, params.n_workers, x, b as u32)? {
+            final_batches.push(out);
+        }
+        ctx.track_free(batch_mem + art.owned.len() * width * 4);
+    }
+
+    // --- 4. join the subtree and aggregate reports ----------------------
+    let mut subtree_reports = Vec::new();
+    for (child_rank, inv) in child_invocations {
+        let (child_out, child_report) = inv.join()?;
+        debug_assert_eq!(child_out.rank, child_rank);
+        subtree_reports.push((child_rank, child_report));
+        subtree_reports.extend(child_out.subtree_reports);
+        artifact_gets += child_out.artifact_gets;
+        work_done += child_out.work_done;
+    }
+    Ok(WorkerOutput {
+        rank,
+        final_batches: if rank == 0 { Some(final_batches) } else { None },
+        subtree_reports,
+        artifact_gets,
+        work_done,
+    })
+}
+
+/// FSD-Inf-Serial: one instance, whole model, no communication (Algorithm 1
+/// with all communication steps removed), batches processed back to back.
+pub fn run_serial(
+    ctx: &mut WorkerCtx,
+    model_key: &str,
+    input_key: &str,
+    spec: &DnnSpec,
+    n_batches: usize,
+) -> Result<WorkerOutput, FaasError> {
+    let (layers, mut artifact_gets, _mem) = load_full_model(ctx, model_key, spec.layers)?;
+    let mut work_done = 0u64;
+    let mut final_batches = Vec::with_capacity(n_batches);
+    for b in 0..n_batches {
+        let mut x = load_full_inputs(ctx, &format!("{input_key}/b{b}"))?;
+        artifact_gets += 1;
+        for w in &layers {
+            let (next, work) = layer_forward_reference(w, &x, spec.bias, spec.clip);
+            ctx.charge_work(work);
+            work_done += work;
+            let old = x.mem_bytes();
+            ctx.track_free(old);
+            ctx.track_alloc(next.mem_bytes());
+            x = next;
+            ctx.check_limits()?;
+        }
+        final_batches.push(x);
+    }
+    Ok(WorkerOutput {
+        rank: 0,
+        final_batches: Some(final_batches),
+        subtree_reports: Vec::new(),
+        artifact_gets,
+        work_done,
+    })
+}
+
+/// Fetches the full (unpartitioned) input block for one batch.
+fn load_full_inputs(ctx: &mut WorkerCtx, input_key: &str) -> Result<SparseRows, FaasError> {
+    let env = ctx.env().clone();
+    let body = env
+        .object_store()
+        .get(crate::artifacts::ARTIFACT_BUCKET, &format!("{input_key}/full"), ctx.clock_mut())
+        .map_err(|e| FaasError::Comm(format!("inputs {input_key}: {e}")))?;
+    let inputs =
+        codec::decode(&body).map_err(|e| FaasError::Comm(format!("inputs decode: {e}")))?;
+    ctx.track_alloc(inputs.mem_bytes());
+    ctx.check_limits()?;
+    Ok(inputs)
+}

@@ -1,0 +1,112 @@
+//! The hierarchical launch tree (`worker_invoke_children`).
+//!
+//! FSD-Inference launches `P` workers as a b-ary tree: the coordinator
+//! invokes worker 0; every worker derives its children from its own rank
+//! and invokes them before starting compute. Launch latency is therefore
+//! `O(log_b P)` invocation rounds instead of `O(P)` for a central loop —
+//! the paper reports this beats both a single launch loop and Lambada's
+//! two-level scheme. Ranks are assigned deterministically so each instance
+//! can compute its own position with no coordination.
+
+/// Children of `rank` in a `branching`-ary tree over `0..total`.
+pub fn children_of(rank: usize, branching: usize, total: usize) -> Vec<usize> {
+    assert!(branching >= 1, "branching factor must be ≥ 1");
+    (1..=branching)
+        .map(|i| rank * branching + i)
+        .take_while(|&c| c < total)
+        .collect()
+}
+
+/// Parent of `rank` (`None` for the root).
+pub fn parent_of(rank: usize, branching: usize) -> Option<usize> {
+    if rank == 0 {
+        None
+    } else {
+        Some((rank - 1) / branching)
+    }
+}
+
+/// Depth of `rank` in the tree (root = 0).
+pub fn depth_of(rank: usize, branching: usize) -> usize {
+    let mut d = 0;
+    let mut r = rank;
+    while let Some(p) = parent_of(r, branching) {
+        r = p;
+        d += 1;
+    }
+    d
+}
+
+/// Number of sequential invocation rounds to populate the whole tree —
+/// the launch critical path (tree height + 1 initial invocation).
+pub fn launch_rounds(total: usize, branching: usize) -> usize {
+    if total == 0 {
+        return 0;
+    }
+    1 + depth_of(total - 1, branching)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_tree_structure() {
+        assert_eq!(children_of(0, 2, 7), vec![1, 2]);
+        assert_eq!(children_of(1, 2, 7), vec![3, 4]);
+        assert_eq!(children_of(2, 2, 7), vec![5, 6]);
+        assert_eq!(children_of(3, 2, 7), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn truncated_tree_drops_out_of_range_children() {
+        assert_eq!(children_of(1, 3, 6), vec![4, 5]);
+        assert_eq!(children_of(2, 3, 6), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn parents_invert_children() {
+        for b in 1..5 {
+            for rank in 0..40 {
+                for &c in &children_of(rank, b, 1000) {
+                    assert_eq!(parent_of(c, b), Some(rank), "b={b} rank={rank} child={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_rank_reachable_exactly_once() {
+        let total = 62;
+        let b = 4;
+        let mut seen = vec![false; total];
+        let mut frontier = vec![0usize];
+        seen[0] = true;
+        while let Some(r) = frontier.pop() {
+            for c in children_of(r, b, total) {
+                assert!(!seen[c], "rank {c} launched twice");
+                seen[c] = true;
+                frontier.push(c);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unreached ranks exist");
+    }
+
+    #[test]
+    fn depth_and_rounds() {
+        assert_eq!(depth_of(0, 2), 0);
+        assert_eq!(depth_of(1, 2), 1);
+        assert_eq!(depth_of(6, 2), 2);
+        assert_eq!(launch_rounds(1, 4), 1);
+        assert_eq!(launch_rounds(62, 4), 1 + depth_of(61, 4));
+        // Tree launch must be exponentially better than a serial loop.
+        assert!(launch_rounds(62, 4) <= 4);
+        assert_eq!(launch_rounds(0, 4), 0);
+    }
+
+    #[test]
+    fn unary_tree_degenerates_to_chain() {
+        assert_eq!(children_of(3, 1, 10), vec![4]);
+        assert_eq!(launch_rounds(10, 1), 10);
+    }
+}

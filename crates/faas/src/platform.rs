@@ -1,0 +1,460 @@
+//! The FaaS platform: invocation, limits, billing.
+//!
+//! Function instances run as real threads; their *timing* lives on the
+//! virtual clock (see `fsd-comm`). The platform enforces the two limits
+//! that shape the paper's design space — instance memory and maximum
+//! runtime — and bills invocations the way Lambda does (requests +
+//! MB-milliseconds of execution).
+
+use crate::compute::{ComputeModel, MAX_MEMORY_MB, MAX_TIMEOUT_SECS, MIN_MEMORY_MB};
+use fsd_comm::{CloudEnv, VClock, VirtualTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Static configuration of a deployed function.
+#[derive(Debug, Clone)]
+pub struct FunctionConfig {
+    /// Function name (diagnostics).
+    pub name: String,
+    /// Allocated memory in MB; drives both the memory limit and vCPU share.
+    pub memory_mb: u32,
+    /// Maximum runtime before the platform kills the instance.
+    pub timeout: VirtualTime,
+}
+
+impl FunctionConfig {
+    /// A worker function with the given memory, at the maximum timeout.
+    pub fn worker(name: impl Into<String>, memory_mb: u32) -> FunctionConfig {
+        assert!(
+            (MIN_MEMORY_MB..=MAX_MEMORY_MB).contains(&memory_mb),
+            "memory {memory_mb} MB outside Lambda's [{MIN_MEMORY_MB}, {MAX_MEMORY_MB}]"
+        );
+        FunctionConfig {
+            name: name.into(),
+            memory_mb,
+            timeout: VirtualTime::from_secs_f64(MAX_TIMEOUT_SECS),
+        }
+    }
+
+    /// The lightweight coordinator configuration (128 MB, as in the paper).
+    pub fn coordinator() -> FunctionConfig {
+        FunctionConfig {
+            name: "coordinator".into(),
+            memory_mb: MIN_MEMORY_MB,
+            timeout: VirtualTime::from_secs_f64(MAX_TIMEOUT_SECS),
+        }
+    }
+
+    /// Memory limit in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_mb as usize * 1024 * 1024
+    }
+}
+
+/// Errors terminating a function instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaasError {
+    /// Resident data exceeded the configured memory.
+    OutOfMemory { used_bytes: usize, limit_bytes: usize },
+    /// Execution exceeded the configured timeout.
+    Timeout { elapsed: VirtualTime, limit: VirtualTime },
+    /// A communication-layer failure surfaced to the function.
+    Comm(String),
+}
+
+impl std::fmt::Display for FaasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaasError::OutOfMemory { used_bytes, limit_bytes } => {
+                write!(f, "out of memory: {used_bytes} bytes used, limit {limit_bytes}")
+            }
+            FaasError::Timeout { elapsed, limit } => {
+                write!(f, "function timed out: ran {elapsed}, limit {limit}")
+            }
+            FaasError::Comm(msg) => write!(f, "communication failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FaasError {}
+
+/// Billing/runtime record of one completed invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvocationReport {
+    /// Virtual time the instance began executing user code (post cold start).
+    pub started: VirtualTime,
+    /// Virtual time the instance finished.
+    pub finished: VirtualTime,
+    /// Billed duration in virtual milliseconds (≥ 1, as Lambda bills).
+    pub billed_ms: u64,
+    /// Peak tracked resident bytes.
+    pub peak_mem_bytes: usize,
+    /// Configured memory (for GB-s cost computation downstream).
+    pub memory_mb: u32,
+}
+
+/// Lambda billing counters.
+#[derive(Debug, Default)]
+pub struct LambdaMeter {
+    invocations: AtomicU64,
+    mb_ms: AtomicU64,
+}
+
+/// Snapshot of [`LambdaMeter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LambdaSnapshot {
+    /// Total invocation requests.
+    pub invocations: u64,
+    /// Total billed MB·milliseconds.
+    pub mb_ms: u64,
+}
+
+impl LambdaMeter {
+    /// Copies the counters.
+    pub fn snapshot(&self) -> LambdaSnapshot {
+        LambdaSnapshot {
+            invocations: self.invocations.load(Ordering::Relaxed),
+            mb_ms: self.mb_ms.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The platform: shared cloud environment plus compute model and billing.
+pub struct FaasPlatform {
+    env: Arc<CloudEnv>,
+    compute: ComputeModel,
+    meter: LambdaMeter,
+}
+
+/// A running invocation; `join` waits for the instance to finish.
+pub struct Invocation<T> {
+    handle: JoinHandle<Result<(T, InvocationReport), FaasError>>,
+}
+
+impl<T> Invocation<T> {
+    /// Waits for the instance and returns its output and billing report.
+    /// A panic inside the function body is propagated as a panic here —
+    /// it is a bug in the engine, not a simulated fault.
+    pub fn join(self) -> Result<(T, InvocationReport), FaasError> {
+        self.handle.join().expect("function instance panicked")
+    }
+}
+
+impl FaasPlatform {
+    /// Creates a platform over a cloud environment.
+    pub fn new(env: Arc<CloudEnv>, compute: ComputeModel) -> Arc<FaasPlatform> {
+        Arc::new(FaasPlatform { env, compute, meter: LambdaMeter::default() })
+    }
+
+    /// The underlying cloud environment.
+    pub fn env(&self) -> &Arc<CloudEnv> {
+        &self.env
+    }
+
+    /// The compute-time model.
+    pub fn compute(&self) -> &ComputeModel {
+        &self.compute
+    }
+
+    /// Lambda billing snapshot.
+    pub fn lambda_snapshot(&self) -> LambdaSnapshot {
+        self.meter.snapshot()
+    }
+
+    /// Invokes `cfg` asynchronously at virtual time `at`. The instance
+    /// suffers the invoke round trip plus a cold start before `body` runs
+    /// with a [`WorkerCtx`]. Returns immediately with an [`Invocation`].
+    pub fn invoke<T, F>(self: &Arc<Self>, cfg: FunctionConfig, at: VirtualTime, body: F) -> Invocation<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut WorkerCtx) -> Result<T, FaasError> + Send + 'static,
+    {
+        self.meter.invocations.fetch_add(1, Ordering::Relaxed);
+        let platform = self.clone();
+        let handle = std::thread::spawn(move || {
+            let jitter = platform.env.jitter();
+            let lat = platform.env.latency();
+            let mut clock = VClock::starting_at(at);
+            clock.advance_micros(jitter.apply(lat.lambda_invoke_us));
+            clock.advance_micros(jitter.apply(lat.lambda_cold_start_us));
+            let started = clock.now();
+            let mut ctx = WorkerCtx {
+                platform: platform.clone(),
+                cfg: cfg.clone(),
+                clock,
+                started,
+                mem_bytes: 0,
+                peak_mem_bytes: 0,
+            };
+            let out = body(&mut ctx)?;
+            ctx.check_limits()?;
+            let finished = ctx.clock.now();
+            let elapsed_ms =
+                ((finished.as_micros() - started.as_micros()) as f64 / 1000.0).ceil() as u64;
+            let billed_ms = elapsed_ms.max(1);
+            platform.meter.mb_ms.fetch_add(billed_ms * cfg.memory_mb as u64, Ordering::Relaxed);
+            Ok((
+                out,
+                InvocationReport {
+                    started,
+                    finished,
+                    billed_ms,
+                    peak_mem_bytes: ctx.peak_mem_bytes,
+                    memory_mb: cfg.memory_mb,
+                },
+            ))
+        });
+        Invocation { handle }
+    }
+}
+
+/// Per-instance execution context handed to function bodies: the virtual
+/// clock, limit tracking, and accessors to the shared cloud services.
+pub struct WorkerCtx {
+    platform: Arc<FaasPlatform>,
+    cfg: FunctionConfig,
+    clock: VClock,
+    started: VirtualTime,
+    mem_bytes: usize,
+    peak_mem_bytes: usize,
+}
+
+impl WorkerCtx {
+    /// The shared cloud environment (queues, topics, object store).
+    pub fn env(&self) -> &Arc<CloudEnv> {
+        self.platform.env()
+    }
+
+    /// The platform (to invoke children — the hierarchical launch).
+    pub fn platform(&self) -> &Arc<FaasPlatform> {
+        &self.platform
+    }
+
+    /// This instance's function configuration.
+    pub fn config(&self) -> &FunctionConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.clock.now()
+    }
+
+    /// Mutable access to the clock for service calls
+    /// (`store.put(..., ctx.clock_mut())`).
+    pub fn clock_mut(&mut self) -> &mut VClock {
+        &mut self.clock
+    }
+
+    /// Charges `work` kernel units against the clock under the platform's
+    /// compute model and this instance's vCPU share.
+    pub fn charge_work(&mut self, work: u64) {
+        let secs = self.platform.compute.seconds(work, self.cfg.memory_mb);
+        self.clock.advance_secs_f64(secs);
+    }
+
+    /// Charges byte-stream processing (serialization, compression, parsing)
+    /// at a fixed single-thread throughput, scaled by this instance's share
+    /// of one vCPU. Unlike [`WorkerCtx::charge_work`], this does not go
+    /// through the kernel compute model — byte shuffling speed is a
+    /// property of the CPU, not of the experiment's work calibration.
+    pub fn charge_bytes(&mut self, bytes: u64, bytes_per_sec: f64) {
+        let share = crate::compute::ComputeModel::vcpus(self.cfg.memory_mb).clamp(1e-3, 1.0);
+        let secs = bytes as f64 / bytes_per_sec / share;
+        self.clock.advance_secs_f64(secs);
+    }
+
+    /// Registers `bytes` of resident data (weights, activations, buffers).
+    pub fn track_alloc(&mut self, bytes: usize) {
+        self.mem_bytes += bytes;
+        self.peak_mem_bytes = self.peak_mem_bytes.max(self.mem_bytes);
+    }
+
+    /// Releases previously tracked bytes.
+    pub fn track_free(&mut self, bytes: usize) {
+        self.mem_bytes = self.mem_bytes.saturating_sub(bytes);
+    }
+
+    /// Currently tracked resident bytes.
+    pub fn mem_bytes(&self) -> usize {
+        self.mem_bytes
+    }
+
+    /// Verifies the memory and runtime limits; engines call this at layer
+    /// boundaries and inside poll loops. The platform also re-checks at
+    /// function exit.
+    pub fn check_limits(&self) -> Result<(), FaasError> {
+        if self.mem_bytes > self.cfg.memory_bytes() {
+            return Err(FaasError::OutOfMemory {
+                used_bytes: self.mem_bytes,
+                limit_bytes: self.cfg.memory_bytes(),
+            });
+        }
+        let elapsed = VirtualTime::from_micros(
+            self.clock.now().as_micros().saturating_sub(self.started.as_micros()),
+        );
+        if elapsed > self.cfg.timeout {
+            return Err(FaasError::Timeout { elapsed, limit: self.cfg.timeout });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsd_comm::CloudConfig;
+
+    fn platform() -> Arc<FaasPlatform> {
+        FaasPlatform::new(CloudEnv::new(CloudConfig::deterministic(1)), ComputeModel::default())
+    }
+
+    #[test]
+    fn invoke_runs_body_and_bills() {
+        let p = platform();
+        let inv = p.invoke(FunctionConfig::worker("w", 1769), VirtualTime::ZERO, |ctx| {
+            ctx.charge_work(250_000_000); // exactly 1s at 1 vCPU
+            Ok(42)
+        });
+        let (out, report) = inv.join().expect("success");
+        assert_eq!(out, 42);
+        // Started after invoke latency + cold start.
+        assert!(report.started >= VirtualTime::from_micros(280_000));
+        let run_s = (report.finished.as_micros() - report.started.as_micros()) as f64 / 1e6;
+        assert!((run_s - 1.0).abs() < 0.01, "ran {run_s}s, expected ~1s");
+        assert!(report.billed_ms >= 1000);
+        let snap = p.lambda_snapshot();
+        assert_eq!(snap.invocations, 1);
+        assert_eq!(snap.mb_ms, report.billed_ms * 1769);
+    }
+
+    #[test]
+    fn minimum_billing_is_one_ms() {
+        let p = platform();
+        let (_, report) = p
+            .invoke(FunctionConfig::worker("w", 512), VirtualTime::ZERO, |_| Ok(()))
+            .join()
+            .expect("success");
+        assert_eq!(report.billed_ms, 1);
+    }
+
+    #[test]
+    fn memory_limit_enforced() {
+        let p = platform();
+        let cfg = FunctionConfig::worker("w", 128);
+        let res = p
+            .invoke(cfg, VirtualTime::ZERO, |ctx| {
+                ctx.track_alloc(200 * 1024 * 1024); // 200 MB into a 128 MB box
+                ctx.check_limits()?;
+                Ok(())
+            })
+            .join();
+        assert!(matches!(res, Err(FaasError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn memory_limit_checked_at_exit_even_without_explicit_check() {
+        let p = platform();
+        let res = p
+            .invoke(FunctionConfig::worker("w", 128), VirtualTime::ZERO, |ctx| {
+                ctx.track_alloc(600 * 1024 * 1024);
+                Ok(())
+            })
+            .join();
+        assert!(matches!(res, Err(FaasError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn track_free_releases_memory() {
+        let p = platform();
+        let res = p
+            .invoke(FunctionConfig::worker("w", 128), VirtualTime::ZERO, |ctx| {
+                ctx.track_alloc(100 * 1024 * 1024);
+                ctx.track_free(90 * 1024 * 1024);
+                assert_eq!(ctx.mem_bytes(), 10 * 1024 * 1024);
+                ctx.check_limits()?;
+                Ok(ctx.mem_bytes())
+            })
+            .join();
+        assert!(res.is_ok());
+    }
+
+    #[test]
+    fn timeout_enforced() {
+        let p = platform();
+        let mut cfg = FunctionConfig::worker("w", 1769);
+        cfg.timeout = VirtualTime::from_secs_f64(0.5);
+        let res = p
+            .invoke(cfg, VirtualTime::ZERO, |ctx| {
+                ctx.charge_work(2_500_000_000); // ~10s of work
+                Ok(())
+            })
+            .join();
+        match res {
+            Err(FaasError::Timeout { elapsed, limit }) => {
+                assert!(elapsed > limit);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn child_invocation_starts_after_parent_clock() {
+        let p = platform();
+        let (child_started, _) = p
+            .invoke(FunctionConfig::worker("parent", 1769), VirtualTime::ZERO, |ctx| {
+                ctx.charge_work(250_000_000); // 1s
+                let at = ctx.now();
+                let child = ctx.platform().invoke(
+                    FunctionConfig::worker("child", 1769),
+                    at,
+                    |c| Ok(c.now()),
+                );
+                let (started, _) = child.join().map_err(|e| FaasError::Comm(e.to_string()))?;
+                Ok(started)
+            })
+            .join()
+            .expect("parent ok");
+        // Child observes parent's clock + invoke + cold start.
+        assert!(child_started >= VirtualTime::from_secs_f64(1.0).plus_micros(280_000));
+    }
+
+    #[test]
+    fn peak_memory_is_reported() {
+        let p = platform();
+        let (_, report) = p
+            .invoke(FunctionConfig::worker("w", 1024), VirtualTime::ZERO, |ctx| {
+                ctx.track_alloc(50 * 1024 * 1024);
+                ctx.track_free(50 * 1024 * 1024);
+                ctx.track_alloc(10 * 1024 * 1024);
+                Ok(())
+            })
+            .join()
+            .expect("ok");
+        assert_eq!(report.peak_mem_bytes, 50 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside Lambda")]
+    fn rejects_memory_outside_lambda_band() {
+        FunctionConfig::worker("w", 20_000);
+    }
+
+    #[test]
+    fn parallel_invocations_all_bill() {
+        let p = platform();
+        let invs: Vec<_> = (0..8)
+            .map(|i| {
+                p.invoke(FunctionConfig::worker(format!("w{i}"), 512), VirtualTime::ZERO, move |ctx| {
+                    ctx.charge_work(1_000_000);
+                    Ok(i)
+                })
+            })
+            .collect();
+        let mut got: Vec<usize> = invs.into_iter().map(|h| h.join().expect("ok").0).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert_eq!(p.lambda_snapshot().invocations, 8);
+    }
+}

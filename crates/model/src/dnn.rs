@@ -1,0 +1,151 @@
+//! The sparse DNN model object and the serial reference inference.
+
+use crate::spec::DnnSpec;
+use fsd_sparse::{layer_forward_reference, CsrMatrix, SparseRows};
+
+/// A generated sparse DNN: `spec.layers` square CSR matrices plus the
+/// activation parameters. This is the "trained model" artifact that gets
+/// partitioned offline and loaded (whole or in row blocks) by workers.
+#[derive(Clone, Debug)]
+pub struct SparseDnn {
+    spec: DnnSpec,
+    layers: Vec<CsrMatrix>,
+}
+
+/// Execution trace of a serial inference run: per-layer activation
+/// statistics used as ground truth by tests and as workload descriptors by
+/// the cost model's predictors.
+#[derive(Clone, Debug, Default)]
+pub struct InferenceTrace {
+    /// Activation nnz entering each layer (index 0 = input batch).
+    pub layer_input_nnz: Vec<usize>,
+    /// Activation rows (neurons alive) entering each layer.
+    pub layer_input_rows: Vec<usize>,
+    /// Total multiply-add work units.
+    pub work: u64,
+}
+
+impl SparseDnn {
+    /// Wraps generated layers. Panics if any layer has the wrong shape —
+    /// that is a generator bug, not a runtime condition.
+    pub fn new(spec: DnnSpec, layers: Vec<CsrMatrix>) -> SparseDnn {
+        assert_eq!(layers.len(), spec.layers, "layer count mismatch");
+        for (k, l) in layers.iter().enumerate() {
+            assert_eq!(l.rows(), spec.neurons, "layer {k} row count");
+            assert_eq!(l.cols(), spec.neurons, "layer {k} col count");
+        }
+        SparseDnn { spec, layers }
+    }
+
+    /// The model's specification.
+    pub fn spec(&self) -> &DnnSpec {
+        &self.spec
+    }
+
+    /// Weight matrix of layer `k` (0-based).
+    pub fn layer(&self, k: usize) -> &CsrMatrix {
+        &self.layers[k]
+    }
+
+    /// All layers, in order.
+    pub fn layers(&self) -> &[CsrMatrix] {
+        &self.layers
+    }
+
+    /// Total stored weights across layers.
+    pub fn total_nnz(&self) -> usize {
+        self.layers.iter().map(|l| l.nnz()).sum()
+    }
+
+    /// Approximate in-memory bytes of the whole (unpartitioned) model —
+    /// what FSD-Inf-Serial must fit into a single FaaS instance.
+    pub fn mem_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.mem_bytes()).sum()
+    }
+
+    /// Runs the full network serially on `inputs`, returning the final
+    /// activations. This is the ground-truth oracle: every distributed
+    /// variant must produce exactly these rows.
+    pub fn serial_inference(&self, inputs: &SparseRows) -> SparseRows {
+        self.serial_inference_traced(inputs).0
+    }
+
+    /// [`SparseDnn::serial_inference`] plus a per-layer [`InferenceTrace`].
+    pub fn serial_inference_traced(&self, inputs: &SparseRows) -> (SparseRows, InferenceTrace) {
+        let mut trace = InferenceTrace::default();
+        let mut x = inputs.clone();
+        for w in &self.layers {
+            trace.layer_input_nnz.push(x.nnz());
+            trace.layer_input_rows.push(x.n_rows());
+            let (next, work) = layer_forward_reference(w, &x, self.spec.bias, self.spec.clip);
+            trace.work += work;
+            x = next;
+        }
+        (x, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_dnn, generate_inputs};
+    use crate::spec::InputSpec;
+
+    fn small() -> SparseDnn {
+        generate_dnn(&DnnSpec { neurons: 64, layers: 6, nnz_per_row: 8, bias: -0.05, clip: 32.0, seed: 11 })
+    }
+
+    #[test]
+    fn accessors() {
+        let dnn = small();
+        assert_eq!(dnn.layers().len(), 6);
+        assert_eq!(dnn.total_nnz(), 64 * 8 * 6);
+        assert!(dnn.mem_bytes() > dnn.total_nnz() * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn new_rejects_wrong_layer_count() {
+        let dnn = small();
+        let spec = *dnn.spec();
+        SparseDnn::new(spec, dnn.layers()[..3].to_vec());
+    }
+
+    #[test]
+    fn serial_inference_is_deterministic_and_alive() {
+        let dnn = small();
+        let inputs = generate_inputs(64, &InputSpec::scaled(32, 5));
+        let a = dnn.serial_inference(&inputs);
+        let b = dnn.serial_inference(&inputs);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "all activations died — weight/bias calibration broken");
+    }
+
+    #[test]
+    fn activations_respect_clip() {
+        let dnn = small();
+        let inputs = generate_inputs(64, &InputSpec::scaled(32, 5));
+        let out = dnn.serial_inference(&inputs);
+        for (_, _, vals) in out.iter() {
+            assert!(vals.iter().all(|&v| v > 0.0 && v <= 32.0), "activation outside (0, 32]");
+        }
+    }
+
+    #[test]
+    fn trace_records_every_layer() {
+        let dnn = small();
+        let inputs = generate_inputs(64, &InputSpec::scaled(32, 5));
+        let (_, trace) = dnn.serial_inference_traced(&inputs);
+        assert_eq!(trace.layer_input_nnz.len(), 6);
+        assert_eq!(trace.layer_input_rows.len(), 6);
+        assert_eq!(trace.layer_input_nnz[0], inputs.nnz());
+        assert!(trace.work > 0);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let dnn = small();
+        let out = dnn.serial_inference(&SparseRows::new(8));
+        assert!(out.is_empty());
+    }
+}

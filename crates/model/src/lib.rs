@@ -1,0 +1,25 @@
+//! # fsd-model — sparse DNN benchmark substrate
+//!
+//! Reproduces the role of the MIT/IEEE/Amazon Sparse DNN Graph Challenge in
+//! the paper's evaluation: a deterministic generator for large, deep, sparse
+//! networks ([`generate_dnn`]) and thresholded sparse input batches
+//! ([`generate_inputs`]), plus the single-node reference inference that
+//! serves as the ground-truth oracle ([`SparseDnn::serial_inference`]).
+//!
+//! ```
+//! use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+//!
+//! let spec = DnnSpec::scaled(256, 7);
+//! let dnn = generate_dnn(&spec);
+//! let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(16, 7));
+//! let out = dnn.serial_inference(&inputs);
+//! assert!(out.nnz() > 0);
+//! ```
+
+mod dnn;
+mod generate;
+mod spec;
+
+pub use dnn::{InferenceTrace, SparseDnn};
+pub use generate::{generate_dnn, generate_inputs};
+pub use spec::{DnnSpec, InputSpec};

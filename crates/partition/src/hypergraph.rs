@@ -1,0 +1,267 @@
+//! Hypergraph model of a sparse DNN's communication structure.
+//!
+//! Following Demirci & Ferhatosmanoglu (ICS'21), adapted in the paper for
+//! FaaS: vertices are neurons (activation rows), and each column `j` of each
+//! layer matrix `W^k` induces a net whose pins are `{j} ∪ {i : W^k[i,j] ≠ 0}`
+//! — the producer of activation row `j` plus every consumer of it in layer
+//! `k`. A net spanning `λ` parts forces `λ − 1` row transmissions, so the
+//! connectivity-1 objective *is* the communication volume.
+
+use fsd_model::SparseDnn;
+use std::collections::HashMap;
+
+/// An undirected hypergraph with weighted vertices and nets, stored in CSR
+/// form both ways (nets → pins and vertex → incident nets).
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    n_vertices: usize,
+    vertex_weight: Vec<u32>,
+    net_ptr: Vec<usize>,
+    pins: Vec<u32>,
+    net_weight: Vec<u32>,
+    vtx_ptr: Vec<usize>,
+    vtx_nets: Vec<u32>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph from explicit nets. Pins may arrive unsorted;
+    /// duplicates within a net are removed, single-pin nets are dropped
+    /// (they can never be cut), and identical nets are merged by summing
+    /// weights.
+    pub fn from_nets(
+        n_vertices: usize,
+        vertex_weight: Vec<u32>,
+        nets: impl IntoIterator<Item = (Vec<u32>, u32)>,
+    ) -> Hypergraph {
+        assert_eq!(vertex_weight.len(), n_vertices, "vertex weight length");
+        let mut merged: HashMap<Vec<u32>, u32> = HashMap::new();
+        for (mut pins, w) in nets {
+            pins.sort_unstable();
+            pins.dedup();
+            if pins.len() < 2 {
+                continue;
+            }
+            debug_assert!(pins.iter().all(|&p| (p as usize) < n_vertices), "pin out of range");
+            *merged.entry(pins).or_insert(0) += w;
+        }
+        // Deterministic net order regardless of hash iteration order.
+        let mut net_list: Vec<(Vec<u32>, u32)> = merged.into_iter().collect();
+        net_list.sort_unstable();
+
+        let mut net_ptr = Vec::with_capacity(net_list.len() + 1);
+        let mut pins = Vec::new();
+        let mut net_weight = Vec::with_capacity(net_list.len());
+        net_ptr.push(0usize);
+        for (p, w) in &net_list {
+            pins.extend_from_slice(p);
+            net_ptr.push(pins.len());
+            net_weight.push(*w);
+        }
+
+        let (vtx_ptr, vtx_nets) = invert(n_vertices, &net_ptr, &pins);
+        Hypergraph { n_vertices, vertex_weight, net_ptr, pins, net_weight, vtx_ptr, vtx_nets }
+    }
+
+    /// Builds the communication hypergraph of `dnn` for a *unified* neuron
+    /// partition (one ownership map shared by all layers, as deployed by
+    /// FSD-Inference: workers keep their row block identity across layers).
+    pub fn from_dnn(dnn: &SparseDnn) -> Hypergraph {
+        let n = dnn.spec().neurons;
+        // Vertex weight = compute load proxy: weights stored for the neuron's
+        // row across all layers (constant here, but kept general).
+        let mut vweight = vec![0u32; n];
+        for layer in dnn.layers() {
+            for (r, w) in vweight.iter_mut().enumerate() {
+                *w += layer.row_nnz(r) as u32;
+            }
+        }
+        let nets = dnn.layers().iter().flat_map(|layer| {
+            let t = layer.transpose();
+            (0..n)
+                .filter_map(move |j| {
+                    let (consumers, _) = t.row(j);
+                    if consumers.is_empty() {
+                        return None;
+                    }
+                    let mut pins = Vec::with_capacity(consumers.len() + 1);
+                    pins.push(j as u32);
+                    pins.extend_from_slice(consumers);
+                    Some((pins, 1u32))
+                })
+                .collect::<Vec<_>>()
+        });
+        Hypergraph::from_nets(n, vweight, nets)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Number of nets.
+    #[inline]
+    pub fn n_nets(&self) -> usize {
+        self.net_weight.len()
+    }
+
+    /// Total pin count.
+    #[inline]
+    pub fn n_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Weight of vertex `v`.
+    #[inline]
+    pub fn vertex_weight(&self, v: u32) -> u32 {
+        self.vertex_weight[v as usize]
+    }
+
+    /// All vertex weights.
+    #[inline]
+    pub fn vertex_weights(&self) -> &[u32] {
+        &self.vertex_weight
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_weight(&self) -> u64 {
+        self.vertex_weight.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Pins of net `e`.
+    #[inline]
+    pub fn net(&self, e: u32) -> &[u32] {
+        &self.pins[self.net_ptr[e as usize]..self.net_ptr[e as usize + 1]]
+    }
+
+    /// Weight of net `e`.
+    #[inline]
+    pub fn net_weight(&self, e: u32) -> u32 {
+        self.net_weight[e as usize]
+    }
+
+    /// Nets incident to vertex `v`.
+    #[inline]
+    pub fn nets_of(&self, v: u32) -> &[u32] {
+        &self.vtx_nets[self.vtx_ptr[v as usize]..self.vtx_ptr[v as usize + 1]]
+    }
+
+    /// Connectivity-1 cost of an assignment: `Σ_e w(e) · (λ(e) − 1)` where
+    /// `λ(e)` is the number of distinct parts containing pins of `e`.
+    pub fn connectivity_cost(&self, assignment: &[u32], n_parts: usize) -> u64 {
+        assert_eq!(assignment.len(), self.n_vertices);
+        let mut seen = vec![u32::MAX; n_parts];
+        let mut cost = 0u64;
+        for e in 0..self.n_nets() as u32 {
+            let mut lambda = 0u32;
+            for &p in self.net(e) {
+                let part = assignment[p as usize] as usize;
+                if seen[part] != e {
+                    seen[part] = e;
+                    lambda += 1;
+                }
+            }
+            cost += (lambda.saturating_sub(1)) as u64 * self.net_weight(e) as u64;
+        }
+        cost
+    }
+}
+
+/// Builds the vertex → nets CSR from the nets → pins CSR.
+fn invert(n_vertices: usize, net_ptr: &[usize], pins: &[u32]) -> (Vec<usize>, Vec<u32>) {
+    let mut counts = vec![0usize; n_vertices + 1];
+    for &p in pins {
+        counts[p as usize + 1] += 1;
+    }
+    for i in 0..n_vertices {
+        counts[i + 1] += counts[i];
+    }
+    let vtx_ptr = counts.clone();
+    let mut vtx_nets = vec![0u32; pins.len()];
+    for e in 0..net_ptr.len() - 1 {
+        for &p in &pins[net_ptr[e]..net_ptr[e + 1]] {
+            vtx_nets[counts[p as usize]] = e as u32;
+            counts[p as usize] += 1;
+        }
+    }
+    (vtx_ptr, vtx_nets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsd_model::{generate_dnn, DnnSpec};
+
+    fn tiny() -> Hypergraph {
+        // 4 vertices; nets {0,1}, {1,2,3}, {0,1} (duplicate, merged).
+        Hypergraph::from_nets(
+            4,
+            vec![1, 1, 1, 1],
+            [(vec![0, 1], 2), (vec![1, 2, 3], 1), (vec![1, 0], 3)],
+        )
+    }
+
+    #[test]
+    fn from_nets_merges_duplicates_and_drops_singletons() {
+        let h = Hypergraph::from_nets(
+            3,
+            vec![1, 1, 1],
+            [(vec![0, 1], 1), (vec![1, 0], 1), (vec![2], 5), (vec![1, 1], 9)],
+        );
+        assert_eq!(h.n_nets(), 1);
+        assert_eq!(h.net(0), &[0, 1]);
+        assert_eq!(h.net_weight(0), 2);
+    }
+
+    #[test]
+    fn incidence_is_consistent() {
+        let h = tiny();
+        assert_eq!(h.n_nets(), 2);
+        for e in 0..h.n_nets() as u32 {
+            for &p in h.net(e) {
+                assert!(h.nets_of(p).contains(&e), "vertex {p} missing net {e}");
+            }
+        }
+        for v in 0..4u32 {
+            for &e in h.nets_of(v) {
+                assert!(h.net(e).contains(&v), "net {e} missing vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_cost_examples() {
+        let h = tiny();
+        // nets (sorted order): [0,1] w=5, [1,2,3] w=1
+        assert_eq!(h.connectivity_cost(&[0, 0, 0, 0], 1), 0);
+        // split {0,1} vs {2,3}: net0 internal, net1 spans both -> 1
+        assert_eq!(h.connectivity_cost(&[0, 0, 1, 1], 2), 1);
+        // 0|1 cut: net0 spans -> 5; net1 {1,2,3} in part1..: 1 in p1? assignment [0,1,1,1]
+        assert_eq!(h.connectivity_cost(&[0, 1, 1, 1], 2), 5);
+        // all separate: net0 λ=2 -> 5, net1 λ=3 -> 2
+        assert_eq!(h.connectivity_cost(&[0, 1, 2, 3], 4), 7);
+    }
+
+    #[test]
+    fn from_dnn_shapes() {
+        let spec = DnnSpec { neurons: 32, layers: 3, nnz_per_row: 4, bias: -0.1, clip: 32.0, seed: 1 };
+        let dnn = generate_dnn(&spec);
+        let h = Hypergraph::from_dnn(&dnn);
+        assert_eq!(h.n_vertices(), 32);
+        assert!(h.n_nets() > 0);
+        // Every vertex computes 4 weights per layer over 3 layers.
+        assert!(h.vertex_weights().iter().all(|&w| w == 12));
+        // Pins per net ≥ 2 by construction.
+        for e in 0..h.n_nets() as u32 {
+            assert!(h.net(e).len() >= 2);
+        }
+    }
+
+    #[test]
+    fn from_dnn_total_weight_matches_nnz() {
+        let spec = DnnSpec { neurons: 32, layers: 3, nnz_per_row: 4, bias: -0.1, clip: 32.0, seed: 1 };
+        let dnn = generate_dnn(&spec);
+        let h = Hypergraph::from_dnn(&dnn);
+        assert_eq!(h.total_weight(), dnn.total_nnz() as u64);
+    }
+}

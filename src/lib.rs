@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the FSD-Inference public API.
+pub use fsd_baselines as baselines;
+pub use fsd_comm as comm;
+pub use fsd_core as core;
+pub use fsd_faas as faas;
+pub use fsd_model as model;
+pub use fsd_partition as partition;
+pub use fsd_sparse as sparse;

@@ -1,0 +1,121 @@
+//! Property-based tests on the simulated communication services: billing
+//! exactness, message conservation (no loss, no duplication), and quota
+//! enforcement under arbitrary traffic patterns.
+
+use fsd_inference::comm::{
+    bucket_name, quota, CloudConfig, CloudEnv, Message, MessageAttributes, VClock, VirtualTime,
+};
+use proptest::prelude::*;
+
+fn msg(source: u32, target: u32, body: Vec<u8>) -> Message {
+    Message {
+        attributes: MessageAttributes { source, target, layer: 0, total_chunks: 1, batch: 0 },
+        body,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sns_billing_is_exact_64k_increments(
+        sizes in proptest::collection::vec(0usize..80_000, 1..10),
+    ) {
+        let env = CloudEnv::new(CloudConfig::deterministic(1));
+        let q = env.queue("t");
+        env.pubsub().subscribe(0, 0, q).expect("subscribe");
+        let total: usize = sizes.iter().sum();
+        prop_assume!(total <= quota::MAX_PUBLISH_BYTES);
+        let batch: Vec<Message> = sizes.iter().map(|&s| msg(0, 0, vec![7u8; s])).collect();
+        let mut clock = VClock::default();
+        let billed = env.pubsub().publish_batch(0, &mut clock, batch).expect("publish");
+        let expected = (total.div_ceil(quota::BILLING_INCREMENT)).max(1) as u64;
+        prop_assert_eq!(billed, expected);
+        prop_assert_eq!(env.snapshot().sns_publish_requests, expected);
+        prop_assert_eq!(env.snapshot().sns_delivered_bytes, total as u64);
+    }
+
+    #[test]
+    fn queue_conserves_messages(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..40),
+    ) {
+        let env = CloudEnv::new(CloudConfig::deterministic(2));
+        let q = env.queue("conserve");
+        for (i, b) in bodies.iter().enumerate() {
+            q.enqueue(VirtualTime::from_micros(i as u64), msg(i as u32, 0, b.clone()));
+        }
+        let mut clock = VClock::default();
+        let mut got: Vec<(u32, Vec<u8>)> = Vec::new();
+        while got.len() < bodies.len() {
+            let (msgs, _) = q.receive_wait(&mut clock, 1.0);
+            prop_assert!(!msgs.is_empty(), "queue lost messages");
+            prop_assert!(msgs.len() <= quota::MAX_BATCH_MESSAGES);
+            let handles: Vec<u64> = msgs.iter().map(|m| m.handle).collect();
+            for m in msgs {
+                got.push((m.message.attributes.source, m.message.body));
+            }
+            q.delete_batch(&mut clock, &handles);
+        }
+        // Exactly once, order preserved (single consumer, FIFO).
+        prop_assert_eq!(got.len(), bodies.len());
+        for (i, (src, body)) in got.iter().enumerate() {
+            prop_assert_eq!(*src, i as u32);
+            prop_assert_eq!(body, &bodies[i]);
+        }
+        prop_assert_eq!(q.visible_len(), 0);
+        prop_assert_eq!(q.in_flight_len(), 0);
+    }
+
+    #[test]
+    fn object_store_meter_matches_operations(
+        keys in proptest::collection::btree_set("[a-z]{1,8}", 1..20),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let env = CloudEnv::new(CloudConfig::deterministic(3));
+        let store = env.object_store();
+        let bucket = bucket_name(0);
+        let mut clock = VClock::default();
+        for k in &keys {
+            store.put(&bucket, k, body.clone(), &mut clock).expect("put");
+        }
+        for k in &keys {
+            let got = store.get(&bucket, k, &mut clock).expect("get");
+            prop_assert_eq!(&got[..], &body[..]);
+        }
+        let snap = env.snapshot();
+        prop_assert_eq!(snap.s3_put_requests, keys.len() as u64);
+        prop_assert_eq!(snap.s3_get_requests, keys.len() as u64);
+        prop_assert_eq!(snap.s3_put_bytes, (keys.len() * body.len()) as u64);
+        prop_assert_eq!(store.object_count(&bucket), keys.len());
+    }
+
+    #[test]
+    fn oversized_publishes_always_rejected(
+        extra in 1usize..100_000,
+        n_msgs in 1usize..4,
+    ) {
+        let env = CloudEnv::new(CloudConfig::deterministic(4));
+        let per = (quota::MAX_PUBLISH_BYTES + extra) / n_msgs + 1;
+        let batch: Vec<Message> = (0..n_msgs).map(|i| msg(i as u32, 0, vec![0u8; per])).collect();
+        let mut clock = VClock::default();
+        let before = env.snapshot();
+        let res = env.pubsub().publish_batch(0, &mut clock, batch);
+        prop_assert!(res.is_err(), "oversized batch accepted");
+        // Rejected calls must not bill or deliver anything.
+        prop_assert_eq!(env.snapshot(), before);
+    }
+
+    #[test]
+    fn clock_joins_are_monotone(
+        stamps in proptest::collection::vec(0u64..10_000_000, 1..50),
+    ) {
+        let mut clock = VClock::default();
+        let mut last = VirtualTime::ZERO;
+        for s in stamps {
+            clock.observe(VirtualTime::from_micros(s));
+            prop_assert!(clock.now() >= last, "clock moved backwards");
+            prop_assert!(clock.now() >= VirtualTime::from_micros(s));
+            last = clock.now();
+        }
+    }
+}

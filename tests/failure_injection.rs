@@ -1,0 +1,183 @@
+//! Failure injection and robustness: straggler redelivery, jittered
+//! (non-deterministic-latency) regions, degraded polling, and corrupted
+//! payload handling. Correctness must never depend on fair-weather timing.
+
+use fsd_inference::comm::{
+    CloudConfig, CloudEnv, LatencyModel, Message, MessageAttributes, PollKind, VClock, VirtualTime,
+};
+use fsd_inference::core::{EngineConfig, FsdInference, InferenceRequest, Variant};
+use fsd_inference::model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+fn engine_guard() -> MutexGuard<'static, ()> {
+    ENGINE_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn msg(source: u32, body: &[u8]) -> Message {
+    Message {
+        attributes: MessageAttributes { source, target: 0, layer: 0, total_chunks: 1, batch: 0 },
+        body: body.to_vec(),
+    }
+}
+
+#[test]
+fn visibility_timeout_redelivers_undeleted_messages() {
+    // A consumer crash after receive (before delete) must not lose data:
+    // the visibility timeout expires and the message is redelivered.
+    let env = CloudEnv::new(CloudConfig::deterministic(1));
+    let q = env.queue("crash-test");
+    q.enqueue(VirtualTime::ZERO, msg(1, b"precious"));
+    let mut clock = VClock::default();
+    let (got, _) = q.receive_wait(&mut clock, 1.0);
+    assert_eq!(got.len(), 1);
+    // Consumer "crashes" here — no delete. Expiry returns it to the queue.
+    q.requeue_in_flight();
+    let (again, _) = q.receive_wait(&mut clock, 1.0);
+    assert_eq!(again.len(), 1);
+    assert_eq!(again[0].message.body, b"precious");
+    assert_ne!(again[0].handle, got[0].handle, "redelivery issues a fresh handle");
+}
+
+#[test]
+fn short_polling_eventually_drains_but_wastes_calls() {
+    // The paper's finding: short polling misses visible messages (subset of
+    // servers) and therefore needs more calls for the same work.
+    let env = CloudEnv::new(CloudConfig::deterministic(2));
+    let q = env.queue("short-poll");
+    for i in 0..30 {
+        q.enqueue(VirtualTime::ZERO, msg(i, b"x"));
+    }
+    let mut clock = VClock::default();
+    let mut received = 0;
+    let mut calls = 0;
+    while received < 30 {
+        let got = q.poll(&mut clock, PollKind::Short);
+        calls += 1;
+        received += got.len();
+        let handles: Vec<u64> = got.iter().map(|m| m.handle).collect();
+        if !handles.is_empty() {
+            q.delete_batch(&mut clock, &handles);
+        }
+        assert!(calls < 1000, "short polling never drained the queue");
+    }
+    // Long polling would need ceil(30/10) = 3 receive calls.
+    assert!(calls > 3, "short polling should be strictly less efficient, used {calls} calls");
+}
+
+#[test]
+fn jittered_latencies_do_not_affect_results() {
+    let _guard = engine_guard();
+    // Full-noise region (default 15 % jitter): latencies vary, outputs
+    // must not.
+    let spec = DnnSpec { neurons: 96, layers: 4, nnz_per_row: 8, bias: -0.25, clip: 32.0, seed: 31 };
+    let dnn = Arc::new(generate_dnn(&spec));
+    let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(16, 31));
+    let expected = dnn.serial_inference(&inputs);
+    let mut cfg = EngineConfig::default(); // jittered cloud
+    cfg.cloud.seed = 31;
+    let mut engine = FsdInference::new(dnn, cfg);
+    for variant in [Variant::Queue, Variant::Object] {
+        let report = engine
+            .run(&InferenceRequest {
+                variant,
+                workers: 4,
+                memory_mb: 1769,
+                inputs: inputs.clone(),
+            })
+            .unwrap_or_else(|e| panic!("{variant} under jitter: {e}"));
+        assert_eq!(report.output, expected, "{variant} wrong under jitter");
+    }
+}
+
+#[test]
+fn slow_channel_region_still_correct() {
+    let _guard = engine_guard();
+    // A degraded region: 10x service latencies. Runs slower, same result.
+    let spec = DnnSpec { neurons: 96, layers: 3, nnz_per_row: 8, bias: -0.25, clip: 32.0, seed: 32 };
+    let dnn = Arc::new(generate_dnn(&spec));
+    let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(12, 32));
+    let expected = dnn.serial_inference(&inputs);
+
+    let mut slow = LatencyModel::deterministic();
+    slow.sns_publish_us *= 10;
+    slow.sns_delivery_us *= 10;
+    slow.sqs_poll_us *= 10;
+    slow.s3_put_us *= 10;
+    slow.s3_get_us *= 10;
+    slow.s3_list_us *= 10;
+
+    let mut fast_cfg = EngineConfig::deterministic(32);
+    let mut slow_cfg = EngineConfig::deterministic(32);
+    slow_cfg.cloud.latency = slow;
+
+    let mut fast_engine = FsdInference::new(dnn.clone(), fast_cfg.clone_for_test());
+    let mut slow_engine = FsdInference::new(dnn, slow_cfg);
+    let req = InferenceRequest {
+        variant: Variant::Object,
+        workers: 3,
+        memory_mb: 1769,
+        inputs,
+    };
+    let fast = fast_engine.run(&req).expect("fast region");
+    let slow = slow_engine.run(&req).expect("slow region");
+    assert_eq!(fast.output, expected);
+    assert_eq!(slow.output, expected);
+    assert!(
+        slow.latency > fast.latency,
+        "10x latencies must slow the run: {} vs {}",
+        slow.latency,
+        fast.latency
+    );
+    let _ = fast_cfg;
+}
+
+/// Helper trait so the test reads naturally; `EngineConfig` is `Copy`.
+trait CloneForTest {
+    fn clone_for_test(&self) -> Self;
+}
+
+impl CloneForTest for EngineConfig {
+    fn clone_for_test(&self) -> Self {
+        *self
+    }
+}
+
+#[test]
+fn corrupted_payload_surfaces_as_comm_error() {
+    // A corrupted wire body must produce a clean error, not a wrong result.
+    use fsd_inference::sparse::{codec, compress};
+    let block = generate_inputs(64, &InputSpec::scaled(8, 33));
+    let mut wire_bytes = compress::compress(&codec::encode(&block));
+    let last = wire_bytes.len() - 1;
+    wire_bytes[last] ^= 0xFF;
+    let decompressed = compress::decompress(&wire_bytes);
+    match decompressed {
+        Err(_) => {} // rejected at the compression frame
+        Ok(bytes) => {
+            assert!(codec::decode(&bytes).is_err(), "corruption must not decode cleanly");
+        }
+    }
+}
+
+#[test]
+fn cold_start_skew_does_not_break_early_layers() {
+    let _guard = engine_guard();
+    // Exaggerated cold starts stagger worker launch times wildly; early
+    // senders' messages must wait safely for late-starting receivers.
+    let spec = DnnSpec { neurons: 96, layers: 3, nnz_per_row: 8, bias: -0.25, clip: 32.0, seed: 34 };
+    let dnn = Arc::new(generate_dnn(&spec));
+    let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(12, 34));
+    let expected = dnn.serial_inference(&inputs);
+    let mut cfg = EngineConfig::deterministic(34);
+    cfg.cloud.latency.lambda_cold_start_us = 5_000_000; // 5 s cold starts
+    cfg.branching = 1; // a chain: maximal start-time skew
+    let mut engine = FsdInference::new(dnn, cfg);
+    let report = engine
+        .run(&InferenceRequest { variant: Variant::Queue, workers: 4, memory_mb: 1769, inputs })
+        .expect("skewed run");
+    assert_eq!(report.output, expected);
+    // The chain launch forces ≥ 3 cold-start generations of skew.
+    assert!(report.latency >= VirtualTime::from_secs_f64(15.0));
+}

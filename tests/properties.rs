@@ -1,0 +1,194 @@
+//! Property-based tests (proptest) on the core invariants:
+//! codecs are lossless, kernels match dense references, partitions are
+//! sound, and the distributed engine equals the serial oracle for
+//! arbitrary models/batches/parallelism.
+
+use fsd_inference::core::wire;
+use fsd_inference::model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+use fsd_inference::partition::{partition_model, CommPlan, Hypergraph, PartitionScheme};
+use fsd_inference::sparse::{codec, compress, CsrMatrix, SparseRows};
+use proptest::prelude::*;
+
+/// Strategy: a sparse row block with sorted ids/cols.
+fn sparse_rows_strategy(max_rows: usize, width: usize) -> impl Strategy<Value = SparseRows> {
+    let row = (0u32..width as u32, -100.0f32..100.0);
+    proptest::collection::btree_map(
+        0u32..(4 * max_rows as u32),
+        proptest::collection::btree_map(0u32..width as u32, -100.0f32..100.0, 0..width.min(12)),
+        0..max_rows,
+    )
+    .prop_map(move |rows| {
+        let mut block = SparseRows::new(width);
+        for (id, cells) in rows {
+            if cells.is_empty() {
+                continue;
+            }
+            let cols: Vec<u32> = cells.keys().copied().collect();
+            let vals: Vec<f32> = cells.values().copied().collect();
+            block.push_row(id, &cols, &vals);
+        }
+        block
+    })
+    .prop_filter("row strategy unused var", move |_| {
+        let _ = &row;
+        true
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_roundtrip(block in sparse_rows_strategy(20, 16)) {
+        let encoded = codec::encode(&block);
+        prop_assert_eq!(codec::encoded_size(&block), encoded.len());
+        let back = codec::decode(&encoded).expect("decodes");
+        prop_assert_eq!(back, block);
+    }
+
+    #[test]
+    fn compress_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = compress::compress(&data);
+        let back = compress::decompress(&c).expect("decompresses");
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn compress_then_codec_roundtrip(block in sparse_rows_strategy(16, 8)) {
+        let wire_bytes = compress::compress(&codec::encode(&block));
+        let back = codec::decode(&compress::decompress(&wire_bytes).expect("ok")).expect("ok");
+        prop_assert_eq!(back, block);
+    }
+
+    #[test]
+    fn csr_wire_roundtrip(
+        triplets in proptest::collection::btree_map(
+            (0u32..24, 0u32..24), -10.0f32..10.0, 0..64,
+        )
+    ) {
+        let m = CsrMatrix::from_triplets(
+            24, 24, triplets.into_iter().map(|((r, c), v)| (r, c, v)),
+        ).expect("valid");
+        let back = wire::decode_csr(&wire::encode_csr(&m)).expect("decodes");
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn maps_wire_roundtrip(
+        maps in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u32..16, proptest::collection::btree_set(0u32..512, 1..20)),
+                0..6,
+            ),
+            0..5,
+        )
+    ) {
+        let maps: Vec<Vec<(u32, Vec<u32>)>> = maps
+            .into_iter()
+            .map(|layer| layer.into_iter().map(|(p, rows)| (p, rows.into_iter().collect())).collect())
+            .collect();
+        let back = wire::decode_maps(&wire::encode_maps(&maps)).expect("decodes");
+        prop_assert_eq!(back, maps);
+    }
+
+    #[test]
+    fn extract_preserves_rows(block in sparse_rows_strategy(24, 12), take_every in 1usize..4) {
+        let wanted: Vec<u32> = block.ids().iter().copied().step_by(take_every).collect();
+        let sub = block.extract(&wanted);
+        for &id in &wanted {
+            prop_assert_eq!(sub.row_by_id(id), block.row_by_id(id));
+        }
+        prop_assert_eq!(sub.nnz(), block.extract_nnz(&wanted));
+    }
+
+    #[test]
+    fn split_merge_identity(block in sparse_rows_strategy(24, 12), max_nnz in 1usize..20) {
+        let chunks = block.split_by_nnz(max_nnz);
+        let mut merged = SparseRows::new(block.width());
+        for c in &chunks {
+            merged.merge(c);
+        }
+        prop_assert_eq!(merged, block);
+    }
+
+    #[test]
+    fn partition_schemes_cover_each_vertex_once(
+        neurons in 32usize..160,
+        parts in 2usize..7,
+        seed in 0u64..50,
+    ) {
+        let spec = DnnSpec { neurons, layers: 2, nnz_per_row: 4, bias: -0.2, clip: 32.0, seed };
+        let dnn = generate_dnn(&spec);
+        for scheme in [PartitionScheme::Hgp, PartitionScheme::Random, PartitionScheme::Block] {
+            let part = partition_model(&dnn, parts, scheme, seed);
+            prop_assert_eq!(part.n_vertices(), neurons);
+            let covered: usize = (0..parts as u32).map(|q| part.owned(q).len()).sum();
+            prop_assert_eq!(covered, neurons, "{:?}", scheme);
+            // Owned lists are sorted, disjoint, and consistent with part_of.
+            for q in 0..parts as u32 {
+                let owned = part.owned(q);
+                prop_assert!(owned.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(owned.iter().all(|&v| part.part_of(v) == q));
+            }
+        }
+    }
+
+    #[test]
+    fn comm_plan_volume_equals_connectivity_cost(
+        neurons in 32usize..128,
+        parts in 2usize..6,
+        seed in 0u64..30,
+    ) {
+        let spec = DnnSpec { neurons, layers: 3, nnz_per_row: 4, bias: -0.2, clip: 32.0, seed };
+        let dnn = generate_dnn(&spec);
+        let part = partition_model(&dnn, parts, PartitionScheme::Random, seed);
+        let plan = CommPlan::build(&dnn, &part);
+        let h = Hypergraph::from_dnn(&dnn);
+        prop_assert_eq!(
+            plan.total_row_sends(),
+            h.connectivity_cost(part.assignment(), parts)
+        );
+    }
+
+    #[test]
+    fn serial_inference_outputs_bounded(
+        neurons in 32usize..128,
+        batch in 1usize..24,
+        seed in 0u64..40,
+    ) {
+        let spec = DnnSpec { neurons, layers: 4, nnz_per_row: 6, bias: -0.25, clip: 32.0, seed };
+        let dnn = generate_dnn(&spec);
+        let inputs = generate_inputs(neurons, &InputSpec::scaled(batch, seed));
+        let out = dnn.serial_inference(&inputs);
+        for (_, _, vals) in out.iter() {
+            prop_assert!(vals.iter().all(|&v| v > 0.0 && v <= spec.clip));
+        }
+    }
+}
+
+// Distributed == serial equality over random configurations. Engine runs
+// spawn real threads, so keep the case count small and the models tiny.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn distributed_equals_serial_for_arbitrary_configs(
+        neurons in 48usize..96,
+        parts in 2u32..5,
+        seed in 0u64..1000,
+        object in any::<bool>(),
+    ) {
+        use fsd_inference::core::{EngineConfig, FsdInference, InferenceRequest, Variant};
+        use std::sync::Arc;
+        let spec = DnnSpec { neurons, layers: 3, nnz_per_row: 6, bias: -0.25, clip: 32.0, seed };
+        let dnn = Arc::new(generate_dnn(&spec));
+        let inputs = generate_inputs(neurons, &InputSpec::scaled(12, seed));
+        let expected = dnn.serial_inference(&inputs);
+        let mut engine = FsdInference::new(dnn, EngineConfig::deterministic(seed));
+        let variant = if object { Variant::Object } else { Variant::Queue };
+        let report = engine
+            .run(&InferenceRequest { variant, workers: parts, memory_mb: 1536, inputs })
+            .expect("run succeeds");
+        prop_assert_eq!(report.output, expected);
+    }
+}
