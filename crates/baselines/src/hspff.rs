@@ -96,7 +96,12 @@ mod tests {
     #[test]
     fn output_matches_ground_truth_and_no_cost() {
         let (dnn, inputs) = setup();
-        let r = run_hspff(&dnn, &inputs, &HpcConfig::default(), &ComputeModel::default());
+        let r = run_hspff(
+            &dnn,
+            &inputs,
+            &HpcConfig::default(),
+            &ComputeModel::default(),
+        );
         assert_eq!(r.output, dnn.serial_inference(&inputs));
         assert!(r.cost_per_query.is_none());
         assert!(r.daily_fixed_cost.is_none());
@@ -116,9 +121,28 @@ mod tests {
             seed: 4,
         });
         let inputs = generate_inputs(256, &InputSpec::scaled(256, 4));
-        let cm = ComputeModel { units_per_sec_per_vcpu: 1e6, ..ComputeModel::default() };
-        let small = run_hspff(&dnn, &inputs, &HpcConfig { nodes: 2, ..HpcConfig::default() }, &cm);
-        let big = run_hspff(&dnn, &inputs, &HpcConfig { nodes: 16, ..HpcConfig::default() }, &cm);
+        let cm = ComputeModel {
+            units_per_sec_per_vcpu: 1e6,
+            ..ComputeModel::default()
+        };
+        let small = run_hspff(
+            &dnn,
+            &inputs,
+            &HpcConfig {
+                nodes: 2,
+                ..HpcConfig::default()
+            },
+            &cm,
+        );
+        let big = run_hspff(
+            &dnn,
+            &inputs,
+            &HpcConfig {
+                nodes: 16,
+                ..HpcConfig::default()
+            },
+            &cm,
+        );
         assert!(
             big.latency_secs < small.latency_secs,
             "16 nodes {} vs 2 nodes {}",

@@ -113,8 +113,12 @@ pub fn run_sagemaker(
 fn take_samples(inputs: &SparseRows, samples: usize) -> SparseRows {
     let mut out = SparseRows::new(samples);
     for (id, cols, vals) in inputs.iter() {
-        let keep: Vec<usize> =
-            cols.iter().enumerate().filter(|(_, &c)| (c as usize) < samples).map(|(i, _)| i).collect();
+        let keep: Vec<usize> = cols
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| (c as usize) < samples)
+            .map(|(i, _)| i)
+            .collect();
         if keep.is_empty() {
             continue;
         }
@@ -131,14 +135,24 @@ mod tests {
     use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
 
     fn dnn(neurons: usize, layers: usize) -> SparseDnn {
-        generate_dnn(&DnnSpec { neurons, layers, nnz_per_row: 8, bias: -0.3, clip: 32.0, seed: 2 })
+        generate_dnn(&DnnSpec {
+            neurons,
+            layers,
+            nnz_per_row: 8,
+            bias: -0.3,
+            clip: 32.0,
+            seed: 2,
+        })
     }
 
     #[test]
     fn take_samples_truncates_columns() {
         let b = SparseRows::from_rows(
             8,
-            [(0u32, vec![0u32, 3, 7], vec![1.0f32, 2.0, 3.0]), (4, vec![6], vec![4.0])],
+            [
+                (0u32, vec![0u32, 3, 7], vec![1.0f32, 2.0, 3.0]),
+                (4, vec![6], vec![4.0]),
+            ],
         );
         let t = take_samples(&b, 4);
         assert_eq!(t.width(), 4);
@@ -150,8 +164,13 @@ mod tests {
     fn small_model_processes_full_batch() {
         let d = dnn(64, 3);
         let inputs = generate_inputs(64, &InputSpec::scaled(32, 3));
-        let r = run_sagemaker(&d, &inputs, &SageConfig::default(), &ComputeModel::default())
-            .expect("fits");
+        let r = run_sagemaker(
+            &d,
+            &inputs,
+            &SageConfig::default(),
+            &ComputeModel::default(),
+        )
+        .expect("fits");
         assert_eq!(r.samples, 32);
         assert_eq!(r.output, d.serial_inference(&inputs));
         assert!(r.cost_per_query.expect("billed") > 0.0);
@@ -162,9 +181,16 @@ mod tests {
         let d = dnn(256, 8);
         let inputs = generate_inputs(256, &InputSpec::scaled(64, 3));
         // Starve the runtime limit so only a prefix fits.
-        let cfg = SageConfig { runtime_secs: 1.1, dispatch_secs: 1.0, ..SageConfig::default() };
+        let cfg = SageConfig {
+            runtime_secs: 1.1,
+            dispatch_secs: 1.0,
+            ..SageConfig::default()
+        };
         // Slow "hardware" so per-sample compute is material.
-        let compute = ComputeModel { units_per_sec_per_vcpu: 2e5, ..ComputeModel::default() };
+        let compute = ComputeModel {
+            units_per_sec_per_vcpu: 2e5,
+            ..ComputeModel::default()
+        };
         match run_sagemaker(&d, &inputs, &cfg, &compute) {
             Ok(r) => assert!(r.samples < 64, "expected truncation, got {}", r.samples),
             Err(BaselineError::QuotaExceeded(_)) => {}
@@ -176,7 +202,10 @@ mod tests {
     fn payload_limit_truncates_batch() {
         let d = dnn(64, 2);
         let inputs = generate_inputs(64, &InputSpec::scaled(512, 3));
-        let cfg = SageConfig { payload_bytes: 400, ..SageConfig::default() };
+        let cfg = SageConfig {
+            payload_bytes: 400,
+            ..SageConfig::default()
+        };
         match run_sagemaker(&d, &inputs, &cfg, &ComputeModel::default()) {
             Ok(r) => assert!(r.samples < 512),
             Err(BaselineError::QuotaExceeded(_)) => {}
@@ -186,12 +215,22 @@ mod tests {
 
     #[test]
     fn oversized_model_cannot_load() {
-        let spec = DnnSpec { neurons: 1 << 21, layers: 120, nnz_per_row: 32, bias: -0.45, clip: 32.0, seed: 0 };
+        let spec = DnnSpec {
+            neurons: 1 << 21,
+            layers: 120,
+            nnz_per_row: 32,
+            bias: -0.45,
+            clip: 32.0,
+            seed: 0,
+        };
         assert!(spec.weight_bytes() * 10 / 8 > SageConfig::default().memory_bytes);
         // Use the real check with a shrunk memory limit to avoid generating
         // a multi-GB model in tests.
         let d = dnn(256, 3);
-        let cfg = SageConfig { memory_bytes: 10_000, ..SageConfig::default() };
+        let cfg = SageConfig {
+            memory_bytes: 10_000,
+            ..SageConfig::default()
+        };
         let inputs = generate_inputs(256, &InputSpec::scaled(16, 1));
         assert!(matches!(
             run_sagemaker(&d, &inputs, &cfg, &ComputeModel::default()),

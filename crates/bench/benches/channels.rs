@@ -17,13 +17,19 @@ fn roundtrip(c: &mut Criterion) {
             let platform = FaasPlatform::new(env, ComputeModel::default());
             let ch2 = ch.clone();
             let send_block = block.clone();
-            let s = platform.invoke(FunctionConfig::worker("s", 1769), VirtualTime::ZERO, move |ctx| {
-                ch2.send_layer(ctx, Tag::Layer(0), 0, &[(1, send_block)])
-            });
-            let r = platform.invoke(FunctionConfig::worker("r", 1769), VirtualTime::ZERO, move |ctx| {
-                let mut t = RecvTracker::expecting([0u32]);
-                ch.receive_all(ctx, Tag::Layer(0), 1, &mut t)
-            });
+            let s = platform.invoke(
+                FunctionConfig::worker("s", 1769),
+                VirtualTime::ZERO,
+                move |ctx| ch2.send_layer(ctx, Tag::Layer(0), 0, &[(1, send_block)]),
+            );
+            let r = platform.invoke(
+                FunctionConfig::worker("r", 1769),
+                VirtualTime::ZERO,
+                move |ctx| {
+                    let mut t = RecvTracker::expecting([0u32]);
+                    ch.receive_all(ctx, Tag::Layer(0), 1, &mut t)
+                },
+            );
             s.join().expect("send ok");
             r.join().expect("recv ok").0.len()
         })
@@ -35,13 +41,19 @@ fn roundtrip(c: &mut Criterion) {
             let platform = FaasPlatform::new(env, ComputeModel::default());
             let ch2 = ch.clone();
             let send_block = block.clone();
-            let s = platform.invoke(FunctionConfig::worker("s", 1769), VirtualTime::ZERO, move |ctx| {
-                ch2.send_layer(ctx, Tag::Layer(0), 0, &[(1, send_block)])
-            });
-            let r = platform.invoke(FunctionConfig::worker("r", 1769), VirtualTime::ZERO, move |ctx| {
-                let mut t = RecvTracker::expecting([0u32]);
-                ch.receive_all(ctx, Tag::Layer(0), 1, &mut t)
-            });
+            let s = platform.invoke(
+                FunctionConfig::worker("s", 1769),
+                VirtualTime::ZERO,
+                move |ctx| ch2.send_layer(ctx, Tag::Layer(0), 0, &[(1, send_block)]),
+            );
+            let r = platform.invoke(
+                FunctionConfig::worker("r", 1769),
+                VirtualTime::ZERO,
+                move |ctx| {
+                    let mut t = RecvTracker::expecting([0u32]);
+                    ch.receive_all(ctx, Tag::Layer(0), 1, &mut t)
+                },
+            );
             s.join().expect("send ok");
             r.join().expect("recv ok").0.len()
         })

@@ -10,7 +10,9 @@ fn bench_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("codec");
     g.throughput(Throughput::Bytes(encoded.len() as u64));
     g.bench_function("encode", |b| b.iter(|| codec::encode(&block)));
-    g.bench_function("decode", |b| b.iter(|| codec::decode(&encoded).expect("ok")));
+    g.bench_function("decode", |b| {
+        b.iter(|| codec::decode(&encoded).expect("ok"))
+    });
     g.finish();
 }
 
@@ -21,7 +23,9 @@ fn bench_compress(c: &mut Criterion) {
     let mut g = c.benchmark_group("compress");
     g.throughput(Throughput::Bytes(encoded.len() as u64));
     g.bench_function("compress", |b| b.iter(|| compress::compress(&encoded)));
-    g.bench_function("decompress", |b| b.iter(|| compress::decompress(&compressed).expect("ok")));
+    g.bench_function("decompress", |b| {
+        b.iter(|| compress::decompress(&compressed).expect("ok"))
+    });
     g.finish();
     println!(
         "payload {} B -> {} B ({:.2}x)",

@@ -8,7 +8,14 @@ fn bench_hgp(c: &mut Criterion) {
     let mut g = c.benchmark_group("hypergraph_partitioning");
     g.sample_size(10);
     for &n in &[512usize, 1024] {
-        let spec = DnnSpec { neurons: n, layers: 4, nnz_per_row: 8, bias: -0.3, clip: 32.0, seed: 1 };
+        let spec = DnnSpec {
+            neurons: n,
+            layers: 4,
+            nnz_per_row: 8,
+            bias: -0.3,
+            clip: 32.0,
+            seed: 1,
+        };
         let dnn = generate_dnn(&spec);
         let h = Hypergraph::from_dnn(&dnn);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

@@ -7,7 +7,14 @@ use fsd_sparse::{ColMajorBlock, LayerAccumulator};
 fn bench_spgemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("spgemm_accumulate");
     for &n in &[512usize, 2048] {
-        let spec = DnnSpec { neurons: n, layers: 1, nnz_per_row: 8, bias: -0.3, clip: 32.0, seed: 1 };
+        let spec = DnnSpec {
+            neurons: n,
+            layers: 1,
+            nnz_per_row: 8,
+            bias: -0.3,
+            clip: 32.0,
+            seed: 1,
+        };
         let dnn = generate_dnn(&spec);
         let inputs = generate_inputs(n, &InputSpec::scaled(64, 1));
         let all: Vec<u32> = (0..n as u32).collect();
@@ -26,7 +33,14 @@ fn bench_spgemm(c: &mut Criterion) {
 
 fn bench_finalize(c: &mut Criterion) {
     let n = 2048usize;
-    let spec = DnnSpec { neurons: n, layers: 1, nnz_per_row: 8, bias: -0.3, clip: 32.0, seed: 1 };
+    let spec = DnnSpec {
+        neurons: n,
+        layers: 1,
+        nnz_per_row: 8,
+        bias: -0.3,
+        clip: 32.0,
+        seed: 1,
+    };
     let dnn = generate_dnn(&spec);
     let inputs = generate_inputs(n, &InputSpec::scaled(64, 1));
     let all: Vec<u32> = (0..n as u32).collect();

@@ -10,7 +10,7 @@
 //! the *last* worker has started (tree fully populated).
 
 use fsd_bench::{Scale, Table};
-use fsd_core::{FsdInference, Variant};
+use fsd_core::{ServiceBuilder, Variant};
 
 fn main() {
     let scale = Scale::from_args();
@@ -22,13 +22,18 @@ fn main() {
     let w = fsd_bench::workload_with_batch(scale, n, 32, 42);
     let mem = scale.worker_memory_mb(n);
 
-    let mut t = Table::new(&["branching", "launch rounds", "last start (ms)", "latency (ms)"]);
+    let mut t = Table::new(&[
+        "branching",
+        "launch rounds",
+        "last start (ms)",
+        "latency (ms)",
+    ]);
     let mut last_starts = Vec::new();
     for branching in [1usize, 2, 4, p as usize] {
         let mut cfg = scale.engine_config(42);
         cfg.branching = branching;
-        let mut engine = FsdInference::new(w.dnn.clone(), cfg);
-        let r = fsd_bench::run_checked(&mut engine, &w, Variant::Object, p, mem);
+        let engine = ServiceBuilder::new(w.dnn.clone()).config(cfg).build();
+        let r = fsd_bench::run_checked(&engine, &w, Variant::Object, p, mem);
         let last_start = r
             .per_worker
             .iter()
@@ -38,17 +43,28 @@ fn main() {
             .as_millis_f64();
         let rounds = fsd_faas::launch::launch_rounds(p as usize, branching);
         t.row(vec![
-            if branching == p as usize { format!("{branching} (central loop)") } else { branching.to_string() },
+            if branching == p as usize {
+                format!("{branching} (central loop)")
+            } else {
+                branching.to_string()
+            },
             rounds.to_string(),
             format!("{last_start:.1}"),
             format!("{:.1}", r.latency.as_millis_f64()),
         ]);
         last_starts.push((branching, last_start));
     }
-    t.print(&format!("Ablation: launch tree branching (N = {n}, P = {p})"));
+    t.print(&format!(
+        "Ablation: launch tree branching (N = {n}, P = {p})"
+    ));
 
     let chain = last_starts[0].1;
     let tree = last_starts[2].1; // branching 4
-    println!("\nShape check: tree launch (b=4) populates in {tree:.0} ms vs {chain:.0} ms for a chain");
-    assert!(tree < chain, "the hierarchical tree must beat the chain launch");
+    println!(
+        "\nShape check: tree launch (b=4) populates in {tree:.0} ms vs {chain:.0} ms for a chain"
+    );
+    assert!(
+        tree < chain,
+        "the hierarchical tree must beat the chain launch"
+    );
 }

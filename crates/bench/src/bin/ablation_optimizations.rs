@@ -11,12 +11,17 @@
 //! * **short-ish long-poll `W`** (queue) — more empty polls, inflating `Q`.
 
 use fsd_bench::{Scale, Table};
-use fsd_core::{ChannelOptions, FsdInference, Variant};
+use fsd_core::{ChannelOptions, ServiceBuilder, Variant};
 
-fn engine_with(w: &fsd_bench::Workload, scale: Scale, channel: ChannelOptions) -> FsdInference {
-    let mut cfg = scale.engine_config(42);
-    cfg.channel = channel;
-    FsdInference::new(w.dnn.clone(), cfg)
+fn engine_with(
+    w: &fsd_bench::Workload,
+    scale: Scale,
+    channel: ChannelOptions,
+) -> fsd_core::FsdService {
+    ServiceBuilder::new(w.dnn.clone())
+        .config(scale.engine_config(42))
+        .channel_options(channel)
+        .build()
 }
 
 fn main() {
@@ -31,17 +36,41 @@ fn main() {
     let base = ChannelOptions::default();
 
     // --- Queue-channel ablations ---------------------------------------
-    let mut t = Table::new(&["queue config", "S (billed)", "Z (bytes)", "Q (calls)", "latency ms"]);
+    let mut t = Table::new(&[
+        "queue config",
+        "S (billed)",
+        "Z (bytes)",
+        "Q (calls)",
+        "latency ms",
+    ]);
     let mut s_values = Vec::new();
     let mut z_values = Vec::new();
     for (label, opts) in [
         ("baseline", base),
-        ("no compression", ChannelOptions { compression: false, ..base }),
-        ("no publish packing", ChannelOptions { packing: false, ..base }),
-        ("W = 0.2 s", ChannelOptions { long_poll_secs: 0.2, ..base }),
+        (
+            "no compression",
+            ChannelOptions {
+                compression: false,
+                ..base
+            },
+        ),
+        (
+            "no publish packing",
+            ChannelOptions {
+                packing: false,
+                ..base
+            },
+        ),
+        (
+            "W = 0.2 s",
+            ChannelOptions {
+                long_poll_secs: 0.2,
+                ..base
+            },
+        ),
     ] {
-        let mut engine = engine_with(&w, scale, opts);
-        let r = fsd_bench::run_checked(&mut engine, &w, Variant::Queue, p, mem);
+        let engine = engine_with(&w, scale, opts);
+        let r = fsd_bench::run_checked(&engine, &w, Variant::Queue, p, mem);
         t.row(vec![
             label.to_string(),
             r.client.sns_billed.to_string(),
@@ -52,20 +81,46 @@ fn main() {
         s_values.push(r.client.sns_billed);
         z_values.push(r.client.bytes_sent);
     }
-    t.print(&format!("Ablation: FSD-Inf-Queue optimizations (N = {n}, P = {p})"));
-    assert!(z_values[1] > z_values[0], "disabling compression must inflate Z");
-    assert!(s_values[2] > s_values[0], "disabling packing must inflate S");
+    t.print(&format!(
+        "Ablation: FSD-Inf-Queue optimizations (N = {n}, P = {p})"
+    ));
+    assert!(
+        z_values[1] > z_values[0],
+        "disabling compression must inflate Z"
+    );
+    assert!(
+        s_values[2] > s_values[0],
+        "disabling packing must inflate S"
+    );
 
     // --- Object-channel ablations ---------------------------------------
-    let mut t = Table::new(&["object config", "V (PUTs)", "R (GETs)", "L (LISTs)", "latency ms"]);
+    let mut t = Table::new(&[
+        "object config",
+        "V (PUTs)",
+        "R (GETs)",
+        "L (LISTs)",
+        "latency ms",
+    ]);
     let mut r_values = Vec::new();
     for (label, opts) in [
         ("baseline", base),
-        ("no compression", ChannelOptions { compression: false, ..base }),
-        ("no .nul markers", ChannelOptions { nul_markers: false, ..base }),
+        (
+            "no compression",
+            ChannelOptions {
+                compression: false,
+                ..base
+            },
+        ),
+        (
+            "no .nul markers",
+            ChannelOptions {
+                nul_markers: false,
+                ..base
+            },
+        ),
     ] {
-        let mut engine = engine_with(&w, scale, opts);
-        let r = fsd_bench::run_checked(&mut engine, &w, Variant::Object, p, mem);
+        let engine = engine_with(&w, scale, opts);
+        let r = fsd_bench::run_checked(&engine, &w, Variant::Object, p, mem);
         t.row(vec![
             label.to_string(),
             r.client.s3_puts.to_string(),
@@ -75,7 +130,9 @@ fn main() {
         ]);
         r_values.push(r.client.s3_gets);
     }
-    t.print(&format!("Ablation: FSD-Inf-Object optimizations (N = {n}, P = {p})"));
+    t.print(&format!(
+        "Ablation: FSD-Inf-Object optimizations (N = {n}, P = {p})"
+    ));
     assert!(
         r_values[2] >= r_values[0],
         "disabling .nul markers must not reduce GETs (usually inflates them)"

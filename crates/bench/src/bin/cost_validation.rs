@@ -30,8 +30,8 @@ fn main() {
         "rel err",
     ]);
     for variant in [Variant::Queue, Variant::Object] {
-        let mut engine = engine_for(&w, scale, 42);
-        let r = run_checked(&mut engine, &w, variant, p, mem);
+        let engine = engine_for(&w, scale, 42);
+        let r = run_checked(&engine, &w, variant, p, mem);
         let err = r.cost_actual.relative_error(&r.cost_predicted);
         t.row(vec![
             variant.to_string(),

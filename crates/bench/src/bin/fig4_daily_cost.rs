@@ -7,9 +7,7 @@
 //! FSD is far cheaper than always-on until ~4M samples/day; job-scoped is
 //! marginally cheaper than FSD but (Fig. 5) suffers minute-scale latency.
 
-use fsd_baselines::{
-    job_scoped_instance, run_server, ServerKind, ServerTimings, C5_12XLARGE,
-};
+use fsd_baselines::{job_scoped_instance, run_server, ServerKind, ServerTimings, C5_12XLARGE};
 use fsd_bench::{engine_for, run_checked, usd, Scale, Table};
 use fsd_core::Variant;
 
@@ -24,24 +22,27 @@ fn main() {
     let mut js_query_cost = Vec::new();
     for &n in &grid {
         let w = fsd_bench::workload(scale, n, 42);
-        let mut engine = engine_for(&w, scale, 42);
+        let engine = engine_for(&w, scale, 42);
         // Best variant: serial for the smallest model, queue/object beyond
         // (the engine's own recommendation logic is exercised in tests;
         // here we measure both parallel variants and keep the cheaper).
         let mem = scale.worker_memory_mb(n);
         let p = scale.worker_grid()[scale.worker_grid().len() / 2];
         let candidates = if n == grid[0] {
-            vec![run_checked(&mut engine, &w, Variant::Serial, 1, mem)]
+            vec![run_checked(&engine, &w, Variant::Serial, 1, mem)]
         } else {
             vec![
-                run_checked(&mut engine, &w, Variant::Queue, p, mem),
-                run_checked(&mut engine, &w, Variant::Object, p, mem),
+                run_checked(&engine, &w, Variant::Queue, p, mem),
+                run_checked(&engine, &w, Variant::Object, p, mem),
             ]
         };
         let best = candidates
             .into_iter()
             .min_by(|a, b| {
-                a.cost_actual.total().partial_cmp(&b.cost_actual.total()).expect("finite")
+                a.cost_actual
+                    .total()
+                    .partial_cmp(&b.cost_actual.total())
+                    .expect("finite")
             })
             .expect("non-empty");
         println!(
@@ -103,7 +104,10 @@ fn main() {
     // very high daily volumes, where the lines cross (≈4M samples/day in
     // the paper); job-scoped stays marginally cheaper than FSD throughout.
     let (fsd_low, _) = daily_cost(1);
-    assert!(fsd_low < always_on_daily, "FSD must undercut always-on at low volume");
+    assert!(
+        fsd_low < always_on_daily,
+        "FSD must undercut always-on at low volume"
+    );
     let crossover = crossover.expect("sweep must reach the always-on crossover");
     println!(
         "\nShape check: FSD {} at the lowest volume, crossover with always-on at ~{:.1}k samples/day — OK",

@@ -18,31 +18,52 @@ fn main() {
     let compute = scale.compute();
     let timings = ServerTimings::default();
 
-    let mut t = Table::new(&["N", "FSD-Inf (s)", "AO-Cold (s)", "AO-Hot (s)", "JS (s)", "H-SpFF (s)"]);
+    let mut t = Table::new(&[
+        "N",
+        "FSD-Inf (s)",
+        "AO-Cold (s)",
+        "AO-Hot (s)",
+        "JS (s)",
+        "H-SpFF (s)",
+    ]);
     let mut fsd_series = Vec::new();
     let mut hot_series = Vec::new();
     for &n in &grid {
         let w = fsd_bench::workload(scale, n, 42);
-        let mut engine = engine_for(&w, scale, 42);
+        let engine = engine_for(&w, scale, 42);
         let mem = scale.worker_memory_mb(n);
         // FSD best configuration: serial for the smallest model, the best
         // parallel run otherwise (paper §VI-C2 picks per query).
         let fsd = if n == grid[0] {
-            run_checked(&mut engine, &w, Variant::Serial, 1, mem)
+            run_checked(&engine, &w, Variant::Serial, 1, mem)
         } else {
             let p = *scale.worker_grid().last().expect("non-empty grid");
-            let q = run_checked(&mut engine, &w, Variant::Queue, p, mem);
-            let o = run_checked(&mut engine, &w, Variant::Object, p, mem);
+            let q = run_checked(&engine, &w, Variant::Queue, p, mem);
+            let o = run_checked(&engine, &w, Variant::Object, p, mem);
             if q.latency <= o.latency {
                 q
             } else {
                 o
             }
         };
-        let cold = run_server(&w.dnn, &w.inputs, ServerKind::AlwaysOnCold, C5_12XLARGE, &compute, &timings)
-            .expect("fits");
-        let hot = run_server(&w.dnn, &w.inputs, ServerKind::AlwaysOnHot, C5_12XLARGE, &compute, &timings)
-            .expect("fits");
+        let cold = run_server(
+            &w.dnn,
+            &w.inputs,
+            ServerKind::AlwaysOnCold,
+            C5_12XLARGE,
+            &compute,
+            &timings,
+        )
+        .expect("fits");
+        let hot = run_server(
+            &w.dnn,
+            &w.inputs,
+            ServerKind::AlwaysOnHot,
+            C5_12XLARGE,
+            &compute,
+            &timings,
+        )
+        .expect("fits");
         let js = run_server(
             &w.dnn,
             &w.inputs,
@@ -55,7 +76,11 @@ fn main() {
         // HPC cluster sized comparably to the FSD deployment at each scale
         // (the paper compares against a similarly-provisioned platform).
         let hpc_cfg = match scale {
-            Scale::Scaled => HpcConfig { nodes: 4, cores_per_node: 4, ..HpcConfig::default() },
+            Scale::Scaled => HpcConfig {
+                nodes: 4,
+                cores_per_node: 4,
+                ..HpcConfig::default()
+            },
             Scale::Paper => HpcConfig::default(),
         };
         let hpc = run_hspff(&w.dnn, &w.inputs, &hpc_cfg, &compute);
@@ -73,8 +98,14 @@ fn main() {
         fsd_series.push(fsd_s);
         hot_series.push(hot.latency_secs);
         // Shape check per N: job-scoped is always the worst (provisioning).
-        assert!(js.latency_secs > fsd_s, "N={n}: JS should be slower than FSD");
-        assert!(js.latency_secs > hot.latency_secs, "N={n}: JS should be slower than AO-Hot");
+        assert!(
+            js.latency_secs > fsd_s,
+            "N={n}: JS should be slower than FSD"
+        );
+        assert!(
+            js.latency_secs > hot.latency_secs,
+            "N={n}: JS should be slower than AO-Hot"
+        );
     }
     t.print("Figure 5: query latency by platform");
 
@@ -86,5 +117,8 @@ fn main() {
         "\nShape check: FSD/AO-Hot latency ratio {:.2} (smallest N) -> {:.2} (largest N)",
         first_ratio, last_ratio
     );
-    assert!(last_ratio < first_ratio, "FSD must gain on AO-Hot as N grows");
+    assert!(
+        last_ratio < first_ratio,
+        "FSD must gain on AO-Hot as N grows"
+    );
 }

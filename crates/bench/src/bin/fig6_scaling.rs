@@ -25,9 +25,9 @@ fn main() {
         let mut queue_costs = Vec::new();
         let mut object_costs = Vec::new();
         for &p in &scale.worker_grid() {
-            let mut engine = engine_for(&w, scale, 42);
-            let q = run_checked(&mut engine, &w, Variant::Queue, p, mem);
-            let o = run_checked(&mut engine, &w, Variant::Object, p, mem);
+            let engine = engine_for(&w, scale, 42);
+            let q = run_checked(&engine, &w, Variant::Queue, p, mem);
+            let o = run_checked(&engine, &w, Variant::Object, p, mem);
             t.row(vec![
                 p.to_string(),
                 format!("{:.3}", q.per_sample_ms()),

@@ -153,7 +153,11 @@ fn main() {
         ]);
     }
     t.print("Table I: inter-worker communication channel features");
-    let selected: Vec<&str> = cats.iter().filter(|c| c.suitable()).map(|c| c.name).collect();
+    let selected: Vec<&str> = cats
+        .iter()
+        .filter(|c| c.suitable())
+        .map(|c| c.name)
+        .collect();
     println!("\nSelected categories (as in the paper): {selected:?}");
     assert_eq!(selected, vec!["Pub-Sub+Queues", "Object Storage"]);
 }

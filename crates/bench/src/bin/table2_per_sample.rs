@@ -12,7 +12,13 @@ use fsd_core::Variant;
 fn main() {
     let scale = Scale::from_args();
     let grid = scale.neuron_grid();
-    let mut t = Table::new(&["N", "FSD-Inf-Parallel", "FSD-Inf-Serial", "Sage-SL-Inf", "Sage samples"]);
+    let mut t = Table::new(&[
+        "N",
+        "FSD-Inf-Parallel",
+        "FSD-Inf-Serial",
+        "Sage-SL-Inf",
+        "Sage samples",
+    ]);
     let mut parallel_ms = Vec::new();
     let mut serial_ms = Vec::new();
     for &n in &grid {
@@ -23,9 +29,9 @@ fn main() {
         // and both channels — "FSD-Inf-Parallel" in the paper.
         let mut best: Option<fsd_core::InferenceReport> = None;
         for &p in &scale.worker_grid() {
-            let mut engine = engine_for(&w, scale, 42);
+            let engine = engine_for(&w, scale, 42);
             for variant in [Variant::Queue, Variant::Object] {
-                let r = run_checked(&mut engine, &w, variant, p, mem);
+                let r = run_checked(&engine, &w, variant, p, mem);
                 if best.as_ref().is_none_or(|b| r.latency < b.latency) {
                     best = Some(r);
                 }
@@ -33,8 +39,8 @@ fn main() {
         }
         let best = best.expect("at least one parallel run");
 
-        let mut engine = engine_for(&w, scale, 42);
-        let serial = run_checked(&mut engine, &w, Variant::Serial, 1, mem);
+        let engine = engine_for(&w, scale, 42);
+        let serial = run_checked(&engine, &w, Variant::Serial, 1, mem);
 
         let sage = run_sagemaker(&w.dnn, &w.inputs, &SageConfig::default(), &scale.compute());
         let (sage_cell, sage_samples) = match &sage {
@@ -47,7 +53,12 @@ fn main() {
         };
         t.row(vec![
             n.to_string(),
-            format!("{:.3} (P={}, {})", best.per_sample_ms(), best.workers, best.variant),
+            format!(
+                "{:.3} (P={}, {})",
+                best.per_sample_ms(),
+                best.workers,
+                best.variant
+            ),
             format!("{:.3}", serial.per_sample_ms()),
             sage_cell,
             sage_samples,
@@ -72,5 +83,8 @@ fn main() {
         parallel_ms[last],
         serial_ms[last]
     );
-    println!("\nShape check: serial wins at N={}, parallel wins at N={} — OK", grid[0], grid[last]);
+    println!(
+        "\nShape check: serial wins at N={}, parallel wins at N={} — OK",
+        grid[0], grid[last]
+    );
 }

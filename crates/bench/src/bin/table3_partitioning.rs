@@ -7,7 +7,7 @@
 //! 27.90 ms to 11.78 ms.
 
 use fsd_bench::{Scale, Table};
-use fsd_core::{FsdInference, Variant};
+use fsd_core::{ServiceBuilder, Variant};
 use fsd_partition::PartitionScheme;
 
 fn main() {
@@ -33,11 +33,14 @@ fn main() {
     ]);
     let mut volumes = Vec::new();
     let mut runtimes = Vec::new();
-    for (label, scheme) in [("HGP-DNN", PartitionScheme::Hgp), ("RP", PartitionScheme::Random)] {
+    for (label, scheme) in [
+        ("HGP-DNN", PartitionScheme::Hgp),
+        ("RP", PartitionScheme::Random),
+    ] {
         let mut cfg = scale.engine_config(42);
         cfg.scheme = scheme;
-        let mut engine = FsdInference::new(w.dnn.clone(), cfg);
-        let r = fsd_bench::run_checked(&mut engine, &w, Variant::Object, p, mem);
+        let engine = ServiceBuilder::new(w.dnn.clone()).config(cfg).build();
+        let r = fsd_bench::run_checked(&engine, &w, Variant::Object, p, mem);
         // Volume: bytes shipped between instances (pre-compression, to
         // match the paper's "data volume sent" which counts payload rows).
         let volume = r.client.bytes_precompress;
@@ -54,11 +57,16 @@ fn main() {
         volumes.push(volume);
         runtimes.push(r.per_sample_ms());
     }
-    t.print(&format!("Table III: HGP-DNN vs RP (N = {n}, P = {p}, FSD-Inf-Object)"));
+    t.print(&format!(
+        "Table III: HGP-DNN vs RP (N = {n}, P = {p}, FSD-Inf-Object)"
+    ));
 
     let reduction = volumes[1] as f64 / volumes[0] as f64;
     println!("\nVolume reduction: {reduction:.1}x (paper: ~9.3x)");
-    println!("Runtime: HGP {:.3} ms vs RP {:.3} ms (paper: 11.78 vs 27.90)", runtimes[0], runtimes[1]);
+    println!(
+        "Runtime: HGP {:.3} ms vs RP {:.3} ms (paper: 11.78 vs 27.90)",
+        runtimes[0], runtimes[1]
+    );
     assert!(
         reduction > 3.0,
         "HGP must cut communication volume by a large factor, got {reduction:.2}x"

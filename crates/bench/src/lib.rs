@@ -7,7 +7,9 @@
 //! memory-hungry) or at the reduced default scale that preserves the
 //! shapes (who wins, crossovers).
 
-use fsd_core::{EngineConfig, FsdInference, InferenceReport, InferenceRequest, Variant};
+use fsd_core::{
+    EngineConfig, FsdService, InferenceReport, InferenceRequest, ServiceBuilder, Variant,
+};
 use fsd_faas::ComputeModel;
 use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec, SparseDnn};
 use fsd_sparse::SparseRows;
@@ -76,7 +78,10 @@ impl Scale {
     /// faithful. Used consistently for FSD and every baseline platform.
     pub fn compute(self) -> ComputeModel {
         match self {
-            Scale::Scaled => ComputeModel { units_per_sec_per_vcpu: 2.5e6, ..ComputeModel::default() },
+            Scale::Scaled => ComputeModel {
+                units_per_sec_per_vcpu: 2.5e6,
+                ..ComputeModel::default()
+            },
             Scale::Paper => ComputeModel::default(),
         }
     }
@@ -117,7 +122,12 @@ pub fn workload(scale: Scale, neurons: usize, seed: u64) -> Workload {
     let dnn = Arc::new(generate_dnn(&spec));
     let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(scale.batch(), seed));
     let expected = dnn.serial_inference(&inputs);
-    Workload { spec, dnn, inputs, expected }
+    Workload {
+        spec,
+        dnn,
+        inputs,
+        expected,
+    }
 }
 
 /// Like [`workload`] but with an explicit batch size.
@@ -126,42 +136,59 @@ pub fn workload_with_batch(scale: Scale, neurons: usize, batch: usize, seed: u64
     let dnn = Arc::new(generate_dnn(&spec));
     let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(batch, seed));
     let expected = dnn.serial_inference(&inputs);
-    Workload { spec, dnn, inputs, expected }
+    Workload {
+        spec,
+        dnn,
+        inputs,
+        expected,
+    }
 }
 
 /// Runs one FSD-Inference configuration and verifies the output against
 /// ground truth (panicking on mismatch — a wrong benchmark is worthless).
 pub fn run_checked(
-    engine: &mut FsdInference,
+    service: &FsdService,
     workload: &Workload,
     variant: Variant,
     workers: u32,
     memory_mb: u32,
 ) -> InferenceReport {
-    let report = engine
-        .run(&InferenceRequest { variant, workers, memory_mb, inputs: workload.inputs.clone() })
+    let report = service
+        .submit(&InferenceRequest {
+            variant,
+            workers,
+            memory_mb,
+            inputs: workload.inputs.clone(),
+        })
         .unwrap_or_else(|e| panic!("{variant} P={workers}: {e}"));
-    assert_eq!(report.output, workload.expected, "{variant} P={workers} wrong output");
+    assert_eq!(
+        report.first_output(),
+        &workload.expected,
+        "{variant} P={workers} wrong output"
+    );
     report
 }
 
 /// Median of three runs by latency (the paper reports medians of 3).
 pub fn median_of_3(
-    engine: &mut FsdInference,
+    service: &FsdService,
     workload: &Workload,
     variant: Variant,
     workers: u32,
     memory_mb: u32,
 ) -> InferenceReport {
-    let mut runs: Vec<InferenceReport> =
-        (0..3).map(|_| run_checked(engine, workload, variant, workers, memory_mb)).collect();
+    let mut runs: Vec<InferenceReport> = (0..3)
+        .map(|_| run_checked(service, workload, variant, workers, memory_mb))
+        .collect();
     runs.sort_by_key(|a| a.latency);
     runs.swap_remove(1)
 }
 
-/// Fresh engine over a deterministic region for a workload at a scale.
-pub fn engine_for(workload: &Workload, scale: Scale, seed: u64) -> FsdInference {
-    FsdInference::new(workload.dnn.clone(), scale.engine_config(seed))
+/// Fresh service over a deterministic region for a workload at a scale.
+pub fn engine_for(workload: &Workload, scale: Scale, seed: u64) -> FsdService {
+    ServiceBuilder::new(workload.dnn.clone())
+        .config(scale.engine_config(seed))
+        .build()
 }
 
 /// Plain-text table printer with right-aligned numeric columns.
@@ -173,7 +200,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a row (stringified cells).
@@ -271,8 +301,8 @@ mod tests {
     #[test]
     fn run_checked_round_trips_tiny_workload() {
         let w = workload_with_batch(Scale::Scaled, 256, 8, 3);
-        let mut engine = engine_for(&w, Scale::Scaled, 3);
-        let r = run_checked(&mut engine, &w, Variant::Serial, 1, 2048);
-        assert_eq!(r.output, w.expected);
+        let service = engine_for(&w, Scale::Scaled, 3);
+        let r = run_checked(&service, &w, Variant::Serial, 1, 2048);
+        assert_eq!(r.first_output(), &w.expected);
     }
 }

@@ -24,14 +24,23 @@ pub struct CloudConfig {
 
 impl Default for CloudConfig {
     fn default() -> Self {
-        CloudConfig { latency: LatencyModel::default(), seed: 0, n_topics: 10, n_buckets: 10 }
+        CloudConfig {
+            latency: LatencyModel::default(),
+            seed: 0,
+            n_topics: 10,
+            n_buckets: 10,
+        }
     }
 }
 
 impl CloudConfig {
     /// Jitter-free configuration for deterministic tests and validation.
     pub fn deterministic(seed: u64) -> CloudConfig {
-        CloudConfig { latency: LatencyModel::deterministic(), seed, ..CloudConfig::default() }
+        CloudConfig {
+            latency: LatencyModel::deterministic(),
+            seed,
+            ..CloudConfig::default()
+        }
     }
 }
 
@@ -52,12 +61,24 @@ impl CloudEnv {
     pub fn new(config: CloudConfig) -> Arc<CloudEnv> {
         let meter = Arc::new(ServiceMeter::new());
         let jitter = Arc::new(Jitter::new(config.seed, config.latency.jitter));
-        let pubsub = PubSub::new(config.n_topics, meter.clone(), config.latency, jitter.clone());
+        let pubsub = PubSub::new(
+            config.n_topics,
+            meter.clone(),
+            config.latency,
+            jitter.clone(),
+        );
         let store = ObjectStore::new(meter.clone(), config.latency, jitter.clone());
         for i in 0..config.n_buckets {
             store.create_bucket(&bucket_name(i));
         }
-        Arc::new(CloudEnv { config, meter, jitter, pubsub, store, queues: Mutex::new(HashMap::new()) })
+        Arc::new(CloudEnv {
+            config,
+            meter,
+            jitter,
+            pubsub,
+            store,
+            queues: Mutex::new(HashMap::new()),
+        })
     }
 
     /// The region's configuration.
@@ -112,7 +133,23 @@ impl CloudEnv {
             .clone()
     }
 
+    /// Removes a queue from the region (request teardown). Live `Arc`
+    /// handles held by straggler workers stay valid; the queue simply stops
+    /// being discoverable. Returns the removed queue, if any.
+    pub fn remove_queue(&self, name: &str) -> Option<Arc<SqsQueue>> {
+        self.queues.lock().remove(name)
+    }
+
+    /// Number of live queues in the region (diagnostics/tests).
+    pub fn queue_count(&self) -> usize {
+        self.queues.lock().len()
+    }
+
     /// Purges all queues and intermediate objects (between repetitions).
+    ///
+    /// Test/benchmark utility only: it wipes state globally, so it must
+    /// never run while any request is in flight. The serving path isolates
+    /// requests by flow id and tears down per-request resources instead.
     pub fn reset_channels(&self) {
         for q in self.queues.lock().values() {
             q.purge();
@@ -138,7 +175,10 @@ mod tests {
         let env = CloudEnv::new(CloudConfig::deterministic(1));
         assert_eq!(env.pubsub().n_topics(), 10);
         for i in 0..10 {
-            assert!(env.object_store().bucket_exists(&bucket_name(i)), "bucket {i}");
+            assert!(
+                env.object_store().bucket_exists(&bucket_name(i)),
+                "bucket {i}"
+            );
         }
     }
 
@@ -159,6 +199,7 @@ mod tests {
             crate::time::VirtualTime::ZERO,
             crate::message::Message {
                 attributes: crate::message::MessageAttributes {
+                    flow: 0,
                     source: 0,
                     target: 0,
                     layer: 0,
@@ -169,7 +210,9 @@ mod tests {
             },
         );
         let mut clock = VClock::default();
-        env.object_store().put(&bucket_name(0), "x", &b"y"[..], &mut clock).expect("put");
+        env.object_store()
+            .put(&bucket_name(0), "x", &b"y"[..], &mut clock)
+            .expect("put");
         env.reset_channels();
         assert_eq!(q.visible_len(), 0);
         assert_eq!(env.object_store().object_count(&bucket_name(0)), 0);
@@ -179,7 +222,9 @@ mod tests {
     fn meter_is_shared_across_services() {
         let env = CloudEnv::new(CloudConfig::deterministic(1));
         let mut clock = VClock::default();
-        env.object_store().put(&bucket_name(1), "k", &b"v"[..], &mut clock).expect("put");
+        env.object_store()
+            .put(&bucket_name(1), "k", &b"v"[..], &mut clock)
+            .expect("put");
         let q = env.queue("w0");
         q.poll(&mut clock, crate::queue::PollKind::Short);
         let snap = env.snapshot();

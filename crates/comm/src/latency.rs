@@ -60,7 +60,10 @@ impl LatencyModel {
     /// A model with no jitter — bit-identical timing across runs, used by
     /// the deterministic tests and cost-model validation.
     pub fn deterministic() -> LatencyModel {
-        LatencyModel { jitter: 0.0, ..LatencyModel::default() }
+        LatencyModel {
+            jitter: 0.0,
+            ..LatencyModel::default()
+        }
     }
 
     /// Transfer time for `bytes` at `bps`, in microseconds.
@@ -104,7 +107,10 @@ impl Jitter {
     /// Creates a jitter source; `half_width` typically comes from
     /// [`LatencyModel::jitter`].
     pub fn new(seed: u64, half_width: f64) -> Jitter {
-        Jitter { state: AtomicU64::new(seed | 1), half_width }
+        Jitter {
+            state: AtomicU64::new(seed | 1),
+            half_width,
+        }
     }
 
     /// Applies a fresh jitter factor to a duration in microseconds.
@@ -121,7 +127,9 @@ impl Jitter {
     /// jitter half-width (used for sampling decisions such as short-poll
     /// visibility).
     pub fn unit(&self) -> f64 {
-        let n = self.state.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let n = self
+            .state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
         (splitmix(n) >> 11) as f64 / (1u64 << 53) as f64
     }
 }
@@ -178,7 +186,10 @@ mod tests {
         let draws: Vec<f64> = (0..1000).map(|_| j.unit()).collect();
         assert!(draws.iter().all(|&u| (0.0..1.0).contains(&u)));
         let below = draws.iter().filter(|&&u| u < 0.5).count();
-        assert!((350..650).contains(&below), "unit() heavily skewed: {below}/1000 below 0.5");
+        assert!(
+            (350..650).contains(&below),
+            "unit() heavily skewed: {below}/1000 below 0.5"
+        );
     }
 
     #[test]

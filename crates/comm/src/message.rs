@@ -15,13 +15,16 @@ pub mod quota {
 /// Attributes carried alongside each message body — the paper attaches the
 /// source worker id, the layer, and the total number of byte strings the
 /// source will send to this target in this layer (so the receiver knows
-/// when a source is complete). The `target` attribute drives the SNS → SQS
-/// filter policy.
+/// when a source is complete). The `(flow, target)` pair drives the
+/// SNS → SQS filter policy: `flow` isolates concurrent inference requests
+/// sharing the region's topics, `target` routes within a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MessageAttributes {
+    /// Request-flow id scoping the filter policy (one per inference run).
+    pub flow: u64,
     /// Sending worker id.
     pub source: u32,
-    /// Receiving worker id (filter-policy routing key).
+    /// Receiving worker id (filter-policy routing key within the flow).
     pub target: u32,
     /// Layer index the payload belongs to.
     pub layer: u32,
@@ -88,10 +91,18 @@ impl std::fmt::Display for CommError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CommError::TooManyMessages { got } => {
-                write!(f, "publish batch of {got} messages exceeds {}", quota::MAX_BATCH_MESSAGES)
+                write!(
+                    f,
+                    "publish batch of {got} messages exceeds {}",
+                    quota::MAX_BATCH_MESSAGES
+                )
             }
             CommError::PayloadTooLarge { bytes } => {
-                write!(f, "payload of {bytes} bytes exceeds {}", quota::MAX_PUBLISH_BYTES)
+                write!(
+                    f,
+                    "payload of {bytes} bytes exceeds {}",
+                    quota::MAX_PUBLISH_BYTES
+                )
             }
             CommError::NoSuchTopic { topic } => write!(f, "topic {topic} does not exist"),
             CommError::NoSuchBucket { bucket } => write!(f, "bucket {bucket} does not exist"),
@@ -109,7 +120,14 @@ mod tests {
     #[test]
     fn message_len_reports_body() {
         let m = Message {
-            attributes: MessageAttributes { source: 0, target: 1, layer: 2, total_chunks: 3, batch: 0 },
+            attributes: MessageAttributes {
+                flow: 0,
+                source: 0,
+                target: 1,
+                layer: 2,
+                total_chunks: 3,
+                batch: 0,
+            },
             body: vec![1, 2, 3],
         };
         assert_eq!(m.len(), 3);
@@ -118,8 +136,14 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(CommError::TooManyMessages { got: 11 }.to_string().contains("11"));
-        assert!(CommError::PayloadTooLarge { bytes: 300_000 }.to_string().contains("300000"));
-        assert!(CommError::NoSuchKey { key: "a/b".into() }.to_string().contains("a/b"));
+        assert!(CommError::TooManyMessages { got: 11 }
+            .to_string()
+            .contains("11"));
+        assert!(CommError::PayloadTooLarge { bytes: 300_000 }
+            .to_string()
+            .contains("300000"));
+        assert!(CommError::NoSuchKey { key: "a/b".into() }
+            .to_string()
+            .contains("a/b"));
     }
 }

@@ -76,7 +76,8 @@ impl ServiceMeter {
 
     pub(crate) fn record_sns_publish(&self, billed_requests: u64) {
         self.sns_publish_batches.fetch_add(1, Ordering::Relaxed);
-        self.sns_publish_requests.fetch_add(billed_requests, Ordering::Relaxed);
+        self.sns_publish_requests
+            .fetch_add(billed_requests, Ordering::Relaxed);
     }
 
     pub(crate) fn record_sns_delivery(&self, bytes: u64) {

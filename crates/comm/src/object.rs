@@ -85,9 +85,17 @@ impl ObjectStore {
         let mut buckets = self.buckets.lock();
         let b = buckets
             .get_mut(bucket)
-            .ok_or_else(|| CommError::NoSuchBucket { bucket: bucket.to_string() })?;
+            .ok_or_else(|| CommError::NoSuchBucket {
+                bucket: bucket.to_string(),
+            })?;
         self.meter.record_s3_put(bytes.len() as u64);
-        b.insert(key.to_string(), StoredObject { bytes, available_at: clock.now() });
+        b.insert(
+            key.to_string(),
+            StoredObject {
+                bytes,
+                available_at: clock.now(),
+            },
+        );
         drop(buckets);
         self.cond.notify_all();
         Ok(())
@@ -107,8 +115,16 @@ impl ObjectStore {
         let mut buckets = self.buckets.lock();
         let b = buckets
             .get_mut(bucket)
-            .ok_or_else(|| CommError::NoSuchBucket { bucket: bucket.to_string() })?;
-        b.insert(key.to_string(), StoredObject { bytes, available_at: VirtualTime::ZERO });
+            .ok_or_else(|| CommError::NoSuchBucket {
+                bucket: bucket.to_string(),
+            })?;
+        b.insert(
+            key.to_string(),
+            StoredObject {
+                bytes,
+                available_at: VirtualTime::ZERO,
+            },
+        );
         drop(buckets);
         self.cond.notify_all();
         Ok(())
@@ -118,21 +134,29 @@ impl ObjectStore {
     /// the caller's clock. Billed even when it fails (as on AWS).
     pub fn get(&self, bucket: &str, key: &str, clock: &mut VClock) -> Result<Arc<[u8]>, CommError> {
         let buckets = self.buckets.lock();
-        let b = buckets
-            .get(bucket)
-            .ok_or_else(|| CommError::NoSuchBucket { bucket: bucket.to_string() })?;
-        let found = b.get(key).filter(|o| o.available_at <= clock.now()).cloned();
+        let b = buckets.get(bucket).ok_or_else(|| CommError::NoSuchBucket {
+            bucket: bucket.to_string(),
+        })?;
+        let found = b
+            .get(key)
+            .filter(|o| o.available_at <= clock.now())
+            .cloned();
         drop(buckets);
         match found {
             Some(obj) => {
                 self.meter.record_s3_get(obj.bytes.len() as u64);
-                clock.advance_micros(self.jitter.apply(self.latency.s3_get_total_us(obj.bytes.len())));
+                clock.advance_micros(
+                    self.jitter
+                        .apply(self.latency.s3_get_total_us(obj.bytes.len())),
+                );
                 Ok(obj.bytes)
             }
             None => {
                 self.meter.record_s3_get(0);
                 clock.advance_micros(self.jitter.apply(self.latency.s3_get_us));
-                Err(CommError::NoSuchKey { key: format!("{bucket}/{key}") })
+                Err(CommError::NoSuchKey {
+                    key: format!("{bucket}/{key}"),
+                })
             }
         }
     }
@@ -140,12 +164,19 @@ impl ObjectStore {
     /// One `LIST`: keys under `prefix` visible at the caller's clock (after
     /// the LIST round trip). If nothing is visible, blocks briefly in real
     /// time for producers before re-checking, then returns (possibly empty).
-    pub fn list(&self, bucket: &str, prefix: &str, clock: &mut VClock) -> Result<Vec<String>, CommError> {
+    pub fn list(
+        &self,
+        bucket: &str,
+        prefix: &str,
+        clock: &mut VClock,
+    ) -> Result<Vec<String>, CommError> {
         self.meter.record_s3_list();
         clock.advance_micros(self.jitter.apply(self.latency.s3_list_us));
         let mut buckets = self.buckets.lock();
         if !buckets.contains_key(bucket) {
-            return Err(CommError::NoSuchBucket { bucket: bucket.to_string() });
+            return Err(CommError::NoSuchBucket {
+                bucket: bucket.to_string(),
+            });
         }
         let collect = |buckets: &HashMap<String, BTreeMap<String, StoredObject>>| {
             buckets[bucket]
@@ -190,7 +221,9 @@ impl ObjectStore {
         let interval = scan_interval_us.unwrap_or(self.latency.s3_list_us).max(1);
         let mut buckets = self.buckets.lock();
         if !buckets.contains_key(bucket) {
-            return Err(CommError::NoSuchBucket { bucket: bucket.to_string() });
+            return Err(CommError::NoSuchBucket {
+                bucket: bucket.to_string(),
+            });
         }
         let matches = |buckets: &HashMap<String, BTreeMap<String, StoredObject>>| {
             buckets[bucket]
@@ -216,7 +249,11 @@ impl ObjectStore {
         drop(buckets);
         let now = clock.now();
         let visible = |found: &[(String, VirtualTime)], now: VirtualTime| {
-            found.iter().filter(|(_, t)| *t <= now).map(|(k, _)| k.clone()).collect::<Vec<_>>()
+            found
+                .iter()
+                .filter(|(_, t)| *t <= now)
+                .map(|(k, _)| k.clone())
+                .collect::<Vec<_>>()
         };
         if found.len() <= known {
             // Still nothing new: one empty-ish scan, caller loops.
@@ -279,7 +316,8 @@ mod tests {
         let s = store();
         s.create_bucket("b0");
         let mut clock = VClock::default();
-        s.put("b0", "1/2/3_4.dat", &b"payload"[..], &mut clock).expect("put");
+        s.put("b0", "1/2/3_4.dat", &b"payload"[..], &mut clock)
+            .expect("put");
         let got = s.get("b0", "1/2/3_4.dat", &mut clock).expect("get");
         assert_eq!(&got[..], b"payload");
     }
@@ -304,7 +342,10 @@ mod tests {
             s.put("ghost", "k", &b"x"[..], &mut clock),
             Err(CommError::NoSuchBucket { .. })
         ));
-        assert!(matches!(s.list("ghost", "", &mut clock), Err(CommError::NoSuchBucket { .. })));
+        assert!(matches!(
+            s.list("ghost", "", &mut clock),
+            Err(CommError::NoSuchBucket { .. })
+        ));
     }
 
     #[test]
@@ -312,13 +353,19 @@ mod tests {
         let s = store();
         s.create_bucket("b");
         let mut clock = VClock::default();
-        s.put("b", "1/5/0_5.dat", &b"x"[..], &mut clock).expect("put");
+        s.put("b", "1/5/0_5.dat", &b"x"[..], &mut clock)
+            .expect("put");
         s.put("b", "1/5/2_5.nul", &[][..], &mut clock).expect("put");
-        s.put("b", "1/6/0_6.dat", &b"x"[..], &mut clock).expect("put");
-        s.put("b", "2/5/0_5.dat", &b"x"[..], &mut clock).expect("put");
+        s.put("b", "1/6/0_6.dat", &b"x"[..], &mut clock)
+            .expect("put");
+        s.put("b", "2/5/0_5.dat", &b"x"[..], &mut clock)
+            .expect("put");
         let mut reader = VClock::starting_at(VirtualTime::from_secs_f64(100.0));
         let keys = s.list("b", "1/5/", &mut reader).expect("list");
-        assert_eq!(keys, vec!["1/5/0_5.dat".to_string(), "1/5/2_5.nul".to_string()]);
+        assert_eq!(
+            keys,
+            vec!["1/5/0_5.dat".to_string(), "1/5/2_5.nul".to_string()]
+        );
     }
 
     #[test]
@@ -345,8 +392,12 @@ mod tests {
         let mut small = VClock::default();
         s.put("b", "s", &b"x"[..], &mut small).expect("put");
         let mut large = VClock::default();
-        s.put("b", "l", &vec![0u8; 50_000_000][..], &mut large).expect("put");
-        assert!(large.now() > small.now().plus_micros(100_000), "bandwidth not modeled");
+        s.put("b", "l", &vec![0u8; 50_000_000][..], &mut large)
+            .expect("put");
+        assert!(
+            large.now() > small.now().plus_micros(100_000),
+            "bandwidth not modeled"
+        );
     }
 
     #[test]
@@ -393,16 +444,28 @@ mod tests {
         let s = store();
         s.create_bucket("b");
         let mut writer = VClock::starting_at(VirtualTime::from_secs_f64(1.0));
-        s.put("b", "5/3/1_3.dat", &b"x"[..], &mut writer).expect("put");
+        s.put("b", "5/3/1_3.dat", &b"x"[..], &mut writer)
+            .expect("put");
         let stamp = writer.now();
         let before = s.meter.snapshot().s3_list_requests;
         // Reader 1s of virtual time behind; scan interval 100ms → ~10 scans.
-        let mut reader = VClock::starting_at(stamp.as_micros().checked_sub(1_000_000).map(VirtualTime).unwrap());
-        let (keys, billed) = s.list_wait("b", "5/3/", &mut reader, Some(100_000), 0).expect("list");
+        let mut reader = VClock::starting_at(
+            stamp
+                .as_micros()
+                .checked_sub(1_000_000)
+                .map(VirtualTime)
+                .unwrap(),
+        );
+        let (keys, billed) = s
+            .list_wait("b", "5/3/", &mut reader, Some(100_000), 0)
+            .expect("list");
         assert_eq!(keys.len(), 1);
         assert!(billed >= 10);
         let scans = s.meter.snapshot().s3_list_requests - before;
-        assert!((10..=11).contains(&scans), "expected ~10 scans, billed {scans}");
+        assert!(
+            (10..=11).contains(&scans),
+            "expected ~10 scans, billed {scans}"
+        );
         assert!(reader.now() >= stamp);
     }
 
@@ -425,7 +488,9 @@ mod tests {
         let s = store();
         s.create_bucket("b");
         let mut reader = VClock::default();
-        let (keys, billed) = s.list_wait("b", "none/", &mut reader, None, 0).expect("list");
+        let (keys, billed) = s
+            .list_wait("b", "none/", &mut reader, None, 0)
+            .expect("list");
         assert!(keys.is_empty());
         assert_eq!(billed, 1);
         assert_eq!(s.meter.snapshot().s3_list_requests, 1);

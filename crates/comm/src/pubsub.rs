@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 struct Topic {
-    /// Filter policy: `target` attribute → subscribed queue.
-    subs: RwLock<HashMap<u32, Arc<SqsQueue>>>,
+    /// Filter policy: `(flow, target)` attributes → subscribed queue.
+    subs: RwLock<HashMap<(u64, u32), Arc<SqsQueue>>>,
 }
 
 /// The pub-sub service: a fixed set of pre-created topics (the paper
@@ -39,8 +39,17 @@ impl PubSub {
         latency: LatencyModel,
         jitter: Arc<Jitter>,
     ) -> PubSub {
-        let topics = (0..n_topics.max(1)).map(|_| Topic { subs: RwLock::new(HashMap::new()) }).collect();
-        PubSub { topics, meter, latency, jitter }
+        let topics = (0..n_topics.max(1))
+            .map(|_| Topic {
+                subs: RwLock::new(HashMap::new()),
+            })
+            .collect();
+        PubSub {
+            topics,
+            meter,
+            latency,
+            jitter,
+        }
     }
 
     /// Number of parallel topics.
@@ -49,11 +58,38 @@ impl PubSub {
     }
 
     /// Subscribes `queue` to `topic` with a filter policy matching messages
-    /// whose `target` attribute equals `target`.
-    pub fn subscribe(&self, topic: usize, target: u32, queue: Arc<SqsQueue>) -> Result<(), CommError> {
-        let t = self.topics.get(topic).ok_or(CommError::NoSuchTopic { topic })?;
-        t.subs.write().insert(target, queue);
+    /// whose `(flow, target)` attributes equal the given pair. Flows scope
+    /// concurrent inference requests onto the same shared topics without
+    /// cross-delivery.
+    pub fn subscribe(
+        &self,
+        topic: usize,
+        flow: u64,
+        target: u32,
+        queue: Arc<SqsQueue>,
+    ) -> Result<(), CommError> {
+        let t = self
+            .topics
+            .get(topic)
+            .ok_or(CommError::NoSuchTopic { topic })?;
+        t.subs.write().insert((flow, target), queue);
         Ok(())
+    }
+
+    /// Removes the `(flow, target)` filter-policy subscription from `topic`
+    /// (request teardown). Unknown subscriptions are ignored.
+    pub fn unsubscribe(&self, topic: usize, flow: u64, target: u32) -> Result<(), CommError> {
+        let t = self
+            .topics
+            .get(topic)
+            .ok_or(CommError::NoSuchTopic { topic })?;
+        t.subs.write().remove(&(flow, target));
+        Ok(())
+    }
+
+    /// Number of live subscriptions on `topic` (diagnostics/tests).
+    pub fn subscription_count(&self, topic: usize) -> usize {
+        self.topics.get(topic).map_or(0, |t| t.subs.read().len())
     }
 
     /// One `PublishBatch` call: validates quotas, advances the caller's
@@ -68,9 +104,14 @@ impl PubSub {
         clock: &mut VClock,
         messages: Vec<Message>,
     ) -> Result<u64, CommError> {
-        let t = self.topics.get(topic).ok_or(CommError::NoSuchTopic { topic })?;
+        let t = self
+            .topics
+            .get(topic)
+            .ok_or(CommError::NoSuchTopic { topic })?;
         if messages.len() > quota::MAX_BATCH_MESSAGES {
-            return Err(CommError::TooManyMessages { got: messages.len() });
+            return Err(CommError::TooManyMessages {
+                got: messages.len(),
+            });
         }
         let total: usize = messages.iter().map(|m| m.len()).sum();
         if total > quota::MAX_PUBLISH_BYTES {
@@ -85,7 +126,7 @@ impl PubSub {
         // target queue after an independent delivery delay.
         let subs = t.subs.read();
         for msg in messages {
-            if let Some(queue) = subs.get(&msg.attributes.target) {
+            if let Some(queue) = subs.get(&(msg.attributes.flow, msg.attributes.target)) {
                 let delay = self.jitter.apply(self.latency.sns_delivery_us);
                 let available_at = clock.now().plus_micros(delay);
                 self.meter.record_sns_delivery(msg.len() as u64);
@@ -109,26 +150,48 @@ mod tests {
         let jitter = Arc::new(Jitter::new(3, 0.0));
         let lat = LatencyModel::deterministic();
         let ps = PubSub::new(n_topics, meter.clone(), lat, jitter.clone());
-        let q0 = Arc::new(SqsQueue::new("q0".into(), meter.clone(), lat, jitter.clone()));
+        let q0 = Arc::new(SqsQueue::new(
+            "q0".into(),
+            meter.clone(),
+            lat,
+            jitter.clone(),
+        ));
         let q1 = Arc::new(SqsQueue::new("q1".into(), meter, lat, jitter));
-        ps.subscribe(0, 0, q0.clone()).expect("subscribe q0");
-        ps.subscribe(0, 1, q1.clone()).expect("subscribe q1");
+        ps.subscribe(0, 0, 0, q0.clone()).expect("subscribe q0");
+        ps.subscribe(0, 0, 1, q1.clone()).expect("subscribe q1");
         (ps, q0, q1)
     }
 
     fn msg(target: u32, body: &[u8]) -> Message {
         Message {
-            attributes: MessageAttributes { source: 9, target, layer: 0, total_chunks: 1, batch: 0 },
+            attributes: MessageAttributes {
+                flow: 0,
+                source: 9,
+                target,
+                layer: 0,
+                total_chunks: 1,
+                batch: 0,
+            },
             body: body.to_vec(),
         }
+    }
+
+    fn msg_in_flow(flow: u64, target: u32, body: &[u8]) -> Message {
+        let mut m = msg(target, body);
+        m.attributes.flow = flow;
+        m
     }
 
     #[test]
     fn fan_out_routes_by_target_attribute() {
         let (ps, q0, q1) = setup(1);
         let mut clock = VClock::default();
-        ps.publish_batch(0, &mut clock, vec![msg(0, b"to-0"), msg(1, b"to-1"), msg(0, b"to-0b")])
-            .expect("publish");
+        ps.publish_batch(
+            0,
+            &mut clock,
+            vec![msg(0, b"to-0"), msg(1, b"to-1"), msg(0, b"to-0b")],
+        )
+        .expect("publish");
         assert_eq!(q0.visible_len(), 2);
         assert_eq!(q1.visible_len(), 1);
         let mut c = VClock::starting_at(VirtualTime::from_secs_f64(10.0));
@@ -140,7 +203,8 @@ mod tests {
     fn unmatched_target_is_dropped() {
         let (ps, q0, q1) = setup(1);
         let mut clock = VClock::default();
-        ps.publish_batch(0, &mut clock, vec![msg(7, b"nobody")]).expect("publish");
+        ps.publish_batch(0, &mut clock, vec![msg(7, b"nobody")])
+            .expect("publish");
         assert_eq!(q0.visible_len(), 0);
         assert_eq!(q1.visible_len(), 0);
     }
@@ -160,7 +224,10 @@ mod tests {
             Err(CommError::PayloadTooLarge { .. })
         ));
         // Two messages summing over the cap also rejected (batch-level cap).
-        let pair = vec![msg(0, &vec![0u8; 200 * 1024]), msg(1, &vec![0u8; 100 * 1024])];
+        let pair = vec![
+            msg(0, &vec![0u8; 200 * 1024]),
+            msg(1, &vec![0u8; 100 * 1024]),
+        ];
         assert!(matches!(
             ps.publish_batch(0, &mut clock, pair),
             Err(CommError::PayloadTooLarge { .. })
@@ -174,10 +241,12 @@ mod tests {
         let lat = LatencyModel::deterministic();
         let ps = PubSub::new(1, meter.clone(), lat, jitter.clone());
         let q = Arc::new(SqsQueue::new("q".into(), meter.clone(), lat, jitter));
-        ps.subscribe(0, 0, q).expect("subscribe");
+        ps.subscribe(0, 0, 0, q).expect("subscribe");
         let mut clock = VClock::default();
         // Tiny batch: 1 billed request.
-        let b = ps.publish_batch(0, &mut clock, vec![msg(0, b"small")]).expect("ok");
+        let b = ps
+            .publish_batch(0, &mut clock, vec![msg(0, b"small")])
+            .expect("ok");
         assert_eq!(b, 1);
         // 256 KiB across 4 messages: billed as 4 (the paper's example).
         let batch: Vec<Message> = (0..4).map(|_| msg(0, &vec![0u8; 64 * 1024])).collect();
@@ -207,11 +276,15 @@ mod tests {
     fn delivery_stamp_is_after_publish() {
         let (ps, q0, _q1) = setup(1);
         let mut clock = VClock::default();
-        ps.publish_batch(0, &mut clock, vec![msg(0, b"timed")]).expect("publish");
+        ps.publish_batch(0, &mut clock, vec![msg(0, b"timed")])
+            .expect("publish");
         let publish_done = clock.now();
         let mut c = VClock::default();
         let got = q0.poll(&mut c, PollKind::Long { wait_secs: 1.0 });
-        assert!(got[0].available_at > publish_done, "delivery must add topic→queue delay");
+        assert!(
+            got[0].available_at > publish_done,
+            "delivery must add topic→queue delay"
+        );
     }
 
     #[test]
@@ -222,6 +295,67 @@ mod tests {
             ps.publish_batch(5, &mut clock, vec![msg(0, b"x")]),
             Err(CommError::NoSuchTopic { topic: 5 })
         );
-        assert!(matches!(ps.subscribe(9, 0, q0), Err(CommError::NoSuchTopic { topic: 9 })));
+        assert!(matches!(
+            ps.subscribe(9, 0, 0, q0),
+            Err(CommError::NoSuchTopic { topic: 9 })
+        ));
+    }
+
+    #[test]
+    fn flows_are_isolated_on_shared_topics() {
+        // Two concurrent requests subscribe the same worker rank (target 0)
+        // on the same topic; each flow's messages reach only its own queue.
+        let meter = Arc::new(ServiceMeter::new());
+        let jitter = Arc::new(Jitter::new(3, 0.0));
+        let lat = LatencyModel::deterministic();
+        let ps = PubSub::new(1, meter.clone(), lat, jitter.clone());
+        let qa = Arc::new(SqsQueue::new(
+            "flow-a".into(),
+            meter.clone(),
+            lat,
+            jitter.clone(),
+        ));
+        let qb = Arc::new(SqsQueue::new("flow-b".into(), meter, lat, jitter));
+        ps.subscribe(0, 1, 0, qa.clone()).expect("subscribe flow 1");
+        ps.subscribe(0, 2, 0, qb.clone()).expect("subscribe flow 2");
+        let mut clock = VClock::default();
+        ps.publish_batch(0, &mut clock, vec![msg_in_flow(1, 0, b"for-a")])
+            .expect("publish");
+        ps.publish_batch(0, &mut clock, vec![msg_in_flow(2, 0, b"for-b")])
+            .expect("publish");
+        assert_eq!(qa.visible_len(), 1);
+        assert_eq!(qb.visible_len(), 1);
+        let mut c = VClock::starting_at(VirtualTime::from_secs_f64(1.0));
+        assert_eq!(
+            qa.poll(&mut c, PollKind::Long { wait_secs: 0.1 })[0]
+                .message
+                .body,
+            b"for-a"
+        );
+        assert_eq!(
+            qb.poll(&mut c, PollKind::Long { wait_secs: 0.1 })[0]
+                .message
+                .body,
+            b"for-b"
+        );
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let (ps, q0, _q1) = setup(1);
+        let mut clock = VClock::default();
+        ps.publish_batch(0, &mut clock, vec![msg(0, b"first")])
+            .expect("publish");
+        assert_eq!(q0.visible_len(), 1);
+        assert_eq!(ps.subscription_count(0), 2);
+        ps.unsubscribe(0, 0, 0).expect("unsubscribe");
+        assert_eq!(ps.subscription_count(0), 1);
+        ps.publish_batch(0, &mut clock, vec![msg(0, b"second")])
+            .expect("publish");
+        assert_eq!(
+            q0.visible_len(),
+            1,
+            "post-unsubscribe message must be dropped"
+        );
     }
 }

@@ -74,7 +74,10 @@ impl SqsQueue {
     ) -> SqsQueue {
         SqsQueue {
             name,
-            inner: Mutex::new(QueueInner { visible: VecDeque::new(), in_flight: HashMap::new() }),
+            inner: Mutex::new(QueueInner {
+                visible: VecDeque::new(),
+                in_flight: HashMap::new(),
+            }),
             cond: Condvar::new(),
             next_handle: AtomicU64::new(1),
             meter,
@@ -92,7 +95,10 @@ impl SqsQueue {
     /// Called by the pub-sub fan-out (and directly by tests).
     pub fn enqueue(&self, available_at: VirtualTime, message: Message) {
         let mut inner = self.inner.lock();
-        inner.visible.push_back(QueuedMessage { available_at, message });
+        inner.visible.push_back(QueuedMessage {
+            available_at,
+            message,
+        });
         drop(inner);
         self.cond.notify_all();
     }
@@ -137,7 +143,10 @@ impl SqsQueue {
                 taken_bytes += qm.message.len();
                 inner.in_flight.insert(
                     handle,
-                    QueuedMessage { available_at: qm.available_at, message: qm.message.clone() },
+                    QueuedMessage {
+                        available_at: qm.available_at,
+                        message: qm.message.clone(),
+                    },
                 );
                 out.push(ReceivedMessage {
                     handle,
@@ -152,14 +161,20 @@ impl SqsQueue {
         drop(inner);
 
         self.meter.record_sqs_call(out.len() as u64, out.is_empty());
-        clock.advance_micros(self.jitter.apply(self.latency.sqs_poll_total_us(taken_bytes)));
+        clock.advance_micros(
+            self.jitter
+                .apply(self.latency.sqs_poll_total_us(taken_bytes)),
+        );
         if out.is_empty() {
             if let PollKind::Long { wait_secs } = kind {
                 clock.advance_micros(VirtualTime::from_secs_f64(wait_secs).as_micros());
             }
         } else {
-            let latest =
-                out.iter().map(|m| m.available_at).max().expect("non-empty poll result");
+            let latest = out
+                .iter()
+                .map(|m| m.available_at)
+                .max()
+                .expect("non-empty poll result");
             clock.observe(latest);
         }
         out
@@ -177,11 +192,7 @@ impl SqsQueue {
     /// grace period — in that case one empty long poll is billed and the
     /// clock advances by the full wait `W` (exactly AWS semantics), letting
     /// the caller re-check its timeout budget.
-    pub fn receive_wait(
-        &self,
-        clock: &mut VClock,
-        wait_secs: f64,
-    ) -> (Vec<ReceivedMessage>, u64) {
+    pub fn receive_wait(&self, clock: &mut VClock, wait_secs: f64) -> (Vec<ReceivedMessage>, u64) {
         let wait_us = VirtualTime::from_secs_f64(wait_secs).as_micros().max(1);
         let mut inner = self.inner.lock();
         if inner.visible.is_empty() {
@@ -205,14 +216,23 @@ impl SqsQueue {
         let mut out = Vec::new();
         let mut taken_bytes = 0usize;
         while out.len() < quota::MAX_BATCH_MESSAGES {
-            let Some(qm) = inner.visible.pop_front() else { break };
+            let Some(qm) = inner.visible.pop_front() else {
+                break;
+            };
             let handle = self.next_handle.fetch_add(1, Ordering::Relaxed);
             taken_bytes += qm.message.len();
             inner.in_flight.insert(
                 handle,
-                QueuedMessage { available_at: qm.available_at, message: qm.message.clone() },
+                QueuedMessage {
+                    available_at: qm.available_at,
+                    message: qm.message.clone(),
+                },
             );
-            out.push(ReceivedMessage { handle, available_at: qm.available_at, message: qm.message });
+            out.push(ReceivedMessage {
+                handle,
+                available_at: qm.available_at,
+                message: qm.message,
+            });
         }
         drop(inner);
         // Bill the virtual long-poll rounds spent waiting for the earliest
@@ -224,7 +244,10 @@ impl SqsQueue {
             self.meter.record_sqs_call(0, true);
         }
         self.meter.record_sqs_call(out.len() as u64, false);
-        clock.advance_micros(self.jitter.apply(self.latency.sqs_poll_total_us(taken_bytes)));
+        clock.advance_micros(
+            self.jitter
+                .apply(self.latency.sqs_poll_total_us(taken_bytes)),
+        );
         let latest = out.iter().map(|m| m.available_at).max().expect("non-empty");
         clock.observe(latest);
         (out, rounds)
@@ -232,7 +255,10 @@ impl SqsQueue {
 
     /// One `DeleteMessageBatch` call for up to 10 receipt handles.
     pub fn delete_batch(&self, clock: &mut VClock, handles: &[u64]) {
-        assert!(handles.len() <= quota::MAX_BATCH_MESSAGES, "delete batch too large");
+        assert!(
+            handles.len() <= quota::MAX_BATCH_MESSAGES,
+            "delete batch too large"
+        );
         let mut inner = self.inner.lock();
         for h in handles {
             inner.in_flight.remove(h);
@@ -279,7 +305,14 @@ mod tests {
 
     fn msg(source: u32, body: &[u8]) -> Message {
         Message {
-            attributes: MessageAttributes { source, target: 0, layer: 0, total_chunks: 1, batch: 0 },
+            attributes: MessageAttributes {
+                flow: 0,
+                source,
+                target: 0,
+                layer: 0,
+                total_chunks: 1,
+                batch: 0,
+            },
             body: body.to_vec(),
         }
     }
@@ -302,7 +335,10 @@ mod tests {
         q.enqueue(VirtualTime::from_secs_f64(5.0), msg(1, b"late"));
         let mut clock = VClock::default();
         q.poll(&mut clock, PollKind::Long { wait_secs: 2.0 });
-        assert!(clock.now() >= VirtualTime::from_secs_f64(5.0), "clock not pulled forward");
+        assert!(
+            clock.now() >= VirtualTime::from_secs_f64(5.0),
+            "clock not pulled forward"
+        );
     }
 
     #[test]

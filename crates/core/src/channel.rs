@@ -39,7 +39,10 @@ impl Tag {
     pub fn encode(self) -> u32 {
         match self {
             Tag::Layer(k) => {
-                assert!(k < TAG_BARRIER_RELEASE, "layer index collides with control tags");
+                assert!(
+                    k < TAG_BARRIER_RELEASE,
+                    "layer index collides with control tags"
+                );
                 k
             }
             Tag::BarrierArrive(r) => TAG_BARRIER_ARRIVE | (r & 0xFFFF),
@@ -91,7 +94,15 @@ impl RecvTracker {
     pub fn expecting(sources: impl IntoIterator<Item = u32>) -> RecvTracker {
         let pending: HashMap<u32, ChunkState> = sources
             .into_iter()
-            .map(|s| (s, ChunkState { expected: None, got: 0 }))
+            .map(|s| {
+                (
+                    s,
+                    ChunkState {
+                        expected: None,
+                        got: 0,
+                    },
+                )
+            })
             .collect();
         let initial = pending.len();
         RecvTracker { pending, initial }
@@ -138,7 +149,23 @@ impl RecvTracker {
 }
 
 /// A fully serverless point-to-point channel for FSI.
+///
+/// Channels are **request-scoped**: [`crate::ChannelProvider`] builds one
+/// instance per inference flow, so client-side statistics and service
+/// resources (queues, subscriptions, object prefixes) belong to exactly one
+/// request and concurrent requests never share mutable channel state.
 pub trait FsiChannel: Send + Sync {
+    /// Client-side statistics collected by this channel instance
+    /// (cost-model inputs; request-local by construction).
+    fn stats(&self) -> &crate::stats::ChannelStats;
+
+    /// Releases the per-request service resources this channel set up
+    /// (filter-policy subscriptions, queues, namespaced objects). Called by
+    /// the service once the request's worker tree has been joined; safe to
+    /// call more than once. Straggler workers holding `Arc` handles keep
+    /// working against the detached resources until their timeout binds.
+    fn teardown(&self) {}
+
     /// Ships `sends` (target, rows — possibly empty) for `tag`. Packing,
     /// chunking, compression and API batching are channel concerns; the
     /// caller's clock is advanced by the modeled (multi-threaded) cost.
@@ -197,8 +224,7 @@ pub fn barrier(
     if me == 0 {
         let mut tracker = RecvTracker::expecting(1..n_workers);
         channel.receive_all(ctx, Tag::BarrierArrive(round), 0, &mut tracker)?;
-        let releases: Vec<(u32, SparseRows)> =
-            (1..n_workers).map(|w| (w, empty.clone())).collect();
+        let releases: Vec<(u32, SparseRows)> = (1..n_workers).map(|w| (w, empty.clone())).collect();
         channel.send_layer(ctx, Tag::BarrierRelease(round), 0, &releases)?;
     } else {
         channel.send_layer(ctx, Tag::BarrierArrive(round), me, &[(0, empty)])?;
@@ -257,7 +283,12 @@ mod tests {
 
     #[test]
     fn tag_key_segments_are_distinct() {
-        let tags = [Tag::Layer(3), Tag::BarrierArrive(3), Tag::BarrierRelease(3), Tag::Reduce(3)];
+        let tags = [
+            Tag::Layer(3),
+            Tag::BarrierArrive(3),
+            Tag::BarrierRelease(3),
+            Tag::Reduce(3),
+        ];
         let mut segs: Vec<String> = tags.iter().map(|t| t.key_segment()).collect();
         segs.sort();
         segs.dedup();

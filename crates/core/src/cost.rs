@@ -165,9 +165,15 @@ mod tests {
         let m = CostModel::default();
         // 10 workers, 2.5 s average, 2048 MB.
         let closed = m.lambda_cost_closed_form(10, 2.5, 2048);
-        let snap = LambdaSnapshot { invocations: 10, mb_ms: 10 * 2500 * 2048 };
+        let snap = LambdaSnapshot {
+            invocations: 10,
+            mb_ms: 10 * 2500 * 2048,
+        };
         let metered = m.lambda_cost(&snap);
-        assert!((closed - metered).abs() < 1e-9, "closed {closed} vs metered {metered}");
+        assert!(
+            (closed - metered).abs() < 1e-9,
+            "closed {closed} vs metered {metered}"
+        );
     }
 
     #[test]
@@ -189,8 +195,14 @@ mod tests {
 
     #[test]
     fn breakdown_total_and_error() {
-        let a = CostBreakdown { compute: 0.10, comms: 0.25 };
-        let b = CostBreakdown { compute: 0.10, comms: 0.26 };
+        let a = CostBreakdown {
+            compute: 0.10,
+            comms: 0.25,
+        };
+        let b = CostBreakdown {
+            compute: 0.10,
+            comms: 0.26,
+        };
         assert!((a.total() - 0.35).abs() < 1e-12);
         assert!(a.relative_error(&b) < 0.03);
         assert_eq!(a.relative_error(&a), 0.0);
@@ -201,7 +213,10 @@ mod tests {
     #[test]
     fn actual_splits_services() {
         let m = CostModel::default();
-        let lambda = LambdaSnapshot { invocations: 5, mb_ms: 1000 };
+        let lambda = LambdaSnapshot {
+            invocations: 5,
+            mb_ms: 1000,
+        };
         let comm = MeterSnapshot {
             sns_publish_requests: 100,
             sns_delivered_bytes: 1_000_000,

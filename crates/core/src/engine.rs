@@ -1,22 +1,22 @@
-//! The FSD-Inference engine: staging, launching, measuring.
+//! Public request/report types of the serving API, plus the deprecated
+//! single-threaded [`FsdInference`] shim kept for one release.
+//!
+//! The engine logic itself lives in [`crate::service::FsdService`]; this
+//! module defines what goes in (requests, [`EngineConfig`]) and what comes
+//! out ([`InferenceReport`]).
 
-use crate::artifacts::{stage_full_model, stage_inputs, stage_partitioned_model};
-use crate::channel::FsiChannel;
-use crate::cost::{CostBreakdown, CostModel};
-use crate::object_channel::ObjectChannel;
-use crate::queue_channel::{ChannelOptions, QueueChannel};
-use crate::stats::ChannelStatsSnapshot;
-use crate::worker::{run_serial, run_worker, WorkerOutput, WorkerParams};
+use crate::cost::CostBreakdown;
+use crate::queue_channel::ChannelOptions;
+use crate::recommend::Recommendation;
+use crate::service::FsdService;
 use fsd_comm::{CloudConfig, CloudEnv, MeterSnapshot, VirtualTime};
-use fsd_faas::{
-    ComputeModel, FaasError, FaasPlatform, FunctionConfig, InvocationReport, LambdaSnapshot,
-    MAX_MEMORY_MB,
-};
+use fsd_faas::{ComputeModel, FaasError, LambdaSnapshot, MAX_MEMORY_MB};
 use fsd_model::SparseDnn;
-use fsd_partition::{partition_model, CommPlan, Partition, PartitionScheme};
+use fsd_partition::{Partition, PartitionScheme};
 use fsd_sparse::SparseRows;
-use std::collections::HashMap;
 use std::sync::Arc;
+
+use crate::stats::ChannelStatsSnapshot;
 
 /// Which FSD-Inference variant executes a request (paper §VI-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +27,23 @@ pub enum Variant {
     Queue,
     /// Object-storage channel (FSI Algorithm 2).
     Object,
+    /// Per-request routing by the Section IV-C recommendation rules: the
+    /// service picks Serial/Queue/Object from the model size and the
+    /// estimated per-pair payload volume of this request.
+    Auto,
+}
+
+impl Variant {
+    /// The channel-provider name this variant runs on; `None` for variants
+    /// that use no communication channel (Serial) or that resolve into
+    /// another variant first (Auto).
+    pub fn channel_name(self) -> Option<&'static str> {
+        match self {
+            Variant::Serial | Variant::Auto => None,
+            Variant::Queue => Some("queue"),
+            Variant::Object => Some("object"),
+        }
+    }
 }
 
 impl std::fmt::Display for Variant {
@@ -35,11 +52,12 @@ impl std::fmt::Display for Variant {
             Variant::Serial => write!(f, "FSD-Inf-Serial"),
             Variant::Queue => write!(f, "FSD-Inf-Queue"),
             Variant::Object => write!(f, "FSD-Inf-Object"),
+            Variant::Auto => write!(f, "FSD-Inf-Auto"),
         }
     }
 }
 
-/// Engine configuration.
+/// Engine configuration (the raw knobs behind `ServiceBuilder`).
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Simulated cloud region parameters.
@@ -76,14 +94,18 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// Jitter-free configuration for tests and validation runs.
     pub fn deterministic(seed: u64) -> EngineConfig {
-        EngineConfig { cloud: CloudConfig::deterministic(seed), seed, ..EngineConfig::default() }
+        EngineConfig {
+            cloud: CloudConfig::deterministic(seed),
+            seed,
+            ..EngineConfig::default()
+        }
     }
 }
 
 /// One inference request.
 #[derive(Debug, Clone)]
 pub struct InferenceRequest {
-    /// Execution variant.
+    /// Execution variant ([`Variant::Auto`] routes per request).
     pub variant: Variant,
     /// Worker count `P` (ignored for Serial).
     pub workers: u32,
@@ -98,7 +120,7 @@ pub struct InferenceRequest {
 /// loads amortize across the batches.
 #[derive(Debug, Clone)]
 pub struct BatchedRequest {
-    /// Execution variant.
+    /// Execution variant ([`Variant::Auto`] routes per request).
     pub variant: Variant,
     /// Worker count `P` (ignored for Serial).
     pub workers: u32,
@@ -122,24 +144,33 @@ pub struct WorkerReport {
 /// Everything measured about one inference run.
 #[derive(Debug, Clone)]
 pub struct InferenceReport {
+    /// The variant that executed (an [`Variant::Auto`] request reports the
+    /// variant it resolved to).
     pub variant: Variant,
     pub workers: u32,
+    /// Virtual time the request arrived — the origin of the measurement
+    /// window [`InferenceReport::latency`] is derived from.
+    pub arrival: VirtualTime,
     /// End-to-end query latency: request arrival → root holds the result.
     pub latency: VirtualTime,
     pub per_worker: Vec<WorkerReport>,
-    /// Service-side billing events during the run.
+    /// Service-side billing events during the run. Under concurrent load
+    /// the service meters are shared across in-flight requests, so this
+    /// window may include neighbors' traffic; `client` and
+    /// `cost_predicted` are always request-local.
     pub comm: MeterSnapshot,
-    /// Lambda billing during the run.
+    /// Lambda billing during the run (same sharing caveat as `comm`).
     pub lambda: LambdaSnapshot,
-    /// Client-side channel statistics.
+    /// Client-side channel statistics (request-local).
     pub client: ChannelStatsSnapshot,
     /// Cost from the service meters ("Cost & Usage report").
     pub cost_actual: CostBreakdown,
     /// Cost from the application's own metrics (§VI-F validation).
     pub cost_predicted: CostBreakdown,
-    /// The inference result of the first batch (single-batch requests).
+    /// The inference result of the first batch.
+    #[deprecated(since = "0.2.0", note = "use first_output() or outputs[0]")]
     pub output: SparseRows,
-    /// Results of every batch, in order.
+    /// Results of every batch, in order (never empty).
     pub outputs: Vec<SparseRows>,
     /// Total samples across batches.
     pub samples: usize,
@@ -148,6 +179,11 @@ pub struct InferenceReport {
 }
 
 impl InferenceReport {
+    /// The first batch's inference result (single-batch requests' result).
+    pub fn first_output(&self) -> &SparseRows {
+        &self.outputs[0]
+    }
+
     /// End-to-end per-sample runtime in milliseconds (Table II metric).
     pub fn per_sample_ms(&self) -> f64 {
         self.latency.as_millis_f64() / self.samples.max(1) as f64
@@ -171,263 +207,109 @@ impl InferenceReport {
     }
 }
 
-/// The engine: owns the simulated region, the platform, and the staged
-/// model artifacts.
+/// The original single-threaded engine façade, now a thin veneer over
+/// [`FsdService`]. Kept for one release so downstream code migrates at its
+/// own pace; new code should use `ServiceBuilder`/[`FsdService`], whose
+/// `&self` request path serves concurrent callers.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ServiceBuilder/FsdService: the &self API serves concurrent requests"
+)]
 pub struct FsdInference {
-    env: Arc<CloudEnv>,
-    platform: Arc<FaasPlatform>,
-    dnn: Arc<SparseDnn>,
-    cfg: EngineConfig,
-    cost: CostModel,
-    model_key: String,
-    full_staged: bool,
-    partitions: HashMap<u32, Arc<Partition>>,
-    run_counter: u64,
+    service: FsdService,
 }
 
+#[allow(deprecated)]
 impl FsdInference {
     /// Creates an engine for a model over a fresh simulated region.
     pub fn new(dnn: Arc<SparseDnn>, cfg: EngineConfig) -> FsdInference {
-        let env = CloudEnv::new(cfg.cloud);
-        let platform = FaasPlatform::new(env.clone(), cfg.compute);
         FsdInference {
-            env,
-            platform,
-            dnn,
-            cfg,
-            cost: CostModel::default(),
-            model_key: "model".to_string(),
-            full_staged: false,
-            partitions: HashMap::new(),
-            run_counter: 0,
+            service: crate::builder::ServiceBuilder::new(dnn).config(cfg).build(),
         }
     }
 
     /// The simulated environment (inspection/tests).
     pub fn env(&self) -> &Arc<CloudEnv> {
-        &self.env
+        self.service.env()
     }
 
     /// The model being served.
     pub fn dnn(&self) -> &Arc<SparseDnn> {
-        &self.dnn
+        self.service.dnn()
     }
 
     /// The partition used for `P` workers (preparing it if needed).
     pub fn partition(&mut self, p: u32) -> Arc<Partition> {
-        self.prepare(p);
-        self.partitions[&p].clone()
+        self.service.partition(p)
     }
 
-    /// Recommends a variant for this model at parallelism `p`, from the
-    /// Section IV-C rules: estimated per-pair payload volume (plan rows x
-    /// typical row bytes) against the publish quota, and whether the model
-    /// fits a single instance.
-    pub fn recommend(&mut self, p: u32, est_bytes_per_row: usize) -> crate::recommend::Recommendation {
-        let model_bytes = self.dnn.mem_bytes();
-        if p <= 1 {
-            return crate::recommend::Recommendation {
-                variant: Variant::Serial,
-                profile: crate::recommend::WorkloadProfile {
-                    model_bytes,
-                    workers: 1,
-                    bytes_per_pair_layer: 0,
-                },
-            };
-        }
-        self.prepare(p);
-        let part = self.partitions[&p].clone();
-        let plan = fsd_partition::CommPlan::build(&self.dnn, &part);
-        let pairs = plan.total_pairs().max(1);
-        let bytes_per_pair_layer =
-            (plan.total_row_sends() as usize * est_bytes_per_row) / pairs as usize;
-        let profile = crate::recommend::WorkloadProfile { model_bytes, workers: p, bytes_per_pair_layer };
-        crate::recommend::Recommendation {
-            variant: crate::recommend::recommend_variant(&profile),
-            profile,
-        }
+    /// Recommends a variant for this model at parallelism `p` (§IV-C).
+    pub fn recommend(&mut self, p: u32, est_bytes_per_row: usize) -> Recommendation {
+        self.service.recommend(p, est_bytes_per_row)
     }
 
     /// Offline step: partition for `P` workers and stage the artifacts.
-    /// Idempotent; done "a priori, not per request" (paper §III).
     pub fn prepare(&mut self, p: u32) {
-        if p <= 1 {
-            if !self.full_staged {
-                stage_full_model(&self.env, &self.model_key, &self.dnn);
-                self.full_staged = true;
-            }
-            return;
-        }
-        if self.partitions.contains_key(&p) {
-            return;
-        }
-        let part = partition_model(&self.dnn, p as usize, self.cfg.scheme, self.cfg.seed);
-        let plan = CommPlan::build(&self.dnn, &part);
-        stage_partitioned_model(&self.env, &self.model_key, &self.dnn, &part, &plan);
-        self.partitions.insert(p, Arc::new(part));
+        self.service.prepare(p);
     }
 
-    /// Runs one single-batch inference request end to end.
+    /// Runs one single-batch inference request end to end. Keeps the
+    /// original `FaasError` signature so pre-0.2 matches still compile;
+    /// service-level [`FsdError`] conditions surface as a `"service"`
+    /// comm failure.
     pub fn run(&mut self, req: &InferenceRequest) -> Result<InferenceReport, FaasError> {
-        self.run_batched(&BatchedRequest {
-            variant: req.variant,
-            workers: req.workers,
-            memory_mb: req.memory_mb,
-            batches: vec![req.inputs.clone()],
-        })
+        self.service.submit(req).map_err(FaasError::from)
     }
 
-    /// Runs several successive batches through one worker tree (paper
-    /// Fig. 1): the tree is launched once, weights are loaded once, and a
-    /// barrier + reduce closes each batch.
+    /// Runs several successive batches through one worker tree (same
+    /// error-type compatibility as [`FsdInference::run`]).
     pub fn run_batched(&mut self, req: &BatchedRequest) -> Result<InferenceReport, FaasError> {
-        assert!(!req.batches.is_empty(), "need at least one batch");
-        let p = if req.variant == Variant::Serial { 1 } else { req.workers.max(1) };
-        self.prepare(p);
-        self.run_counter += 1;
-        let input_key = format!("inputs/run{}", self.run_counter);
-        let partition = self.partitions.get(&p).cloned();
-        for (b, batch) in req.batches.iter().enumerate() {
-            stage_inputs(&self.env, &format!("{input_key}/b{b}"), batch, partition.as_deref());
-        }
-        self.env.reset_channels();
+        self.service.submit_batched(req).map_err(FaasError::from)
+    }
+}
 
-        // Measurement window starts after offline staging.
-        let comm_before = self.env.snapshot();
-        let lambda_before = self.platform.lambda_snapshot();
-        let samples: usize = req.batches.iter().map(|b| b.width()).sum();
-        let widths: Vec<usize> = req.batches.iter().map(|b| b.width()).collect();
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-        let (root_out, reports, client) = match req.variant {
-            Variant::Serial => {
-                let (out, report) = self.launch_serial(&input_key, widths.len())?;
-                (out, vec![(0u32, report)], ChannelStatsSnapshot::default())
-            }
-            Variant::Queue => {
-                let channel = QueueChannel::setup(self.env.clone(), p, self.cfg.channel);
-                let r = self.launch_tree(channel.clone(), p, req.memory_mb, &input_key, &widths)?;
-                (r.0, r.1, channel.stats().snapshot())
-            }
-            Variant::Object => {
-                let channel = ObjectChannel::setup(self.env.clone(), p, self.cfg.channel);
-                let r = self.launch_tree(channel.clone(), p, req.memory_mb, &input_key, &widths)?;
-                (r.0, r.1, channel.stats().snapshot())
-            }
+    #[test]
+    fn variant_channel_names() {
+        assert_eq!(Variant::Queue.channel_name(), Some("queue"));
+        assert_eq!(Variant::Object.channel_name(), Some("object"));
+        assert_eq!(Variant::Serial.channel_name(), None);
+        assert_eq!(Variant::Auto.channel_name(), None);
+    }
+
+    #[test]
+    fn variant_displays() {
+        assert_eq!(Variant::Auto.to_string(), "FSD-Inf-Auto");
+        assert_eq!(Variant::Queue.to_string(), "FSD-Inf-Queue");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_runs() {
+        use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+        let spec = DnnSpec {
+            neurons: 48,
+            layers: 2,
+            nnz_per_row: 6,
+            bias: -0.25,
+            clip: 32.0,
+            seed: 3,
         };
-
-        let comm = self.env.snapshot().since(&comm_before);
-        let lambda_after = self.platform.lambda_snapshot();
-        let lambda = LambdaSnapshot {
-            invocations: lambda_after.invocations - lambda_before.invocations,
-            mb_ms: lambda_after.mb_ms - lambda_before.mb_ms,
-        };
-        let per_worker: Vec<WorkerReport> = reports
-            .iter()
-            .map(|(rank, r)| WorkerReport {
-                rank: *rank,
-                started: r.started,
-                finished: r.finished,
-                billed_ms: r.billed_ms,
-                peak_mem_bytes: r.peak_mem_bytes,
-                memory_mb: r.memory_mb,
+        let dnn = Arc::new(generate_dnn(&spec));
+        let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(8, 3));
+        let expected = dnn.serial_inference(&inputs);
+        let mut engine = FsdInference::new(dnn, EngineConfig::deterministic(3));
+        let report = engine
+            .run(&InferenceRequest {
+                variant: Variant::Serial,
+                workers: 1,
+                memory_mb: 2048,
+                inputs,
             })
-            .collect();
-        let latency = per_worker
-            .iter()
-            .map(|w| w.finished)
-            .max()
-            .unwrap_or(VirtualTime::ZERO);
-        let outputs = root_out.final_batches.ok_or_else(|| {
-            FaasError::Comm("root worker returned no final output".to_string())
-        })?;
-        let output = outputs.first().cloned().unwrap_or_else(|| SparseRows::new(0));
-        let cost_actual = self.cost.actual(&lambda, &comm);
-        let cost_predicted =
-            self.cost.predicted(&lambda, &client, root_out.artifact_gets, 0);
-        Ok(InferenceReport {
-            variant: req.variant,
-            workers: p,
-            latency,
-            per_worker,
-            comm,
-            lambda,
-            client,
-            cost_actual,
-            cost_predicted,
-            output,
-            outputs,
-            samples,
-            work_done: root_out.work_done,
-        })
-    }
-
-    /// Coordinator (128 MB) + serial worker at the maximum memory.
-    fn launch_serial(
-        &self,
-        input_key: &str,
-        n_batches: usize,
-    ) -> Result<(WorkerOutput, InvocationReport), FaasError> {
-        let spec = *self.dnn.spec();
-        let model_key = self.model_key.clone();
-        let input_key = input_key.to_string();
-        let platform = self.platform.clone();
-        let serial_memory = self.cfg.serial_memory_mb;
-        let coordinator = self.platform.invoke(
-            FunctionConfig::coordinator(),
-            VirtualTime::ZERO,
-            move |ctx| {
-                ctx.charge_work(10_000); // request parsing
-                let at = ctx.now();
-                let inv = platform.invoke(
-                    FunctionConfig::worker("fsd-serial", serial_memory),
-                    at,
-                    move |worker_ctx| {
-                        run_serial(worker_ctx, &model_key, &input_key, &spec, n_batches)
-                    },
-                );
-                inv.join()
-            },
-        );
-        let ((out, report), _coord_report) = coordinator.join()?;
-        Ok((out, report))
-    }
-
-    /// Coordinator + hierarchical worker tree over a channel.
-    fn launch_tree(
-        &self,
-        channel: Arc<dyn FsiChannel>,
-        p: u32,
-        memory_mb: u32,
-        input_key: &str,
-        widths: &[usize],
-    ) -> Result<(WorkerOutput, Vec<(u32, InvocationReport)>), FaasError> {
-        let params = WorkerParams {
-            n_workers: p,
-            branching: self.cfg.branching,
-            memory_mb,
-            model_key: self.model_key.clone(),
-            input_key: input_key.to_string(),
-            spec: *self.dnn.spec(),
-            batch_widths: widths.to_vec(),
-        };
-        let platform = self.platform.clone();
-        let coordinator = self.platform.invoke(
-            FunctionConfig::coordinator(),
-            VirtualTime::ZERO,
-            move |ctx| {
-                ctx.charge_work(10_000); // request parsing
-                let at = ctx.now();
-                let inv = platform.invoke(
-                    FunctionConfig::worker("fsd-worker-0", params.memory_mb),
-                    at,
-                    move |worker_ctx| run_worker(worker_ctx, channel, 0, params),
-                );
-                inv.join()
-            },
-        );
-        let ((root_out, root_report), _coord) = coordinator.join()?;
-        let mut reports = vec![(0u32, root_report)];
-        reports.extend(root_out.subtree_reports.iter().copied());
-        Ok((root_out, reports))
+            .expect("shim runs");
+        assert_eq!(report.first_output(), &expected);
     }
 }

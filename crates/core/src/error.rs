@@ -1,0 +1,181 @@
+//! The unified, structured error type of the public serving API.
+//!
+//! Everything a request can die of is enumerated here: the two FaaS limits
+//! the paper designs against, structured communication failures (wrapping
+//! [`CommFailure`] rather than a formatted string), and the service-level
+//! conditions (empty request, unknown channel, missing output). Deep engine
+//! plumbing keeps using [`fsd_faas::FaasError`] — function bodies run under
+//! the FaaS platform and must speak its error type — and the service maps
+//! it at the boundary via `From`.
+
+use fsd_comm::VirtualTime;
+use fsd_faas::{CommFailure, FaasError};
+
+/// Errors returned by the `FsdService` request path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsdError {
+    /// A worker's resident data exceeded its configured memory.
+    OutOfMemory {
+        /// Bytes resident when the limit tripped.
+        used_bytes: usize,
+        /// The instance's configured limit.
+        limit_bytes: usize,
+    },
+    /// A worker exceeded the platform's maximum runtime.
+    Timeout {
+        /// Virtual runtime at the kill.
+        elapsed: VirtualTime,
+        /// The configured limit.
+        limit: VirtualTime,
+    },
+    /// A communication or codec operation failed.
+    Comm(CommFailure),
+    /// The request carried no batches.
+    EmptyRequest,
+    /// The requested variant has no registered channel provider.
+    UnknownChannel {
+        /// The provider name the variant resolved to.
+        name: String,
+    },
+    /// The run completed but the root worker produced no final output
+    /// (an engine invariant violation, surfaced instead of masked).
+    MissingOutput,
+    /// The run completed but produced no worker reports, so latency and
+    /// billing attribution would be meaningless (an engine invariant
+    /// violation, previously masked as a zero latency).
+    NoWorkerReports,
+}
+
+impl std::fmt::Display for FsdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsdError::OutOfMemory {
+                used_bytes,
+                limit_bytes,
+            } => {
+                write!(
+                    f,
+                    "out of memory: {used_bytes} bytes used, limit {limit_bytes}"
+                )
+            }
+            FsdError::Timeout { elapsed, limit } => {
+                write!(f, "worker timed out: ran {elapsed}, limit {limit}")
+            }
+            FsdError::Comm(failure) => write!(f, "communication failure: {failure}"),
+            FsdError::EmptyRequest => write!(f, "request carried no batches"),
+            FsdError::UnknownChannel { name } => {
+                write!(f, "no channel provider registered under {name:?}")
+            }
+            FsdError::MissingOutput => write!(f, "root worker returned no final output"),
+            FsdError::NoWorkerReports => write!(f, "run produced no worker reports"),
+        }
+    }
+}
+
+impl std::error::Error for FsdError {}
+
+impl From<FaasError> for FsdError {
+    fn from(e: FaasError) -> FsdError {
+        match e {
+            FaasError::OutOfMemory {
+                used_bytes,
+                limit_bytes,
+            } => FsdError::OutOfMemory {
+                used_bytes,
+                limit_bytes,
+            },
+            FaasError::Timeout { elapsed, limit } => FsdError::Timeout { elapsed, limit },
+            FaasError::Comm(failure) => FsdError::Comm(failure),
+        }
+    }
+}
+
+/// Back-conversion for the deprecated `FsdInference` shim, which keeps its
+/// original `Result<_, FaasError>` signatures so downstream matches keep
+/// compiling for one release. Service-level conditions with no FaaS
+/// counterpart become a structured `Comm` failure under the `"service"`
+/// op.
+impl From<FsdError> for FaasError {
+    fn from(e: FsdError) -> FaasError {
+        match e {
+            FsdError::OutOfMemory {
+                used_bytes,
+                limit_bytes,
+            } => FaasError::OutOfMemory {
+                used_bytes,
+                limit_bytes,
+            },
+            FsdError::Timeout { elapsed, limit } => FaasError::Timeout { elapsed, limit },
+            FsdError::Comm(failure) => FaasError::Comm(failure),
+            service_level => FaasError::comm("service", "", service_level),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faas_errors_map_structurally() {
+        let oom = FaasError::OutOfMemory {
+            used_bytes: 10,
+            limit_bytes: 5,
+        };
+        assert_eq!(
+            FsdError::from(oom),
+            FsdError::OutOfMemory {
+                used_bytes: 10,
+                limit_bytes: 5
+            }
+        );
+        let to = FaasError::Timeout {
+            elapsed: VirtualTime::from_micros(9),
+            limit: VirtualTime::from_micros(3),
+        };
+        assert!(matches!(FsdError::from(to), FsdError::Timeout { .. }));
+        let comm = FaasError::comm("get", "bucket/key", "no such key");
+        match FsdError::from(comm) {
+            FsdError::Comm(failure) => {
+                assert_eq!(failure.op, "get");
+                assert_eq!(failure.resource, "bucket/key");
+            }
+            other => panic!("expected Comm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fsd_errors_map_back_for_the_shim() {
+        let oom = FsdError::OutOfMemory {
+            used_bytes: 10,
+            limit_bytes: 5,
+        };
+        assert!(matches!(
+            FaasError::from(oom),
+            FaasError::OutOfMemory { .. }
+        ));
+        match FaasError::from(FsdError::EmptyRequest) {
+            FaasError::Comm(failure) => {
+                assert_eq!(failure.op, "service");
+                assert!(failure.detail.contains("no batches"));
+            }
+            other => panic!("expected Comm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(FsdError::EmptyRequest.to_string().contains("no batches"));
+        assert!(FsdError::UnknownChannel {
+            name: "warp".into()
+        }
+        .to_string()
+        .contains("warp"));
+        assert!(FsdError::MissingOutput
+            .to_string()
+            .contains("no final output"));
+        assert!(FsdError::NoWorkerReports
+            .to_string()
+            .contains("no worker reports"));
+    }
+}

@@ -15,12 +15,18 @@
 //!   the same serverless primitives;
 //! * **cost model** (Section IV) — [`cost::CostModel`] with actual
 //!   (service-metered) vs predicted (client-metered) breakdowns;
-//! * **design recommendations** (Section IV-C) — [`recommend_variant`].
+//! * **design recommendations** (Section IV-C) — [`recommend_variant`],
+//!   applied per request by [`Variant::Auto`].
 //!
-//! Entry point: [`FsdInference`].
+//! Entry point: [`ServiceBuilder`] → [`FsdService`]. The service's request
+//! path takes `&self`, so one `Arc<FsdService>` serves concurrent requests
+//! from many threads; per-request state (input keys, channels, queues,
+//! object prefixes) is namespaced by a flow id and torn down after each
+//! run. Channel backends plug in through [`ChannelProvider`] /
+//! [`ChannelRegistry`]. Errors are the structured [`FsdError`].
 //!
 //! ```
-//! use fsd_core::{EngineConfig, FsdInference, InferenceRequest, Variant};
+//! use fsd_core::{InferenceRequest, ServiceBuilder, Variant};
 //! use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
 //! use std::sync::Arc;
 //!
@@ -30,20 +36,24 @@
 //! let inputs = generate_inputs(64, &InputSpec::scaled(8, 1));
 //! let expected = dnn.serial_inference(&inputs);
 //!
-//! let mut engine = FsdInference::new(dnn, EngineConfig::deterministic(1));
-//! let report = engine
-//!     .run(&InferenceRequest { variant: Variant::Queue, workers: 3, memory_mb: 1024, inputs })
+//! let service = Arc::new(ServiceBuilder::new(dnn).deterministic(1).build());
+//! let report = service
+//!     .submit(&InferenceRequest { variant: Variant::Queue, workers: 3, memory_mb: 1024, inputs })
 //!     .unwrap();
-//! assert_eq!(report.output, expected);
+//! assert_eq!(report.first_output(), &expected);
 //! ```
 
 mod artifacts;
+mod builder;
 pub mod channel;
 pub mod cost;
 mod engine;
+mod error;
 mod object_channel;
+mod provider;
 mod queue_channel;
 mod recommend;
+mod service;
 mod stats;
 pub mod wire;
 pub mod worker;
@@ -52,12 +62,17 @@ pub use artifacts::{
     load_full_model, load_input_share, load_worker_artifacts, stage_full_model, stage_inputs,
     stage_partitioned_model, WorkerArtifacts, ARTIFACT_BUCKET,
 };
+pub use builder::ServiceBuilder;
 pub use channel::{barrier, reduce, FsiChannel, RecvTracker, Tag};
+#[allow(deprecated)]
+pub use engine::FsdInference;
 pub use engine::{
-    BatchedRequest, EngineConfig, FsdInference, InferenceReport, InferenceRequest, Variant,
-    WorkerReport,
+    BatchedRequest, EngineConfig, InferenceReport, InferenceRequest, Variant, WorkerReport,
 };
+pub use error::FsdError;
 pub use object_channel::ObjectChannel;
+pub use provider::{ChannelProvider, ChannelRegistry, ObjectChannelProvider, QueueChannelProvider};
 pub use queue_channel::{ChannelOptions, QueueChannel};
-pub use recommend::{recommend_variant, Recommendation, WorkloadProfile};
+pub use recommend::{fits_single_instance, recommend_variant, Recommendation, WorkloadProfile};
+pub use service::FsdService;
 pub use stats::{ChannelStats, ChannelStatsSnapshot};

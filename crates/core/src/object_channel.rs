@@ -17,20 +17,42 @@ use fsd_faas::{FaasError, WorkerCtx};
 use fsd_sparse::SparseRows;
 use std::sync::Arc;
 
-/// The object-storage channel.
+/// The object-storage channel. One instance serves one request flow: every
+/// key lives under a `f{flow}/` namespace, so concurrent requests share the
+/// region's buckets without LIST scans ever surfacing each other's files.
 pub struct ObjectChannel {
     env: Arc<CloudEnv>,
     n_workers: u32,
     n_buckets: usize,
+    flow: u64,
     opts: ChannelOptions,
     stats: ChannelStats,
 }
 
 impl ObjectChannel {
-    /// Binds the channel to the environment's pre-created buckets.
+    /// Binds a channel in the default flow (0) — single-request and test
+    /// use. Serving code goes through [`ObjectChannel::setup_scoped`].
     pub fn setup(env: Arc<CloudEnv>, n_workers: u32, opts: ChannelOptions) -> Arc<ObjectChannel> {
+        ObjectChannel::setup_scoped(env, n_workers, opts, 0)
+    }
+
+    /// Binds the channel to the environment's pre-created buckets, scoping
+    /// every key under the request's flow namespace.
+    pub fn setup_scoped(
+        env: Arc<CloudEnv>,
+        n_workers: u32,
+        opts: ChannelOptions,
+        flow: u64,
+    ) -> Arc<ObjectChannel> {
         let n_buckets = env.config().n_buckets.max(1);
-        Arc::new(ObjectChannel { env, n_workers, n_buckets, opts, stats: ChannelStats::new() })
+        Arc::new(ObjectChannel {
+            env,
+            n_workers,
+            n_buckets,
+            flow,
+            opts,
+            stats: ChannelStats::new(),
+        })
     }
 
     /// Client-side statistics (cost-model inputs).
@@ -43,14 +65,19 @@ impl ObjectChannel {
         self.n_workers
     }
 
+    /// The request flow this channel is scoped to.
+    pub fn flow(&self) -> u64 {
+        self.flow
+    }
+
     /// Bucket for a target worker: `bucket-{n % B}` (k-fold API limit).
     fn bucket_for(&self, target: u32) -> String {
         bucket_name(target as usize % self.n_buckets)
     }
 
-    /// Prefix a target scans for a tag: `{tag}/{target}/`.
-    fn prefix_for(tag: Tag, target: u32) -> String {
-        format!("{}/{}/", tag.key_segment(), target)
+    /// Prefix a target scans for a tag: `f{flow}/{tag}/{target}/`.
+    fn prefix_for(&self, tag: Tag, target: u32) -> String {
+        format!("f{}/{}/{}/", self.flow, tag.key_segment(), target)
     }
 }
 
@@ -68,6 +95,21 @@ fn parse_handle(key: &str) -> Option<(u32, bool)> {
 }
 
 impl FsiChannel for ObjectChannel {
+    fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Deletes this flow's namespaced intermediate objects from every
+    /// bucket (offline housekeeping; deletes are free on the billing model,
+    /// as on S3).
+    fn teardown(&self) {
+        for i in 0..self.n_buckets {
+            self.env
+                .object_store()
+                .delete_prefix(&bucket_name(i), &format!("f{}/", self.flow));
+        }
+    }
+
     fn send_layer(
         &self,
         ctx: &mut WorkerCtx,
@@ -82,7 +124,7 @@ impl FsiChannel for ObjectChannel {
         let mut puts: Vec<(String, String, Vec<u8>)> = Vec::with_capacity(sends.len());
         for (target, rows) in sends {
             let bucket = self.bucket_for(*target);
-            let prefix = Self::prefix_for(tag, *target);
+            let prefix = self.prefix_for(tag, *target);
             if rows.is_empty() && self.opts.nul_markers {
                 // Algorithm 2 line 5: a 0-byte marker instead of data.
                 puts.push((bucket, format!("{prefix}{src}_{target}.nul"), Vec::new()));
@@ -100,7 +142,7 @@ impl FsiChannel for ObjectChannel {
             self.env
                 .object_store()
                 .put(&bucket, &key, body, lane)
-                .map_err(|e| FaasError::Comm(format!("put: {e}")))?;
+                .map_err(|e| FaasError::comm("put", &key, e))?;
             self.stats.add(&self.stats.s3_puts, 1);
             self.stats.add(&self.stats.s3_bytes_put, bytes);
         }
@@ -117,7 +159,7 @@ impl FsiChannel for ObjectChannel {
         tracker: &mut RecvTracker,
     ) -> Result<Vec<(u32, SparseRows)>, FaasError> {
         let bucket = self.bucket_for(me);
-        let prefix = Self::prefix_for(tag, me);
+        let prefix = self.prefix_for(tag, me);
         // `known`: files already consumed under this prefix — one per
         // completed source (objects persist after processing, so a scan is
         // only productive when it surfaces more keys than that).
@@ -125,7 +167,7 @@ impl FsiChannel for ObjectChannel {
             .env
             .object_store()
             .list_wait(&bucket, &prefix, ctx.clock_mut(), None, tracker.completed())
-            .map_err(|e| FaasError::Comm(format!("list: {e}")))?;
+            .map_err(|e| FaasError::comm("list", &prefix, e))?;
         self.stats.add(&self.stats.s3_lists, scans);
         let mut out = Vec::new();
         for key in keys {
@@ -153,7 +195,7 @@ impl FsiChannel for ObjectChannel {
                 Err(CommError::NoSuchKey { .. }) => {
                     self.stats.add(&self.stats.s3_gets, 1);
                 }
-                Err(e) => return Err(FaasError::Comm(format!("get: {e}"))),
+                Err(e) => return Err(FaasError::comm("get", &key, e)),
             }
         }
         Ok(out)
@@ -179,7 +221,10 @@ mod tests {
     }
 
     fn rows(ids: &[u32]) -> SparseRows {
-        SparseRows::from_rows(4, ids.iter().map(|&i| (i, vec![1u32, 3], vec![0.5f32, 2.5])))
+        SparseRows::from_rows(
+            4,
+            ids.iter().map(|&i| (i, vec![1u32, 3], vec![0.5f32, 2.5])),
+        )
     }
 
     #[test]
@@ -197,7 +242,9 @@ mod tests {
         let ch2 = ch.clone();
         let sent = rows(&[0, 9]);
         let sent2 = sent.clone();
-        with_ctx(env.clone(), move |ctx| ch2.send_layer(ctx, Tag::Layer(2), 0, &[(1, sent2)]));
+        with_ctx(env.clone(), move |ctx| {
+            ch2.send_layer(ctx, Tag::Layer(2), 0, &[(1, sent2)])
+        });
         let got = with_ctx(env, move |ctx| {
             let mut tracker = RecvTracker::expecting([0u32]);
             ch.receive_all(ctx, Tag::Layer(2), 1, &mut tracker)
@@ -220,7 +267,11 @@ mod tests {
             ch.receive_all(ctx, Tag::Layer(0), 1, &mut tracker)
         });
         assert!(got.is_empty());
-        assert_eq!(env.snapshot().s3_get_requests, before_gets, ".nul file was GET-read");
+        assert_eq!(
+            env.snapshot().s3_get_requests,
+            before_gets,
+            ".nul file was GET-read"
+        );
     }
 
     #[test]
@@ -230,9 +281,14 @@ mod tests {
         let ch2 = ch.clone();
         let sends: Vec<(u32, SparseRows)> =
             vec![(1, rows(&[0])), (2, rows(&[1, 2])), (3, SparseRows::new(4))];
-        with_ctx(env, move |ctx| ch2.send_layer(ctx, Tag::Layer(0), 0, &sends));
+        with_ctx(env, move |ctx| {
+            ch2.send_layer(ctx, Tag::Layer(0), 0, &sends)
+        });
         let snap = ch.stats().snapshot();
-        assert_eq!(snap.s3_puts, 3, "object channel must put exactly one file per target");
+        assert_eq!(
+            snap.s3_puts, 3,
+            "object channel must put exactly one file per target"
+        );
     }
 
     #[test]
@@ -240,7 +296,9 @@ mod tests {
         let env = CloudEnv::new(CloudConfig::deterministic(14));
         let ch = ObjectChannel::setup(env.clone(), 2, ChannelOptions::default());
         let ch_send = ch.clone();
-        with_ctx(env.clone(), move |ctx| ch_send.send_layer(ctx, Tag::Layer(0), 0, &[(1, rows(&[5]))]));
+        with_ctx(env.clone(), move |ctx| {
+            ch_send.send_layer(ctx, Tag::Layer(0), 0, &[(1, rows(&[5]))])
+        });
         let ch_recv = ch.clone();
         with_ctx(env.clone(), move |ctx| {
             let mut tracker = RecvTracker::expecting([0u32]);
@@ -297,8 +355,10 @@ mod tests {
                 },
             ));
         }
-        let outs: Vec<Option<SparseRows>> =
-            handles.into_iter().map(|h| h.join().expect("worker ok").0).collect();
+        let outs: Vec<Option<SparseRows>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker ok").0)
+            .collect();
         let root = outs.iter().flatten().next().expect("root produced output");
         assert_eq!(root.ids(), &[0, 10, 20]);
         assert_eq!(outs.iter().filter(|o| o.is_some()).count(), 1);

@@ -1,0 +1,160 @@
+//! Channel providers: uniform construction of communication backends.
+//!
+//! The engine used to hard-match `Variant::Queue`/`Variant::Object` onto
+//! concrete channel constructors; adding a transport meant editing the
+//! engine. [`ChannelProvider`] inverts that: each backend registers under a
+//! name in a [`ChannelRegistry`], the service looks the name up per request
+//! and provisions a **request-scoped** channel instance (FMI-style uniform
+//! channel interface). Custom transports plug in through
+//! `ServiceBuilder::register_channel` without touching the request path.
+
+use crate::channel::FsiChannel;
+use crate::object_channel::ObjectChannel;
+use crate::queue_channel::{ChannelOptions, QueueChannel};
+use fsd_comm::CloudEnv;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builds request-scoped channel instances for one transport backend.
+pub trait ChannelProvider: Send + Sync {
+    /// Registry name (`"queue"`, `"object"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Creates a channel for one request: `n_workers` ranks, tuned by
+    /// `opts`, with every service resource namespaced by `flow`.
+    fn provision(
+        &self,
+        env: &Arc<CloudEnv>,
+        n_workers: u32,
+        opts: ChannelOptions,
+        flow: u64,
+    ) -> Arc<dyn FsiChannel>;
+}
+
+/// Provider for the pub-sub/queueing channel (FSI Algorithm 1).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QueueChannelProvider;
+
+impl ChannelProvider for QueueChannelProvider {
+    fn name(&self) -> &'static str {
+        "queue"
+    }
+
+    fn provision(
+        &self,
+        env: &Arc<CloudEnv>,
+        n_workers: u32,
+        opts: ChannelOptions,
+        flow: u64,
+    ) -> Arc<dyn FsiChannel> {
+        QueueChannel::setup_scoped(env.clone(), n_workers, opts, flow)
+    }
+}
+
+/// Provider for the object-storage channel (FSI Algorithm 2).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ObjectChannelProvider;
+
+impl ChannelProvider for ObjectChannelProvider {
+    fn name(&self) -> &'static str {
+        "object"
+    }
+
+    fn provision(
+        &self,
+        env: &Arc<CloudEnv>,
+        n_workers: u32,
+        opts: ChannelOptions,
+        flow: u64,
+    ) -> Arc<dyn FsiChannel> {
+        ObjectChannel::setup_scoped(env.clone(), n_workers, opts, flow)
+    }
+}
+
+/// The provider registry consulted by the service per request.
+pub struct ChannelRegistry {
+    providers: HashMap<&'static str, Arc<dyn ChannelProvider>>,
+}
+
+impl ChannelRegistry {
+    /// An empty registry.
+    pub fn empty() -> ChannelRegistry {
+        ChannelRegistry {
+            providers: HashMap::new(),
+        }
+    }
+
+    /// A registry holding the two built-in transports.
+    pub fn with_builtins() -> ChannelRegistry {
+        let mut r = ChannelRegistry::empty();
+        r.register(Arc::new(QueueChannelProvider));
+        r.register(Arc::new(ObjectChannelProvider));
+        r
+    }
+
+    /// Registers (or replaces) a provider under its name.
+    pub fn register(&mut self, provider: Arc<dyn ChannelProvider>) {
+        self.providers.insert(provider.name(), provider);
+    }
+
+    /// Looks a provider up by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn ChannelProvider>> {
+        self.providers.get(name)
+    }
+
+    /// Registered provider names, sorted for stable diagnostics.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.providers.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl Default for ChannelRegistry {
+    fn default() -> ChannelRegistry {
+        ChannelRegistry::with_builtins()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsd_comm::CloudConfig;
+
+    #[test]
+    fn builtins_are_registered() {
+        let r = ChannelRegistry::with_builtins();
+        assert_eq!(r.names(), vec!["object", "queue"]);
+        assert!(r.get("queue").is_some());
+        assert!(r.get("object").is_some());
+        assert!(r.get("warp").is_none());
+    }
+
+    #[test]
+    fn providers_build_scoped_channels() {
+        let env = CloudEnv::new(CloudConfig::deterministic(1));
+        let r = ChannelRegistry::with_builtins();
+        let q = r
+            .get("queue")
+            .expect("queue")
+            .provision(&env, 3, ChannelOptions::default(), 7);
+        // Three queues created for flow 7, each subscribed on every topic.
+        assert_eq!(env.queue_count(), 3);
+        assert_eq!(env.pubsub().subscription_count(0), 3);
+        q.teardown();
+        assert_eq!(env.queue_count(), 0);
+        assert_eq!(env.pubsub().subscription_count(0), 0);
+        let _o = r
+            .get("object")
+            .expect("object")
+            .provision(&env, 3, ChannelOptions::default(), 7);
+    }
+
+    #[test]
+    fn registration_replaces_by_name() {
+        let mut r = ChannelRegistry::empty();
+        r.register(Arc::new(QueueChannelProvider));
+        r.register(Arc::new(QueueChannelProvider));
+        assert_eq!(r.names().len(), 1);
+    }
+}

@@ -90,20 +90,24 @@ pub(crate) fn decode_payload(
 ) -> Result<SparseRows, FaasError> {
     ctx.charge_bytes(body.len() as u64, DECODE_BPS);
     let encoded = if compression {
-        compress::decompress(body).map_err(|e| FaasError::Comm(format!("decompress: {e}")))?
+        compress::decompress(body).map_err(|e| FaasError::comm("decompress", "", e))?
     } else {
         body.to_vec()
     };
-    codec::decode(&encoded).map_err(|e| FaasError::Comm(format!("decode: {e}")))
+    codec::decode(&encoded).map_err(|e| FaasError::comm("decode", "", e))
 }
 
 /// Early-arrival stash entry: `(source, total_chunks, rows)`.
 type StashedChunk = (u32, u32, SparseRows);
 
-/// The pub-sub/queueing channel.
+/// The pub-sub/queueing channel. One instance serves one request flow:
+/// its queues and filter-policy subscriptions are namespaced by the flow
+/// id, so concurrent requests share the region's topics without
+/// cross-delivery or shared mutable state.
 pub struct QueueChannel {
     env: Arc<CloudEnv>,
     n_workers: u32,
+    flow: u64,
     opts: ChannelOptions,
     queues: Vec<Arc<SqsQueue>>,
     stats: ChannelStats,
@@ -112,21 +116,36 @@ pub struct QueueChannel {
 }
 
 impl QueueChannel {
-    /// Pre-creates one queue per worker and subscribes each to every topic
-    /// with a filter policy on its rank (done offline in the paper; no
-    /// per-inference setup cost).
+    /// Sets up a channel in the default flow (0) — single-request and test
+    /// use. Serving code goes through [`QueueChannel::setup_scoped`].
     pub fn setup(env: Arc<CloudEnv>, n_workers: u32, opts: ChannelOptions) -> Arc<QueueChannel> {
+        QueueChannel::setup_scoped(env, n_workers, opts, 0)
+    }
+
+    /// Pre-creates one queue per worker (named by flow and rank) and
+    /// subscribes each to every topic with a `(flow, rank)` filter policy.
+    /// Queue/topic infrastructure is pre-created offline in the paper and
+    /// carries no idle cost, so setup is not billed.
+    pub fn setup_scoped(
+        env: Arc<CloudEnv>,
+        n_workers: u32,
+        opts: ChannelOptions,
+        flow: u64,
+    ) -> Arc<QueueChannel> {
         let mut queues = Vec::with_capacity(n_workers as usize);
         for m in 0..n_workers {
-            let q = env.queue(&format!("fsd-q{m}"));
+            let q = env.queue(&queue_name(flow, m));
             for t in 0..env.pubsub().n_topics() {
-                env.pubsub().subscribe(t, m, q.clone()).expect("topic pre-created");
+                env.pubsub()
+                    .subscribe(t, flow, m, q.clone())
+                    .expect("topic pre-created");
             }
             queues.push(q);
         }
         Arc::new(QueueChannel {
             env,
             n_workers,
+            flow,
             opts,
             queues,
             stats: ChannelStats::new(),
@@ -144,16 +163,22 @@ impl QueueChannel {
         self.n_workers
     }
 
+    /// The request flow this channel is scoped to.
+    pub fn flow(&self) -> u64 {
+        self.flow
+    }
+
     /// Builds the byte-string chunk list for one target.
-    fn chunks_for(
-        &self,
-        ctx: &mut WorkerCtx,
-        rows: &SparseRows,
-    ) -> Vec<Vec<u8>> {
+    fn chunks_for(&self, ctx: &mut WorkerCtx, rows: &SparseRows) -> Vec<Vec<u8>> {
         if rows.is_empty() {
             // An empty send still announces itself with one tiny message so
             // the receiver's tracker can complete the source.
-            return vec![encode_payload(ctx, &self.stats, rows, self.opts.compression)];
+            return vec![encode_payload(
+                ctx,
+                &self.stats,
+                rows,
+                self.opts.compression,
+            )];
         }
         let mut bodies = Vec::new();
         // NNZ heuristic first, then a hard re-split on the byte cap.
@@ -172,7 +197,29 @@ impl QueueChannel {
     }
 }
 
+/// Canonical per-flow queue naming.
+fn queue_name(flow: u64, rank: u32) -> String {
+    format!("fsd-f{flow}-q{rank}")
+}
+
 impl FsiChannel for QueueChannel {
+    fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Unsubscribes this flow's filter policies and removes its queues from
+    /// the region.
+    fn teardown(&self) {
+        for m in 0..self.n_workers {
+            for t in 0..self.env.pubsub().n_topics() {
+                let _ = self.env.pubsub().unsubscribe(t, self.flow, m);
+            }
+            if let Some(q) = self.env.remove_queue(&queue_name(self.flow, m)) {
+                q.purge();
+            }
+        }
+    }
+
     fn send_layer(
         &self,
         ctx: &mut WorkerCtx,
@@ -191,6 +238,7 @@ impl FsiChannel for QueueChannel {
             for body in bodies {
                 messages.push(Message {
                     attributes: MessageAttributes {
+                        flow: self.flow,
                         source: src,
                         target: *target,
                         layer: tag.encode(),
@@ -203,7 +251,11 @@ impl FsiChannel for QueueChannel {
         }
         // 2. Greedy batch packing: ≤ 10 messages and ≤ 256 KiB per publish
         //    (or one message per publish with packing disabled — ablation).
-        let max_batch = if self.opts.packing { quota::MAX_BATCH_MESSAGES } else { 1 };
+        let max_batch = if self.opts.packing {
+            quota::MAX_BATCH_MESSAGES
+        } else {
+            1
+        };
         let mut batches: Vec<Vec<Message>> = Vec::new();
         let mut cur: Vec<Message> = Vec::new();
         let mut cur_bytes = 0usize;
@@ -233,7 +285,7 @@ impl FsiChannel for QueueChannel {
                 .env
                 .pubsub()
                 .publish_batch(topic, lane, batch)
-                .map_err(|e| FaasError::Comm(format!("publish: {e}")))?;
+                .map_err(|e| FaasError::comm("publish", format!("topic-{topic}"), e))?;
             self.stats.add(&self.stats.sns_billed, billed);
             self.stats.add(&self.stats.sns_batches, 1);
             self.stats.add(&self.stats.messages, n_msgs);
@@ -300,8 +352,8 @@ impl FsiChannel for QueueChannel {
 mod tests {
     use super::*;
     use fsd_comm::CloudConfig;
-    use fsd_faas::{ComputeModel, FaasPlatform, FunctionConfig};
     use fsd_comm::VirtualTime;
+    use fsd_faas::{ComputeModel, FaasPlatform, FunctionConfig};
 
     fn with_ctx<T: Send + 'static>(
         env: Arc<CloudEnv>,
@@ -316,7 +368,10 @@ mod tests {
     }
 
     fn rows(ids: &[u32]) -> SparseRows {
-        SparseRows::from_rows(4, ids.iter().map(|&i| (i, vec![0u32, 2], vec![1.0f32, 2.0])))
+        SparseRows::from_rows(
+            4,
+            ids.iter().map(|&i| (i, vec![0u32, 2], vec![1.0f32, 2.0])),
+        )
     }
 
     #[test]
@@ -356,7 +411,10 @@ mod tests {
     #[test]
     fn large_blocks_split_into_multiple_chunks() {
         let env = CloudEnv::new(CloudConfig::deterministic(3));
-        let opts = ChannelOptions { chunk_nnz: 8, ..ChannelOptions::default() };
+        let opts = ChannelOptions {
+            chunk_nnz: 8,
+            ..ChannelOptions::default()
+        };
         let ch = QueueChannel::setup(env.clone(), 2, opts);
         let ch2 = ch.clone();
         let big = SparseRows::from_rows(
@@ -364,8 +422,13 @@ mod tests {
             (0..32u32).map(|i| (i, (0..8u32).collect::<Vec<_>>(), vec![1.5f32; 8])),
         );
         let big2 = big.clone();
-        with_ctx(env.clone(), move |ctx| ch2.send_layer(ctx, Tag::Layer(1), 0, &[(1, big2)]));
-        assert!(ch.stats().snapshot().messages >= 4, "NNZ heuristic did not chunk");
+        with_ctx(env.clone(), move |ctx| {
+            ch2.send_layer(ctx, Tag::Layer(1), 0, &[(1, big2)])
+        });
+        assert!(
+            ch.stats().snapshot().messages >= 4,
+            "NNZ heuristic did not chunk"
+        );
         let got = with_ctx(env, move |ctx| {
             let mut tracker = RecvTracker::expecting([0u32]);
             ch.receive_all(ctx, Tag::Layer(1), 1, &mut tracker)
@@ -406,7 +469,9 @@ mod tests {
         let ch2 = ch.clone();
         // 11 small sends → 11 messages → 2 publish batches (10 + 1).
         let sends: Vec<(u32, SparseRows)> = (1..12u32).map(|t| (t, rows(&[t]))).collect();
-        with_ctx(env, move |ctx| ch2.send_layer(ctx, Tag::Layer(0), 0, &sends));
+        with_ctx(env, move |ctx| {
+            ch2.send_layer(ctx, Tag::Layer(0), 0, &sends)
+        });
         let snap = ch.stats().snapshot();
         assert_eq!(snap.messages, 11);
         assert_eq!(snap.sns_batches, 2);
@@ -419,7 +484,9 @@ mod tests {
         let ch = QueueChannel::setup(env.clone(), 3, ChannelOptions::default());
         let ch2 = ch.clone();
         let sends: Vec<(u32, SparseRows)> = vec![(1, rows(&[0, 5])), (2, rows(&[7]))];
-        with_ctx(env.clone(), move |ctx| ch2.send_layer(ctx, Tag::Layer(0), 0, &sends));
+        with_ctx(env.clone(), move |ctx| {
+            ch2.send_layer(ctx, Tag::Layer(0), 0, &sends)
+        });
         let ch3 = ch.clone();
         with_ctx(env.clone(), move |ctx| {
             let mut t = RecvTracker::expecting([0u32]);
@@ -429,6 +496,43 @@ mod tests {
         let service = env.snapshot();
         assert_eq!(client.sns_billed, service.sns_publish_requests);
         assert_eq!(client.bytes_sent, service.sns_delivered_bytes);
-        assert_eq!(client.messages, service.sqs_messages + 1 /* undelivered to w2 */);
+        assert_eq!(
+            client.messages,
+            service.sqs_messages + 1 /* undelivered to w2 */
+        );
+    }
+
+    #[test]
+    fn scoped_channels_are_isolated_per_flow() {
+        // Two channels over the same environment and worker ranks, distinct
+        // flows: each receiver sees only its own flow's payloads.
+        let env = CloudEnv::new(CloudConfig::deterministic(7));
+        let a = QueueChannel::setup_scoped(env.clone(), 2, ChannelOptions::default(), 1);
+        let b = QueueChannel::setup_scoped(env.clone(), 2, ChannelOptions::default(), 2);
+        let (a2, b2) = (a.clone(), b.clone());
+        with_ctx(env.clone(), move |ctx| {
+            a2.send_layer(ctx, Tag::Layer(0), 0, &[(1, rows(&[1]))])?;
+            b2.send_layer(ctx, Tag::Layer(0), 0, &[(1, rows(&[2]))])
+        });
+        let (a3, b3) = (a.clone(), b.clone());
+        let (got_a, got_b) = with_ctx(env.clone(), move |ctx| {
+            let mut ta = RecvTracker::expecting([0u32]);
+            let ga = a3.receive_all(ctx, Tag::Layer(0), 1, &mut ta)?;
+            let mut tb = RecvTracker::expecting([0u32]);
+            let gb = b3.receive_all(ctx, Tag::Layer(0), 1, &mut tb)?;
+            Ok((ga, gb))
+        });
+        assert_eq!(got_a[0].1.ids(), &[1], "flow 1 received flow 2's rows");
+        assert_eq!(got_b[0].1.ids(), &[2], "flow 2 received flow 1's rows");
+
+        // Teardown releases exactly this flow's resources.
+        assert_eq!(env.queue_count(), 4);
+        a.teardown();
+        assert_eq!(env.queue_count(), 2);
+        b.teardown();
+        assert_eq!(env.queue_count(), 0);
+        for t in 0..env.pubsub().n_topics() {
+            assert_eq!(env.pubsub().subscription_count(t), 0);
+        }
     }
 }

@@ -39,11 +39,16 @@ pub struct Recommendation {
     pub profile: WorkloadProfile,
 }
 
+/// Whether a model fits one maximum-memory instance with the §IV-C
+/// headroom fraction (the Serial-eligibility test).
+pub fn fits_single_instance(model_bytes: usize) -> bool {
+    let serial_budget = (MAX_MEMORY_MB as usize * 1024 * 1024) as f64 * SERIAL_FIT_FRACTION;
+    (model_bytes as f64) <= serial_budget
+}
+
 /// Recommends the variant for a workload.
 pub fn recommend_variant(w: &WorkloadProfile) -> Variant {
-    let serial_budget =
-        (MAX_MEMORY_MB as usize * 1024 * 1024) as f64 * SERIAL_FIT_FRACTION;
-    if (w.model_bytes as f64) <= serial_budget {
+    if fits_single_instance(w.model_bytes) {
         return Variant::Serial;
     }
     if w.bytes_per_pair_layer <= quota::MAX_PUBLISH_BYTES * QUEUE_SATURATION_PUBLISHES {

@@ -1,0 +1,654 @@
+//! [`FsdService`]: the thread-safe serving front end.
+//!
+//! Every request method takes `&self`, so one `Arc<FsdService>` can be
+//! driven concurrently from many threads (λScale-style request-level
+//! serving). The shared pieces are synchronized explicitly:
+//!
+//! * partition/staging caches live behind an `RwLock` (staged artifacts are
+//!   immutable once written — concurrent requests only ever read them);
+//! * the request counter is atomic and doubles as the **flow id** that
+//!   namespaces all per-request service resources — input keys, queues,
+//!   filter policies and object prefixes — so requests never share mutable
+//!   channel state and nothing ever needs the old global
+//!   `env.reset_channels()` wipe (which was a shared-state bug under
+//!   concurrency);
+//! * channels are provisioned per request through the
+//!   [`ChannelRegistry`](crate::ChannelRegistry) and torn down when the
+//!   request's worker tree has been joined.
+
+use crate::artifacts::{stage_full_model, stage_inputs, stage_partitioned_model, ARTIFACT_BUCKET};
+use crate::channel::FsiChannel;
+use crate::cost::CostModel;
+use crate::engine::{
+    BatchedRequest, EngineConfig, InferenceReport, InferenceRequest, Variant, WorkerReport,
+};
+use crate::error::FsdError;
+use crate::provider::ChannelRegistry;
+use crate::recommend::{self, Recommendation, WorkloadProfile};
+use crate::stats::ChannelStatsSnapshot;
+use crate::worker::{run_serial, run_worker, WorkerOutput, WorkerParams};
+use fsd_comm::{CloudEnv, VirtualTime};
+use fsd_faas::{FaasError, FaasPlatform, FunctionConfig, InvocationReport, LambdaSnapshot};
+use fsd_model::SparseDnn;
+use fsd_partition::{partition_model, CommPlan, Partition};
+use fsd_sparse::codec;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Offline staging state shared by all requests (read-mostly).
+#[derive(Default)]
+struct StagedState {
+    /// Whether the unpartitioned model artifacts are staged (Serial path).
+    full_staged: bool,
+    /// Partitions (and their communication plans) staged per worker
+    /// count `P`.
+    partitions: HashMap<u32, StagedPartition>,
+}
+
+/// One staged `P`-way partitioning: the partition plus the communication
+/// plan built from it (cached so the recommender never rebuilds it on the
+/// request path).
+#[derive(Clone)]
+struct StagedPartition {
+    partition: Arc<Partition>,
+    plan: Arc<CommPlan>,
+}
+
+/// The serving front end: owns the simulated region, the FaaS platform and
+/// the staged model artifacts; accepts concurrent requests through `&self`.
+///
+/// Build one with [`ServiceBuilder`](crate::ServiceBuilder):
+///
+/// ```
+/// use fsd_core::{InferenceRequest, ServiceBuilder, Variant};
+/// use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+/// use std::sync::Arc;
+///
+/// let spec = DnnSpec { neurons: 64, layers: 3, nnz_per_row: 8,
+///                      bias: -0.2, clip: 32.0, seed: 1 };
+/// let dnn = Arc::new(generate_dnn(&spec));
+/// let inputs = generate_inputs(64, &InputSpec::scaled(8, 1));
+/// let expected = dnn.serial_inference(&inputs);
+///
+/// let service = Arc::new(ServiceBuilder::new(dnn).deterministic(1).build());
+/// let report = service
+///     .submit(&InferenceRequest { variant: Variant::Queue, workers: 3, memory_mb: 1024, inputs })
+///     .unwrap();
+/// assert_eq!(report.first_output(), &expected);
+/// ```
+pub struct FsdService {
+    env: Arc<CloudEnv>,
+    platform: Arc<FaasPlatform>,
+    dnn: Arc<SparseDnn>,
+    cfg: EngineConfig,
+    cost: CostModel,
+    model_key: String,
+    registry: ChannelRegistry,
+    state: RwLock<StagedState>,
+    /// Serializes offline staging so a (model, P) pair is partitioned and
+    /// written exactly once; requests that find it staged never take this.
+    stage_lock: Mutex<()>,
+    /// Request counter; its successor is the request's flow id.
+    requests: AtomicU64,
+}
+
+impl FsdService {
+    pub(crate) fn assemble(
+        dnn: Arc<SparseDnn>,
+        cfg: EngineConfig,
+        registry: ChannelRegistry,
+    ) -> FsdService {
+        let env = CloudEnv::new(cfg.cloud);
+        let platform = FaasPlatform::new(env.clone(), cfg.compute);
+        FsdService {
+            env,
+            platform,
+            dnn,
+            cfg,
+            cost: CostModel::default(),
+            model_key: "model".to_string(),
+            registry,
+            state: RwLock::new(StagedState::default()),
+            stage_lock: Mutex::new(()),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The simulated environment (inspection/tests).
+    pub fn env(&self) -> &Arc<CloudEnv> {
+        &self.env
+    }
+
+    /// The model being served.
+    pub fn dnn(&self) -> &Arc<SparseDnn> {
+        &self.dnn
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The channel providers this service can route to.
+    pub fn channel_names(&self) -> Vec<&'static str> {
+        self.registry.names()
+    }
+
+    /// Requests accepted so far (diagnostics).
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The partition used for `P` workers (staging it if needed). `P ≤ 1`
+    /// returns the degenerate 1-way partition.
+    pub fn partition(&self, p: u32) -> Arc<Partition> {
+        let p = p.max(1);
+        self.ensure_partition(p);
+        self.state.read().partitions[&p].partition.clone()
+    }
+
+    /// Offline step: partition for `P` workers and stage the artifacts.
+    /// Idempotent and safe under concurrency; done "a priori, not per
+    /// request" (paper §III). `p <= 1` stages the unpartitioned model
+    /// (the Serial path).
+    pub fn prepare(&self, p: u32) {
+        if p <= 1 {
+            if self.state.read().full_staged {
+                return;
+            }
+            let _staging = self.stage_lock.lock();
+            if self.state.read().full_staged {
+                return;
+            }
+            stage_full_model(&self.env, &self.model_key, &self.dnn);
+            self.state.write().full_staged = true;
+            return;
+        }
+        self.ensure_partition(p);
+    }
+
+    /// Stages the `P`-way partition (any `P ≥ 1`) — the distributed paths
+    /// need per-worker artifacts even for a degenerate one-worker tree.
+    fn ensure_partition(&self, p: u32) {
+        let p = p.max(1);
+        if self.state.read().partitions.contains_key(&p) {
+            return;
+        }
+        let _staging = self.stage_lock.lock();
+        if self.state.read().partitions.contains_key(&p) {
+            return;
+        }
+        let part = partition_model(&self.dnn, p as usize, self.cfg.scheme, self.cfg.seed);
+        let plan = CommPlan::build(&self.dnn, &part);
+        stage_partitioned_model(&self.env, &self.model_key, &self.dnn, &part, &plan);
+        self.state.write().partitions.insert(
+            p,
+            StagedPartition {
+                partition: Arc::new(part),
+                plan: Arc::new(plan),
+            },
+        );
+    }
+
+    /// Recommends a variant for this model at parallelism `p`, from the
+    /// Section IV-C rules: whether the model fits a single instance, then
+    /// estimated per-pair payload volume (plan rows × typical row bytes)
+    /// against the publish quota. Models that fit one instance skip the
+    /// partitioning step entirely.
+    pub fn recommend(&self, p: u32, est_bytes_per_row: usize) -> Recommendation {
+        let model_bytes = self.dnn.mem_bytes();
+        if p <= 1 || recommend::fits_single_instance(model_bytes) {
+            return Recommendation {
+                variant: Variant::Serial,
+                profile: WorkloadProfile {
+                    model_bytes,
+                    workers: p.max(1),
+                    bytes_per_pair_layer: 0,
+                },
+            };
+        }
+        self.ensure_partition(p);
+        let plan = self.state.read().partitions[&p].plan.clone();
+        let pairs = plan.total_pairs().max(1);
+        let bytes_per_pair_layer =
+            (plan.total_row_sends() as usize * est_bytes_per_row) / pairs as usize;
+        let profile = WorkloadProfile {
+            model_bytes,
+            workers: p,
+            bytes_per_pair_layer,
+        };
+        Recommendation {
+            variant: recommend::recommend_variant(&profile),
+            profile,
+        }
+    }
+
+    /// Runs one single-batch inference request end to end.
+    pub fn submit(&self, req: &InferenceRequest) -> Result<InferenceReport, FsdError> {
+        self.submit_batched(&BatchedRequest {
+            variant: req.variant,
+            workers: req.workers,
+            memory_mb: req.memory_mb,
+            batches: vec![req.inputs.clone()],
+        })
+    }
+
+    /// Runs several successive batches through one worker tree (paper
+    /// Fig. 1): the tree is launched once, weights are loaded once, and a
+    /// barrier + reduce closes each batch.
+    pub fn submit_batched(&self, req: &BatchedRequest) -> Result<InferenceReport, FsdError> {
+        if req.batches.is_empty() {
+            return Err(FsdError::EmptyRequest);
+        }
+        let resolved = self.resolve_variant(req);
+        let p = if resolved == Variant::Serial {
+            1
+        } else {
+            req.workers.max(1)
+        };
+        if resolved == Variant::Serial {
+            self.prepare(1);
+        } else {
+            // Distributed paths read per-worker artifacts even when the
+            // tree degenerates to one worker, so stage a partition for
+            // any P ≥ 1.
+            self.ensure_partition(p);
+        }
+
+        // The flow id namespaces everything this request touches.
+        let flow = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let input_key = format!("inputs/req{flow}");
+        let partition = if resolved == Variant::Serial {
+            None
+        } else {
+            Some(self.state.read().partitions[&p].partition.clone())
+        };
+        for (b, batch) in req.batches.iter().enumerate() {
+            stage_inputs(
+                &self.env,
+                &format!("{input_key}/b{b}"),
+                batch,
+                partition.as_deref(),
+            );
+        }
+
+        // Measurement window starts after offline staging. Requests arrive
+        // at the origin of their own virtual timeline.
+        let arrival = VirtualTime::ZERO;
+        let comm_before = self.env.snapshot();
+        let lambda_before = self.platform.lambda_snapshot();
+        let samples: usize = req.batches.iter().map(|b| b.width()).sum();
+        let widths: Vec<usize> = req.batches.iter().map(|b| b.width()).collect();
+
+        let launched = self.execute(resolved, p, req.memory_mb, &input_key, &widths, flow);
+
+        // Per-request input artifacts are dead after the run (success or
+        // not); remove them so a long-lived service does not accrete state.
+        self.env
+            .object_store()
+            .delete_prefix(ARTIFACT_BUCKET, &format!("{input_key}/"));
+        let (root_out, reports, client) = launched?;
+
+        let comm = self.env.snapshot().since(&comm_before);
+        let lambda_after = self.platform.lambda_snapshot();
+        let lambda = LambdaSnapshot {
+            invocations: lambda_after.invocations - lambda_before.invocations,
+            mb_ms: lambda_after.mb_ms - lambda_before.mb_ms,
+        };
+        let per_worker: Vec<WorkerReport> = reports
+            .iter()
+            .map(|(rank, r)| WorkerReport {
+                rank: *rank,
+                started: r.started,
+                finished: r.finished,
+                billed_ms: r.billed_ms,
+                peak_mem_bytes: r.peak_mem_bytes,
+                memory_mb: r.memory_mb,
+            })
+            .collect();
+        let last_finish = per_worker
+            .iter()
+            .map(|w| w.finished)
+            .max()
+            .ok_or(FsdError::NoWorkerReports)?;
+        let latency =
+            VirtualTime::from_micros(last_finish.as_micros().saturating_sub(arrival.as_micros()));
+        let outputs = root_out.final_batches.ok_or(FsdError::MissingOutput)?;
+        if outputs.is_empty() {
+            return Err(FsdError::MissingOutput);
+        }
+        let cost_actual = self.cost.actual(&lambda, &comm);
+        let cost_predicted = self
+            .cost
+            .predicted(&lambda, &client, root_out.artifact_gets, 0);
+        #[allow(deprecated)]
+        Ok(InferenceReport {
+            variant: resolved,
+            workers: p,
+            arrival,
+            latency,
+            per_worker,
+            comm,
+            lambda,
+            client,
+            cost_actual,
+            cost_predicted,
+            output: outputs[0].clone(),
+            outputs,
+            samples,
+            work_done: root_out.work_done,
+        })
+    }
+
+    /// Resolves [`Variant::Auto`] into a concrete variant for this request
+    /// using the §IV-C rules; the per-pair volume estimate comes from the
+    /// request's own first batch (wire bytes per row as a proxy for the
+    /// intermediate activations the layers will exchange).
+    fn resolve_variant(&self, req: &BatchedRequest) -> Variant {
+        match req.variant {
+            Variant::Auto => {
+                let first = &req.batches[0];
+                let est_bytes_per_row = codec::encoded_size(first) / first.n_rows().max(1);
+                self.recommend(req.workers.max(1), est_bytes_per_row)
+                    .variant
+            }
+            v => v,
+        }
+    }
+
+    /// Dispatches a resolved request to its execution path.
+    fn execute(
+        &self,
+        variant: Variant,
+        p: u32,
+        memory_mb: u32,
+        input_key: &str,
+        widths: &[usize],
+        flow: u64,
+    ) -> ExecuteResult {
+        match variant {
+            Variant::Serial => {
+                let (out, report) = self.launch_serial(input_key, widths.len())?;
+                Ok((out, vec![(0u32, report)], ChannelStatsSnapshot::default()))
+            }
+            Variant::Auto => unreachable!("Auto resolves before execution"),
+            routed => {
+                let name = routed
+                    .channel_name()
+                    .expect("routed variants name a channel");
+                let provider = self
+                    .registry
+                    .get(name)
+                    .ok_or_else(|| FsdError::UnknownChannel {
+                        name: name.to_string(),
+                    })?;
+                let channel = provider.provision(&self.env, p, self.cfg.channel, flow);
+                let launched = self.launch_tree(channel.clone(), p, memory_mb, input_key, widths);
+                // Harvest request-local stats, then release the request's
+                // queues/subscriptions/objects — error or not.
+                let client = channel.stats().snapshot();
+                channel.teardown();
+                let (out, reports) = launched?;
+                Ok((out, reports, client))
+            }
+        }
+    }
+
+    /// Coordinator (128 MB) + serial worker at the maximum memory.
+    fn launch_serial(
+        &self,
+        input_key: &str,
+        n_batches: usize,
+    ) -> Result<(WorkerOutput, InvocationReport), FaasError> {
+        let spec = *self.dnn.spec();
+        let model_key = self.model_key.clone();
+        let input_key = input_key.to_string();
+        let platform = self.platform.clone();
+        let serial_memory = self.cfg.serial_memory_mb;
+        let coordinator = self.platform.invoke(
+            FunctionConfig::coordinator(),
+            VirtualTime::ZERO,
+            move |ctx| {
+                ctx.charge_work(10_000); // request parsing
+                let at = ctx.now();
+                let inv = platform.invoke(
+                    FunctionConfig::worker("fsd-serial", serial_memory),
+                    at,
+                    move |worker_ctx| {
+                        run_serial(worker_ctx, &model_key, &input_key, &spec, n_batches)
+                    },
+                );
+                inv.join()
+            },
+        );
+        let ((out, report), _coord_report) = coordinator.join()?;
+        Ok((out, report))
+    }
+
+    /// Coordinator + hierarchical worker tree over a channel.
+    fn launch_tree(
+        &self,
+        channel: Arc<dyn FsiChannel>,
+        p: u32,
+        memory_mb: u32,
+        input_key: &str,
+        widths: &[usize],
+    ) -> Result<(WorkerOutput, Vec<(u32, InvocationReport)>), FaasError> {
+        let params = WorkerParams {
+            n_workers: p,
+            branching: self.cfg.branching,
+            memory_mb,
+            model_key: self.model_key.clone(),
+            input_key: input_key.to_string(),
+            spec: *self.dnn.spec(),
+            batch_widths: widths.to_vec(),
+        };
+        let platform = self.platform.clone();
+        let coordinator = self.platform.invoke(
+            FunctionConfig::coordinator(),
+            VirtualTime::ZERO,
+            move |ctx| {
+                ctx.charge_work(10_000); // request parsing
+                let at = ctx.now();
+                let inv = platform.invoke(
+                    FunctionConfig::worker("fsd-worker-0", params.memory_mb),
+                    at,
+                    move |worker_ctx| run_worker(worker_ctx, channel, 0, params),
+                );
+                inv.join()
+            },
+        );
+        let ((root_out, root_report), _coord) = coordinator.join()?;
+        let mut reports = vec![(0u32, root_report)];
+        reports.extend(root_out.subtree_reports.iter().copied());
+        Ok((root_out, reports))
+    }
+}
+
+type ExecuteResult = Result<
+    (
+        WorkerOutput,
+        Vec<(u32, InvocationReport)>,
+        ChannelStatsSnapshot,
+    ),
+    FsdError,
+>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ServiceBuilder;
+    use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+    use fsd_sparse::SparseRows;
+
+    fn small_service(seed: u64) -> (Arc<FsdService>, SparseRows, SparseRows) {
+        let spec = DnnSpec {
+            neurons: 64,
+            layers: 3,
+            nnz_per_row: 8,
+            bias: -0.25,
+            clip: 32.0,
+            seed,
+        };
+        let dnn = Arc::new(generate_dnn(&spec));
+        let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(12, seed));
+        let expected = dnn.serial_inference(&inputs);
+        (
+            Arc::new(ServiceBuilder::new(dnn).deterministic(seed).build()),
+            inputs,
+            expected,
+        )
+    }
+
+    #[test]
+    fn empty_request_is_an_error() {
+        let (service, ..) = small_service(1);
+        let res = service.submit_batched(&BatchedRequest {
+            variant: Variant::Serial,
+            workers: 1,
+            memory_mb: 1769,
+            batches: vec![],
+        });
+        assert_eq!(res.unwrap_err(), FsdError::EmptyRequest);
+    }
+
+    #[test]
+    fn unknown_channel_is_an_error() {
+        let spec = DnnSpec {
+            neurons: 48,
+            layers: 2,
+            nnz_per_row: 6,
+            bias: -0.25,
+            clip: 32.0,
+            seed: 2,
+        };
+        let dnn = Arc::new(generate_dnn(&spec));
+        let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(6, 2));
+        let service = ServiceBuilder::new(dnn)
+            .deterministic(2)
+            .clear_channels()
+            .build();
+        let res = service.submit(&InferenceRequest {
+            variant: Variant::Queue,
+            workers: 2,
+            memory_mb: 1769,
+            inputs,
+        });
+        assert_eq!(
+            res.unwrap_err(),
+            FsdError::UnknownChannel {
+                name: "queue".into()
+            }
+        );
+    }
+
+    #[test]
+    fn requests_get_distinct_flows_and_clean_up() {
+        let (service, inputs, expected) = small_service(3);
+        for variant in [Variant::Queue, Variant::Object] {
+            let report = service
+                .submit(&InferenceRequest {
+                    variant,
+                    workers: 3,
+                    memory_mb: 1769,
+                    inputs: inputs.clone(),
+                })
+                .expect("runs");
+            assert_eq!(report.first_output(), &expected);
+        }
+        assert_eq!(service.requests_served(), 2);
+        // Queue-channel teardown removed the per-request queues and
+        // filter policies.
+        assert_eq!(service.env().queue_count(), 0);
+        assert_eq!(service.env().pubsub().subscription_count(0), 0);
+        // Object-channel teardown removed the flow-namespaced objects.
+        for i in 0..service.env().config().n_buckets {
+            assert_eq!(
+                service
+                    .env()
+                    .object_store()
+                    .object_count(&fsd_comm::bucket_name(i)),
+                0,
+                "bucket {i} still holds intermediate objects"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_routes_small_models_to_serial() {
+        let (service, inputs, expected) = small_service(4);
+        let report = service
+            .submit(&InferenceRequest {
+                variant: Variant::Auto,
+                workers: 4,
+                memory_mb: 1769,
+                inputs,
+            })
+            .expect("auto runs");
+        assert_eq!(
+            report.variant,
+            Variant::Serial,
+            "tiny model must route to Serial"
+        );
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.first_output(), &expected);
+    }
+
+    #[test]
+    fn distributed_variants_run_with_a_single_worker() {
+        // A degenerate one-worker tree must still work: the service stages
+        // a 1-way partition instead of failing on missing per-worker
+        // artifacts.
+        let (service, inputs, expected) = small_service(6);
+        for variant in [Variant::Queue, Variant::Object] {
+            let report = service
+                .submit(&InferenceRequest {
+                    variant,
+                    workers: 0, // clamped to 1
+                    memory_mb: 1769,
+                    inputs: inputs.clone(),
+                })
+                .unwrap_or_else(|e| panic!("{variant} with one worker: {e}"));
+            assert_eq!(report.workers, 1);
+            assert_eq!(report.first_output(), &expected);
+        }
+    }
+
+    #[test]
+    fn partition_accessor_handles_degenerate_counts() {
+        let (service, ..) = small_service(7);
+        // p <= 1 returns the 1-way partition instead of panicking on a
+        // missing map entry.
+        let one = service.partition(1);
+        assert_eq!(one.n_parts(), 1);
+        assert!(Arc::ptr_eq(&one, &service.partition(0)));
+        let three = service.partition(3);
+        assert_eq!(three.n_parts(), 3);
+    }
+
+    #[test]
+    fn latency_derives_from_arrival() {
+        let (service, inputs, _) = small_service(5);
+        let report = service
+            .submit(&InferenceRequest {
+                variant: Variant::Object,
+                workers: 2,
+                memory_mb: 1769,
+                inputs,
+            })
+            .expect("runs");
+        assert_eq!(report.arrival, VirtualTime::ZERO);
+        let last = report
+            .per_worker
+            .iter()
+            .map(|w| w.finished)
+            .max()
+            .expect("workers");
+        assert_eq!(
+            report.latency.as_micros(),
+            last.as_micros() - report.arrival.as_micros()
+        );
+    }
+}

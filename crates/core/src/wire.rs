@@ -101,7 +101,9 @@ pub fn decode_csr(buf: &[u8]) -> Result<CsrMatrix, WireError> {
             let c = if i == 0 {
                 d
             } else {
-                prev.checked_add(d).and_then(|v| v.checked_add(1)).ok_or(WireError::Corrupt("column overflow"))?
+                prev.checked_add(d)
+                    .and_then(|v| v.checked_add(1))
+                    .ok_or(WireError::Corrupt("column overflow"))?
             };
             prev = c;
             indices.push(c);
@@ -117,7 +119,8 @@ pub fn decode_csr(buf: &[u8]) -> Result<CsrMatrix, WireError> {
     if pos != buf.len() {
         return Err(WireError::Corrupt("trailing bytes"));
     }
-    CsrMatrix::new(rows, cols, indptr, indices, values).map_err(|_| WireError::Corrupt("invalid CSR"))
+    CsrMatrix::new(rows, cols, indptr, indices, values)
+        .map_err(|_| WireError::Corrupt("invalid CSR"))
 }
 
 /// One worker's per-layer communication map: `[(peer, rows)]` per layer.
@@ -161,7 +164,9 @@ pub fn decode_maps(buf: &[u8]) -> Result<LayerMaps, WireError> {
                 let r = if i == 0 {
                     d
                 } else {
-                    prev.checked_add(d).and_then(|v| v.checked_add(1)).ok_or(WireError::Corrupt("row overflow"))?
+                    prev.checked_add(d)
+                        .and_then(|v| v.checked_add(1))
+                        .ok_or(WireError::Corrupt("row overflow"))?
                 };
                 prev = r;
                 rows.push(r);
@@ -200,7 +205,9 @@ pub fn decode_ids(buf: &[u8]) -> Result<Vec<u32>, WireError> {
         let r = if i == 0 {
             d
         } else {
-            prev.checked_add(d).and_then(|v| v.checked_add(1)).ok_or(WireError::Corrupt("id overflow"))?
+            prev.checked_add(d)
+                .and_then(|v| v.checked_add(1))
+                .ok_or(WireError::Corrupt("id overflow"))?
         };
         prev = r;
         ids.push(r);
@@ -220,7 +227,13 @@ mod tests {
         let m = CsrMatrix::from_triplets(
             4,
             100,
-            [(0, 5, 1.5), (0, 99, -2.0), (2, 0, 3.25), (3, 50, 0.5), (3, 51, 4.0)],
+            [
+                (0, 5, 1.5),
+                (0, 99, -2.0),
+                (2, 0, 3.25),
+                (3, 50, 0.5),
+                (3, 51, 4.0),
+            ],
         )
         .expect("valid");
         let back = decode_csr(&encode_csr(&m)).expect("decodes");
@@ -235,9 +248,8 @@ mod tests {
 
     #[test]
     fn csr_rejects_truncation() {
-        let buf = encode_csr(
-            &CsrMatrix::from_triplets(2, 4, [(0, 1, 1.0), (1, 2, 2.0)]).expect("valid"),
-        );
+        let buf =
+            encode_csr(&CsrMatrix::from_triplets(2, 4, [(0, 1, 1.0), (1, 2, 2.0)]).expect("valid"));
         for cut in 0..buf.len() {
             assert!(decode_csr(&buf[..cut]).is_err(), "prefix {cut} decoded");
         }

@@ -84,14 +84,25 @@ pub fn run_worker(
     }
 
     // --- 2. load weights and maps (once; amortized across batches) ------
-    let art = load_worker_artifacts(ctx, &params.model_key, params.n_workers, rank, params.spec.layers)?;
+    let art = load_worker_artifacts(
+        ctx,
+        &params.model_key,
+        params.n_workers,
+        rank,
+        params.spec.layers,
+    )?;
     let mut artifact_gets = art.n_gets;
     let mut work_done = 0u64;
     let mut final_batches: Vec<SparseRows> = Vec::new();
 
     // --- 3. successive batches (paper Fig. 1) ---------------------------
     for (b, &width) in params.batch_widths.iter().enumerate() {
-        let mut x = load_input_share(ctx, &format!("{}/b{b}", params.input_key), params.n_workers, rank)?;
+        let mut x = load_input_share(
+            ctx,
+            &format!("{}/b{b}", params.input_key),
+            params.n_workers,
+            rank,
+        )?;
         artifact_gets += 1;
         let mut acc = LayerAccumulator::new(art.owned.len(), width);
         ctx.track_alloc(art.owned.len() * width * 4);
@@ -215,10 +226,13 @@ fn load_full_inputs(ctx: &mut WorkerCtx, input_key: &str) -> Result<SparseRows, 
     let env = ctx.env().clone();
     let body = env
         .object_store()
-        .get(crate::artifacts::ARTIFACT_BUCKET, &format!("{input_key}/full"), ctx.clock_mut())
-        .map_err(|e| FaasError::Comm(format!("inputs {input_key}: {e}")))?;
-    let inputs =
-        codec::decode(&body).map_err(|e| FaasError::Comm(format!("inputs decode: {e}")))?;
+        .get(
+            crate::artifacts::ARTIFACT_BUCKET,
+            &format!("{input_key}/full"),
+            ctx.clock_mut(),
+        )
+        .map_err(|e| FaasError::comm("get", input_key, e))?;
+    let inputs = codec::decode(&body).map_err(|e| FaasError::comm("decode", "inputs", e))?;
     ctx.track_alloc(inputs.mem_bytes());
     ctx.check_limits()?;
     Ok(inputs)

@@ -30,7 +30,10 @@ impl Default for ComputeModel {
     fn default() -> Self {
         // ~250M sparse multiply-accumulates per second per vCPU: the order
         // of magnitude of index-chasing f32 SpGEMM on one cloud core.
-        ComputeModel { units_per_sec_per_vcpu: 2.5e8, parallel_fraction: 0.85 }
+        ComputeModel {
+            units_per_sec_per_vcpu: 2.5e8,
+            parallel_fraction: 0.85,
+        }
     }
 }
 
@@ -82,7 +85,10 @@ mod tests {
         let m = ComputeModel::default();
         let half = m.seconds(1_000_000, (MB_PER_VCPU / 2.0) as u32);
         let full = m.seconds(1_000_000, MB_PER_VCPU as u32);
-        assert!((half / full - 2.0).abs() < 0.01, "half-vCPU should be ~2x slower");
+        assert!(
+            (half / full - 2.0).abs() < 0.01,
+            "half-vCPU should be ~2x slower"
+        );
     }
 
     #[test]
@@ -91,8 +97,14 @@ mod tests {
         let one = m.seconds_on_vcpus(1_000_000_000, 1.0);
         let many = m.seconds_on_vcpus(1_000_000_000, 48.0);
         let speedup = one / many;
-        assert!(speedup > 4.0, "48 cores should speed up > 4x, got {speedup:.1}");
-        assert!(speedup < 48.0 / 2.0, "speedup {speedup:.1} ignores serial fraction");
+        assert!(
+            speedup > 4.0,
+            "48 cores should speed up > 4x, got {speedup:.1}"
+        );
+        assert!(
+            speedup < 48.0 / 2.0,
+            "speedup {speedup:.1} ignores serial fraction"
+        );
     }
 
     #[test]

@@ -31,6 +31,6 @@ mod platform;
 
 pub use compute::{ComputeModel, MAX_MEMORY_MB, MAX_TIMEOUT_SECS, MB_PER_VCPU, MIN_MEMORY_MB};
 pub use platform::{
-    FaasError, FaasPlatform, FunctionConfig, Invocation, InvocationReport, LambdaMeter,
-    LambdaSnapshot, WorkerCtx,
+    CommFailure, FaasError, FaasPlatform, FunctionConfig, Invocation, InvocationReport,
+    LambdaMeter, LambdaSnapshot, WorkerCtx,
 };

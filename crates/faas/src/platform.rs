@@ -52,27 +52,84 @@ impl FunctionConfig {
     }
 }
 
+/// A structured communication/IO failure: which operation failed, on which
+/// resource, and the service- or codec-level detail. Replaces the old
+/// stringly `Comm(String)` payload so callers can route on `op` instead of
+/// parsing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommFailure {
+    /// The operation that failed (`"publish"`, `"put"`, `"get"`, `"list"`,
+    /// `"decode"`, `"decompress"`, `"artifact"`, …).
+    pub op: &'static str,
+    /// The resource involved (key, queue, bucket…); empty when not
+    /// applicable.
+    pub resource: String,
+    /// Underlying service/codec detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CommFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.resource.is_empty() {
+            write!(f, "{} failed: {}", self.op, self.detail)
+        } else {
+            write!(
+                f,
+                "{} of {} failed: {}",
+                self.op, self.resource, self.detail
+            )
+        }
+    }
+}
+
 /// Errors terminating a function instance.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaasError {
     /// Resident data exceeded the configured memory.
-    OutOfMemory { used_bytes: usize, limit_bytes: usize },
+    OutOfMemory {
+        used_bytes: usize,
+        limit_bytes: usize,
+    },
     /// Execution exceeded the configured timeout.
-    Timeout { elapsed: VirtualTime, limit: VirtualTime },
+    Timeout {
+        elapsed: VirtualTime,
+        limit: VirtualTime,
+    },
     /// A communication-layer failure surfaced to the function.
-    Comm(String),
+    Comm(CommFailure),
+}
+
+impl FaasError {
+    /// Builds a [`FaasError::Comm`] from its parts.
+    pub fn comm(
+        op: &'static str,
+        resource: impl Into<String>,
+        detail: impl std::fmt::Display,
+    ) -> FaasError {
+        FaasError::Comm(CommFailure {
+            op,
+            resource: resource.into(),
+            detail: detail.to_string(),
+        })
+    }
 }
 
 impl std::fmt::Display for FaasError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FaasError::OutOfMemory { used_bytes, limit_bytes } => {
-                write!(f, "out of memory: {used_bytes} bytes used, limit {limit_bytes}")
+            FaasError::OutOfMemory {
+                used_bytes,
+                limit_bytes,
+            } => {
+                write!(
+                    f,
+                    "out of memory: {used_bytes} bytes used, limit {limit_bytes}"
+                )
             }
             FaasError::Timeout { elapsed, limit } => {
                 write!(f, "function timed out: ran {elapsed}, limit {limit}")
             }
-            FaasError::Comm(msg) => write!(f, "communication failure: {msg}"),
+            FaasError::Comm(failure) => write!(f, "communication failure: {failure}"),
         }
     }
 }
@@ -144,7 +201,11 @@ impl<T> Invocation<T> {
 impl FaasPlatform {
     /// Creates a platform over a cloud environment.
     pub fn new(env: Arc<CloudEnv>, compute: ComputeModel) -> Arc<FaasPlatform> {
-        Arc::new(FaasPlatform { env, compute, meter: LambdaMeter::default() })
+        Arc::new(FaasPlatform {
+            env,
+            compute,
+            meter: LambdaMeter::default(),
+        })
     }
 
     /// The underlying cloud environment.
@@ -165,7 +226,12 @@ impl FaasPlatform {
     /// Invokes `cfg` asynchronously at virtual time `at`. The instance
     /// suffers the invoke round trip plus a cold start before `body` runs
     /// with a [`WorkerCtx`]. Returns immediately with an [`Invocation`].
-    pub fn invoke<T, F>(self: &Arc<Self>, cfg: FunctionConfig, at: VirtualTime, body: F) -> Invocation<T>
+    pub fn invoke<T, F>(
+        self: &Arc<Self>,
+        cfg: FunctionConfig,
+        at: VirtualTime,
+        body: F,
+    ) -> Invocation<T>
     where
         T: Send + 'static,
         F: FnOnce(&mut WorkerCtx) -> Result<T, FaasError> + Send + 'static,
@@ -193,7 +259,10 @@ impl FaasPlatform {
             let elapsed_ms =
                 ((finished.as_micros() - started.as_micros()) as f64 / 1000.0).ceil() as u64;
             let billed_ms = elapsed_ms.max(1);
-            platform.meter.mb_ms.fetch_add(billed_ms * cfg.memory_mb as u64, Ordering::Relaxed);
+            platform
+                .meter
+                .mb_ms
+                .fetch_add(billed_ms * cfg.memory_mb as u64, Ordering::Relaxed);
             Ok((
                 out,
                 InvocationReport {
@@ -292,10 +361,16 @@ impl WorkerCtx {
             });
         }
         let elapsed = VirtualTime::from_micros(
-            self.clock.now().as_micros().saturating_sub(self.started.as_micros()),
+            self.clock
+                .now()
+                .as_micros()
+                .saturating_sub(self.started.as_micros()),
         );
         if elapsed > self.cfg.timeout {
-            return Err(FaasError::Timeout { elapsed, limit: self.cfg.timeout });
+            return Err(FaasError::Timeout {
+                elapsed,
+                limit: self.cfg.timeout,
+            });
         }
         Ok(())
     }
@@ -307,16 +382,23 @@ mod tests {
     use fsd_comm::CloudConfig;
 
     fn platform() -> Arc<FaasPlatform> {
-        FaasPlatform::new(CloudEnv::new(CloudConfig::deterministic(1)), ComputeModel::default())
+        FaasPlatform::new(
+            CloudEnv::new(CloudConfig::deterministic(1)),
+            ComputeModel::default(),
+        )
     }
 
     #[test]
     fn invoke_runs_body_and_bills() {
         let p = platform();
-        let inv = p.invoke(FunctionConfig::worker("w", 1769), VirtualTime::ZERO, |ctx| {
-            ctx.charge_work(250_000_000); // exactly 1s at 1 vCPU
-            Ok(42)
-        });
+        let inv = p.invoke(
+            FunctionConfig::worker("w", 1769),
+            VirtualTime::ZERO,
+            |ctx| {
+                ctx.charge_work(250_000_000); // exactly 1s at 1 vCPU
+                Ok(42)
+            },
+        );
         let (out, report) = inv.join().expect("success");
         assert_eq!(out, 42);
         // Started after invoke latency + cold start.
@@ -333,7 +415,9 @@ mod tests {
     fn minimum_billing_is_one_ms() {
         let p = platform();
         let (_, report) = p
-            .invoke(FunctionConfig::worker("w", 512), VirtualTime::ZERO, |_| Ok(()))
+            .invoke(FunctionConfig::worker("w", 512), VirtualTime::ZERO, |_| {
+                Ok(())
+            })
             .join()
             .expect("success");
         assert_eq!(report.billed_ms, 1);
@@ -403,17 +487,21 @@ mod tests {
     fn child_invocation_starts_after_parent_clock() {
         let p = platform();
         let (child_started, _) = p
-            .invoke(FunctionConfig::worker("parent", 1769), VirtualTime::ZERO, |ctx| {
-                ctx.charge_work(250_000_000); // 1s
-                let at = ctx.now();
-                let child = ctx.platform().invoke(
-                    FunctionConfig::worker("child", 1769),
-                    at,
-                    |c| Ok(c.now()),
-                );
-                let (started, _) = child.join().map_err(|e| FaasError::Comm(e.to_string()))?;
-                Ok(started)
-            })
+            .invoke(
+                FunctionConfig::worker("parent", 1769),
+                VirtualTime::ZERO,
+                |ctx| {
+                    ctx.charge_work(250_000_000); // 1s
+                    let at = ctx.now();
+                    let child =
+                        ctx.platform()
+                            .invoke(FunctionConfig::worker("child", 1769), at, |c| Ok(c.now()));
+                    let (started, _) = child
+                        .join()
+                        .map_err(|e| FaasError::comm("child-join", "child", e))?;
+                    Ok(started)
+                },
+            )
             .join()
             .expect("parent ok");
         // Child observes parent's clock + invoke + cold start.
@@ -424,12 +512,16 @@ mod tests {
     fn peak_memory_is_reported() {
         let p = platform();
         let (_, report) = p
-            .invoke(FunctionConfig::worker("w", 1024), VirtualTime::ZERO, |ctx| {
-                ctx.track_alloc(50 * 1024 * 1024);
-                ctx.track_free(50 * 1024 * 1024);
-                ctx.track_alloc(10 * 1024 * 1024);
-                Ok(())
-            })
+            .invoke(
+                FunctionConfig::worker("w", 1024),
+                VirtualTime::ZERO,
+                |ctx| {
+                    ctx.track_alloc(50 * 1024 * 1024);
+                    ctx.track_free(50 * 1024 * 1024);
+                    ctx.track_alloc(10 * 1024 * 1024);
+                    Ok(())
+                },
+            )
             .join()
             .expect("ok");
         assert_eq!(report.peak_mem_bytes, 50 * 1024 * 1024);
@@ -446,10 +538,14 @@ mod tests {
         let p = platform();
         let invs: Vec<_> = (0..8)
             .map(|i| {
-                p.invoke(FunctionConfig::worker(format!("w{i}"), 512), VirtualTime::ZERO, move |ctx| {
-                    ctx.charge_work(1_000_000);
-                    Ok(i)
-                })
+                p.invoke(
+                    FunctionConfig::worker(format!("w{i}"), 512),
+                    VirtualTime::ZERO,
+                    move |ctx| {
+                        ctx.charge_work(1_000_000);
+                        Ok(i)
+                    },
+                )
             })
             .collect();
         let mut got: Vec<usize> = invs.into_iter().map(|h| h.join().expect("ok").0).collect();

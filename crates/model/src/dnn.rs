@@ -92,7 +92,14 @@ mod tests {
     use crate::spec::InputSpec;
 
     fn small() -> SparseDnn {
-        generate_dnn(&DnnSpec { neurons: 64, layers: 6, nnz_per_row: 8, bias: -0.05, clip: 32.0, seed: 11 })
+        generate_dnn(&DnnSpec {
+            neurons: 64,
+            layers: 6,
+            nnz_per_row: 8,
+            bias: -0.05,
+            clip: 32.0,
+            seed: 11,
+        })
     }
 
     #[test]
@@ -118,7 +125,10 @@ mod tests {
         let a = dnn.serial_inference(&inputs);
         let b = dnn.serial_inference(&inputs);
         assert_eq!(a, b);
-        assert!(!a.is_empty(), "all activations died — weight/bias calibration broken");
+        assert!(
+            !a.is_empty(),
+            "all activations died — weight/bias calibration broken"
+        );
     }
 
     #[test]
@@ -127,7 +137,10 @@ mod tests {
         let inputs = generate_inputs(64, &InputSpec::scaled(32, 5));
         let out = dnn.serial_inference(&inputs);
         for (_, _, vals) in out.iter() {
-            assert!(vals.iter().all(|&v| v > 0.0 && v <= 32.0), "activation outside (0, 32]");
+            assert!(
+                vals.iter().all(|&v| v > 0.0 && v <= 32.0),
+                "activation outside (0, 32]"
+            );
         }
     }
 

@@ -38,7 +38,10 @@ fn weight_scale(spec: &DnnSpec) -> f32 {
 
 /// Generates all layer matrices for `spec`. Deterministic in `spec.seed`.
 pub fn generate_dnn(spec: &DnnSpec) -> SparseDnn {
-    assert!(spec.neurons >= spec.nnz_per_row, "need at least nnz_per_row neurons");
+    assert!(
+        spec.neurons >= spec.nnz_per_row,
+        "need at least nnz_per_row neurons"
+    );
     assert!(spec.neurons <= u32::MAX as usize, "neuron ids must fit u32");
     let mut layers = Vec::with_capacity(spec.layers);
     let scale = weight_scale(spec);
@@ -52,7 +55,9 @@ pub fn generate_dnn(spec: &DnnSpec) -> SparseDnn {
     const LONG_RANGE_DENOM: u64 = 8; // 1-in-8 edges ≈ 12.5%
     let group = (spec.neurons as u64 / 32).max(8); // long-range correlation granule
     for k in 0..spec.layers {
-        let mut rng = StdRng::seed_from_u64(spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k as u64 + 1)));
+        let mut rng = StdRng::seed_from_u64(
+            spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k as u64 + 1)),
+        );
         // Window stride cycles through radix-style powers of two per layer.
         let spread = 1u64 << (k % 3);
         let n = spec.neurons as u64;
@@ -142,7 +147,14 @@ mod tests {
     use super::*;
 
     fn spec() -> DnnSpec {
-        DnnSpec { neurons: 64, layers: 4, nnz_per_row: 8, bias: -0.1, clip: 32.0, seed: 42 }
+        DnnSpec {
+            neurons: 64,
+            layers: 4,
+            nnz_per_row: 8,
+            bias: -0.1,
+            clip: 32.0,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -204,15 +216,29 @@ mod tests {
         // The calibration must keep a sparse-but-alive activation stream
         // through many layers (the paper runs L = 120).
         use crate::spec::InputSpec;
-        let spec = DnnSpec { neurons: 128, layers: 40, nnz_per_row: 8, bias: -0.30, clip: 32.0, seed: 3 };
+        let spec = DnnSpec {
+            neurons: 128,
+            layers: 40,
+            nnz_per_row: 8,
+            bias: -0.30,
+            clip: 32.0,
+            seed: 3,
+        };
         let dnn = generate_dnn(&spec);
         let inputs = crate::generate::generate_inputs(128, &InputSpec::scaled(64, 3));
         let (out, trace) = dnn.serial_inference_traced(&inputs);
-        assert!(!out.is_empty(), "activations died before layer {}", spec.layers);
+        assert!(
+            !out.is_empty(),
+            "activations died before layer {}",
+            spec.layers
+        );
         // Sparse: never saturates to a fully dense activation matrix.
         let cap = 128 * 64;
         for (k, &nnz) in trace.layer_input_nnz.iter().enumerate() {
-            assert!(nnz < cap * 7 / 10, "layer {k} activations nearly dense ({nnz}/{cap})");
+            assert!(
+                nnz < cap * 7 / 10,
+                "layer {k} activations nearly dense ({nnz}/{cap})"
+            );
         }
     }
 
@@ -246,7 +272,14 @@ mod tests {
     fn long_range_edges_reach_everywhere() {
         // With 12.5% rewiring, the union of all columns at distance > window
         // should cover a substantial part of the layer.
-        let big = DnnSpec { neurons: 512, layers: 1, nnz_per_row: 8, bias: -0.1, clip: 32.0, seed: 5 };
+        let big = DnnSpec {
+            neurons: 512,
+            layers: 1,
+            nnz_per_row: 8,
+            bias: -0.1,
+            clip: 32.0,
+            seed: 5,
+        };
         let dnn = generate_dnn(&big);
         let m = dnn.layer(0);
         let mut far = std::collections::HashSet::new();
@@ -258,7 +291,11 @@ mod tests {
                 }
             }
         }
-        assert!(far.len() > 100, "long-range edges cover only {} columns", far.len());
+        assert!(
+            far.len() > 100,
+            "long-range edges cover only {} columns",
+            far.len()
+        );
     }
 
     #[test]
@@ -273,15 +310,28 @@ mod tests {
 
     #[test]
     fn inputs_respect_active_region() {
-        let spec = InputSpec { batch: 16, active_region: 0.5, density: 0.9, seed: 1 };
+        let spec = InputSpec {
+            batch: 16,
+            active_region: 0.5,
+            density: 0.9,
+            seed: 1,
+        };
         let inputs = generate_inputs(100, &spec);
-        assert!(inputs.ids().iter().all(|&r| r < 50), "rows outside active region lit");
+        assert!(
+            inputs.ids().iter().all(|&r| r < 50),
+            "rows outside active region lit"
+        );
         assert!(!inputs.is_empty());
     }
 
     #[test]
     fn input_density_roughly_matches() {
-        let spec = InputSpec { batch: 200, active_region: 1.0, density: 0.2, seed: 3 };
+        let spec = InputSpec {
+            batch: 200,
+            active_region: 1.0,
+            density: 0.2,
+            seed: 3,
+        };
         let inputs = generate_inputs(200, &spec);
         let frac = inputs.nnz() as f32 / (200.0 * 200.0);
         assert!((0.15..0.25).contains(&frac), "density {frac} far from 0.2");

@@ -102,12 +102,22 @@ pub struct InputSpec {
 impl InputSpec {
     /// Paper-scale batch: 10 000 samples, MNIST-like density.
     pub fn paper(seed: u64) -> InputSpec {
-        InputSpec { batch: 10_000, active_region: 0.77, density: 0.15, seed }
+        InputSpec {
+            batch: 10_000,
+            active_region: 0.77,
+            density: 0.15,
+            seed,
+        }
     }
 
     /// Reduced-scale batch for tests and default benches.
     pub fn scaled(batch: usize, seed: u64) -> InputSpec {
-        InputSpec { batch, active_region: 0.77, density: 0.15, seed }
+        InputSpec {
+            batch,
+            active_region: 0.77,
+            density: 0.15,
+            seed,
+        }
     }
 }
 
@@ -128,7 +138,10 @@ mod tests {
         let mut last = 0.0f32;
         for n in [256usize, 512, 2048, 8192, 32768, 131072] {
             let b = DnnSpec::bias_for_neurons(n);
-            assert!((-0.60..=-0.10).contains(&b), "bias {b} out of range for {n}");
+            assert!(
+                (-0.60..=-0.10).contains(&b),
+                "bias {b} out of range for {n}"
+            );
             assert!(b < last, "bias must decrease with N");
             last = b;
         }

@@ -35,7 +35,11 @@ impl CommPlan {
     pub fn build(dnn: &SparseDnn, partition: &Partition) -> CommPlan {
         let p = partition.n_parts();
         let n = dnn.spec().neurons;
-        assert_eq!(partition.n_vertices(), n, "partition does not cover the neuron space");
+        assert_eq!(
+            partition.n_vertices(),
+            n,
+            "partition does not cover the neuron space"
+        );
         let mut layers = Vec::with_capacity(dnn.spec().layers);
         // Scratch: needed[q] = sorted input rows worker q requires this layer.
         let mut needed: Vec<Vec<u32>> = vec![Vec::new(); p];
@@ -126,10 +130,14 @@ impl CommPlan {
         self.layers
             .iter()
             .map(|l| {
-                let s: usize =
-                    l.send[m as usize].iter().map(|(_, r)| 8 + r.len() * 4).sum();
-                let r: usize =
-                    l.recv[m as usize].iter().map(|(_, r)| 8 + r.len() * 4).sum();
+                let s: usize = l.send[m as usize]
+                    .iter()
+                    .map(|(_, r)| 8 + r.len() * 4)
+                    .sum();
+                let r: usize = l.recv[m as usize]
+                    .iter()
+                    .map(|(_, r)| 8 + r.len() * 4)
+                    .sum();
                 s + r
             })
             .sum()
@@ -246,7 +254,10 @@ mod tests {
         let part = random_partition(64, 4, 9);
         let plan = CommPlan::build(&dnn, &part);
         let h = Hypergraph::from_dnn(&dnn);
-        assert_eq!(plan.total_row_sends(), h.connectivity_cost(part.assignment(), 4));
+        assert_eq!(
+            plan.total_row_sends(),
+            h.connectivity_cost(part.assignment(), 4)
+        );
     }
 
     #[test]

@@ -214,9 +214,8 @@ fn greedy_initial(h: &Hypergraph, cfg: &HgpConfig, rng: &mut StdRng) -> Vec<u32>
             }
         }
         // All parts over cap (possible with huge vertices): take the lightest.
-        let part = best.unwrap_or_else(|| {
-            (0..p).min_by_key(|&q| loads[q]).expect("at least one part")
-        });
+        let part =
+            best.unwrap_or_else(|| (0..p).min_by_key(|&q| loads[q]).expect("at least one part"));
         assignment[v as usize] = part as u32;
         loads[part] += w;
     }
@@ -400,7 +399,14 @@ mod tests {
 
     #[test]
     fn beats_random_on_dnn_hypergraphs() {
-        let spec = DnnSpec { neurons: 256, layers: 6, nnz_per_row: 8, bias: -0.3, clip: 32.0, seed: 2 };
+        let spec = DnnSpec {
+            neurons: 256,
+            layers: 6,
+            nnz_per_row: 8,
+            bias: -0.3,
+            clip: 32.0,
+            seed: 2,
+        };
         let dnn = generate_dnn(&spec);
         let h = Hypergraph::from_dnn(&dnn);
         let parts = 8;

@@ -41,7 +41,10 @@ impl Hypergraph {
             if pins.len() < 2 {
                 continue;
             }
-            debug_assert!(pins.iter().all(|&p| (p as usize) < n_vertices), "pin out of range");
+            debug_assert!(
+                pins.iter().all(|&p| (p as usize) < n_vertices),
+                "pin out of range"
+            );
             *merged.entry(pins).or_insert(0) += w;
         }
         // Deterministic net order regardless of hash iteration order.
@@ -59,7 +62,15 @@ impl Hypergraph {
         }
 
         let (vtx_ptr, vtx_nets) = invert(n_vertices, &net_ptr, &pins);
-        Hypergraph { n_vertices, vertex_weight, net_ptr, pins, net_weight, vtx_ptr, vtx_nets }
+        Hypergraph {
+            n_vertices,
+            vertex_weight,
+            net_ptr,
+            pins,
+            net_weight,
+            vtx_ptr,
+            vtx_nets,
+        }
     }
 
     /// Builds the communication hypergraph of `dnn` for a *unified* neuron
@@ -206,7 +217,12 @@ mod tests {
         let h = Hypergraph::from_nets(
             3,
             vec![1, 1, 1],
-            [(vec![0, 1], 1), (vec![1, 0], 1), (vec![2], 5), (vec![1, 1], 9)],
+            [
+                (vec![0, 1], 1),
+                (vec![1, 0], 1),
+                (vec![2], 5),
+                (vec![1, 1], 9),
+            ],
         );
         assert_eq!(h.n_nets(), 1);
         assert_eq!(h.net(0), &[0, 1]);
@@ -244,7 +260,14 @@ mod tests {
 
     #[test]
     fn from_dnn_shapes() {
-        let spec = DnnSpec { neurons: 32, layers: 3, nnz_per_row: 4, bias: -0.1, clip: 32.0, seed: 1 };
+        let spec = DnnSpec {
+            neurons: 32,
+            layers: 3,
+            nnz_per_row: 4,
+            bias: -0.1,
+            clip: 32.0,
+            seed: 1,
+        };
         let dnn = generate_dnn(&spec);
         let h = Hypergraph::from_dnn(&dnn);
         assert_eq!(h.n_vertices(), 32);
@@ -259,7 +282,14 @@ mod tests {
 
     #[test]
     fn from_dnn_total_weight_matches_nnz() {
-        let spec = DnnSpec { neurons: 32, layers: 3, nnz_per_row: 4, bias: -0.1, clip: 32.0, seed: 1 };
+        let spec = DnnSpec {
+            neurons: 32,
+            layers: 3,
+            nnz_per_row: 4,
+            bias: -0.1,
+            clip: 32.0,
+            seed: 1,
+        };
         let dnn = generate_dnn(&spec);
         let h = Hypergraph::from_dnn(&dnn);
         assert_eq!(h.total_weight(), dnn.total_nnz() as u64);

@@ -72,7 +72,11 @@ mod tests {
     #[test]
     fn partition_model_all_schemes_cover_all_neurons() {
         let dnn = generate_dnn(&DnnSpec::scaled(128, 2));
-        for scheme in [PartitionScheme::Hgp, PartitionScheme::Random, PartitionScheme::Block] {
+        for scheme in [
+            PartitionScheme::Hgp,
+            PartitionScheme::Random,
+            PartitionScheme::Block,
+        ] {
             let p = partition_model(&dnn, 4, scheme, 1);
             assert_eq!(p.n_vertices(), 128, "{scheme:?}");
             let covered: usize = (0..4).map(|q| p.owned(q).len()).sum();

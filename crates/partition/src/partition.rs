@@ -19,10 +19,17 @@ impl Partition {
         assert!(n_parts > 0, "need at least one part");
         let mut owned: Vec<Vec<u32>> = vec![Vec::new(); n_parts];
         for (v, &p) in assignment.iter().enumerate() {
-            assert!((p as usize) < n_parts, "part {p} out of range for vertex {v}");
+            assert!(
+                (p as usize) < n_parts,
+                "part {p} out of range for vertex {v}"
+            );
             owned[p as usize].push(v as u32);
         }
-        Partition { n_parts, assignment, owned }
+        Partition {
+            n_parts,
+            assignment,
+            owned,
+        }
     }
 
     /// Number of parts.
@@ -158,7 +165,10 @@ mod tests {
         let p = random_partition(1000, 4, 3);
         // A contiguous partition has exactly n_parts-1 boundaries; random has many.
         let switches = p.assignment().windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(switches > 100, "only {switches} part switches — suspiciously contiguous");
+        assert!(
+            switches > 100,
+            "only {switches} part switches — suspiciously contiguous"
+        );
     }
 
     #[test]
@@ -167,7 +177,11 @@ mod tests {
         let p = block_partition(&weights, 4);
         let switches = p.assignment().windows(2).filter(|w| w[0] != w[1]).count();
         assert_eq!(switches, 3);
-        assert!(p.imbalance(&weights) < 0.05, "imbalance {}", p.imbalance(&weights));
+        assert!(
+            p.imbalance(&weights) < 0.05,
+            "imbalance {}",
+            p.imbalance(&weights)
+        );
     }
 
     #[test]

@@ -251,7 +251,10 @@ mod tests {
         put_varint(&mut buf, 1); // nnz
         put_varint(&mut buf, 5); // col 5 >= width 1
         buf.extend_from_slice(&1.0f32.to_le_bytes());
-        assert_eq!(decode(&buf), Err(CodecError::Corrupt("column out of range")));
+        assert_eq!(
+            decode(&buf),
+            Err(CodecError::Corrupt("column out of range"))
+        );
     }
 
     #[test]
@@ -264,7 +267,11 @@ mod tests {
     fn special_float_values_survive() {
         let b = SparseRows::from_rows(
             4,
-            [(0u32, vec![0u32, 1, 2], vec![f32::MIN_POSITIVE, f32::MAX, -0.0f32])],
+            [(
+                0u32,
+                vec![0u32, 1, 2],
+                vec![f32::MIN_POSITIVE, f32::MAX, -0.0f32],
+            )],
         );
         let back = decode(&encode(&b)).expect("decodes");
         assert_eq!(back, b);
@@ -273,8 +280,9 @@ mod tests {
     #[test]
     fn dense_ids_compress_well() {
         // Consecutive ids and columns should encode near 1 byte per index.
-        let rows: Vec<(u32, Vec<u32>, Vec<f32>)> =
-            (0..100u32).map(|i| (i, vec![0u32, 1, 2], vec![1.0f32; 3])).collect();
+        let rows: Vec<(u32, Vec<u32>, Vec<f32>)> = (0..100u32)
+            .map(|i| (i, vec![0u32, 1, 2], vec![1.0f32; 3]))
+            .collect();
         let b = SparseRows::from_rows(16, rows);
         let buf = encode(&b);
         // 300 values * 4B = 1200; index overhead should be ~500, not ~2400.

@@ -221,7 +221,12 @@ mod tests {
     fn roundtrip_repetitive_and_shrinks() {
         let data: Vec<u8> = b"hello world, ".repeat(500).to_vec();
         let c = compress(&data);
-        assert!(c.len() < data.len() / 4, "compressed {} of {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len() / 4,
+            "compressed {} of {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).expect("ok"), data);
     }
 

@@ -38,7 +38,10 @@ impl fmt::Display for CsrError {
         match self {
             CsrError::BadIndptr => write!(f, "indptr is malformed"),
             CsrError::BadColumn { row, col } => {
-                write!(f, "column {col} in row {row} is out of bounds or out of order")
+                write!(
+                    f,
+                    "column {col} in row {row} is out of bounds or out of order"
+                )
             }
             CsrError::LengthMismatch => write!(f, "indices/values length mismatch"),
         }
@@ -56,14 +59,26 @@ impl CsrMatrix {
         indices: Vec<u32>,
         values: Vec<f32>,
     ) -> Result<Self, CsrError> {
-        let m = CsrMatrix { rows, cols, indptr, indices, values };
+        let m = CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        };
         m.validate()?;
         Ok(m)
     }
 
     /// An empty matrix with the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CsrMatrix { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Builds a matrix from `(row, col, value)` triplets. Duplicate
@@ -83,7 +98,10 @@ impl CsrMatrix {
         let mut cur_row = 0u32;
         for (r, c, v) in trips {
             if (r as usize) >= rows {
-                return Err(CsrError::BadColumn { row: r as usize, col: c });
+                return Err(CsrError::BadColumn {
+                    row: r as usize,
+                    col: c,
+                });
             }
             while cur_row < r {
                 indptr.push(indices.len());
@@ -210,7 +228,13 @@ impl CsrMatrix {
                 counts[c as usize] += 1;
             }
         }
-        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Extracts the sub-matrix of the given rows (in the given order) as a
@@ -227,7 +251,13 @@ impl CsrMatrix {
             values.extend_from_slice(v);
             indptr.push(indices.len());
         }
-        CsrMatrix { rows: rows.len(), cols: self.cols, indptr, indices, values }
+        CsrMatrix {
+            rows: rows.len(),
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Densifies into a row-major `rows x cols` buffer. Test/reference use
@@ -259,13 +289,25 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        CsrMatrix { rows, cols, indptr, indices, values }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 }
 
 impl fmt::Debug for CsrMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CsrMatrix({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+        write!(
+            f,
+            "CsrMatrix({}x{}, nnz={})",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
     }
 }
 
@@ -300,8 +342,8 @@ mod tests {
 
     #[test]
     fn from_triplets_unsorted_input() {
-        let m = CsrMatrix::from_triplets(2, 2, [(1, 1, 4.0), (0, 0, 1.0), (1, 0, 3.0)])
-            .expect("valid");
+        let m =
+            CsrMatrix::from_triplets(2, 2, [(1, 1, 4.0), (0, 0, 1.0), (1, 0, 3.0)]).expect("valid");
         assert_eq!(m.row(0), (&[0u32][..], &[1.0f32][..]));
         assert_eq!(m.row(1), (&[0u32, 1][..], &[3.0f32, 4.0][..]));
     }

@@ -60,7 +60,13 @@ impl ColMajorBlock {
         if in_ids.is_empty() {
             indptr = vec![0];
         }
-        ColMajorBlock { n_local_rows: owned.len(), in_ids, indptr, out_rows, weights }
+        ColMajorBlock {
+            n_local_rows: owned.len(),
+            in_ids,
+            indptr,
+            out_rows,
+            weights,
+        }
     }
 
     /// Number of local output rows this block produces.
@@ -136,7 +142,11 @@ pub struct LayerAccumulator {
 impl LayerAccumulator {
     /// A zeroed accumulator of the given shape.
     pub fn new(n_rows: usize, width: usize) -> Self {
-        LayerAccumulator { width, n_rows, data: vec![0.0; n_rows * width] }
+        LayerAccumulator {
+            width,
+            n_rows,
+            data: vec![0.0; n_rows * width],
+        }
     }
 
     /// Zeroes the accumulator, optionally reshaping the row count (layers
@@ -255,7 +265,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             3,
-            [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            [
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .expect("valid")
     }
@@ -330,7 +346,10 @@ mod tests {
         // row0: [0.5, 1.5]; row1: [-, -0.5 -> dropped]; row2: [10, 10]
         assert_eq!(out.row_by_id(0), Some((&[0u32, 1][..], &[0.5f32, 1.5][..])));
         assert_eq!(out.row_by_id(1), None);
-        assert_eq!(out.row_by_id(2), Some((&[0u32, 1][..], &[10.0f32, 10.0][..])));
+        assert_eq!(
+            out.row_by_id(2),
+            Some((&[0u32, 1][..], &[10.0f32, 10.0][..]))
+        );
     }
 
     #[test]
@@ -357,7 +376,10 @@ mod tests {
         assert!(work > 0);
         assert_eq!(out.row_by_id(0), Some((&[0u32, 1][..], &[7.0f32, 8.0][..])));
         assert_eq!(out.row_by_id(1), Some((&[1u32][..], &[6.0f32][..])));
-        assert_eq!(out.row_by_id(2), Some((&[0u32, 1][..], &[19.0f32, 20.0][..])));
+        assert_eq!(
+            out.row_by_id(2),
+            Some((&[0u32, 1][..], &[19.0f32, 20.0][..]))
+        );
     }
 
     #[test]

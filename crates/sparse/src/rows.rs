@@ -25,7 +25,13 @@ pub struct SparseRows {
 impl SparseRows {
     /// An empty block with the given width.
     pub fn new(width: usize) -> Self {
-        SparseRows { width, ids: Vec::new(), indptr: vec![0], indices: Vec::new(), values: Vec::new() }
+        SparseRows {
+            width,
+            ids: Vec::new(),
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Builds a block from per-row data. `rows` must be sorted by id.
@@ -46,10 +52,19 @@ impl SparseRows {
     pub fn push_row(&mut self, id: u32, cols: &[u32], vals: &[f32]) {
         assert_eq!(cols.len(), vals.len(), "cols/vals length mismatch");
         if let Some(&last) = self.ids.last() {
-            assert!(id > last, "row ids must be strictly increasing: {id} after {last}");
+            assert!(
+                id > last,
+                "row ids must be strictly increasing: {id} after {last}"
+            );
         }
-        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "columns must be sorted");
-        debug_assert!(cols.iter().all(|&c| (c as usize) < self.width), "column out of range");
+        debug_assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "columns must be sorted"
+        );
+        debug_assert!(
+            cols.iter().all(|&c| (c as usize) < self.width),
+            "column out of range"
+        );
         self.ids.push(id);
         self.indices.extend_from_slice(cols);
         self.values.extend_from_slice(vals);
@@ -113,7 +128,10 @@ impl SparseRows {
     ///
     /// This is the `extract_rows` primitive of FSI Algorithms 1 & 2.
     pub fn extract(&self, wanted: &[u32]) -> SparseRows {
-        debug_assert!(wanted.windows(2).all(|w| w[0] < w[1]), "wanted ids must be sorted");
+        debug_assert!(
+            wanted.windows(2).all(|w| w[0] < w[1]),
+            "wanted ids must be sorted"
+        );
         let mut out = SparseRows::new(self.width);
         let mut pos = 0usize;
         for &id in wanted {
@@ -168,7 +186,8 @@ impl SparseRows {
             let base = self.indices.len();
             self.indices.extend_from_slice(&other.indices);
             self.values.extend_from_slice(&other.values);
-            self.indptr.extend(other.indptr[1..].iter().map(|&p| p + base));
+            self.indptr
+                .extend(other.indptr[1..].iter().map(|&p| p + base));
             return;
         }
         let mut merged = SparseRows::new(self.width);
@@ -244,7 +263,13 @@ impl SparseRows {
 
 impl fmt::Debug for SparseRows {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SparseRows(rows={}, width={}, nnz={})", self.n_rows(), self.width, self.nnz())
+        write!(
+            f,
+            "SparseRows(rows={}, width={}, nnz={})",
+            self.n_rows(),
+            self.width,
+            self.nnz()
+        )
     }
 }
 
@@ -321,7 +346,10 @@ mod tests {
     #[test]
     fn merge_interleaved() {
         let mut a = SparseRows::from_rows(4, [(1u32, vec![0u32], vec![1.0f32])]);
-        let b = SparseRows::from_rows(4, [(0u32, vec![1u32], vec![2.0f32]), (3, vec![2], vec![3.0])]);
+        let b = SparseRows::from_rows(
+            4,
+            [(0u32, vec![1u32], vec![2.0f32]), (3, vec![2], vec![3.0])],
+        );
         a.merge(&b);
         assert_eq!(a.ids(), &[0, 1, 3]);
         assert_eq!(a.row_by_id(0), Some((&[1u32][..], &[2.0f32][..])));

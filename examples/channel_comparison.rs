@@ -9,7 +9,7 @@
 //! design recommendations are built on — and demonstrating that both
 //! channels (and the serial fallback) return identical results.
 
-use fsd_inference::core::{EngineConfig, FsdInference, InferenceRequest, Variant};
+use fsd_inference::core::{InferenceRequest, ServiceBuilder, Variant};
 use fsd_inference::model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
 use std::sync::Arc;
 
@@ -18,28 +18,31 @@ fn main() {
     let dnn = Arc::new(generate_dnn(&spec));
     let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(128, 3));
     let expected = dnn.serial_inference(&inputs);
-    let mut engine = FsdInference::new(dnn, EngineConfig::deterministic(3));
+    let service = ServiceBuilder::new(dnn).deterministic(3).build();
 
-    println!("{:>3}  {:>14}  {:>12}  {:>14}  {:>12}", "P", "queue ms", "queue $", "object ms", "object $");
+    println!(
+        "{:>3}  {:>14}  {:>12}  {:>14}  {:>12}",
+        "P", "queue ms", "queue $", "object ms", "object $"
+    );
     for p in [2u32, 4, 8] {
-        let queue = engine
-            .run(&InferenceRequest {
+        let queue = service
+            .submit(&InferenceRequest {
                 variant: Variant::Queue,
                 workers: p,
                 memory_mb: 1769,
                 inputs: inputs.clone(),
             })
             .expect("queue runs");
-        let object = engine
-            .run(&InferenceRequest {
+        let object = service
+            .submit(&InferenceRequest {
                 variant: Variant::Object,
                 workers: p,
                 memory_mb: 1769,
                 inputs: inputs.clone(),
             })
             .expect("object runs");
-        assert_eq!(queue.output, expected);
-        assert_eq!(object.output, expected);
+        assert_eq!(queue.first_output(), &expected);
+        assert_eq!(object.first_output(), &expected);
         println!(
             "{p:>3}  {:>14.1}  {:>12.6}  {:>14.1}  {:>12.6}",
             queue.latency.as_millis_f64(),
@@ -49,10 +52,15 @@ fn main() {
         );
     }
 
-    let serial = engine
-        .run(&InferenceRequest { variant: Variant::Serial, workers: 1, memory_mb: 1769, inputs })
+    let serial = service
+        .submit(&InferenceRequest {
+            variant: Variant::Serial,
+            workers: 1,
+            memory_mb: 1769,
+            inputs,
+        })
         .expect("serial runs");
-    assert_eq!(serial.output, expected);
+    assert_eq!(serial.first_output(), &expected);
     println!(
         "\nserial reference: {:.1} ms, ${:.6} — all three variants agree bit-for-bit ✓",
         serial.latency.as_millis_f64(),

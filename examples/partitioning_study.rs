@@ -11,9 +11,7 @@
 //! (model, P) before any requests arrive.
 
 use fsd_inference::model::{generate_dnn, DnnSpec};
-use fsd_inference::partition::{
-    partition_model, CommPlan, Hypergraph, PartitionScheme,
-};
+use fsd_inference::partition::{partition_model, CommPlan, Hypergraph, PartitionScheme};
 
 fn main() {
     let spec = DnnSpec::scaled(2048, 5);
@@ -27,7 +25,10 @@ fn main() {
     );
 
     let p = 8;
-    println!("\n{:>8}  {:>12}  {:>10}  {:>12}  {:>10}", "scheme", "cut (rows)", "imbalance", "row sends", "pairs");
+    println!(
+        "\n{:>8}  {:>12}  {:>10}  {:>12}  {:>10}",
+        "scheme", "cut (rows)", "imbalance", "row sends", "pairs"
+    );
     let mut costs = Vec::new();
     for (name, scheme) in [
         ("HGP-DNN", PartitionScheme::Hgp),
@@ -51,6 +52,9 @@ fn main() {
         "\nHGP cuts {:.1}x less than random (the paper's Table III shows ~9x at N=16384, P=42)",
         costs[2] as f64 / costs[0] as f64
     );
-    assert!(costs[0] <= costs[1], "HGP should never lose to block (multi-start)");
+    assert!(
+        costs[0] <= costs[1],
+        "HGP should never lose to block (multi-start)"
+    );
     assert!(costs[1] < costs[2], "block should beat random");
 }

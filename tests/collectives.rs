@@ -12,7 +12,11 @@ use std::sync::Arc;
 fn rows_for(rank: u32) -> SparseRows {
     SparseRows::from_rows(
         4,
-        [(rank * 5, vec![0u32, 2], vec![rank as f32 + 1.0, 2.0 * rank as f32 + 1.0])],
+        [(
+            rank * 5,
+            vec![0u32, 2],
+            vec![rank as f32 + 1.0, 2.0 * rank as f32 + 1.0],
+        )],
     )
 }
 
@@ -107,10 +111,14 @@ fn single_worker_collectives_are_noops() {
     let ch = QueueChannel::setup(env.clone(), 1, ChannelOptions::default());
     let platform = FaasPlatform::new(env.clone(), ComputeModel::default());
     let (out, _) = platform
-        .invoke(FunctionConfig::worker("solo", 1024), VirtualTime::ZERO, move |ctx| {
-            barrier(ch.as_ref(), ctx, 0, 1, 0)?;
-            reduce(ch.as_ref(), ctx, 0, 1, rows_for(0), 0)
-        })
+        .invoke(
+            FunctionConfig::worker("solo", 1024),
+            VirtualTime::ZERO,
+            move |ctx| {
+                barrier(ch.as_ref(), ctx, 0, 1, 0)?;
+                reduce(ch.as_ref(), ctx, 0, 1, rows_for(0), 0)
+            },
+        )
         .join()
         .expect("solo ok");
     assert_eq!(out.expect("root keeps its own rows"), rows_for(0));

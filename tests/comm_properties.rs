@@ -9,7 +9,14 @@ use proptest::prelude::*;
 
 fn msg(source: u32, target: u32, body: Vec<u8>) -> Message {
     Message {
-        attributes: MessageAttributes { source, target, layer: 0, total_chunks: 1, batch: 0 },
+        attributes: MessageAttributes {
+            flow: 0,
+            source,
+            target,
+            layer: 0,
+            total_chunks: 1,
+            batch: 0,
+        },
         body,
     }
 }
@@ -23,7 +30,7 @@ proptest! {
     ) {
         let env = CloudEnv::new(CloudConfig::deterministic(1));
         let q = env.queue("t");
-        env.pubsub().subscribe(0, 0, q).expect("subscribe");
+        env.pubsub().subscribe(0, 0, 0, q).expect("subscribe");
         let total: usize = sizes.iter().sum();
         prop_assume!(total <= quota::MAX_PUBLISH_BYTES);
         let batch: Vec<Message> = sizes.iter().map(|&s| msg(0, 0, vec![7u8; s])).collect();

@@ -2,8 +2,7 @@
 //! the exact serial ground truth, limits must bind the way the paper
 //! describes, and reports must be internally consistent.
 
-use fsd_inference::core::{EngineConfig, FsdInference, InferenceRequest, Variant};
-use fsd_inference::faas::FaasError;
+use fsd_inference::core::{FsdError, FsdService, InferenceRequest, ServiceBuilder, Variant};
 use fsd_inference::model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
 use fsd_inference::partition::PartitionScheme;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -19,25 +18,37 @@ fn engine_guard() -> MutexGuard<'static, ()> {
 }
 
 fn small_spec(seed: u64) -> DnnSpec {
-    DnnSpec { neurons: 96, layers: 5, nnz_per_row: 8, bias: -0.25, clip: 32.0, seed }
+    DnnSpec {
+        neurons: 96,
+        layers: 5,
+        nnz_per_row: 8,
+        bias: -0.25,
+        clip: 32.0,
+        seed,
+    }
 }
 
-fn engine_for(spec: &DnnSpec, seed: u64) -> (FsdInference, fsd_inference::sparse::SparseRows) {
+fn service_for(spec: &DnnSpec, seed: u64) -> (FsdService, fsd_inference::sparse::SparseRows) {
     let dnn = Arc::new(generate_dnn(spec));
     let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(24, seed));
-    (FsdInference::new(dnn, EngineConfig::deterministic(seed)), inputs)
+    (ServiceBuilder::new(dnn).deterministic(seed).build(), inputs)
 }
 
 #[test]
 fn serial_variant_matches_ground_truth() {
     let _guard = engine_guard();
     let spec = small_spec(1);
-    let (mut engine, inputs) = engine_for(&spec, 1);
-    let expected = engine.dnn().serial_inference(&inputs);
-    let report = engine
-        .run(&InferenceRequest { variant: Variant::Serial, workers: 1, memory_mb: 2048, inputs })
+    let (service, inputs) = service_for(&spec, 1);
+    let expected = service.dnn().serial_inference(&inputs);
+    let report = service
+        .submit(&InferenceRequest {
+            variant: Variant::Serial,
+            workers: 1,
+            memory_mb: 2048,
+            inputs,
+        })
         .expect("serial runs");
-    assert_eq!(report.output, expected);
+    assert_eq!(report.first_output(), &expected);
     assert_eq!(report.workers, 1);
     // Serial has no communication charges.
     assert_eq!(report.comm.sns_publish_requests, 0);
@@ -49,20 +60,27 @@ fn serial_variant_matches_ground_truth() {
 fn queue_variant_matches_ground_truth_at_various_p() {
     let _guard = engine_guard();
     let spec = small_spec(2);
-    let (mut engine, inputs) = engine_for(&spec, 2);
-    let expected = engine.dnn().serial_inference(&inputs);
+    let (service, inputs) = service_for(&spec, 2);
+    let expected = service.dnn().serial_inference(&inputs);
     for p in [2u32, 3, 6] {
-        let report = engine
-            .run(&InferenceRequest {
+        let report = service
+            .submit(&InferenceRequest {
                 variant: Variant::Queue,
                 workers: p,
                 memory_mb: 1536,
                 inputs: inputs.clone(),
             })
             .unwrap_or_else(|e| panic!("queue P={p}: {e}"));
-        assert_eq!(report.output, expected, "queue P={p} output mismatch");
+        assert_eq!(
+            report.first_output(),
+            &expected,
+            "queue P={p} output mismatch"
+        );
         assert_eq!(report.per_worker.len(), p as usize, "one report per worker");
-        assert!(report.comm.sns_publish_requests > 0, "queue run must publish");
+        assert!(
+            report.comm.sns_publish_requests > 0,
+            "queue run must publish"
+        );
         assert!(report.comm.sqs_api_calls > 0, "queue run must poll");
     }
 }
@@ -71,18 +89,22 @@ fn queue_variant_matches_ground_truth_at_various_p() {
 fn object_variant_matches_ground_truth_at_various_p() {
     let _guard = engine_guard();
     let spec = small_spec(3);
-    let (mut engine, inputs) = engine_for(&spec, 3);
-    let expected = engine.dnn().serial_inference(&inputs);
+    let (service, inputs) = service_for(&spec, 3);
+    let expected = service.dnn().serial_inference(&inputs);
     for p in [2u32, 4, 7] {
-        let report = engine
-            .run(&InferenceRequest {
+        let report = service
+            .submit(&InferenceRequest {
                 variant: Variant::Object,
                 workers: p,
                 memory_mb: 1536,
                 inputs: inputs.clone(),
             })
             .unwrap_or_else(|e| panic!("object P={p}: {e}"));
-        assert_eq!(report.output, expected, "object P={p} output mismatch");
+        assert_eq!(
+            report.first_output(),
+            &expected,
+            "object P={p} output mismatch"
+        );
         assert!(report.comm.s3_put_requests > 0, "object run must PUT");
         assert!(report.comm.s3_list_requests > 0, "object run must LIST");
         // Queue services untouched by the object channel.
@@ -94,28 +116,33 @@ fn object_variant_matches_ground_truth_at_various_p() {
 fn all_variants_agree_with_each_other() {
     let _guard = engine_guard();
     let spec = small_spec(4);
-    let (mut engine, inputs) = engine_for(&spec, 4);
-    let serial = engine
-        .run(&InferenceRequest {
+    let (service, inputs) = service_for(&spec, 4);
+    let serial = service
+        .submit(&InferenceRequest {
             variant: Variant::Serial,
             workers: 1,
             memory_mb: 2048,
             inputs: inputs.clone(),
         })
         .expect("serial");
-    let queue = engine
-        .run(&InferenceRequest {
+    let queue = service
+        .submit(&InferenceRequest {
             variant: Variant::Queue,
             workers: 4,
             memory_mb: 1536,
             inputs: inputs.clone(),
         })
         .expect("queue");
-    let object = engine
-        .run(&InferenceRequest { variant: Variant::Object, workers: 4, memory_mb: 1536, inputs })
+    let object = service
+        .submit(&InferenceRequest {
+            variant: Variant::Object,
+            workers: 4,
+            memory_mb: 1536,
+            inputs,
+        })
         .expect("object");
-    assert_eq!(serial.output, queue.output);
-    assert_eq!(queue.output, object.output);
+    assert_eq!(serial.first_output(), queue.first_output());
+    assert_eq!(queue.first_output(), object.first_output());
 }
 
 #[test]
@@ -126,10 +153,11 @@ fn random_partitioning_still_correct_but_ships_more() {
     let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(24, 5));
     let expected = dnn.serial_inference(&inputs);
 
-    let mut hgp_engine = FsdInference::new(dnn.clone(), EngineConfig::deterministic(5));
-    let mut rp_cfg = EngineConfig::deterministic(5);
-    rp_cfg.scheme = PartitionScheme::Random;
-    let mut rp_engine = FsdInference::new(dnn, rp_cfg);
+    let hgp_service = ServiceBuilder::new(dnn.clone()).deterministic(5).build();
+    let rp_service = ServiceBuilder::new(dnn)
+        .deterministic(5)
+        .partition_scheme(PartitionScheme::Random)
+        .build();
 
     let req = InferenceRequest {
         variant: Variant::Object,
@@ -137,10 +165,10 @@ fn random_partitioning_still_correct_but_ships_more() {
         memory_mb: 1536,
         inputs,
     };
-    let hgp = hgp_engine.run(&req).expect("hgp");
-    let rp = rp_engine.run(&req).expect("rp");
-    assert_eq!(hgp.output, expected);
-    assert_eq!(rp.output, expected);
+    let hgp = hgp_service.submit(&req).expect("hgp");
+    let rp = rp_service.submit(&req).expect("rp");
+    assert_eq!(hgp.first_output(), &expected);
+    assert_eq!(rp.first_output(), &expected);
     assert!(
         hgp.client.s3_bytes_put < rp.client.s3_bytes_put,
         "HGP bytes {} should undercut RP bytes {}",
@@ -154,13 +182,20 @@ fn serial_oom_on_oversized_model() {
     let _guard = engine_guard();
     // A model whose CSR footprint (~170 MB) exceeds the serial instance's
     // memory — the paper's N=65536 case, where neither FSD-Inf-Serial nor
-    // Sage-SL-Inf could load the model. The engine's serial memory is
+    // Sage-SL-Inf could load the model. The service's serial memory is
     // lowered to Lambda's 128 MB floor to keep the test fast; the model is
     // built structurally (diagonal layers) so the test stays cheap.
     use fsd_inference::model::SparseDnn;
     use fsd_inference::sparse::CsrMatrix;
     let n: usize = 1 << 21;
-    let spec = DnnSpec { neurons: n, layers: 5, nnz_per_row: 1, bias: -0.3, clip: 32.0, seed: 6 };
+    let spec = DnnSpec {
+        neurons: n,
+        layers: 5,
+        nnz_per_row: 1,
+        bias: -0.3,
+        clip: 32.0,
+        seed: 6,
+    };
     let layers: Vec<CsrMatrix> = (0..spec.layers)
         .map(|_| {
             CsrMatrix::new(
@@ -175,17 +210,21 @@ fn serial_oom_on_oversized_model() {
         .collect();
     let dnn = Arc::new(SparseDnn::new(spec, layers));
     let inputs = generate_inputs(64, &InputSpec::scaled(4, 6));
-    let mut cfg = EngineConfig::deterministic(6);
-    cfg.serial_memory_mb = 128;
-    let mut engine = FsdInference::new(dnn, cfg);
-    let res = engine.run(&InferenceRequest {
+    let service = ServiceBuilder::new(dnn)
+        .deterministic(6)
+        .serial_memory_mb(128)
+        .build();
+    let res = service.submit(&InferenceRequest {
         variant: Variant::Serial,
         workers: 1,
         memory_mb: 128,
         inputs,
     });
     match res {
-        Err(FaasError::OutOfMemory { used_bytes, limit_bytes }) => {
+        Err(FsdError::OutOfMemory {
+            used_bytes,
+            limit_bytes,
+        }) => {
             assert!(used_bytes > limit_bytes);
         }
         other => panic!("expected OOM, got {other:?}"),
@@ -200,17 +239,22 @@ fn timeout_kills_underprovisioned_runs() {
     let spec = small_spec(7);
     let dnn = Arc::new(generate_dnn(&spec));
     let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(24, 7));
-    let mut cfg = EngineConfig::deterministic(7);
-    cfg.compute.units_per_sec_per_vcpu = 50.0; // pathologically slow
-    let mut engine = FsdInference::new(dnn, cfg);
-    let res = engine.run(&InferenceRequest {
+    let compute = fsd_inference::faas::ComputeModel {
+        units_per_sec_per_vcpu: 50.0, // pathologically slow
+        ..Default::default()
+    };
+    let service = ServiceBuilder::new(dnn)
+        .deterministic(7)
+        .compute(compute)
+        .build();
+    let res = service.submit(&InferenceRequest {
         variant: Variant::Queue,
         workers: 2,
         memory_mb: 1536,
         inputs,
     });
     match res {
-        Err(FaasError::Timeout { .. }) => {}
+        Err(FsdError::Timeout { .. }) => {}
         other => panic!("expected timeout, got {other:?}"),
     }
 }
@@ -221,10 +265,10 @@ fn cost_model_validation_predicted_vs_actual() {
     // §VI-F: application-side predicted charges vs service-side metered
     // charges must agree tightly for both channels.
     let spec = small_spec(8);
-    let (mut engine, inputs) = engine_for(&spec, 8);
+    let (service, inputs) = service_for(&spec, 8);
     for variant in [Variant::Queue, Variant::Object] {
-        let report = engine
-            .run(&InferenceRequest {
+        let report = service
+            .submit(&InferenceRequest {
                 variant,
                 workers: 4,
                 memory_mb: 1536,
@@ -245,18 +289,29 @@ fn cost_model_validation_predicted_vs_actual() {
 fn report_latency_covers_all_workers() {
     let _guard = engine_guard();
     let spec = small_spec(9);
-    let (mut engine, inputs) = engine_for(&spec, 9);
-    let report = engine
-        .run(&InferenceRequest { variant: Variant::Object, workers: 3, memory_mb: 1536, inputs })
+    let (service, inputs) = service_for(&spec, 9);
+    let report = service
+        .submit(&InferenceRequest {
+            variant: Variant::Object,
+            workers: 3,
+            memory_mb: 1536,
+            inputs,
+        })
         .expect("runs");
     for w in &report.per_worker {
-        assert!(w.finished <= report.latency, "worker {} finished after latency", w.rank);
+        assert!(
+            w.finished <= report.latency,
+            "worker {} finished after latency",
+            w.rank
+        );
         assert!(w.started < w.finished);
         assert!(w.billed_ms > 0);
     }
     assert!(report.per_sample_ms() > 0.0);
     assert!(report.avg_worker_runtime_s() > 0.0);
     assert!(report.work_done > 0);
+    // Latency is anchored at the request's explicit arrival time.
+    assert_eq!(report.arrival, fsd_inference::comm::VirtualTime::ZERO);
 }
 
 #[test]
@@ -266,34 +321,59 @@ fn deterministic_reruns_under_deterministic_config() {
     // (thread scheduling may alter poll batching; outputs and core compute
     // must not change).
     let spec = small_spec(10);
-    let (mut engine, inputs) = engine_for(&spec, 10);
-    let r1 = engine
-        .run(&InferenceRequest {
+    let (service, inputs) = service_for(&spec, 10);
+    let r1 = service
+        .submit(&InferenceRequest {
             variant: Variant::Object,
             workers: 4,
             memory_mb: 1536,
             inputs: inputs.clone(),
         })
         .expect("first run");
-    let r2 = engine
-        .run(&InferenceRequest { variant: Variant::Object, workers: 4, memory_mb: 1536, inputs })
+    let r2 = service
+        .submit(&InferenceRequest {
+            variant: Variant::Object,
+            workers: 4,
+            memory_mb: 1536,
+            inputs,
+        })
         .expect("second run");
-    assert_eq!(r1.output, r2.output);
+    assert_eq!(r1.first_output(), r2.first_output());
     assert_eq!(r1.work_done, r2.work_done);
     assert_eq!(r1.client.s3_puts, r2.client.s3_puts);
 }
 
 #[test]
-fn engine_recommendation_follows_model_size() {
+fn service_recommendation_follows_model_size() {
     let _guard = engine_guard();
     // A small model that fits one instance comfortably -> Serial.
-    let (mut engine, _) = engine_for(&small_spec(12), 12);
-    let rec = engine.recommend(4, 8);
-    assert_eq!(rec.variant, fsd_inference::core::Variant::Serial);
+    let (service, _) = service_for(&small_spec(12), 12);
+    let rec = service.recommend(4, 8);
+    assert_eq!(rec.variant, Variant::Serial);
     assert!(rec.profile.model_bytes < 1024 * 1024);
     // Serial is forced for P <= 1 regardless of size.
-    let rec1 = engine.recommend(1, 8);
-    assert_eq!(rec1.variant, fsd_inference::core::Variant::Serial);
+    let rec1 = service.recommend(1, 8);
+    assert_eq!(rec1.variant, Variant::Serial);
+}
+
+#[test]
+fn auto_variant_runs_the_recommended_path() {
+    let _guard = engine_guard();
+    // §IV-C end to end: an Auto request on a small model resolves to
+    // Serial, runs, and reports the resolved variant.
+    let spec = small_spec(13);
+    let (service, inputs) = service_for(&spec, 13);
+    let expected = service.dnn().serial_inference(&inputs);
+    let report = service
+        .submit(&InferenceRequest {
+            variant: Variant::Auto,
+            workers: 4,
+            memory_mb: 1536,
+            inputs,
+        })
+        .expect("auto runs");
+    assert_eq!(report.variant, service.recommend(4, 8).variant);
+    assert_eq!(report.first_output(), &expected);
 }
 
 #[test]
@@ -303,17 +383,17 @@ fn larger_batches_cost_more_but_amortize_per_sample() {
     let dnn = Arc::new(generate_dnn(&spec));
     let small_in = generate_inputs(spec.neurons, &InputSpec::scaled(8, 11));
     let big_in = generate_inputs(spec.neurons, &InputSpec::scaled(64, 11));
-    let mut engine = FsdInference::new(dnn, EngineConfig::deterministic(11));
-    let small = engine
-        .run(&InferenceRequest {
+    let service = ServiceBuilder::new(dnn).deterministic(11).build();
+    let small = service
+        .submit(&InferenceRequest {
             variant: Variant::Queue,
             workers: 3,
             memory_mb: 1536,
             inputs: small_in,
         })
         .expect("small");
-    let big = engine
-        .run(&InferenceRequest {
+    let big = service
+        .submit(&InferenceRequest {
             variant: Variant::Queue,
             workers: 3,
             memory_mb: 1536,

@@ -5,7 +5,7 @@
 use fsd_inference::comm::{
     CloudConfig, CloudEnv, LatencyModel, Message, MessageAttributes, PollKind, VClock, VirtualTime,
 };
-use fsd_inference::core::{EngineConfig, FsdInference, InferenceRequest, Variant};
+use fsd_inference::core::{InferenceRequest, ServiceBuilder, Variant};
 use fsd_inference::model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -17,7 +17,14 @@ fn engine_guard() -> MutexGuard<'static, ()> {
 
 fn msg(source: u32, body: &[u8]) -> Message {
     Message {
-        attributes: MessageAttributes { source, target: 0, layer: 0, total_chunks: 1, batch: 0 },
+        attributes: MessageAttributes {
+            flow: 0,
+            source,
+            target: 0,
+            layer: 0,
+            total_chunks: 1,
+            batch: 0,
+        },
         body: body.to_vec(),
     }
 }
@@ -37,7 +44,10 @@ fn visibility_timeout_redelivers_undeleted_messages() {
     let (again, _) = q.receive_wait(&mut clock, 1.0);
     assert_eq!(again.len(), 1);
     assert_eq!(again[0].message.body, b"precious");
-    assert_ne!(again[0].handle, got[0].handle, "redelivery issues a fresh handle");
+    assert_ne!(
+        again[0].handle, got[0].handle,
+        "redelivery issues a fresh handle"
+    );
 }
 
 #[test]
@@ -63,7 +73,10 @@ fn short_polling_eventually_drains_but_wastes_calls() {
         assert!(calls < 1000, "short polling never drained the queue");
     }
     // Long polling would need ceil(30/10) = 3 receive calls.
-    assert!(calls > 3, "short polling should be strictly less efficient, used {calls} calls");
+    assert!(
+        calls > 3,
+        "short polling should be strictly less efficient, used {calls} calls"
+    );
 }
 
 #[test]
@@ -71,23 +84,37 @@ fn jittered_latencies_do_not_affect_results() {
     let _guard = engine_guard();
     // Full-noise region (default 15 % jitter): latencies vary, outputs
     // must not.
-    let spec = DnnSpec { neurons: 96, layers: 4, nnz_per_row: 8, bias: -0.25, clip: 32.0, seed: 31 };
+    let spec = DnnSpec {
+        neurons: 96,
+        layers: 4,
+        nnz_per_row: 8,
+        bias: -0.25,
+        clip: 32.0,
+        seed: 31,
+    };
     let dnn = Arc::new(generate_dnn(&spec));
     let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(16, 31));
     let expected = dnn.serial_inference(&inputs);
-    let mut cfg = EngineConfig::default(); // jittered cloud
-    cfg.cloud.seed = 31;
-    let mut engine = FsdInference::new(dnn, cfg);
+    // Jittered cloud (default latency noise), pinned seed.
+    let cloud = fsd_inference::comm::CloudConfig {
+        seed: 31,
+        ..Default::default()
+    };
+    let service = ServiceBuilder::new(dnn).cloud(cloud).build();
     for variant in [Variant::Queue, Variant::Object] {
-        let report = engine
-            .run(&InferenceRequest {
+        let report = service
+            .submit(&InferenceRequest {
                 variant,
                 workers: 4,
                 memory_mb: 1769,
                 inputs: inputs.clone(),
             })
             .unwrap_or_else(|e| panic!("{variant} under jitter: {e}"));
-        assert_eq!(report.output, expected, "{variant} wrong under jitter");
+        assert_eq!(
+            report.first_output(),
+            &expected,
+            "{variant} wrong under jitter"
+        );
     }
 }
 
@@ -95,7 +122,14 @@ fn jittered_latencies_do_not_affect_results() {
 fn slow_channel_region_still_correct() {
     let _guard = engine_guard();
     // A degraded region: 10x service latencies. Runs slower, same result.
-    let spec = DnnSpec { neurons: 96, layers: 3, nnz_per_row: 8, bias: -0.25, clip: 32.0, seed: 32 };
+    let spec = DnnSpec {
+        neurons: 96,
+        layers: 3,
+        nnz_per_row: 8,
+        bias: -0.25,
+        clip: 32.0,
+        seed: 32,
+    };
     let dnn = Arc::new(generate_dnn(&spec));
     let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(12, 32));
     let expected = dnn.serial_inference(&inputs);
@@ -108,40 +142,30 @@ fn slow_channel_region_still_correct() {
     slow.s3_get_us *= 10;
     slow.s3_list_us *= 10;
 
-    let mut fast_cfg = EngineConfig::deterministic(32);
-    let mut slow_cfg = EngineConfig::deterministic(32);
-    slow_cfg.cloud.latency = slow;
+    let mut slow_cloud = CloudConfig::deterministic(32);
+    slow_cloud.latency = slow;
 
-    let mut fast_engine = FsdInference::new(dnn.clone(), fast_cfg.clone_for_test());
-    let mut slow_engine = FsdInference::new(dnn, slow_cfg);
+    let fast_service = ServiceBuilder::new(dnn.clone()).deterministic(32).build();
+    let slow_service = ServiceBuilder::new(dnn)
+        .deterministic(32)
+        .cloud(slow_cloud)
+        .build();
     let req = InferenceRequest {
         variant: Variant::Object,
         workers: 3,
         memory_mb: 1769,
         inputs,
     };
-    let fast = fast_engine.run(&req).expect("fast region");
-    let slow = slow_engine.run(&req).expect("slow region");
-    assert_eq!(fast.output, expected);
-    assert_eq!(slow.output, expected);
+    let fast = fast_service.submit(&req).expect("fast region");
+    let slow = slow_service.submit(&req).expect("slow region");
+    assert_eq!(fast.first_output(), &expected);
+    assert_eq!(slow.first_output(), &expected);
     assert!(
         slow.latency > fast.latency,
         "10x latencies must slow the run: {} vs {}",
         slow.latency,
         fast.latency
     );
-    let _ = fast_cfg;
-}
-
-/// Helper trait so the test reads naturally; `EngineConfig` is `Copy`.
-trait CloneForTest {
-    fn clone_for_test(&self) -> Self;
-}
-
-impl CloneForTest for EngineConfig {
-    fn clone_for_test(&self) -> Self {
-        *self
-    }
 }
 
 #[test]
@@ -156,7 +180,10 @@ fn corrupted_payload_surfaces_as_comm_error() {
     match decompressed {
         Err(_) => {} // rejected at the compression frame
         Ok(bytes) => {
-            assert!(codec::decode(&bytes).is_err(), "corruption must not decode cleanly");
+            assert!(
+                codec::decode(&bytes).is_err(),
+                "corruption must not decode cleanly"
+            );
         }
     }
 }
@@ -166,18 +193,33 @@ fn cold_start_skew_does_not_break_early_layers() {
     let _guard = engine_guard();
     // Exaggerated cold starts stagger worker launch times wildly; early
     // senders' messages must wait safely for late-starting receivers.
-    let spec = DnnSpec { neurons: 96, layers: 3, nnz_per_row: 8, bias: -0.25, clip: 32.0, seed: 34 };
+    let spec = DnnSpec {
+        neurons: 96,
+        layers: 3,
+        nnz_per_row: 8,
+        bias: -0.25,
+        clip: 32.0,
+        seed: 34,
+    };
     let dnn = Arc::new(generate_dnn(&spec));
     let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(12, 34));
     let expected = dnn.serial_inference(&inputs);
-    let mut cfg = EngineConfig::deterministic(34);
-    cfg.cloud.latency.lambda_cold_start_us = 5_000_000; // 5 s cold starts
-    cfg.branching = 1; // a chain: maximal start-time skew
-    let mut engine = FsdInference::new(dnn, cfg);
-    let report = engine
-        .run(&InferenceRequest { variant: Variant::Queue, workers: 4, memory_mb: 1769, inputs })
+    let mut cloud = CloudConfig::deterministic(34);
+    cloud.latency.lambda_cold_start_us = 5_000_000; // 5 s cold starts
+    let service = ServiceBuilder::new(dnn)
+        .deterministic(34)
+        .cloud(cloud)
+        .branching(1) // a chain: maximal start-time skew
+        .build();
+    let report = service
+        .submit(&InferenceRequest {
+            variant: Variant::Queue,
+            workers: 4,
+            memory_mb: 1769,
+            inputs,
+        })
         .expect("skewed run");
-    assert_eq!(report.output, expected);
+    assert_eq!(report.first_output(), &expected);
     // The chain launch forces ≥ 3 cold-start generations of skew.
     assert!(report.latency >= VirtualTime::from_secs_f64(15.0));
 }

@@ -2,7 +2,9 @@
 //! worker tree processes successive batches, with launch and weight loads
 //! amortized and a barrier + reduce closing each batch.
 
-use fsd_inference::core::{BatchedRequest, EngineConfig, FsdInference, InferenceRequest, Variant};
+use fsd_inference::core::{
+    BatchedRequest, FsdError, FsdService, InferenceRequest, ServiceBuilder, Variant,
+};
 use fsd_inference::model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -12,23 +14,41 @@ fn engine_guard() -> MutexGuard<'static, ()> {
     ENGINE_LOCK.lock().unwrap_or_else(|p| p.into_inner())
 }
 
-fn setup(seed: u64) -> (FsdInference, Vec<fsd_inference::sparse::SparseRows>) {
-    let spec = DnnSpec { neurons: 96, layers: 4, nnz_per_row: 8, bias: -0.25, clip: 32.0, seed };
+fn setup(seed: u64) -> (FsdService, Vec<fsd_inference::sparse::SparseRows>) {
+    let spec = DnnSpec {
+        neurons: 96,
+        layers: 4,
+        nnz_per_row: 8,
+        bias: -0.25,
+        clip: 32.0,
+        seed,
+    };
     let dnn = Arc::new(generate_dnn(&spec));
     let batches: Vec<_> = (0..3)
-        .map(|b| generate_inputs(spec.neurons, &InputSpec::scaled(16 + 8 * b, seed + b as u64)))
+        .map(|b| {
+            generate_inputs(
+                spec.neurons,
+                &InputSpec::scaled(16 + 8 * b, seed + b as u64),
+            )
+        })
         .collect();
-    (FsdInference::new(dnn, EngineConfig::deterministic(seed)), batches)
+    (
+        ServiceBuilder::new(dnn).deterministic(seed).build(),
+        batches,
+    )
 }
 
 #[test]
 fn batched_outputs_match_per_batch_ground_truth() {
     let _guard = engine_guard();
-    let (mut engine, batches) = setup(21);
-    let expected: Vec<_> = batches.iter().map(|b| engine.dnn().serial_inference(b)).collect();
+    let (service, batches) = setup(21);
+    let expected: Vec<_> = batches
+        .iter()
+        .map(|b| service.dnn().serial_inference(b))
+        .collect();
     for variant in [Variant::Queue, Variant::Object, Variant::Serial] {
-        let report = engine
-            .run_batched(&BatchedRequest {
+        let report = service
+            .submit_batched(&BatchedRequest {
                 variant,
                 workers: 3,
                 memory_mb: 1769,
@@ -40,17 +60,17 @@ fn batched_outputs_match_per_batch_ground_truth() {
             assert_eq!(&report.outputs[b], exp, "{variant}: batch {b} mismatch");
         }
         assert_eq!(report.samples, 16 + 24 + 32);
-        assert_eq!(&report.output, &report.outputs[0]);
+        assert_eq!(report.first_output(), &report.outputs[0]);
     }
 }
 
 #[test]
 fn batching_amortizes_launch_and_weight_loads() {
     let _guard = engine_guard();
-    let (mut engine, batches) = setup(22);
+    let (service, batches) = setup(22);
     // Three batches in one tree…
-    let together = engine
-        .run_batched(&BatchedRequest {
+    let together = service
+        .submit_batched(&BatchedRequest {
             variant: Variant::Queue,
             workers: 3,
             memory_mb: 1769,
@@ -61,8 +81,8 @@ fn batching_amortizes_launch_and_weight_loads() {
     let mut separate_invocations = 0u64;
     let mut separate_latency = 0.0;
     for b in &batches {
-        let r = engine
-            .run(&InferenceRequest {
+        let r = service
+            .submit(&InferenceRequest {
                 variant: Variant::Queue,
                 workers: 3,
                 memory_mb: 1769,
@@ -84,38 +104,38 @@ fn batching_amortizes_launch_and_weight_loads() {
 }
 
 #[test]
-fn single_batch_request_is_equivalent_to_run() {
+fn single_batch_request_is_equivalent_to_submit() {
     let _guard = engine_guard();
-    let (mut engine, batches) = setup(23);
-    let single = engine
-        .run(&InferenceRequest {
+    let (service, batches) = setup(23);
+    let single = service
+        .submit(&InferenceRequest {
             variant: Variant::Object,
             workers: 2,
             memory_mb: 1769,
             inputs: batches[0].clone(),
         })
-        .expect("run");
-    let batched = engine
-        .run_batched(&BatchedRequest {
+        .expect("submit");
+    let batched = service
+        .submit_batched(&BatchedRequest {
             variant: Variant::Object,
             workers: 2,
             memory_mb: 1769,
             batches: vec![batches[0].clone()],
         })
-        .expect("run_batched");
-    assert_eq!(single.output, batched.output);
+        .expect("submit_batched");
+    assert_eq!(single.first_output(), batched.first_output());
     assert_eq!(single.outputs.len(), 1);
     assert_eq!(batched.outputs.len(), 1);
 }
 
 #[test]
-#[should_panic(expected = "at least one batch")]
-fn empty_batch_list_rejected() {
-    let (mut engine, _) = setup(24);
-    let _ = engine.run_batched(&BatchedRequest {
+fn empty_batch_list_is_a_structured_error() {
+    let (service, _) = setup(24);
+    let res = service.submit_batched(&BatchedRequest {
         variant: Variant::Serial,
         workers: 1,
         memory_mb: 1769,
         batches: vec![],
     });
+    assert_eq!(res.unwrap_err(), FsdError::EmptyRequest);
 }

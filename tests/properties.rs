@@ -178,17 +178,17 @@ proptest! {
         seed in 0u64..1000,
         object in any::<bool>(),
     ) {
-        use fsd_inference::core::{EngineConfig, FsdInference, InferenceRequest, Variant};
+        use fsd_inference::core::{InferenceRequest, ServiceBuilder, Variant};
         use std::sync::Arc;
         let spec = DnnSpec { neurons, layers: 3, nnz_per_row: 6, bias: -0.25, clip: 32.0, seed };
         let dnn = Arc::new(generate_dnn(&spec));
         let inputs = generate_inputs(neurons, &InputSpec::scaled(12, seed));
         let expected = dnn.serial_inference(&inputs);
-        let mut engine = FsdInference::new(dnn, EngineConfig::deterministic(seed));
+        let service = ServiceBuilder::new(dnn).deterministic(seed).build();
         let variant = if object { Variant::Object } else { Variant::Queue };
-        let report = engine
-            .run(&InferenceRequest { variant, workers: parts, memory_mb: 1536, inputs })
+        let report = service
+            .submit(&InferenceRequest { variant, workers: parts, memory_mb: 1536, inputs })
             .expect("run succeeds");
-        prop_assert_eq!(report.output, expected);
+        prop_assert_eq!(report.first_output(), &expected);
     }
 }
