@@ -1,0 +1,168 @@
+//! Scheduler throughput — admission control in front of `FsdService`.
+//!
+//! Not a paper table: this measures the PR-2 scheduling layer. A seeded
+//! bursty trace is pushed through auto-dispatch schedulers at increasing
+//! global concurrency caps; real worker trees execute concurrently, so
+//! wall-clock throughput rises with the cap until the host saturates. A
+//! second run floods the scheduler with large-`P` requests against small
+//! bounded queues to show explicit backpressure (rejection rate + retry
+//! hints) instead of unbounded buffering.
+//!
+//! ```text
+//! cargo run --release -p fsd-bench --bin scheduler_throughput
+//! ```
+
+use fsd_bench::Table;
+use fsd_comm::VirtualTime;
+use fsd_core::{BatchedRequest, FsdError, FsdService, ServiceBuilder};
+use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+use fsd_sched::{trace, Arrival, Scheduler, SchedulerConfig, Ticket};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+fn fresh_service() -> Arc<FsdService> {
+    let spec = DnnSpec {
+        neurons: 128,
+        layers: 4,
+        nnz_per_row: 8,
+        bias: -0.25,
+        clip: 32.0,
+        seed: SEED,
+    };
+    Arc::new(
+        ServiceBuilder::new(Arc::new(generate_dnn(&spec)))
+            .deterministic(SEED)
+            .prewarm(1)
+            .prewarm(2)
+            .prewarm(4)
+            .build(),
+    )
+}
+
+fn request_for(service: &FsdService, a: &Arrival) -> BatchedRequest {
+    BatchedRequest {
+        variant: a.variant,
+        workers: a.workers,
+        memory_mb: a.memory_mb,
+        batches: vec![generate_inputs(
+            service.dnn().spec().neurons,
+            &InputSpec::scaled(a.width, a.input_seed),
+        )],
+    }
+}
+
+struct RunResult {
+    accepted: usize,
+    rejected: usize,
+    wall_ms: f64,
+    max_inflight: usize,
+    mean_virtual_latency: VirtualTime,
+    last_retry_hint: VirtualTime,
+}
+
+/// Enqueues the whole trace (auto dispatch), waits every ticket, and
+/// reports wall-clock + scheduler statistics.
+fn drive(sched: &Scheduler, service: &FsdService, arrivals: &[Arrival]) -> RunResult {
+    let started = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(arrivals.len());
+    let mut rejected = 0usize;
+    let mut last_retry_hint = VirtualTime::ZERO;
+    for a in arrivals {
+        match sched.enqueue_default(a.priority, request_for(service, a)) {
+            Ok(t) => tickets.push(t),
+            Err(FsdError::Overloaded { retry_after }) => {
+                rejected += 1;
+                last_retry_hint = retry_after;
+            }
+            Err(e) => panic!("enqueue failed: {e}"),
+        }
+    }
+    let accepted = tickets.len();
+    let mut total_latency_us = 0u64;
+    for t in tickets {
+        let report = t.wait().expect("scheduled request runs");
+        total_latency_us += report.latency.as_micros();
+    }
+    sched.shutdown();
+    sched.drain();
+    let stats = sched.stats();
+    RunResult {
+        accepted,
+        rejected,
+        wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+        max_inflight: stats.max_inflight,
+        mean_virtual_latency: VirtualTime::from_micros(total_latency_us / accepted.max(1) as u64),
+        last_retry_hint,
+    }
+}
+
+fn main() {
+    // Part 1: throughput vs global concurrency cap on a bursty trace.
+    let arrivals = trace::bursty(4, 8, 400_000, SEED);
+    let mut t = Table::new(&[
+        "global cap",
+        "accepted",
+        "wall ms",
+        "req/s (wall)",
+        "max in-flight",
+        "mean virt latency",
+    ]);
+    for cap in [1usize, 2, 4, 8] {
+        let service = fresh_service();
+        let sched = Scheduler::wrap(
+            service.clone(),
+            SchedulerConfig::default()
+                .global_cap(cap)
+                .queue_capacity(256),
+        );
+        let r = drive(&sched, &service, &arrivals);
+        assert_eq!(r.rejected, 0, "generous queues must not reject");
+        t.row(vec![
+            cap.to_string(),
+            r.accepted.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.1}", r.accepted as f64 / (r.wall_ms / 1000.0)),
+            r.max_inflight.to_string(),
+            r.mean_virtual_latency.to_string(),
+        ]);
+    }
+    t.print(&format!(
+        "Scheduler throughput — bursty trace ({} requests), queue_capacity=256",
+        arrivals.len(),
+    ));
+
+    // Part 2: backpressure under a large-P flood with small bounded queues.
+    let flood = trace::flood(48, 4, SEED);
+    let mut t = Table::new(&[
+        "queue cap",
+        "accepted",
+        "rejected",
+        "rejection %",
+        "retry hint",
+        "wall ms",
+    ]);
+    for queue_cap in [4usize, 8, 16] {
+        let service = fresh_service();
+        let sched = Scheduler::wrap(
+            service.clone(),
+            SchedulerConfig::default()
+                .global_cap(4)
+                .queue_capacity(queue_cap),
+        );
+        let r = drive(&sched, &service, &flood);
+        t.row(vec![
+            queue_cap.to_string(),
+            r.accepted.to_string(),
+            r.rejected.to_string(),
+            format!("{:.0}%", 100.0 * r.rejected as f64 / flood.len() as f64),
+            r.last_retry_hint.to_string(),
+            format!("{:.1}", r.wall_ms),
+        ]);
+    }
+    t.print(&format!(
+        "Backpressure — large-P flood ({} simultaneous requests), global_cap=4",
+        flood.len(),
+    ));
+}

@@ -101,6 +101,17 @@ impl CloudEnv {
         self.meter.snapshot()
     }
 
+    /// Convenience: the billing events attributed to one request flow.
+    pub fn flow_snapshot(&self, flow: u64) -> MeterSnapshot {
+        self.meter.flow_snapshot(flow)
+    }
+
+    /// Convenience: removes a flow's billing bucket, returning its final
+    /// window (request teardown).
+    pub fn release_flow(&self, flow: u64) -> MeterSnapshot {
+        self.meter.release_flow(flow)
+    }
+
     /// The deterministic jitter stream (shared by FaaS timing too).
     pub fn jitter(&self) -> &Arc<Jitter> {
         &self.jitter

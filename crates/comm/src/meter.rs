@@ -3,7 +3,18 @@
 //! Every simulated service increments these counters as API events happen,
 //! *independently* of the cost model's predictions (Section IV of the
 //! paper). Cost-model validation (§VI-F) compares the two.
+//!
+//! Counters exist at two granularities:
+//!
+//! * **global** — everything billed in the region since it came up;
+//! * **per flow** — the same events bucketed by the request flow id that
+//!   caused them (flow `0` is "unattributed" and is only counted
+//!   globally). Per-flow windows are what make `InferenceReport::comm`
+//!   request-local under concurrent load: two overlapping requests each
+//!   see exactly their own traffic instead of a shared global delta.
 
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Thread-safe counters of billable service events.
@@ -31,6 +42,8 @@ pub struct ServiceMeter {
     s3_put_bytes: AtomicU64,
     /// Bytes read from object storage.
     s3_get_bytes: AtomicU64,
+    /// The same events bucketed per request flow (flow 0 excluded).
+    flows: Mutex<HashMap<u64, MeterSnapshot>>,
 }
 
 /// A point-in-time copy of the meters.
@@ -66,6 +79,23 @@ impl MeterSnapshot {
             s3_get_bytes: self.s3_get_bytes - earlier.s3_get_bytes,
         }
     }
+
+    /// Element-wise sum (aggregating per-flow windows).
+    pub fn plus(&self, other: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            sns_publish_requests: self.sns_publish_requests + other.sns_publish_requests,
+            sns_publish_batches: self.sns_publish_batches + other.sns_publish_batches,
+            sns_delivered_bytes: self.sns_delivered_bytes + other.sns_delivered_bytes,
+            sqs_api_calls: self.sqs_api_calls + other.sqs_api_calls,
+            sqs_empty_polls: self.sqs_empty_polls + other.sqs_empty_polls,
+            sqs_messages: self.sqs_messages + other.sqs_messages,
+            s3_put_requests: self.s3_put_requests + other.s3_put_requests,
+            s3_get_requests: self.s3_get_requests + other.s3_get_requests,
+            s3_list_requests: self.s3_list_requests + other.s3_list_requests,
+            s3_put_bytes: self.s3_put_bytes + other.s3_put_bytes,
+            s3_get_bytes: self.s3_get_bytes + other.s3_get_bytes,
+        }
+    }
 }
 
 impl ServiceMeter {
@@ -74,39 +104,68 @@ impl ServiceMeter {
         ServiceMeter::default()
     }
 
-    pub(crate) fn record_sns_publish(&self, billed_requests: u64) {
+    /// Applies `f` to the flow's bucket (creating it), unless `flow` is 0.
+    fn with_flow(&self, flow: u64, f: impl FnOnce(&mut MeterSnapshot)) {
+        if flow == 0 {
+            return;
+        }
+        f(self.flows.lock().entry(flow).or_default());
+    }
+
+    pub(crate) fn record_sns_publish(&self, flow: u64, billed_requests: u64) {
         self.sns_publish_batches.fetch_add(1, Ordering::Relaxed);
         self.sns_publish_requests
             .fetch_add(billed_requests, Ordering::Relaxed);
+        self.with_flow(flow, |s| {
+            s.sns_publish_batches += 1;
+            s.sns_publish_requests += billed_requests;
+        });
     }
 
-    pub(crate) fn record_sns_delivery(&self, bytes: u64) {
+    pub(crate) fn record_sns_delivery(&self, flow: u64, bytes: u64) {
         self.sns_delivered_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.with_flow(flow, |s| s.sns_delivered_bytes += bytes);
     }
 
-    pub(crate) fn record_sqs_call(&self, messages: u64, empty: bool) {
+    pub(crate) fn record_sqs_call(&self, flow: u64, messages: u64, empty: bool) {
         self.sqs_api_calls.fetch_add(1, Ordering::Relaxed);
         self.sqs_messages.fetch_add(messages, Ordering::Relaxed);
         if empty {
             self.sqs_empty_polls.fetch_add(1, Ordering::Relaxed);
         }
+        self.with_flow(flow, |s| {
+            s.sqs_api_calls += 1;
+            s.sqs_messages += messages;
+            if empty {
+                s.sqs_empty_polls += 1;
+            }
+        });
     }
 
-    pub(crate) fn record_s3_put(&self, bytes: u64) {
+    pub(crate) fn record_s3_put(&self, flow: u64, bytes: u64) {
         self.s3_put_requests.fetch_add(1, Ordering::Relaxed);
         self.s3_put_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.with_flow(flow, |s| {
+            s.s3_put_requests += 1;
+            s.s3_put_bytes += bytes;
+        });
     }
 
-    pub(crate) fn record_s3_get(&self, bytes: u64) {
+    pub(crate) fn record_s3_get(&self, flow: u64, bytes: u64) {
         self.s3_get_requests.fetch_add(1, Ordering::Relaxed);
         self.s3_get_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.with_flow(flow, |s| {
+            s.s3_get_requests += 1;
+            s.s3_get_bytes += bytes;
+        });
     }
 
-    pub(crate) fn record_s3_list(&self) {
+    pub(crate) fn record_s3_list(&self, flow: u64) {
         self.s3_list_requests.fetch_add(1, Ordering::Relaxed);
+        self.with_flow(flow, |s| s.s3_list_requests += 1);
     }
 
-    /// Copies the current counters.
+    /// Copies the current global counters.
     pub fn snapshot(&self) -> MeterSnapshot {
         MeterSnapshot {
             sns_publish_requests: self.sns_publish_requests.load(Ordering::Relaxed),
@@ -122,6 +181,23 @@ impl ServiceMeter {
             s3_get_bytes: self.s3_get_bytes.load(Ordering::Relaxed),
         }
     }
+
+    /// The events attributed to `flow` so far (zeros for unknown flows).
+    pub fn flow_snapshot(&self, flow: u64) -> MeterSnapshot {
+        self.flows.lock().get(&flow).copied().unwrap_or_default()
+    }
+
+    /// Removes `flow`'s bucket and returns its final window (request
+    /// teardown — a long-lived service must not accrete one bucket per
+    /// request ever served).
+    pub fn release_flow(&self, flow: u64) -> MeterSnapshot {
+        self.flows.lock().remove(&flow).unwrap_or_default()
+    }
+
+    /// Number of flows currently holding a bucket (leak checks in tests).
+    pub fn tracked_flows(&self) -> usize {
+        self.flows.lock().len()
+    }
 }
 
 #[cfg(test)]
@@ -131,14 +207,14 @@ mod tests {
     #[test]
     fn records_accumulate() {
         let m = ServiceMeter::new();
-        m.record_sns_publish(4);
-        m.record_sns_publish(1);
-        m.record_sns_delivery(1000);
-        m.record_sqs_call(10, false);
-        m.record_sqs_call(0, true);
-        m.record_s3_put(500);
-        m.record_s3_get(300);
-        m.record_s3_list();
+        m.record_sns_publish(0, 4);
+        m.record_sns_publish(0, 1);
+        m.record_sns_delivery(0, 1000);
+        m.record_sqs_call(0, 10, false);
+        m.record_sqs_call(0, 0, true);
+        m.record_s3_put(0, 500);
+        m.record_s3_get(0, 300);
+        m.record_s3_list(0);
         let s = m.snapshot();
         assert_eq!(s.sns_publish_requests, 5);
         assert_eq!(s.sns_publish_batches, 2);
@@ -151,15 +227,16 @@ mod tests {
         assert_eq!(s.s3_list_requests, 1);
         assert_eq!(s.s3_put_bytes, 500);
         assert_eq!(s.s3_get_bytes, 300);
+        assert_eq!(m.tracked_flows(), 0, "flow 0 is never bucketed");
     }
 
     #[test]
     fn since_computes_window() {
         let m = ServiceMeter::new();
-        m.record_s3_put(100);
+        m.record_s3_put(0, 100);
         let a = m.snapshot();
-        m.record_s3_put(250);
-        m.record_s3_list();
+        m.record_s3_put(0, 250);
+        m.record_s3_list(0);
         let b = m.snapshot();
         let d = b.since(&a);
         assert_eq!(d.s3_put_requests, 1);
@@ -169,14 +246,56 @@ mod tests {
     }
 
     #[test]
+    fn flows_are_bucketed_disjointly() {
+        let m = ServiceMeter::new();
+        m.record_s3_put(1, 100);
+        m.record_s3_put(2, 40);
+        m.record_s3_put(2, 60);
+        m.record_sqs_call(1, 3, false);
+        m.record_sns_publish(0, 2); // unattributed: global only
+        let f1 = m.flow_snapshot(1);
+        let f2 = m.flow_snapshot(2);
+        assert_eq!(f1.s3_put_requests, 1);
+        assert_eq!(f1.s3_put_bytes, 100);
+        assert_eq!(f1.sqs_api_calls, 1);
+        assert_eq!(f2.s3_put_requests, 2);
+        assert_eq!(f2.s3_put_bytes, 100);
+        assert_eq!(f2.sqs_api_calls, 0);
+        // Per-flow windows are disjoint and sum (with unattributed events)
+        // to the global counters.
+        let global = m.snapshot();
+        let summed = f1.plus(&f2);
+        assert_eq!(summed.s3_put_requests, global.s3_put_requests);
+        assert_eq!(summed.s3_put_bytes, global.s3_put_bytes);
+        assert_eq!(summed.sqs_api_calls, global.sqs_api_calls);
+        assert_eq!(global.sns_publish_requests, 2);
+        assert_eq!(summed.sns_publish_requests, 0);
+    }
+
+    #[test]
+    fn release_flow_returns_and_clears() {
+        let m = ServiceMeter::new();
+        m.record_s3_get(9, 123);
+        assert_eq!(m.tracked_flows(), 1);
+        let window = m.release_flow(9);
+        assert_eq!(window.s3_get_requests, 1);
+        assert_eq!(window.s3_get_bytes, 123);
+        assert_eq!(m.tracked_flows(), 0);
+        assert_eq!(m.flow_snapshot(9), MeterSnapshot::default());
+        assert_eq!(m.release_flow(9), MeterSnapshot::default());
+        // The global counters keep the released flow's history.
+        assert_eq!(m.snapshot().s3_get_requests, 1);
+    }
+
+    #[test]
     fn concurrent_increments_are_not_lost() {
         let m = std::sync::Arc::new(ServiceMeter::new());
         let mut handles = Vec::new();
-        for _ in 0..8 {
+        for t in 0..8u64 {
             let m = m.clone();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..1000 {
-                    m.record_sqs_call(1, false);
+                    m.record_sqs_call(t % 2 + 1, 1, false);
                 }
             }));
         }
@@ -185,5 +304,7 @@ mod tests {
         }
         assert_eq!(m.snapshot().sqs_api_calls, 8000);
         assert_eq!(m.snapshot().sqs_messages, 8000);
+        assert_eq!(m.flow_snapshot(1).sqs_api_calls, 4000);
+        assert_eq!(m.flow_snapshot(2).sqs_api_calls, 4000);
     }
 }

@@ -88,7 +88,7 @@ impl ObjectStore {
             .ok_or_else(|| CommError::NoSuchBucket {
                 bucket: bucket.to_string(),
             })?;
-        self.meter.record_s3_put(bytes.len() as u64);
+        self.meter.record_s3_put(clock.flow(), bytes.len() as u64);
         b.insert(
             key.to_string(),
             StoredObject {
@@ -144,7 +144,8 @@ impl ObjectStore {
         drop(buckets);
         match found {
             Some(obj) => {
-                self.meter.record_s3_get(obj.bytes.len() as u64);
+                self.meter
+                    .record_s3_get(clock.flow(), obj.bytes.len() as u64);
                 clock.advance_micros(
                     self.jitter
                         .apply(self.latency.s3_get_total_us(obj.bytes.len())),
@@ -152,7 +153,7 @@ impl ObjectStore {
                 Ok(obj.bytes)
             }
             None => {
-                self.meter.record_s3_get(0);
+                self.meter.record_s3_get(clock.flow(), 0);
                 clock.advance_micros(self.jitter.apply(self.latency.s3_get_us));
                 Err(CommError::NoSuchKey {
                     key: format!("{bucket}/{key}"),
@@ -170,7 +171,7 @@ impl ObjectStore {
         prefix: &str,
         clock: &mut VClock,
     ) -> Result<Vec<String>, CommError> {
-        self.meter.record_s3_list();
+        self.meter.record_s3_list(clock.flow());
         clock.advance_micros(self.jitter.apply(self.latency.s3_list_us));
         let mut buckets = self.buckets.lock();
         if !buckets.contains_key(bucket) {
@@ -257,7 +258,7 @@ impl ObjectStore {
         };
         if found.len() <= known {
             // Still nothing new: one empty-ish scan, caller loops.
-            self.meter.record_s3_list();
+            self.meter.record_s3_list(clock.flow());
             clock.advance_micros(self.jitter.apply(self.latency.s3_list_us));
             return Ok((visible(&found, clock.now()), 1));
         }
@@ -279,10 +280,110 @@ impl ObjectStore {
             1 + gap / interval
         };
         for _ in 0..scans {
-            self.meter.record_s3_list();
+            self.meter.record_s3_list(clock.flow());
         }
         clock.advance_micros(self.jitter.apply(self.latency.s3_list_us));
         Ok((visible(&found, clock.now()), scans))
+    }
+
+    /// Raw scan for the deterministic channel receive path: blocks briefly
+    /// in *real* time while no more than `known` keys match, then returns
+    /// every matching `(key, availability stamp)` — **no billing, no clock
+    /// movement, no visibility filter**. The caller later reconstructs the
+    /// billed continuous-rescan sequence from the stamps with
+    /// [`ObjectStore::settle_scans`], decoupling billing and timing from
+    /// real-thread scheduling.
+    pub fn scan_keys(
+        &self,
+        bucket: &str,
+        prefix: &str,
+        known: usize,
+    ) -> Result<Vec<(String, VirtualTime)>, CommError> {
+        let mut buckets = self.buckets.lock();
+        if !buckets.contains_key(bucket) {
+            return Err(CommError::NoSuchBucket {
+                bucket: bucket.to_string(),
+            });
+        }
+        let matches = |buckets: &HashMap<String, BTreeMap<String, StoredObject>>| {
+            buckets[bucket]
+                .range(prefix.to_string()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, o)| (k.clone(), o.available_at))
+                .collect::<Vec<(String, VirtualTime)>>()
+        };
+        let mut found = matches(&buckets);
+        if found.len() <= known {
+            let deadline = std::time::Instant::now() + REAL_WAIT_LONG;
+            while found.len() <= known {
+                let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+                if timeout.is_zero() {
+                    break;
+                }
+                self.cond.wait_for(&mut buckets, timeout);
+                found = matches(&buckets);
+            }
+        }
+        Ok(found)
+    }
+
+    /// Bills one unproductive LIST (the liveness escape hatch of the
+    /// deterministic receive path when a producer has really not shown up
+    /// within the real-time grace).
+    pub fn empty_scan(&self, clock: &mut VClock) {
+        self.meter.record_s3_list(clock.flow());
+        clock.advance_micros(self.jitter.apply(self.latency.s3_list_us));
+    }
+
+    /// Reconstructs — deterministically, from virtual stamps alone — the
+    /// continuous-rescan LIST sequence a consumer starting at `clock`
+    /// would have issued until every object with the given availability
+    /// stamps had surfaced: objects already visible cost one productive
+    /// scan, objects stamped in the virtual future cost
+    /// `ceil(gap / scan_interval)` rescans (back-to-back scanning at the
+    /// LIST round trip by default) before the productive one. Bills every
+    /// scan and advances the clock through the sequence; returns the
+    /// number of billed LISTs.
+    pub fn settle_scans(
+        &self,
+        clock: &mut VClock,
+        scan_interval_us: Option<u64>,
+        stamps: &[VirtualTime],
+    ) -> u64 {
+        let interval = scan_interval_us.unwrap_or(self.latency.s3_list_us).max(1);
+        let mut stamps: Vec<VirtualTime> = stamps.to_vec();
+        stamps.sort_unstable();
+        let mut scans = 0u64;
+        let mut i = 0usize;
+        while i < stamps.len() {
+            let next = stamps[i];
+            if next > clock.now() {
+                // Model the rescan loop spinning until the next object
+                // lands.
+                let gap = next.as_micros() - clock.now().as_micros();
+                let waiting = gap / interval;
+                for _ in 0..waiting {
+                    self.meter.record_s3_list(clock.flow());
+                }
+                scans += waiting;
+                clock.observe(next);
+            }
+            // The productive scan surfaces everything visible at this
+            // instant.
+            while i < stamps.len() && stamps[i] <= clock.now() {
+                i += 1;
+            }
+            self.meter.record_s3_list(clock.flow());
+            scans += 1;
+            clock.advance_micros(self.jitter.apply(self.latency.s3_list_us));
+        }
+        if scans == 0 {
+            // Nothing to wait for still costs the scan that proved it.
+            self.meter.record_s3_list(clock.flow());
+            scans = 1;
+            clock.advance_micros(self.jitter.apply(self.latency.s3_list_us));
+        }
+        scans
     }
 
     /// Deletes every object under `prefix` (inter-run cleanup; modeled as

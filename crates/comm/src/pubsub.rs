@@ -119,7 +119,7 @@ impl PubSub {
         }
         // Billed in 64 KiB increments, minimum one request per batch.
         let billed = (total.div_ceil(quota::BILLING_INCREMENT)).max(1) as u64;
-        self.meter.record_sns_publish(billed);
+        self.meter.record_sns_publish(clock.flow(), billed);
         clock.advance_micros(self.jitter.apply(self.latency.sns_publish_total_us(total)));
 
         // Service-side distribution: each message becomes visible in its
@@ -129,7 +129,11 @@ impl PubSub {
             if let Some(queue) = subs.get(&(msg.attributes.flow, msg.attributes.target)) {
                 let delay = self.jitter.apply(self.latency.sns_delivery_us);
                 let available_at = clock.now().plus_micros(delay);
-                self.meter.record_sns_delivery(msg.len() as u64);
+                // Delivery is attributed to the *message's* flow — the
+                // service-side fan-out belongs to the request that published
+                // the message, whatever clock carried the API call.
+                self.meter
+                    .record_sns_delivery(msg.attributes.flow, msg.len() as u64);
                 queue.enqueue(available_at, msg);
             }
             // No matching filter policy: dropped, exactly like SNS.

@@ -160,7 +160,8 @@ impl SqsQueue {
         inner.visible = kept;
         drop(inner);
 
-        self.meter.record_sqs_call(out.len() as u64, out.is_empty());
+        self.meter
+            .record_sqs_call(clock.flow(), out.len() as u64, out.is_empty());
         clock.advance_micros(
             self.jitter
                 .apply(self.latency.sqs_poll_total_us(taken_bytes)),
@@ -208,7 +209,7 @@ impl SqsQueue {
         }
         if inner.visible.is_empty() {
             drop(inner);
-            self.meter.record_sqs_call(0, true);
+            self.meter.record_sqs_call(clock.flow(), 0, true);
             clock.advance_micros(self.jitter.apply(self.latency.sqs_poll_us));
             clock.advance_micros(wait_us);
             return (Vec::new(), 1);
@@ -241,9 +242,10 @@ impl SqsQueue {
         let gap = earliest.as_micros().saturating_sub(clock.now().as_micros());
         let rounds = 1 + gap / wait_us;
         for _ in 0..rounds - 1 {
-            self.meter.record_sqs_call(0, true);
+            self.meter.record_sqs_call(clock.flow(), 0, true);
         }
-        self.meter.record_sqs_call(out.len() as u64, false);
+        self.meter
+            .record_sqs_call(clock.flow(), out.len() as u64, false);
         clock.advance_micros(
             self.jitter
                 .apply(self.latency.sqs_poll_total_us(taken_bytes)),
@@ -251,6 +253,109 @@ impl SqsQueue {
         let latest = out.iter().map(|m| m.available_at).max().expect("non-empty");
         clock.observe(latest);
         (out, rounds)
+    }
+
+    /// Raw destructive take for the deterministic channel receive path:
+    /// blocks briefly in *real* time for producers, then removes and
+    /// returns up to `max` visible messages — **no billing, no clock
+    /// movement**. The caller later reconstructs the billed long-poll
+    /// sequence from the returned availability stamps with
+    /// [`SqsQueue::settle_receives`], which is what decouples billing and
+    /// timing from real-thread batching entirely.
+    pub fn take_visible(&self, max: usize) -> Vec<ReceivedMessage> {
+        let mut inner = self.inner.lock();
+        if inner.visible.is_empty() {
+            let deadline = std::time::Instant::now() + REAL_WAIT_LONG;
+            while inner.visible.is_empty() {
+                let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+                if timeout.is_zero() {
+                    break;
+                }
+                self.cond.wait_for(&mut inner, timeout);
+            }
+        }
+        let mut out = Vec::new();
+        while out.len() < max {
+            let Some(qm) = inner.visible.pop_front() else {
+                break;
+            };
+            let handle = self.next_handle.fetch_add(1, Ordering::Relaxed);
+            out.push(ReceivedMessage {
+                handle,
+                available_at: qm.available_at,
+                message: qm.message,
+            });
+        }
+        out
+    }
+
+    /// Bills one empty long poll (timeout after the full wait `W`) —
+    /// the liveness escape hatch of the deterministic receive path when a
+    /// producer has really not shown up within the real-time grace: the
+    /// consumer's virtual clock keeps moving toward its timeout budget.
+    pub fn empty_poll(&self, clock: &mut VClock, wait_secs: f64) {
+        self.meter.record_sqs_call(clock.flow(), 0, true);
+        clock.advance_micros(self.jitter.apply(self.latency.sqs_poll_us));
+        clock.advance_micros(VirtualTime::from_secs_f64(wait_secs).as_micros().max(1));
+    }
+
+    /// Reconstructs — deterministically, from virtual stamps alone — the
+    /// long-poll sequence a consumer starting at `clock` with wait `W`
+    /// would have issued to collect messages with the given
+    /// `(availability stamp, body bytes)` set, billing every receive
+    /// (including empty timeout rounds while a stamp is still in the
+    /// virtual future) and one `DeleteMessageBatch` per productive round,
+    /// and advancing the clock through the whole sequence. Returns the
+    /// number of billed SQS calls.
+    ///
+    /// Because the stamp set of a request's layer is a pure function of
+    /// the workload, so is everything this bills — regardless of how real
+    /// threads happened to batch the physical arrivals.
+    pub fn settle_receives(
+        &self,
+        clock: &mut VClock,
+        wait_secs: f64,
+        taken: &[(VirtualTime, usize)],
+    ) -> u64 {
+        let wait_us = VirtualTime::from_secs_f64(wait_secs).as_micros().max(1);
+        let mut msgs: Vec<(VirtualTime, usize)> = taken.to_vec();
+        msgs.sort_unstable();
+        let mut calls = 0u64;
+        let mut i = 0usize;
+        while i < msgs.len() {
+            let next = msgs[i].0;
+            if next.as_micros() > clock.now().as_micros().saturating_add(wait_us) {
+                // The poll would have timed out empty before this message
+                // became visible.
+                self.meter.record_sqs_call(clock.flow(), 0, true);
+                calls += 1;
+                clock.advance_micros(self.jitter.apply(self.latency.sqs_poll_us));
+                clock.advance_micros(wait_us);
+                continue;
+            }
+            // Long polling returns as soon as the earliest message lands;
+            // the round takes everything visible at that instant (≤ 10).
+            clock.observe(next);
+            let mut batch_bytes = 0usize;
+            let mut n = 0u64;
+            while i < msgs.len() && msgs[i].0 <= clock.now() && n < quota::MAX_BATCH_MESSAGES as u64
+            {
+                batch_bytes += msgs[i].1;
+                n += 1;
+                i += 1;
+            }
+            self.meter.record_sqs_call(clock.flow(), n, false);
+            calls += 1;
+            clock.advance_micros(
+                self.jitter
+                    .apply(self.latency.sqs_poll_total_us(batch_bytes)),
+            );
+            // Algorithm 1 line 15: delete the polled batch.
+            self.meter.record_sqs_call(clock.flow(), 0, false);
+            calls += 1;
+            clock.advance_micros(self.jitter.apply(self.latency.sqs_delete_us));
+        }
+        calls
     }
 
     /// One `DeleteMessageBatch` call for up to 10 receipt handles.
@@ -264,7 +369,7 @@ impl SqsQueue {
             inner.in_flight.remove(h);
         }
         drop(inner);
-        self.meter.record_sqs_call(0, false);
+        self.meter.record_sqs_call(clock.flow(), 0, false);
         clock.advance_micros(self.jitter.apply(self.latency.sqs_delete_us));
     }
 

@@ -67,15 +67,44 @@ impl fmt::Display for VirtualTime {
 }
 
 /// A worker's private simulated clock.
+///
+/// Besides the time, the clock carries the **flow id** of the request its
+/// worker belongs to: every metered service call takes `&mut VClock`, so
+/// the flow travels to the billing meters without threading an extra
+/// parameter through each call site. Flow `0` means "unattributed" (tests,
+/// offline tooling, baselines).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VClock {
     now: VirtualTime,
+    flow: u64,
 }
 
 impl VClock {
-    /// A clock starting at `t`.
+    /// A clock starting at `t` in the unattributed flow.
     pub fn starting_at(t: VirtualTime) -> VClock {
-        VClock { now: t }
+        VClock { now: t, flow: 0 }
+    }
+
+    /// The request flow this clock's billable events are attributed to.
+    #[inline]
+    pub fn flow(&self) -> u64 {
+        self.flow
+    }
+
+    /// Attributes subsequent billable events to `flow` (the FaaS platform
+    /// stamps each worker's clock with its function's flow at launch).
+    #[inline]
+    pub fn set_flow(&mut self, flow: u64) {
+        self.flow = flow;
+    }
+
+    /// Builder form of [`VClock::set_flow`] — used when deriving side
+    /// clocks (e.g. a channel's modeled sender thread pool) that must keep
+    /// billing to the originating request.
+    #[inline]
+    pub fn with_flow(mut self, flow: u64) -> VClock {
+        self.flow = flow;
+        self
     }
 
     /// Current simulated time.
@@ -142,6 +171,16 @@ mod tests {
     fn saturating_addition() {
         let t = VirtualTime(u64::MAX - 1);
         assert_eq!(t.plus_micros(100).as_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn clock_carries_its_flow() {
+        let mut c = VClock::default();
+        assert_eq!(c.flow(), 0, "default clock is unattributed");
+        c.set_flow(7);
+        c.advance_micros(100);
+        assert_eq!(c.flow(), 7, "time movement must not lose the flow");
+        assert_eq!(VClock::starting_at(VirtualTime::from_micros(5)).flow(), 0);
     }
 
     #[test]

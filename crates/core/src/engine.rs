@@ -154,12 +154,11 @@ pub struct InferenceReport {
     /// End-to-end query latency: request arrival → root holds the result.
     pub latency: VirtualTime,
     pub per_worker: Vec<WorkerReport>,
-    /// Service-side billing events during the run. Under concurrent load
-    /// the service meters are shared across in-flight requests, so this
-    /// window may include neighbors' traffic; `client` and
-    /// `cost_predicted` are always request-local.
+    /// Service-side billing events of *this request only*: the meters
+    /// bucket events by the request's flow id (carried on every worker's
+    /// clock), so concurrent neighbors never leak into this window.
     pub comm: MeterSnapshot,
-    /// Lambda billing during the run (same sharing caveat as `comm`).
+    /// Lambda billing of this request only (same flow-scoped window).
     pub lambda: LambdaSnapshot,
     /// Client-side channel statistics (request-local).
     pub client: ChannelStatsSnapshot,

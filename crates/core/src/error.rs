@@ -44,6 +44,21 @@ pub enum FsdError {
     /// billing attribution would be meaningless (an engine invariant
     /// violation, previously masked as a zero latency).
     NoWorkerReports,
+    /// The scheduler's admission queue for the request's priority class is
+    /// full: explicit backpressure instead of unbounded buffering. The
+    /// caller should retry after `retry_after` (virtual time, estimated
+    /// from the current backlog and observed service latency).
+    Overloaded {
+        /// Suggested virtual-time backoff before retrying.
+        retry_after: VirtualTime,
+    },
+    /// The scheduler is draining for shutdown and accepts no new requests.
+    ShuttingDown,
+    /// The scheduler has no model registered under this name.
+    UnknownModel {
+        /// The name the request addressed.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for FsdError {
@@ -68,6 +83,13 @@ impl std::fmt::Display for FsdError {
             }
             FsdError::MissingOutput => write!(f, "root worker returned no final output"),
             FsdError::NoWorkerReports => write!(f, "run produced no worker reports"),
+            FsdError::Overloaded { retry_after } => {
+                write!(f, "scheduler overloaded: retry after {retry_after}")
+            }
+            FsdError::ShuttingDown => write!(f, "scheduler is shutting down"),
+            FsdError::UnknownModel { name } => {
+                write!(f, "no model registered under {name:?}")
+            }
         }
     }
 }
@@ -159,6 +181,20 @@ mod tests {
                 assert_eq!(failure.op, "service");
                 assert!(failure.detail.contains("no batches"));
             }
+            other => panic!("expected Comm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scheduler_errors_display_and_shim_convert() {
+        let overloaded = FsdError::Overloaded {
+            retry_after: VirtualTime::from_secs_f64(1.5),
+        };
+        assert!(overloaded.to_string().contains("retry after"));
+        assert!(FsdError::ShuttingDown.to_string().contains("shutting down"));
+        // Service-level conditions route through the shim's "service" op.
+        match FaasError::from(overloaded) {
+            FaasError::Comm(failure) => assert_eq!(failure.op, "service"),
             other => panic!("expected Comm, got {other:?}"),
         }
     }

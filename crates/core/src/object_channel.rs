@@ -12,10 +12,26 @@
 use crate::channel::{FsiChannel, RecvTracker, Tag};
 use crate::queue_channel::{decode_payload, encode_payload, ChannelOptions};
 use crate::stats::ChannelStats;
-use fsd_comm::{bucket_name, CloudEnv, CommError, VClock};
+use fsd_comm::{bucket_name, CloudEnv, VClock, VirtualTime};
 use fsd_faas::{FaasError, WorkerCtx};
 use fsd_sparse::SparseRows;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// Per-`(receiver, tag)` scan state: keys already surfaced and the files
+/// awaiting the tag's completion. Raw scans land here with no billing and
+/// no clock movement; when the receiver's tracker completes, the billed
+/// continuous-rescan sequence is reconstructed from the availability
+/// stamps ([`fsd_comm::ObjectStore::settle_scans`]) and the `.dat` files
+/// are fetched in deterministic stamp order — per-request timing and
+/// billing never depend on which real-time scan surfaced which file.
+#[derive(Default)]
+struct ScanInbox {
+    seen: HashSet<String>,
+    /// `(stamp, key, source, is_nul)`.
+    files: Vec<(VirtualTime, String, u32, bool)>,
+}
 
 /// The object-storage channel. One instance serves one request flow: every
 /// key lives under a `f{flow}/` namespace, so concurrent requests share the
@@ -27,6 +43,8 @@ pub struct ObjectChannel {
     flow: u64,
     opts: ChannelOptions,
     stats: ChannelStats,
+    /// Deferred scan state: `(receiver, tag) → inbox`.
+    inboxes: Mutex<HashMap<(u32, u32), ScanInbox>>,
 }
 
 impl ObjectChannel {
@@ -52,6 +70,7 @@ impl ObjectChannel {
             flow,
             opts,
             stats: ChannelStats::new(),
+            inboxes: Mutex::new(HashMap::new()),
         })
     }
 
@@ -133,9 +152,11 @@ impl FsiChannel for ObjectChannel {
                 puts.push((bucket, format!("{prefix}{src}_{target}.dat"), body));
             }
         }
-        // …then issue the PUTs over the modeled thread pool.
+        // …then issue the PUTs over the modeled thread pool. Lane clocks
+        // inherit the worker's flow so the PUTs bill to the request.
         let lanes = self.opts.send_threads.max(1);
-        let mut lane_clocks: Vec<VClock> = vec![VClock::starting_at(ctx.now()); lanes];
+        let lane0 = VClock::starting_at(ctx.now()).with_flow(ctx.clock_mut().flow());
+        let mut lane_clocks: Vec<VClock> = vec![lane0; lanes];
         for (i, (bucket, key, body)) in puts.into_iter().enumerate() {
             let lane = &mut lane_clocks[i % lanes];
             let bytes = body.len() as u64;
@@ -160,42 +181,80 @@ impl FsiChannel for ObjectChannel {
     ) -> Result<Vec<(u32, SparseRows)>, FaasError> {
         let bucket = self.bucket_for(me);
         let prefix = self.prefix_for(tag, me);
-        // `known`: files already consumed under this prefix — one per
-        // completed source (objects persist after processing, so a scan is
-        // only productive when it surfaces more keys than that).
-        let (keys, scans) = self
+        let want = tag.encode();
+        if !tracker.done() {
+            // Raw scan: name parsing only — every virtual effect (LIST
+            // billing, GET fetches, decode charges, clock joins) is
+            // deferred to the tag's completion. A source is complete when
+            // its single `.dat`/`.nul` file has *surfaced by name*; the
+            // data is fetched at completion in stamp order.
+            let known = self
+                .inboxes
+                .lock()
+                .get(&(me, want))
+                .map_or(0, |inbox| inbox.seen.len());
+            let found = self
+                .env
+                .object_store()
+                .scan_keys(&bucket, &prefix, known)
+                .map_err(|e| FaasError::comm("list", &prefix, e))?;
+            let mut inboxes = self.inboxes.lock();
+            let inbox = inboxes.entry((me, want)).or_default();
+            let mut surfaced_new = false;
+            for (key, stamp) in found {
+                if !inbox.seen.insert(key.clone()) {
+                    continue;
+                }
+                surfaced_new = true;
+                let Some((src, is_nul)) = parse_handle(&key) else {
+                    continue;
+                };
+                // Redundant-read optimization: completed sources are
+                // skipped — their files are never fetched.
+                if !tracker.is_pending(src) {
+                    continue;
+                }
+                tracker.complete(src);
+                inbox.files.push((stamp, key, src, is_nul));
+            }
+            drop(inboxes);
+            if !surfaced_new && !tracker.done() {
+                // Genuine producer drought beyond the real-time grace:
+                // bill one unproductive LIST so the caller's limit checks
+                // keep walking toward the virtual timeout.
+                self.env.object_store().empty_scan(ctx.clock_mut());
+                self.stats.add(&self.stats.s3_lists, 1);
+                return Ok(Vec::new());
+            }
+        }
+        if !tracker.done() {
+            return Ok(Vec::new());
+        }
+        // Tag complete: settle the billed scan sequence from the stamp
+        // set, then fetch the `.dat` files in deterministic stamp order.
+        let inbox = self.inboxes.lock().remove(&(me, want)).unwrap_or_default();
+        let mut files = inbox.files;
+        files.sort_unstable_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let stamps: Vec<VirtualTime> = files.iter().map(|(stamp, ..)| *stamp).collect();
+        let scans = self
             .env
             .object_store()
-            .list_wait(&bucket, &prefix, ctx.clock_mut(), None, tracker.completed())
-            .map_err(|e| FaasError::comm("list", &prefix, e))?;
+            .settle_scans(ctx.clock_mut(), None, &stamps);
         self.stats.add(&self.stats.s3_lists, scans);
         let mut out = Vec::new();
-        for key in keys {
-            let Some((src, is_nul)) = parse_handle(&key) else {
-                continue;
-            };
-            // Redundant-read optimization: completed sources are skipped.
-            if !tracker.is_pending(src) {
-                continue;
-            }
+        for (_, key, src, is_nul) in files {
             if is_nul {
-                tracker.complete(src);
                 continue;
             }
-            match self.env.object_store().get(&bucket, &key, ctx.clock_mut()) {
-                Ok(body) => {
-                    self.stats.add(&self.stats.s3_gets, 1);
-                    let rows = decode_payload(ctx, &body, self.opts.compression)?;
-                    tracker.complete(src);
-                    if !rows.is_empty() {
-                        out.push((src, rows));
-                    }
-                }
-                // Listed but not yet visible to our clock: retry next scan.
-                Err(CommError::NoSuchKey { .. }) => {
-                    self.stats.add(&self.stats.s3_gets, 1);
-                }
-                Err(e) => return Err(FaasError::comm("get", &key, e)),
+            let body = self
+                .env
+                .object_store()
+                .get(&bucket, &key, ctx.clock_mut())
+                .map_err(|e| FaasError::comm("get", &key, e))?;
+            self.stats.add(&self.stats.s3_gets, 1);
+            let rows = decode_payload(ctx, &body, self.opts.compression)?;
+            if !rows.is_empty() {
+                out.push((src, rows));
             }
         }
         Ok(out)

@@ -97,8 +97,21 @@ pub(crate) fn decode_payload(
     codec::decode(&encoded).map_err(|e| FaasError::comm("decode", "", e))
 }
 
-/// Early-arrival stash entry: `(source, total_chunks, rows)`.
-type StashedChunk = (u32, u32, SparseRows);
+/// Per-`(receiver, tag)` buffer of raw arrivals awaiting the tag's
+/// completion. Physical dequeues land here with **no billing and no clock
+/// movement**; when the receiver's tracker completes, the whole set is
+/// processed in deterministic stamp order and the billed long-poll
+/// sequence is reconstructed from the stamps
+/// ([`SqsQueue::settle_receives`]) — so per-request timing and billing
+/// never depend on how real threads happened to batch the arrivals.
+#[derive(Default)]
+struct TagInbox {
+    /// `(stamp, source, total_chunks, wire body)` in arrival order.
+    raw: Vec<(fsd_comm::VirtualTime, u32, u32, Vec<u8>)>,
+    /// Chunk announcements not yet applied to the tag's tracker (filled
+    /// when messages arrive while another tag is being received).
+    unapplied: Vec<(u32, u32)>,
+}
 
 /// The pub-sub/queueing channel. One instance serves one request flow:
 /// its queues and filter-policy subscriptions are namespaced by the flow
@@ -111,8 +124,8 @@ pub struct QueueChannel {
     opts: ChannelOptions,
     queues: Vec<Arc<SqsQueue>>,
     stats: ChannelStats,
-    /// Early-arrival stash: `(receiver, tag) → [(source, total_chunks, rows)]`.
-    stash: Mutex<HashMap<(u32, u32), Vec<StashedChunk>>>,
+    /// Deferred arrivals: `(receiver, tag) → inbox`.
+    inboxes: Mutex<HashMap<(u32, u32), TagInbox>>,
 }
 
 impl QueueChannel {
@@ -149,7 +162,7 @@ impl QueueChannel {
             opts,
             queues,
             stats: ChannelStats::new(),
-            stash: Mutex::new(HashMap::new()),
+            inboxes: Mutex::new(HashMap::new()),
         })
     }
 
@@ -276,7 +289,10 @@ impl FsiChannel for QueueChannel {
         //    i, i+T, i+2T, …; the caller's clock joins the slowest lane.
         let topic = src as usize % self.env.pubsub().n_topics();
         let lanes = self.opts.send_threads.max(1);
-        let mut lane_clocks: Vec<VClock> = vec![VClock::starting_at(ctx.now()); lanes];
+        // Lane clocks inherit the worker's flow so publishes bill to the
+        // request.
+        let lane0 = VClock::starting_at(ctx.now()).with_flow(ctx.clock_mut().flow());
+        let mut lane_clocks: Vec<VClock> = vec![lane0; lanes];
         for (i, batch) in batches.into_iter().enumerate() {
             let lane = &mut lane_clocks[i % lanes];
             let bytes: u64 = batch.iter().map(|m| m.len() as u64).sum();
@@ -304,46 +320,75 @@ impl FsiChannel for QueueChannel {
         tracker: &mut RecvTracker,
     ) -> Result<Vec<(u32, SparseRows)>, FaasError> {
         let want = tag.encode();
+        // Apply chunk announcements that arrived while another tag was
+        // being received (early senders a layer ahead).
+        {
+            let mut inboxes = self.inboxes.lock();
+            if let Some(inbox) = inboxes.get_mut(&(me, want)) {
+                for (source, total) in inbox.unapplied.drain(..) {
+                    tracker.record_chunk(source, total);
+                }
+            }
+        }
+        if !tracker.done() {
+            // Raw physical take: attribute parsing only — every virtual
+            // effect (decode charges, poll billing, clock joins) is
+            // deferred to the tag's completion so it cannot depend on how
+            // the arrivals were batched in real time.
+            let msgs = self.queues[me as usize].take_visible(quota::MAX_BATCH_MESSAGES);
+            if msgs.is_empty() {
+                // Genuine producer drought beyond the real-time grace:
+                // bill one empty long poll so a stuck run still walks
+                // toward its virtual timeout instead of spinning forever.
+                self.queues[me as usize].empty_poll(ctx.clock_mut(), self.opts.long_poll_secs);
+                self.stats.add(&self.stats.sqs_calls, 1);
+                return Ok(Vec::new());
+            }
+            let mut inboxes = self.inboxes.lock();
+            for msg in msgs {
+                let attrs = msg.message.attributes;
+                if attrs.layer == want {
+                    tracker.record_chunk(attrs.source, attrs.total_chunks);
+                } else {
+                    inboxes
+                        .entry((me, attrs.layer))
+                        .or_default()
+                        .unapplied
+                        .push((attrs.source, attrs.total_chunks));
+                }
+                inboxes.entry((me, attrs.layer)).or_default().raw.push((
+                    msg.available_at,
+                    attrs.source,
+                    attrs.total_chunks,
+                    msg.message.body,
+                ));
+            }
+        }
+        if !tracker.done() {
+            return Ok(Vec::new());
+        }
+        // Tag complete: process the whole arrival set in deterministic
+        // stamp order and settle the billed poll sequence from the stamps.
+        let inbox = self.inboxes.lock().remove(&(me, want)).unwrap_or_default();
+        let mut raw = inbox.raw;
+        raw.sort_unstable_by_key(|m| (m.0, m.1, m.3.len()));
+        let billing: Vec<(fsd_comm::VirtualTime, usize)> = raw
+            .iter()
+            .map(|(stamp, .., body)| (*stamp, body.len()))
+            .collect();
         let mut out = Vec::new();
-        // Drain any stashed early arrivals for this tag first.
-        if let Some(stashed) = self.stash.lock().remove(&(me, want)) {
-            for (source, total, rows) in stashed {
-                tracker.record_chunk(source, total);
-                if !rows.is_empty() {
-                    out.push((source, rows));
-                }
-            }
-            if tracker.done() {
-                return Ok(out);
+        for (_, source, _, body) in raw {
+            let rows = decode_payload(ctx, &body, self.opts.compression)?;
+            if !rows.is_empty() {
+                out.push((source, rows));
             }
         }
-        let queue = &self.queues[me as usize];
-        let (msgs, rounds) = queue.receive_wait(ctx.clock_mut(), self.opts.long_poll_secs);
+        let rounds = self.queues[me as usize].settle_receives(
+            ctx.clock_mut(),
+            self.opts.long_poll_secs,
+            &billing,
+        );
         self.stats.add(&self.stats.sqs_calls, rounds);
-        if msgs.is_empty() {
-            return Ok(out);
-        }
-        let handles: Vec<u64> = msgs.iter().map(|m| m.handle).collect();
-        for msg in msgs {
-            let attrs = msg.message.attributes;
-            let rows = decode_payload(ctx, &msg.message.body, self.opts.compression)?;
-            if attrs.layer == want {
-                tracker.record_chunk(attrs.source, attrs.total_chunks);
-                if !rows.is_empty() {
-                    out.push((attrs.source, rows));
-                }
-            } else {
-                // A sender already working on a later tag; keep for later.
-                self.stash
-                    .lock()
-                    .entry((me, attrs.layer))
-                    .or_default()
-                    .push((attrs.source, attrs.total_chunks, rows));
-            }
-        }
-        // Algorithm 1 line 15: delete the polled batch.
-        queue.delete_batch(ctx.clock_mut(), &handles);
-        self.stats.add(&self.stats.sqs_calls, 1);
         Ok(out)
     }
 }

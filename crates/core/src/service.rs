@@ -121,6 +121,12 @@ impl FsdService {
         &self.env
     }
 
+    /// The FaaS platform this service launches workers on
+    /// (inspection/tests: lambda billing meters, flow leak checks).
+    pub fn platform(&self) -> &Arc<FaasPlatform> {
+        &self.platform
+    }
+
     /// The model being served.
     pub fn dnn(&self) -> &Arc<SparseDnn> {
         &self.dnn
@@ -274,11 +280,12 @@ impl FsdService {
             );
         }
 
-        // Measurement window starts after offline staging. Requests arrive
-        // at the origin of their own virtual timeline.
+        // Requests arrive at the origin of their own virtual timeline. The
+        // billing window is the request's *flow*: every worker launched
+        // below carries the flow on its clock, so the service meters bucket
+        // this request's events separately from concurrent neighbors'
+        // (offline staging uses unbilled writes and never shows up).
         let arrival = VirtualTime::ZERO;
-        let comm_before = self.env.snapshot();
-        let lambda_before = self.platform.lambda_snapshot();
         let samples: usize = req.batches.iter().map(|b| b.width()).sum();
         let widths: Vec<usize> = req.batches.iter().map(|b| b.width()).collect();
 
@@ -289,14 +296,11 @@ impl FsdService {
         self.env
             .object_store()
             .delete_prefix(ARTIFACT_BUCKET, &format!("{input_key}/"));
+        // Harvest-and-release the request-local billing windows (success or
+        // not — a long-lived service must not accrete per-flow buckets).
+        let comm = self.env.release_flow(flow);
+        let lambda: LambdaSnapshot = self.platform.lambda_meter().release_flow(flow);
         let (root_out, reports, client) = launched?;
-
-        let comm = self.env.snapshot().since(&comm_before);
-        let lambda_after = self.platform.lambda_snapshot();
-        let lambda = LambdaSnapshot {
-            invocations: lambda_after.invocations - lambda_before.invocations,
-            mb_ms: lambda_after.mb_ms - lambda_before.mb_ms,
-        };
         let per_worker: Vec<WorkerReport> = reports
             .iter()
             .map(|(rank, r)| WorkerReport {
@@ -345,8 +349,11 @@ impl FsdService {
     /// Resolves [`Variant::Auto`] into a concrete variant for this request
     /// using the §IV-C rules; the per-pair volume estimate comes from the
     /// request's own first batch (wire bytes per row as a proxy for the
-    /// intermediate activations the layers will exchange).
-    fn resolve_variant(&self, req: &BatchedRequest) -> Variant {
+    /// intermediate activations the layers will exchange). Explicit
+    /// variants pass through unchanged. Public as a planning hook: the
+    /// scheduler (and tests) can ask where a request *would* route without
+    /// executing it.
+    pub fn resolve_variant(&self, req: &BatchedRequest) -> Variant {
         match req.variant {
             Variant::Auto => {
                 let first = &req.batches[0];
@@ -370,7 +377,7 @@ impl FsdService {
     ) -> ExecuteResult {
         match variant {
             Variant::Serial => {
-                let (out, report) = self.launch_serial(input_key, widths.len())?;
+                let (out, report) = self.launch_serial(input_key, widths.len(), flow)?;
                 Ok((out, vec![(0u32, report)], ChannelStatsSnapshot::default()))
             }
             Variant::Auto => unreachable!("Auto resolves before execution"),
@@ -385,7 +392,8 @@ impl FsdService {
                         name: name.to_string(),
                     })?;
                 let channel = provider.provision(&self.env, p, self.cfg.channel, flow);
-                let launched = self.launch_tree(channel.clone(), p, memory_mb, input_key, widths);
+                let launched =
+                    self.launch_tree(channel.clone(), p, memory_mb, input_key, widths, flow);
                 // Harvest request-local stats, then release the request's
                 // queues/subscriptions/objects — error or not.
                 let client = channel.stats().snapshot();
@@ -401,6 +409,7 @@ impl FsdService {
         &self,
         input_key: &str,
         n_batches: usize,
+        flow: u64,
     ) -> Result<(WorkerOutput, InvocationReport), FaasError> {
         let spec = *self.dnn.spec();
         let model_key = self.model_key.clone();
@@ -408,13 +417,13 @@ impl FsdService {
         let platform = self.platform.clone();
         let serial_memory = self.cfg.serial_memory_mb;
         let coordinator = self.platform.invoke(
-            FunctionConfig::coordinator(),
+            FunctionConfig::coordinator().for_flow(flow),
             VirtualTime::ZERO,
             move |ctx| {
                 ctx.charge_work(10_000); // request parsing
                 let at = ctx.now();
                 let inv = platform.invoke(
-                    FunctionConfig::worker("fsd-serial", serial_memory),
+                    FunctionConfig::worker("fsd-serial", serial_memory).for_flow(flow),
                     at,
                     move |worker_ctx| {
                         run_serial(worker_ctx, &model_key, &input_key, &spec, n_batches)
@@ -435,6 +444,7 @@ impl FsdService {
         memory_mb: u32,
         input_key: &str,
         widths: &[usize],
+        flow: u64,
     ) -> Result<(WorkerOutput, Vec<(u32, InvocationReport)>), FaasError> {
         let params = WorkerParams {
             n_workers: p,
@@ -447,13 +457,13 @@ impl FsdService {
         };
         let platform = self.platform.clone();
         let coordinator = self.platform.invoke(
-            FunctionConfig::coordinator(),
+            FunctionConfig::coordinator().for_flow(flow),
             VirtualTime::ZERO,
             move |ctx| {
                 ctx.charge_work(10_000); // request parsing
                 let at = ctx.now();
                 let inv = platform.invoke(
-                    FunctionConfig::worker("fsd-worker-0", params.memory_mb),
+                    FunctionConfig::worker("fsd-worker-0", params.memory_mb).for_flow(flow),
                     at,
                     move |worker_ctx| run_worker(worker_ctx, channel, 0, params),
                 );

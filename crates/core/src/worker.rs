@@ -73,7 +73,10 @@ pub fn run_worker(
         let lat = ctx.env().latency().lambda_invoke_us;
         let jittered = ctx.env().jitter().apply(lat);
         ctx.clock_mut().advance_micros(jittered);
-        let cfg = FunctionConfig::worker(format!("fsd-worker-{child}"), params.memory_mb);
+        // Children inherit the parent's flow: the whole tree bills to the
+        // request that launched it.
+        let cfg = FunctionConfig::worker(format!("fsd-worker-{child}"), params.memory_mb)
+            .for_flow(ctx.config().flow);
         let channel = channel.clone();
         let params_c = params.clone();
         let at = ctx.now();

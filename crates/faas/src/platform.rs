@@ -8,6 +8,8 @@
 
 use crate::compute::{ComputeModel, MAX_MEMORY_MB, MAX_TIMEOUT_SECS, MIN_MEMORY_MB};
 use fsd_comm::{CloudEnv, VClock, VirtualTime};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -21,6 +23,10 @@ pub struct FunctionConfig {
     pub memory_mb: u32,
     /// Maximum runtime before the platform kills the instance.
     pub timeout: VirtualTime,
+    /// Request flow this invocation bills to (0 = unattributed). The
+    /// platform stamps the instance's clock with it, so every metered
+    /// service call the function makes is attributed to the flow too.
+    pub flow: u64,
 }
 
 impl FunctionConfig {
@@ -34,6 +40,7 @@ impl FunctionConfig {
             name: name.into(),
             memory_mb,
             timeout: VirtualTime::from_secs_f64(MAX_TIMEOUT_SECS),
+            flow: 0,
         }
     }
 
@@ -43,7 +50,14 @@ impl FunctionConfig {
             name: "coordinator".into(),
             memory_mb: MIN_MEMORY_MB,
             timeout: VirtualTime::from_secs_f64(MAX_TIMEOUT_SECS),
+            flow: 0,
         }
+    }
+
+    /// Attributes this invocation (and everything it bills) to `flow`.
+    pub fn for_flow(mut self, flow: u64) -> FunctionConfig {
+        self.flow = flow;
+        self
     }
 
     /// Memory limit in bytes.
@@ -151,11 +165,13 @@ pub struct InvocationReport {
     pub memory_mb: u32,
 }
 
-/// Lambda billing counters.
+/// Lambda billing counters: global totals plus per-flow windows (flow 0 is
+/// unattributed and only counted globally).
 #[derive(Debug, Default)]
 pub struct LambdaMeter {
     invocations: AtomicU64,
     mb_ms: AtomicU64,
+    flows: Mutex<HashMap<u64, LambdaSnapshot>>,
 }
 
 /// Snapshot of [`LambdaMeter`].
@@ -168,12 +184,41 @@ pub struct LambdaSnapshot {
 }
 
 impl LambdaMeter {
-    /// Copies the counters.
+    /// Copies the global counters.
     pub fn snapshot(&self) -> LambdaSnapshot {
         LambdaSnapshot {
             invocations: self.invocations.load(Ordering::Relaxed),
             mb_ms: self.mb_ms.load(Ordering::Relaxed),
         }
+    }
+
+    fn record_invocation(&self, flow: u64) {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        if flow != 0 {
+            self.flows.lock().entry(flow).or_default().invocations += 1;
+        }
+    }
+
+    fn record_mb_ms(&self, flow: u64, mb_ms: u64) {
+        self.mb_ms.fetch_add(mb_ms, Ordering::Relaxed);
+        if flow != 0 {
+            self.flows.lock().entry(flow).or_default().mb_ms += mb_ms;
+        }
+    }
+
+    /// The billing attributed to `flow` so far (zeros for unknown flows).
+    pub fn flow_snapshot(&self, flow: u64) -> LambdaSnapshot {
+        self.flows.lock().get(&flow).copied().unwrap_or_default()
+    }
+
+    /// Removes `flow`'s window and returns it (request teardown).
+    pub fn release_flow(&self, flow: u64) -> LambdaSnapshot {
+        self.flows.lock().remove(&flow).unwrap_or_default()
+    }
+
+    /// Number of flows currently holding a window (leak checks in tests).
+    pub fn tracked_flows(&self) -> usize {
+        self.flows.lock().len()
     }
 }
 
@@ -218,9 +263,14 @@ impl FaasPlatform {
         &self.compute
     }
 
-    /// Lambda billing snapshot.
+    /// Lambda billing snapshot (global).
     pub fn lambda_snapshot(&self) -> LambdaSnapshot {
         self.meter.snapshot()
+    }
+
+    /// The Lambda billing meter (per-flow windows live here).
+    pub fn lambda_meter(&self) -> &LambdaMeter {
+        &self.meter
     }
 
     /// Invokes `cfg` asynchronously at virtual time `at`. The instance
@@ -236,12 +286,15 @@ impl FaasPlatform {
         T: Send + 'static,
         F: FnOnce(&mut WorkerCtx) -> Result<T, FaasError> + Send + 'static,
     {
-        self.meter.invocations.fetch_add(1, Ordering::Relaxed);
+        self.meter.record_invocation(cfg.flow);
         let platform = self.clone();
         let handle = std::thread::spawn(move || {
             let jitter = platform.env.jitter();
             let lat = platform.env.latency();
             let mut clock = VClock::starting_at(at);
+            // The instance's clock carries the flow, so every metered
+            // service call this function makes bills to its request.
+            clock.set_flow(cfg.flow);
             clock.advance_micros(jitter.apply(lat.lambda_invoke_us));
             clock.advance_micros(jitter.apply(lat.lambda_cold_start_us));
             let started = clock.now();
@@ -261,8 +314,7 @@ impl FaasPlatform {
             let billed_ms = elapsed_ms.max(1);
             platform
                 .meter
-                .mb_ms
-                .fetch_add(billed_ms * cfg.memory_mb as u64, Ordering::Relaxed);
+                .record_mb_ms(cfg.flow, billed_ms * cfg.memory_mb as u64);
             Ok((
                 out,
                 InvocationReport {
@@ -531,6 +583,60 @@ mod tests {
     #[should_panic(expected = "outside Lambda")]
     fn rejects_memory_outside_lambda_band() {
         FunctionConfig::worker("w", 20_000);
+    }
+
+    #[test]
+    fn flow_attribution_buckets_invocations_and_mb_ms() {
+        let p = platform();
+        let run = |flow: u64| {
+            p.invoke(
+                FunctionConfig::worker("w", 1000).for_flow(flow),
+                VirtualTime::ZERO,
+                |ctx| {
+                    ctx.charge_work(25_000_000);
+                    Ok(())
+                },
+            )
+        };
+        let (a, b, c) = (run(1), run(1), run(2));
+        let mut reports = vec![
+            a.join().expect("ok").1,
+            b.join().expect("ok").1,
+            c.join().expect("ok").1,
+        ];
+        let f2 = reports.pop().expect("three reports");
+        let f1_mb_ms: u64 = reports.iter().map(|r| r.billed_ms * 1000).sum();
+        assert_eq!(p.lambda_meter().flow_snapshot(1).invocations, 2);
+        assert_eq!(p.lambda_meter().flow_snapshot(1).mb_ms, f1_mb_ms);
+        assert_eq!(p.lambda_meter().flow_snapshot(2).invocations, 1);
+        assert_eq!(p.lambda_meter().flow_snapshot(2).mb_ms, f2.billed_ms * 1000);
+        // Global totals include every flow; releasing a window keeps them.
+        assert_eq!(p.lambda_snapshot().invocations, 3);
+        let released = p.lambda_meter().release_flow(1);
+        assert_eq!(released.invocations, 2);
+        assert_eq!(p.lambda_meter().tracked_flows(), 1);
+        assert_eq!(p.lambda_snapshot().invocations, 3);
+        // Unattributed invocations never create a window.
+        p.invoke(FunctionConfig::worker("w", 512), VirtualTime::ZERO, |_| {
+            Ok(())
+        })
+        .join()
+        .expect("ok");
+        assert_eq!(p.lambda_meter().tracked_flows(), 1);
+    }
+
+    #[test]
+    fn worker_clock_is_stamped_with_the_flow() {
+        let p = platform();
+        let (flow_seen, _) = p
+            .invoke(
+                FunctionConfig::worker("w", 512).for_flow(42),
+                VirtualTime::ZERO,
+                |ctx| Ok(ctx.clock_mut().flow()),
+            )
+            .join()
+            .expect("ok");
+        assert_eq!(flow_seen, 42);
     }
 
     #[test]

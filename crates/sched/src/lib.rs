@@ -1,0 +1,66 @@
+//! # fsd-sched — admission control in front of [`FsdService`]
+//!
+//! PR 1 made the service accept concurrent `&self` requests, but nothing
+//! bounded or ordered that concurrency: every caller raced straight into
+//! the engine, so a burst of large-`P` requests could starve small ones
+//! and there was no backpressure story. This crate adds the explicit
+//! scheduling layer that serverless serving systems live or die on
+//! (λScale's request admission/routing trees; FMI's "saturated but not
+//! oversubscribed" communication fabric):
+//!
+//! * **[`Scheduler`]** owns all request intake:
+//!   [`Scheduler::enqueue`] → [`Ticket`] → [`Ticket::wait`];
+//! * **priority classes** ([`Priority::Interactive`] / [`Priority::Batch`])
+//!   drained by weighted FIFO (smooth weighted round-robin between
+//!   backlogged classes, strict FIFO within a class);
+//! * **concurrency caps** — a global in-flight cap plus per-model caps
+//!   derived from the paper's §IV-C recommendation rules
+//!   ([`derive_model_cap`]): the predicted per-tree channel load against
+//!   the region's aggregate publish budget;
+//! * **bounded queues with explicit backpressure** — a full class queue
+//!   rejects with [`FsdError::Overloaded`]`{ retry_after }` instead of
+//!   buffering without bound;
+//! * **graceful drain/shutdown** — [`Scheduler::shutdown`] stops intake,
+//!   [`Scheduler::drain`] waits for the backlog to finish.
+//!
+//! The second half of the crate is a **deterministic load-test harness**:
+//! [`trace`] generates seeded arrival traces (steady / bursty / flood) and
+//! [`harness::replay`] drives them through a manual-dispatch scheduler so
+//! that every admission decision happens on the driver thread — same seed
+//! ⇒ identical admission order and identical reports, while execution
+//! still fans out across real worker threads.
+//!
+//! ```
+//! use fsd_core::{BatchedRequest, ServiceBuilder, Variant};
+//! use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+//! use fsd_sched::{Priority, Scheduler, SchedulerConfig};
+//! use std::sync::Arc;
+//!
+//! let spec = DnnSpec { neurons: 64, layers: 2, nnz_per_row: 8,
+//!                      bias: -0.2, clip: 32.0, seed: 1 };
+//! let dnn = Arc::new(generate_dnn(&spec));
+//! let inputs = generate_inputs(64, &InputSpec::scaled(8, 1));
+//! let service = Arc::new(ServiceBuilder::new(dnn).deterministic(1).build());
+//!
+//! let sched = Scheduler::wrap(service, SchedulerConfig::default());
+//! let ticket = sched
+//!     .enqueue_default(Priority::Interactive, BatchedRequest {
+//!         variant: Variant::Auto, workers: 2, memory_mb: 1769,
+//!         batches: vec![inputs],
+//!     })
+//!     .unwrap();
+//! let report = ticket.wait().unwrap();
+//! assert!(!report.outputs.is_empty());
+//! sched.shutdown();
+//! sched.drain();
+//! ```
+
+pub mod harness;
+mod scheduler;
+pub mod trace;
+
+pub use scheduler::{
+    derive_model_cap, Priority, SchedStatsSnapshot, Scheduler, SchedulerBuilder, SchedulerConfig,
+    Ticket,
+};
+pub use trace::Arrival;

@@ -1,0 +1,970 @@
+//! The admission-controlled scheduler.
+//!
+//! All intake goes through [`Scheduler::enqueue`], which either accepts a
+//! request into a **bounded** per-class queue (returning a [`Ticket`]) or
+//! rejects it with [`FsdError::Overloaded`]. Admission moves requests from
+//! the queues into execution under two caps — global in-flight and
+//! per-model in-flight — choosing between backlogged priority classes by
+//! smooth weighted round-robin (strict FIFO within a class, head-of-line
+//! per class so the admission order is a pure function of the enqueue
+//! sequence).
+//!
+//! Two dispatch modes share every code path except *when* admission runs:
+//!
+//! * **auto** (production): admission runs inside `enqueue` and at each
+//!   request completion; completions release their concurrency slot
+//!   immediately.
+//! * **manual** (deterministic harnesses): admission runs only inside
+//!   explicit [`Scheduler::dispatch`] calls, and a slot is released when
+//!   the ticket's result is harvested by [`Ticket::wait`]. With a single
+//!   driver thread every scheduler-state mutation is then totally ordered
+//!   by that thread, so the admission sequence is reproducible bit for bit
+//!   while execution still spreads over real worker threads.
+
+use fsd_comm::{quota, VirtualTime};
+use fsd_core::{BatchedRequest, FsdError, FsdService, InferenceReport, Variant};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Request priority classes, drained by weighted FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive traffic (the default weight favors this class).
+    Interactive,
+    /// Throughput traffic that tolerates queueing but must not starve.
+    Batch,
+}
+
+impl Priority {
+    /// Number of priority classes.
+    pub const COUNT: usize = 2;
+    /// Every class, in selection-tiebreak order.
+    pub const ALL: [Priority; Priority::COUNT] = [Priority::Interactive, Priority::Batch];
+
+    /// Dense index for per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Priority::Interactive => write!(f, "interactive"),
+            Priority::Batch => write!(f, "batch"),
+        }
+    }
+}
+
+/// Largest per-model cap [`derive_model_cap`] will produce; also the cap
+/// for Serial-recommended models, whose concurrency is compute-bound and
+/// governed by the global cap.
+const MAX_DERIVED_CAP: usize = 32;
+
+/// Fallback service-latency estimate for `retry_after` before the first
+/// completion has seeded the EWMA (1 virtual second).
+const DEFAULT_LATENCY_US: f64 = 1_000_000.0;
+
+/// EWMA smoothing factor for observed request latency.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Derives a per-model concurrency cap from the §IV-C recommendation's
+/// predicted channel load: each in-flight tree is predicted to push
+/// `workers × bytes_per_pair_layer` through the shared communication
+/// fabric per layer, and the region offers `n_topics` parallel channels of
+/// a few publish quotas each (the same "a few quotas per pair" saturation
+/// multiple the recommender uses). Models the recommender routes to
+/// Serial use no channel; their concurrency is compute-bound and the
+/// global cap governs.
+pub fn derive_model_cap(service: &FsdService, typical_workers: u32) -> usize {
+    let est_bytes_per_row = service.dnn().spec().nnz_per_row.max(1) * 8;
+    let rec = service.recommend(typical_workers.max(1), est_bytes_per_row);
+    match rec.variant {
+        Variant::Serial => MAX_DERIVED_CAP,
+        _ => {
+            let per_tree = rec.profile.workers as usize * rec.profile.bytes_per_pair_layer.max(1);
+            let budget = service.env().config().n_topics * quota::MAX_PUBLISH_BYTES * 4;
+            (budget / per_tree).clamp(1, MAX_DERIVED_CAP)
+        }
+    }
+}
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Maximum concurrently executing requests across all models.
+    pub global_cap: usize,
+    /// Bounded queue depth per priority class; a full queue rejects with
+    /// [`FsdError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Weighted-FIFO shares, indexed by [`Priority::index`]. Zero weights
+    /// are clamped to 1 (a zero-weight class would starve).
+    pub weights: [u32; Priority::COUNT],
+    /// Worker count used to derive per-model caps a priori (§IV-C).
+    pub typical_workers: u32,
+    /// Manual dispatch: admission only happens in [`Scheduler::dispatch`]
+    /// and slots release on harvest — the deterministic-harness mode.
+    pub manual_dispatch: bool,
+    /// Record the admission order (seq numbers) for harnesses/tests.
+    pub record_admissions: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            global_cap: 8,
+            queue_capacity: 64,
+            weights: [3, 1],
+            typical_workers: 3,
+            manual_dispatch: false,
+            record_admissions: false,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Sets the global in-flight cap.
+    pub fn global_cap(mut self, cap: usize) -> SchedulerConfig {
+        self.global_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the per-class queue bound. Clamped to ≥ 1 (a zero-capacity
+    /// queue would reject every request, even on an idle scheduler).
+    pub fn queue_capacity(mut self, cap: usize) -> SchedulerConfig {
+        self.queue_capacity = cap.max(1);
+        self
+    }
+
+    /// Sets the weighted-FIFO shares (Interactive, Batch).
+    pub fn weights(mut self, interactive: u32, batch: u32) -> SchedulerConfig {
+        self.weights = [interactive.max(1), batch.max(1)];
+        self
+    }
+
+    /// Sets the worker count used for §IV-C cap derivation.
+    pub fn typical_workers(mut self, p: u32) -> SchedulerConfig {
+        self.typical_workers = p.max(1);
+        self
+    }
+
+    /// Switches to manual dispatch with admission recording — the
+    /// deterministic-harness mode.
+    pub fn manual(mut self) -> SchedulerConfig {
+        self.manual_dispatch = true;
+        self.record_admissions = true;
+        self
+    }
+}
+
+/// Point-in-time scheduler statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedStatsSnapshot {
+    /// Requests accepted into a queue.
+    pub enqueued: u64,
+    /// Requests admitted into execution, per class.
+    pub admitted: [u64; Priority::COUNT],
+    /// Requests rejected with backpressure, per class.
+    pub rejected: [u64; Priority::COUNT],
+    /// Requests that finished successfully.
+    pub completed: u64,
+    /// Requests that finished with an error.
+    pub failed: u64,
+    /// Currently queued (accepted, not yet admitted).
+    pub queued: usize,
+    /// Currently holding a concurrency slot.
+    pub inflight: usize,
+    /// High-water mark of `inflight` (cap invariant checks).
+    pub max_inflight: usize,
+    /// Per-model high-water marks, in registration order.
+    pub max_inflight_per_model: Vec<usize>,
+    /// Smoothed observed request latency (virtual time).
+    pub ewma_latency: VirtualTime,
+}
+
+impl SchedStatsSnapshot {
+    /// Total admitted across classes.
+    pub fn total_admitted(&self) -> u64 {
+        self.admitted.iter().sum()
+    }
+
+    /// Total rejected across classes.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected.iter().sum()
+    }
+}
+
+/// A registered model: the service plus its concurrency cap.
+struct ModelEntry {
+    name: String,
+    service: Arc<FsdService>,
+    cap: usize,
+}
+
+/// One accepted, not-yet-admitted request.
+struct Pending {
+    ticket: Arc<TicketShared>,
+    req: BatchedRequest,
+}
+
+/// Result cell shared between the executor thread and the ticket holder.
+struct TicketCell {
+    result: Option<Result<InferenceReport, FsdError>>,
+}
+
+struct TicketShared {
+    seq: u64,
+    priority: Priority,
+    model: usize,
+    cell: Mutex<TicketCell>,
+    done: Condvar,
+}
+
+/// Handle to an accepted request; [`Ticket::wait`] blocks for the result.
+///
+/// In manual-dispatch mode the request's concurrency slot is released when
+/// the result is harvested here, so a driver that never waits its tickets
+/// would pin slots forever — harnesses must harvest every ticket.
+pub struct Ticket {
+    shared: Arc<TicketShared>,
+    core: Arc<SchedulerCore>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("seq", &self.shared.seq)
+            .field("priority", &self.shared.priority)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// The request's admission sequence number (global, monotonically
+    /// increasing in enqueue-acceptance order).
+    pub fn seq(&self) -> u64 {
+        self.shared.seq
+    }
+
+    /// The request's priority class.
+    pub fn priority(&self) -> Priority {
+        self.shared.priority
+    }
+
+    /// Whether the result is ready (a `wait` would not block).
+    pub fn is_done(&self) -> bool {
+        self.shared.cell.lock().result.is_some()
+    }
+
+    /// Blocks until the request finishes and returns its result.
+    pub fn wait(self) -> Result<InferenceReport, FsdError> {
+        let result = {
+            let mut cell = self.shared.cell.lock();
+            loop {
+                if let Some(r) = cell.result.take() {
+                    break r;
+                }
+                self.shared
+                    .done
+                    .wait_for(&mut cell, Duration::from_millis(50));
+            }
+        };
+        self.core.on_harvest(self.shared.model);
+        result
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    enqueued: u64,
+    admitted: [u64; Priority::COUNT],
+    rejected: [u64; Priority::COUNT],
+    completed: u64,
+    failed: u64,
+}
+
+struct SchedState {
+    queues: [VecDeque<Pending>; Priority::COUNT],
+    /// Smooth-WRR credit per class; grows while a class is backlogged,
+    /// drains when it wins an admission.
+    credits: [i64; Priority::COUNT],
+    inflight_global: usize,
+    inflight_model: Vec<usize>,
+    max_inflight_global: usize,
+    max_inflight_model: Vec<usize>,
+    next_seq: u64,
+    shutting_down: bool,
+    counters: Counters,
+    admission_log: Vec<u64>,
+    ewma_latency_us: f64,
+}
+
+struct SchedulerCore {
+    cfg: SchedulerConfig,
+    models: Vec<ModelEntry>,
+    by_name: HashMap<String, usize>,
+    state: Mutex<SchedState>,
+    /// Signaled on completions, harvests and queue transitions (drain).
+    idle: Condvar,
+}
+
+impl SchedulerCore {
+    /// Releases a harvested ticket's slot (manual mode only; in auto mode
+    /// the slot was already released at completion).
+    fn on_harvest(&self, model: usize) {
+        if !self.cfg.manual_dispatch {
+            return;
+        }
+        let mut state = self.state.lock();
+        state.inflight_global = state.inflight_global.saturating_sub(1);
+        state.inflight_model[model] = state.inflight_model[model].saturating_sub(1);
+        drop(state);
+        self.idle.notify_all();
+    }
+
+    /// Backpressure hint: how long (virtual time) the current backlog
+    /// would take to drain a slot, from the observed latency EWMA.
+    fn retry_after(&self, state: &SchedState) -> VirtualTime {
+        let backlog =
+            state.queues.iter().map(VecDeque::len).sum::<usize>() + state.inflight_global + 1;
+        let per = if state.ewma_latency_us > 0.0 {
+            state.ewma_latency_us
+        } else {
+            DEFAULT_LATENCY_US
+        };
+        let waves = (backlog as f64 / self.cfg.global_cap.max(1) as f64).ceil();
+        VirtualTime::from_micros((per * waves).ceil() as u64)
+    }
+
+    /// Admits as many queued requests as the caps allow. Must run with the
+    /// state lock held; returns the admitted requests for the caller to
+    /// spawn *after* dropping the lock.
+    fn dispatch_locked(&self, state: &mut SchedState) -> Vec<Pending> {
+        let mut admitted = Vec::new();
+        loop {
+            if state.inflight_global >= self.cfg.global_cap {
+                break;
+            }
+            // A class is backlogged if non-empty; eligible if additionally
+            // its head's model has a free slot (head-of-line per class
+            // keeps the admission order a pure function of enqueue order).
+            let mut backlogged = [false; Priority::COUNT];
+            let mut eligible = [false; Priority::COUNT];
+            for (i, q) in state.queues.iter().enumerate() {
+                if let Some(head) = q.front() {
+                    backlogged[i] = true;
+                    eligible[i] = state.inflight_model[head.ticket.model]
+                        < self.models[head.ticket.model].cap;
+                }
+            }
+            if !eligible.iter().any(|&e| e) {
+                break;
+            }
+            // Smooth weighted round-robin over backlogged classes: every
+            // backlogged class earns its weight each round (so a
+            // model-blocked class builds priority for when it unblocks),
+            // the eligible class with the highest credit wins and pays the
+            // round's total weight back.
+            let mut round_weight = 0i64;
+            for (i, &is_backlogged) in backlogged.iter().enumerate() {
+                if is_backlogged {
+                    let w = self.cfg.weights[i].max(1) as i64;
+                    state.credits[i] += w;
+                    round_weight += w;
+                }
+            }
+            let winner = (0..Priority::COUNT)
+                .filter(|&i| eligible[i])
+                .max_by_key(|&i| (state.credits[i], std::cmp::Reverse(i)))
+                .expect("an eligible class exists");
+            state.credits[winner] -= round_weight;
+            let pending = state.queues[winner].pop_front().expect("eligible head");
+            let model = pending.ticket.model;
+            state.inflight_global += 1;
+            state.inflight_model[model] += 1;
+            state.max_inflight_global = state.max_inflight_global.max(state.inflight_global);
+            state.max_inflight_model[model] =
+                state.max_inflight_model[model].max(state.inflight_model[model]);
+            state.counters.admitted[winner] += 1;
+            if self.cfg.record_admissions {
+                state.admission_log.push(pending.ticket.seq);
+            }
+            admitted.push(pending);
+        }
+        admitted
+    }
+
+    /// Spawns one executor thread per admitted request.
+    fn spawn(self: &Arc<Self>, admitted: Vec<Pending>) {
+        for pending in admitted {
+            let core = self.clone();
+            let service = self.models[pending.ticket.model].service.clone();
+            std::thread::spawn(move || {
+                let Pending { ticket, req } = pending;
+                let result = service.submit_batched(&req);
+
+                // Completion bookkeeping first, then deliver the result:
+                // a manual-mode harvester must observe consistent counters.
+                let mut state = core.state.lock();
+                match &result {
+                    Ok(report) => {
+                        state.counters.completed += 1;
+                        let l = report.latency.as_micros() as f64;
+                        state.ewma_latency_us = if state.ewma_latency_us == 0.0 {
+                            l
+                        } else {
+                            (1.0 - EWMA_ALPHA) * state.ewma_latency_us + EWMA_ALPHA * l
+                        };
+                    }
+                    Err(_) => state.counters.failed += 1,
+                }
+                let follow_up = if core.cfg.manual_dispatch {
+                    Vec::new()
+                } else {
+                    // Auto mode: an error or a success both release the
+                    // slot immediately and pull in the next request(s) —
+                    // a failing request must never wedge the queue.
+                    state.inflight_global -= 1;
+                    state.inflight_model[ticket.model] -= 1;
+                    core.dispatch_locked(&mut state)
+                };
+                drop(state);
+                core.idle.notify_all();
+                core.spawn(follow_up);
+
+                let mut cell = ticket.cell.lock();
+                cell.result = Some(result);
+                drop(cell);
+                ticket.done.notify_all();
+            });
+        }
+    }
+}
+
+/// Builds a [`Scheduler`] over one or more registered models.
+pub struct SchedulerBuilder {
+    cfg: SchedulerConfig,
+    models: Vec<(String, Arc<FsdService>, Option<usize>)>,
+}
+
+impl SchedulerBuilder {
+    /// Starts a builder with the given configuration.
+    pub fn new(cfg: SchedulerConfig) -> SchedulerBuilder {
+        SchedulerBuilder {
+            cfg,
+            models: Vec::new(),
+        }
+    }
+
+    /// Registers a model whose concurrency cap is derived from the §IV-C
+    /// recommendation ([`derive_model_cap`] at `cfg.typical_workers`).
+    pub fn model(self, name: impl Into<String>, service: Arc<FsdService>) -> SchedulerBuilder {
+        self.register(name, service, None)
+    }
+
+    /// Registers a model with an explicit concurrency cap.
+    pub fn model_with_cap(
+        self,
+        name: impl Into<String>,
+        service: Arc<FsdService>,
+        cap: usize,
+    ) -> SchedulerBuilder {
+        self.register(name, service, Some(cap.max(1)))
+    }
+
+    fn register(
+        mut self,
+        name: impl Into<String>,
+        service: Arc<FsdService>,
+        cap: Option<usize>,
+    ) -> SchedulerBuilder {
+        self.models.push((name.into(), service, cap));
+        self
+    }
+
+    /// Assembles the scheduler.
+    ///
+    /// # Panics
+    /// If no model was registered or a name repeats.
+    pub fn build(self) -> Scheduler {
+        assert!(
+            !self.models.is_empty(),
+            "scheduler needs at least one registered model"
+        );
+        let typical = self.cfg.typical_workers;
+        let mut models = Vec::with_capacity(self.models.len());
+        let mut by_name = HashMap::new();
+        for (name, service, cap) in self.models {
+            let cap = cap.unwrap_or_else(|| derive_model_cap(&service, typical));
+            let idx = models.len();
+            let previous = by_name.insert(name.clone(), idx);
+            assert!(previous.is_none(), "model {name:?} registered twice");
+            models.push(ModelEntry { name, service, cap });
+        }
+        let n = models.len();
+        Scheduler {
+            core: Arc::new(SchedulerCore {
+                cfg: self.cfg,
+                models,
+                by_name,
+                state: Mutex::new(SchedState {
+                    queues: Default::default(),
+                    credits: [0; Priority::COUNT],
+                    inflight_global: 0,
+                    inflight_model: vec![0; n],
+                    max_inflight_global: 0,
+                    max_inflight_model: vec![0; n],
+                    next_seq: 0,
+                    shutting_down: false,
+                    counters: Counters::default(),
+                    admission_log: Vec::new(),
+                    ewma_latency_us: 0.0,
+                }),
+                idle: Condvar::new(),
+            }),
+        }
+    }
+}
+
+/// The admission-controlled front end over one or more [`FsdService`]s.
+/// Cheap to clone; all clones share the same queues and caps.
+#[derive(Clone)]
+pub struct Scheduler {
+    core: Arc<SchedulerCore>,
+}
+
+/// Name under which [`Scheduler::wrap`] registers its single model.
+pub const DEFAULT_MODEL: &str = "default";
+
+impl Scheduler {
+    /// Single-model convenience: wraps `service` under
+    /// [`DEFAULT_MODEL`] with a §IV-C-derived cap.
+    pub fn wrap(service: Arc<FsdService>, cfg: SchedulerConfig) -> Scheduler {
+        SchedulerBuilder::new(cfg)
+            .model(DEFAULT_MODEL, service)
+            .build()
+    }
+
+    /// The global in-flight cap this scheduler enforces.
+    pub fn global_cap(&self) -> usize {
+        self.core.cfg.global_cap
+    }
+
+    /// Whether the scheduler is in manual-dispatch (harness) mode.
+    pub fn is_manual(&self) -> bool {
+        self.core.cfg.manual_dispatch
+    }
+
+    /// The registered model names, in registration order.
+    pub fn model_names(&self) -> Vec<&str> {
+        self.core.models.iter().map(|m| m.name.as_str()).collect()
+    }
+
+    /// The per-model concurrency cap.
+    pub fn model_cap(&self, model: &str) -> Option<usize> {
+        self.core
+            .by_name
+            .get(model)
+            .map(|&i| self.core.models[i].cap)
+    }
+
+    /// The service registered under `model`.
+    pub fn service(&self, model: &str) -> Option<&Arc<FsdService>> {
+        self.core
+            .by_name
+            .get(model)
+            .map(|&i| &self.core.models[i].service)
+    }
+
+    /// Accepts a request into `model`'s intake, or rejects it with
+    /// [`FsdError::Overloaded`] (class queue full) /
+    /// [`FsdError::ShuttingDown`] (drain in progress) /
+    /// [`FsdError::UnknownModel`] (no such registration).
+    pub fn enqueue(
+        &self,
+        model: &str,
+        priority: Priority,
+        req: BatchedRequest,
+    ) -> Result<Ticket, FsdError> {
+        let &model_idx = self
+            .core
+            .by_name
+            .get(model)
+            .ok_or_else(|| FsdError::UnknownModel {
+                name: model.to_string(),
+            })?;
+        let class = priority.index();
+        let mut state = self.core.state.lock();
+        if state.shutting_down {
+            return Err(FsdError::ShuttingDown);
+        }
+        if state.queues[class].len() >= self.core.cfg.queue_capacity {
+            state.counters.rejected[class] += 1;
+            let retry_after = self.core.retry_after(&state);
+            return Err(FsdError::Overloaded { retry_after });
+        }
+        state.next_seq += 1;
+        state.counters.enqueued += 1;
+        let shared = Arc::new(TicketShared {
+            seq: state.next_seq,
+            priority,
+            model: model_idx,
+            cell: Mutex::new(TicketCell { result: None }),
+            done: Condvar::new(),
+        });
+        state.queues[class].push_back(Pending {
+            ticket: shared.clone(),
+            req,
+        });
+        let admitted = if self.core.cfg.manual_dispatch {
+            Vec::new()
+        } else {
+            self.core.dispatch_locked(&mut state)
+        };
+        drop(state);
+        self.core.spawn(admitted);
+        Ok(Ticket {
+            shared,
+            core: self.core.clone(),
+        })
+    }
+
+    /// Single-model convenience for [`Scheduler::wrap`] schedulers.
+    pub fn enqueue_default(
+        &self,
+        priority: Priority,
+        req: BatchedRequest,
+    ) -> Result<Ticket, FsdError> {
+        let name = self.core.models[0].name.clone();
+        self.enqueue(&name, priority, req)
+    }
+
+    /// Runs one admission pass, spawning every request the caps allow.
+    /// Returns how many were admitted. The manual-dispatch driver's pump;
+    /// harmless (and normally a no-op) in auto mode.
+    pub fn dispatch(&self) -> usize {
+        let mut state = self.core.state.lock();
+        let admitted = self.core.dispatch_locked(&mut state);
+        drop(state);
+        let n = admitted.len();
+        self.core.spawn(admitted);
+        n
+    }
+
+    /// Stops intake: subsequent `enqueue` calls fail with
+    /// [`FsdError::ShuttingDown`]. Already-accepted requests still run.
+    pub fn shutdown(&self) {
+        self.core.state.lock().shutting_down = true;
+        self.core.idle.notify_all();
+    }
+
+    /// Blocks until no request is queued or in flight. Call
+    /// [`Scheduler::shutdown`] first for a terminal drain; without it the
+    /// scheduler simply waits for a momentarily empty system. In manual
+    /// mode another thread must keep dispatching and harvesting.
+    pub fn drain(&self) {
+        let mut state = self.core.state.lock();
+        while state.inflight_global > 0 || state.queues.iter().any(|q| !q.is_empty()) {
+            self.core
+                .idle
+                .wait_for(&mut state, Duration::from_millis(50));
+        }
+    }
+
+    /// Currently queued (accepted, not admitted) requests.
+    pub fn queued(&self) -> usize {
+        self.core
+            .state
+            .lock()
+            .queues
+            .iter()
+            .map(VecDeque::len)
+            .sum()
+    }
+
+    /// Requests currently holding a concurrency slot.
+    pub fn inflight(&self) -> usize {
+        self.core.state.lock().inflight_global
+    }
+
+    /// The admission order (seq numbers) recorded so far. Empty unless
+    /// `record_admissions` is set.
+    pub fn admission_log(&self) -> Vec<u64> {
+        self.core.state.lock().admission_log.clone()
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> SchedStatsSnapshot {
+        let state = self.core.state.lock();
+        SchedStatsSnapshot {
+            enqueued: state.counters.enqueued,
+            admitted: state.counters.admitted,
+            rejected: state.counters.rejected,
+            completed: state.counters.completed,
+            failed: state.counters.failed,
+            queued: state.queues.iter().map(VecDeque::len).sum(),
+            inflight: state.inflight_global,
+            max_inflight: state.max_inflight_global,
+            max_inflight_per_model: state.max_inflight_model.clone(),
+            ewma_latency: VirtualTime::from_micros(state.ewma_latency_us.round() as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsd_core::ServiceBuilder;
+    use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
+    use fsd_sparse::SparseRows;
+
+    fn service(seed: u64) -> (Arc<FsdService>, SparseRows, SparseRows) {
+        let spec = DnnSpec {
+            neurons: 64,
+            layers: 2,
+            nnz_per_row: 8,
+            bias: -0.25,
+            clip: 32.0,
+            seed,
+        };
+        let dnn = Arc::new(generate_dnn(&spec));
+        let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(8, seed));
+        let expected = dnn.serial_inference(&inputs);
+        (
+            Arc::new(
+                ServiceBuilder::new(dnn)
+                    .deterministic(seed)
+                    .prewarm(1)
+                    .prewarm(2)
+                    .build(),
+            ),
+            inputs,
+            expected,
+        )
+    }
+
+    fn request(inputs: &SparseRows, variant: Variant, workers: u32) -> BatchedRequest {
+        BatchedRequest {
+            variant,
+            workers,
+            memory_mb: 1769,
+            batches: vec![inputs.clone()],
+        }
+    }
+
+    #[test]
+    fn wrap_serves_a_request_end_to_end() {
+        let (svc, inputs, expected) = service(1);
+        let sched = Scheduler::wrap(svc, SchedulerConfig::default());
+        let ticket = sched
+            .enqueue_default(Priority::Interactive, request(&inputs, Variant::Serial, 1))
+            .expect("accepted");
+        let report = ticket.wait().expect("runs");
+        assert_eq!(report.first_output(), &expected);
+        let stats = sched.stats();
+        assert_eq!(stats.enqueued, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.total_admitted(), 1);
+        assert_eq!(stats.inflight, 0);
+    }
+
+    #[test]
+    fn unknown_model_is_rejected() {
+        let (svc, inputs, _) = service(2);
+        let sched = Scheduler::wrap(svc, SchedulerConfig::default());
+        let err = sched
+            .enqueue(
+                "ghost",
+                Priority::Batch,
+                request(&inputs, Variant::Serial, 1),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FsdError::UnknownModel {
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_hint() {
+        let (svc, inputs, _) = service(3);
+        // Manual dispatch with nothing dispatched: the queue fills.
+        let sched = Scheduler::wrap(svc, SchedulerConfig::default().manual().queue_capacity(2));
+        let t1 = sched
+            .enqueue_default(Priority::Batch, request(&inputs, Variant::Serial, 1))
+            .expect("fits");
+        let t2 = sched
+            .enqueue_default(Priority::Batch, request(&inputs, Variant::Serial, 1))
+            .expect("fits");
+        match sched.enqueue_default(Priority::Batch, request(&inputs, Variant::Serial, 1)) {
+            Err(FsdError::Overloaded { retry_after }) => {
+                assert!(retry_after > VirtualTime::ZERO, "hint must be positive");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // The other class's bounded queue is independent.
+        let t3 = sched
+            .enqueue_default(Priority::Interactive, request(&inputs, Variant::Serial, 1))
+            .expect("other class fits");
+        assert_eq!(sched.stats().total_rejected(), 1);
+        sched.dispatch();
+        for t in [t1, t2, t3] {
+            t.wait().expect("runs");
+        }
+    }
+
+    #[test]
+    fn shutdown_rejects_new_but_drains_backlog() {
+        let (svc, inputs, expected) = service(4);
+        let sched = Scheduler::wrap(svc, SchedulerConfig::default().global_cap(1));
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|_| {
+                sched
+                    .enqueue_default(Priority::Interactive, request(&inputs, Variant::Serial, 1))
+                    .expect("accepted")
+            })
+            .collect();
+        sched.shutdown();
+        assert_eq!(
+            sched
+                .enqueue_default(Priority::Interactive, request(&inputs, Variant::Serial, 1))
+                .unwrap_err(),
+            FsdError::ShuttingDown
+        );
+        for t in tickets {
+            assert_eq!(t.wait().expect("backlog runs").first_output(), &expected);
+        }
+        sched.drain();
+        let stats = sched.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.inflight, 0);
+    }
+
+    #[test]
+    fn global_cap_is_never_exceeded() {
+        let (svc, inputs, _) = service(5);
+        let sched = Scheduler::wrap(svc, SchedulerConfig::default().global_cap(2));
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| {
+                let class = if i % 2 == 0 {
+                    Priority::Interactive
+                } else {
+                    Priority::Batch
+                };
+                sched
+                    .enqueue_default(class, request(&inputs, Variant::Serial, 1))
+                    .expect("accepted")
+            })
+            .collect();
+        for t in tickets {
+            t.wait().expect("runs");
+        }
+        let stats = sched.stats();
+        assert!(
+            stats.max_inflight <= 2,
+            "cap 2 exceeded: {}",
+            stats.max_inflight
+        );
+        assert_eq!(stats.completed, 6);
+    }
+
+    #[test]
+    fn per_model_cap_constrains_only_that_model() {
+        let (svc_a, inputs_a, _) = service(6);
+        let (svc_b, inputs_b, _) = service(7);
+        let sched = SchedulerBuilder::new(SchedulerConfig::default().global_cap(4))
+            .model_with_cap("a", svc_a, 1)
+            .model_with_cap("b", svc_b, 4)
+            .build();
+        let mut tickets = Vec::new();
+        for _ in 0..3 {
+            tickets.push(
+                sched
+                    .enqueue(
+                        "a",
+                        Priority::Interactive,
+                        request(&inputs_a, Variant::Serial, 1),
+                    )
+                    .expect("accepted"),
+            );
+            tickets.push(
+                sched
+                    .enqueue(
+                        "b",
+                        Priority::Interactive,
+                        request(&inputs_b, Variant::Serial, 1),
+                    )
+                    .expect("accepted"),
+            );
+        }
+        for t in tickets {
+            t.wait().expect("runs");
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.max_inflight_per_model.len(), 2);
+        assert!(stats.max_inflight_per_model[0] <= 1, "model a cap violated");
+        assert!(stats.max_inflight <= 4);
+        assert_eq!(stats.completed, 6);
+    }
+
+    #[test]
+    fn derived_cap_for_tiny_models_is_compute_bound() {
+        let (svc, ..) = service(8);
+        // A model the recommender routes to Serial uses no channel: cap is
+        // the derived maximum and the global cap governs.
+        assert_eq!(derive_model_cap(&svc, 3), MAX_DERIVED_CAP);
+        let sched = Scheduler::wrap(svc, SchedulerConfig::default());
+        assert_eq!(sched.model_cap(DEFAULT_MODEL), Some(MAX_DERIVED_CAP));
+        assert_eq!(sched.model_names(), vec![DEFAULT_MODEL]);
+    }
+
+    #[test]
+    fn weighted_fifo_interleaves_classes_deterministically() {
+        let (svc, inputs, _) = service(9);
+        let sched = Scheduler::wrap(
+            svc,
+            SchedulerConfig::default()
+                .manual()
+                .global_cap(1)
+                .weights(2, 1)
+                .queue_capacity(32),
+        );
+        // Backlog both classes fully before any admission.
+        let mut tickets = HashMap::new();
+        for class in [Priority::Interactive, Priority::Batch] {
+            for _ in 0..6 {
+                let t = sched
+                    .enqueue_default(class, request(&inputs, Variant::Serial, 1))
+                    .expect("accepted");
+                tickets.insert(t.seq(), t);
+            }
+        }
+        // Drive to completion: dispatch, harvest in admission order.
+        let mut harvested = 0;
+        while harvested < 12 {
+            sched.dispatch();
+            let log = sched.admission_log();
+            if harvested < log.len() {
+                let seq = log[harvested];
+                harvested += 1;
+                tickets.remove(&seq).expect("ticket").wait().expect("runs");
+            }
+        }
+        // Interactive seqs are 1..=6, Batch 7..=12. With weights 2:1 the
+        // smooth-WRR admission pattern is I B I · I B I · I B (2:1 in
+        // every window of 3), then the Batch tail — exact and reproducible
+        // because every decision happened on this thread.
+        let log = sched.admission_log();
+        assert_eq!(log, vec![1, 7, 2, 3, 8, 4, 5, 9, 6, 10, 11, 12]);
+        assert_eq!(sched.stats().max_inflight, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Seeded arrival traces for scheduler load testing.
+//!
+//! A trace is a list of [`Arrival`]s in virtual-time order. Generation is
+//! fully deterministic per seed (the offline `rand` shim's xoshiro256++),
+//! so the same seed replays the same workload in tests, benchmarks and
+//! bug reports.
+
+use crate::scheduler::Priority;
+use fsd_comm::VirtualTime;
+use fsd_core::Variant;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One request arrival in a load trace. The inputs themselves are not
+/// materialized here — `width`/`input_seed` describe how the driver
+/// generates them against the model under test, which keeps traces
+/// model-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual arrival time (traces are sorted by this).
+    pub at: VirtualTime,
+    /// Priority class the client requests.
+    pub priority: Priority,
+    /// Requested execution variant.
+    pub variant: Variant,
+    /// Requested worker parallelism `P`.
+    pub workers: u32,
+    /// Per-worker memory (MB).
+    pub memory_mb: u32,
+    /// Input batch width (samples).
+    pub width: usize,
+    /// Seed for deterministic input generation.
+    pub input_seed: u64,
+}
+
+fn arrival(
+    rng: &mut StdRng,
+    at_us: u64,
+    priority: Priority,
+    variant: Variant,
+    workers: u32,
+    idx: usize,
+) -> Arrival {
+    Arrival {
+        at: VirtualTime::from_micros(at_us),
+        priority,
+        variant,
+        workers,
+        memory_mb: 1769,
+        width: rng.gen_range(4usize..10),
+        input_seed: rng.gen_range(1u64..1 << 48) ^ idx as u64,
+    }
+}
+
+/// A steady trickle: `n` arrivals spaced `gap_us` apart, mostly
+/// interactive with every fourth request batch, small worker counts.
+/// Under any sane capacity this trace sees no backpressure.
+pub fn steady(n: usize, gap_us: u64, seed: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let priority = if i % 4 == 3 {
+                Priority::Batch
+            } else {
+                Priority::Interactive
+            };
+            let variant = if i % 3 == 0 {
+                Variant::Serial
+            } else {
+                Variant::Queue
+            };
+            let workers = 1 + (i % 2) as u32;
+            arrival(&mut rng, i as u64 * gap_us, priority, variant, workers, i)
+        })
+        .collect()
+}
+
+/// Bursts of simultaneous arrivals: `bursts` groups of `burst_size`
+/// requests, each group sharing one arrival instant, groups `gap_us`
+/// apart. Each burst mixes both classes and both channel variants.
+pub fn bursty(bursts: usize, burst_size: usize, gap_us: u64, seed: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(bursts * burst_size);
+    for b in 0..bursts {
+        for j in 0..burst_size {
+            let i = b * burst_size + j;
+            let priority = if j % 3 == 2 {
+                Priority::Batch
+            } else {
+                Priority::Interactive
+            };
+            let variant = match j % 3 {
+                0 => Variant::Queue,
+                1 => Variant::Object,
+                _ => Variant::Serial,
+            };
+            let workers = 1 + (j % 2) as u32;
+            out.push(arrival(
+                &mut rng,
+                b as u64 * gap_us,
+                priority,
+                variant,
+                workers,
+                i,
+            ));
+        }
+    }
+    out
+}
+
+/// The adversarial case: `n` large-`P` requests all arriving at once
+/// (virtual time zero), batch-heavy — the flood that must trip the
+/// bounded queues into explicit backpressure instead of buffering without
+/// bound or starving interactive traffic.
+pub fn flood(n: usize, workers: u32, seed: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let priority = if i % 3 == 0 {
+                Priority::Interactive
+            } else {
+                Priority::Batch
+            };
+            let variant = if i % 2 == 0 {
+                Variant::Queue
+            } else {
+                Variant::Object
+            };
+            arrival(&mut rng, 0, priority, variant, workers, i)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        assert_eq!(steady(20, 1000, 7), steady(20, 1000, 7));
+        assert_eq!(bursty(3, 8, 50_000, 7), bursty(3, 8, 50_000, 7));
+        assert_eq!(flood(16, 4, 7), flood(16, 4, 7));
+        assert_ne!(steady(20, 1000, 7), steady(20, 1000, 8));
+    }
+
+    #[test]
+    fn traces_are_time_ordered_and_mixed() {
+        let t = bursty(4, 6, 10_000, 3);
+        assert!(t.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+        assert!(t.iter().any(|a| a.priority == Priority::Batch));
+        assert!(t.iter().any(|a| a.priority == Priority::Interactive));
+        assert!(t.iter().any(|a| a.variant == Variant::Object));
+        let f = flood(10, 4, 3);
+        assert!(f.iter().all(|a| a.at == VirtualTime::ZERO));
+        assert!(f.iter().all(|a| a.workers == 4));
+    }
+}

@@ -5,4 +5,5 @@ pub use fsd_core as core;
 pub use fsd_faas as faas;
 pub use fsd_model as model;
 pub use fsd_partition as partition;
+pub use fsd_sched as sched;
 pub use fsd_sparse as sparse;

@@ -197,6 +197,80 @@ fn same_variant_concurrency_does_not_cross_deliver() {
 }
 
 #[test]
+fn concurrent_billing_windows_are_request_local_and_disjoint() {
+    let _guard = engine_guard();
+    // Per-flow metering: `InferenceReport::comm`/`lambda` must be
+    // request-local deltas, not windows over a shared global meter. Run the
+    // same mix sequentially (fresh service) and concurrently (another fresh
+    // service, same seed): every request's billing must be identical in
+    // both, because each request only ever sees its own traffic.
+    let (sequential_service, batches) = service_with_inputs(53);
+    let requests = request_mix(&batches);
+    let baseline: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            let report = sequential_service.submit(r).expect("sequential run");
+            (report.comm, report.lambda)
+        })
+        .collect();
+
+    let (service, _) = service_with_inputs(53);
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            let service = service.clone();
+            let req = r.clone();
+            std::thread::spawn(move || service.submit(&req).expect("concurrent run"))
+        })
+        .collect();
+    let concurrent: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panics"))
+        .collect();
+
+    let mut comm_sum = fsd_inference::comm::MeterSnapshot::default();
+    let mut lambda_sum = 0u64;
+    for (i, report) in concurrent.iter().enumerate() {
+        assert_eq!(
+            report.comm, baseline[i].0,
+            "request {i}: concurrent comm window differs from sequential — \
+             billing leaked across overlapping flows"
+        );
+        assert_eq!(
+            report.lambda, baseline[i].1,
+            "request {i}: concurrent lambda window differs from sequential"
+        );
+        comm_sum = comm_sum.plus(&report.comm);
+        lambda_sum += report.lambda.invocations;
+    }
+
+    // Disjointness: the per-request windows partition the region's billing.
+    // Offline staging writes are unbilled and every billed event carries a
+    // flow, so the global meters must equal the sum of the request windows
+    // exactly — nothing double-counted, nothing unattributed.
+    assert_eq!(
+        service.env().snapshot(),
+        comm_sum,
+        "global meter != sum of request windows: flows overlap or leak"
+    );
+    assert_eq!(
+        service.platform().lambda_snapshot().invocations,
+        lambda_sum,
+        "lambda invocations not fully attributed to flows"
+    );
+
+    // Both services released every flow bucket at request teardown.
+    for svc in [&sequential_service, &service] {
+        assert_eq!(svc.env().meter().tracked_flows(), 0, "leaked comm flows");
+        assert_eq!(
+            svc.platform().lambda_meter().tracked_flows(),
+            0,
+            "leaked lambda flows"
+        );
+    }
+}
+
+#[test]
 fn auto_requests_can_run_concurrently() {
     let _guard = engine_guard();
     let (service, batches) = service_with_inputs(47);

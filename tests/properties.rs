@@ -192,3 +192,107 @@ proptest! {
         prop_assert_eq!(report.first_output(), &expected);
     }
 }
+
+// Scheduler invariants over arbitrary configurations and request mixes.
+// Each case drives a real scheduler (auto dispatch, real worker threads),
+// so the case count stays small and the models tiny.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn scheduler_invariants_hold_for_arbitrary_configs(
+        global_cap in 1usize..4,
+        queue_capacity in 1usize..5,
+        w_interactive in 1u32..4,
+        w_batch in 1u32..4,
+        n_requests in 6usize..16,
+        seed in 0u64..500,
+    ) {
+        use fsd_inference::core::{BatchedRequest, FsdError, ServiceBuilder, Variant};
+        use fsd_inference::sched::{Priority, Scheduler, SchedulerConfig};
+        use std::sync::Arc;
+
+        let spec = DnnSpec { neurons: 56, layers: 2, nnz_per_row: 6, bias: -0.25, clip: 32.0, seed };
+        let dnn = Arc::new(generate_dnn(&spec));
+        let service = Arc::new(
+            ServiceBuilder::new(dnn)
+                .deterministic(seed)
+                .prewarm(1)
+                .prewarm(2)
+                .build(),
+        );
+        let cfg = SchedulerConfig::default()
+            .global_cap(global_cap)
+            .queue_capacity(queue_capacity)
+            .weights(w_interactive, w_batch);
+        let sched = Scheduler::wrap(service.clone(), cfg);
+
+        // A single-threaded enqueue flood: with tiny bounded queues some
+        // arrivals are rejected with backpressure, the rest are accepted.
+        let mut tickets = Vec::new();
+        let mut rejections = 0u64;
+        for i in 0..n_requests {
+            let priority = if i % 3 == 2 { Priority::Batch } else { Priority::Interactive };
+            let variant = match i % 3 {
+                0 => Variant::Serial,
+                1 => Variant::Queue,
+                _ => Variant::Object,
+            };
+            let req = BatchedRequest {
+                variant,
+                workers: 1 + (i % 2) as u32,
+                memory_mb: 1769,
+                batches: vec![generate_inputs(spec.neurons, &InputSpec::scaled(4 + i % 4, seed + i as u64))],
+            };
+            match sched.enqueue_default(priority, req) {
+                Ok(t) => tickets.push(t),
+                Err(FsdError::Overloaded { retry_after }) => {
+                    prop_assert!(retry_after > fsd_inference::comm::VirtualTime::ZERO);
+                    rejections += 1;
+                }
+                Err(e) => return Err(format!("unexpected enqueue error: {e}")),
+            }
+        }
+
+        // No starvation: every accepted request — both classes — completes.
+        let accepted = tickets.len() as u64;
+        for t in tickets {
+            let report = t.wait().expect("accepted request completes");
+            prop_assert!(!report.outputs.is_empty());
+        }
+        sched.shutdown();
+        sched.drain();
+
+        let stats = sched.stats();
+        // Caps are never exceeded, not even transiently (high-water marks).
+        prop_assert!(stats.max_inflight <= global_cap,
+            "global cap {} exceeded: {}", global_cap, stats.max_inflight);
+        let model_cap = sched.model_cap("default").expect("registered");
+        for &m in &stats.max_inflight_per_model {
+            prop_assert!(m <= model_cap, "model cap {} exceeded: {}", model_cap, m);
+        }
+        // Conservation: every enqueue attempt is accounted exactly once.
+        prop_assert_eq!(stats.enqueued, accepted);
+        prop_assert_eq!(stats.total_admitted(), accepted);
+        prop_assert_eq!(stats.total_rejected(), rejections);
+        prop_assert_eq!(stats.completed, accepted);
+        prop_assert_eq!(stats.failed, 0);
+        prop_assert_eq!(stats.queued, 0);
+        prop_assert_eq!(stats.inflight, 0);
+
+        // Rejected requests leave nothing behind: no queues, subscriptions,
+        // intermediate objects or per-flow meter buckets survive the drain.
+        prop_assert_eq!(service.env().queue_count(), 0, "leaked queues");
+        for t in 0..service.env().pubsub().n_topics() {
+            prop_assert_eq!(service.env().pubsub().subscription_count(t), 0,
+                "leaked filter policies on topic {}", t);
+        }
+        for i in 0..service.env().config().n_buckets {
+            prop_assert_eq!(
+                service.env().object_store().object_count(&fsd_inference::comm::bucket_name(i)),
+                0, "leaked objects in bucket {}", i);
+        }
+        prop_assert_eq!(service.env().meter().tracked_flows(), 0, "leaked comm flows");
+        prop_assert_eq!(service.platform().lambda_meter().tracked_flows(), 0, "leaked lambda flows");
+    }
+}
