@@ -22,7 +22,7 @@ use std::time::Instant;
 
 const SEED: u64 = 42;
 
-fn fresh_service() -> Arc<FsdService> {
+fn service_builder() -> ServiceBuilder {
     let spec = DnnSpec {
         neurons: 128,
         layers: 4,
@@ -31,14 +31,31 @@ fn fresh_service() -> Arc<FsdService> {
         clip: 32.0,
         seed: SEED,
     };
-    Arc::new(
-        ServiceBuilder::new(Arc::new(generate_dnn(&spec)))
-            .deterministic(SEED)
-            .prewarm(1)
-            .prewarm(2)
-            .prewarm(4)
-            .build(),
-    )
+    ServiceBuilder::new(Arc::new(generate_dnn(&spec)))
+        .deterministic(SEED)
+        .prewarm(1)
+        .prewarm(2)
+        .prewarm(4)
+}
+
+fn fresh_service() -> Arc<FsdService> {
+    Arc::new(service_builder().build())
+}
+
+/// A service whose warm pool is pre-warmed past the concurrency cap for
+/// every distributed shape the bursty trace produces, so each such
+/// request is a warm hit.
+fn fresh_pooled_service(cap: usize) -> Arc<FsdService> {
+    use fsd_core::Variant;
+    let mut builder = service_builder().warm_pool(4 * cap, u64::MAX);
+    for variant in [Variant::Queue, Variant::Object] {
+        for workers in [1u32, 2] {
+            for _ in 0..cap {
+                builder = builder.prewarm_tree(variant, workers, 1769);
+            }
+        }
+    }
+    Arc::new(builder.build())
 }
 
 fn request_for(service: &FsdService, a: &Arrival) -> BatchedRequest {
@@ -60,6 +77,8 @@ struct RunResult {
     max_inflight: usize,
     mean_virtual_latency: VirtualTime,
     last_retry_hint: VirtualTime,
+    warm_hits: u64,
+    cold_starts: u64,
 }
 
 /// Enqueues the whole trace (auto dispatch), waits every ticket, and
@@ -95,6 +114,8 @@ fn drive(sched: &Scheduler, service: &FsdService, arrivals: &[Arrival]) -> RunRe
         max_inflight: stats.max_inflight,
         mean_virtual_latency: VirtualTime::from_micros(total_latency_us / accepted.max(1) as u64),
         last_retry_hint,
+        warm_hits: stats.warm_hits,
+        cold_starts: stats.cold_starts,
     }
 }
 
@@ -164,5 +185,43 @@ fn main() {
     t.print(&format!(
         "Backpressure — large-P flood ({} simultaneous requests), global_cap=4",
         flood.len(),
+    ));
+
+    // Part 3: the same bursty trace with the warm-tree pool pre-warmed —
+    // distributed requests skip cold start + launch rounds entirely.
+    let cap = 4usize;
+    let mut t = Table::new(&[
+        "pool",
+        "warm hits",
+        "cold starts",
+        "mean virt latency",
+        "wall ms",
+    ]);
+    for pooled in [false, true] {
+        let service = if pooled {
+            fresh_pooled_service(cap)
+        } else {
+            fresh_service()
+        };
+        let sched = Scheduler::wrap(
+            service.clone(),
+            SchedulerConfig::default()
+                .global_cap(cap)
+                .queue_capacity(256),
+        );
+        let r = drive(&sched, &service, &arrivals);
+        assert_eq!(r.rejected, 0, "generous queues must not reject");
+        t.row(vec![
+            if pooled { "warm" } else { "off" }.to_string(),
+            r.warm_hits.to_string(),
+            r.cold_starts.to_string(),
+            r.mean_virtual_latency.to_string(),
+            format!("{:.1}", r.wall_ms),
+        ]);
+    }
+    t.print(&format!(
+        "Warm pool — bursty trace ({} requests), global_cap={cap}: \
+         warm hits skip coordinator cold start and all launch rounds",
+        arrivals.len(),
     ));
 }

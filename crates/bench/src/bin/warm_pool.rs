@@ -1,0 +1,128 @@
+//! Warm-pool launch-to-first-output — cold starts vs warm hits.
+//!
+//! Not a paper table: this measures the warm-tree pool. For each model
+//! size, the same single-batch request is served repeatedly through a
+//! pooled service; before each *cold* sample the pool is invalidated (the
+//! parked tree is dropped, forcing the full coordinator + cold start +
+//! `launch_rounds(P, b)` + weight-load bill), while *warm* samples route
+//! into the parked tree. The run asserts warm p50 strictly below cold p50
+//! under the deterministic clock, prints both distributions, and emits
+//! `BENCH_warm_pool.json` for CI trend tracking.
+//!
+//! ```text
+//! cargo run --release -p fsd-bench --bin warm_pool
+//! ```
+
+use fsd_bench::{workload_with_batch, Scale, Table};
+use fsd_core::{InferenceRequest, LaunchPath, ServiceBuilder, Variant};
+use std::fmt::Write as _;
+
+const SEED: u64 = 42;
+const SAMPLES: usize = 9;
+
+/// Percentile over a sorted sample set (nearest-rank).
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil().max(1.0) as usize;
+    sorted_us[rank.min(sorted_us.len()) - 1]
+}
+
+struct SizeResult {
+    neurons: usize,
+    workers: u32,
+    cold_p50_us: u64,
+    cold_p99_us: u64,
+    warm_p50_us: u64,
+    warm_p99_us: u64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut table = Table::new(&[
+        "neurons",
+        "P",
+        "cold p50",
+        "cold p99",
+        "warm p50",
+        "warm p99",
+        "speedup p50",
+    ]);
+    let mut results = Vec::new();
+    for &neurons in &scale.neuron_grid() {
+        let workers = scale.worker_grid()[1];
+        let memory_mb = scale.worker_memory_mb(neurons);
+        let w = workload_with_batch(scale, neurons, scale.batch().min(64), SEED);
+        let service = ServiceBuilder::new(w.dnn.clone())
+            .config(scale.engine_config(SEED))
+            .warm_pool(2, u64::MAX)
+            .prewarm(workers)
+            .build();
+        let req = InferenceRequest {
+            variant: Variant::Queue,
+            workers,
+            memory_mb,
+            inputs: w.inputs.clone(),
+        };
+        let mut cold_us = Vec::with_capacity(SAMPLES);
+        let mut warm_us = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            service.invalidate_warm_trees();
+            let cold = service.submit(&req).expect("cold run");
+            assert_eq!(cold.launch, LaunchPath::ColdStart);
+            assert_eq!(cold.first_output(), &w.expected, "cold output wrong");
+            cold_us.push(cold.latency.as_micros());
+            let warm = service.submit(&req).expect("warm run");
+            assert_eq!(warm.launch, LaunchPath::WarmHit);
+            assert_eq!(warm.first_output(), &w.expected, "warm output wrong");
+            warm_us.push(warm.latency.as_micros());
+        }
+        cold_us.sort_unstable();
+        warm_us.sort_unstable();
+        let r = SizeResult {
+            neurons,
+            workers,
+            cold_p50_us: percentile(&cold_us, 50.0),
+            cold_p99_us: percentile(&cold_us, 99.0),
+            warm_p50_us: percentile(&warm_us, 50.0),
+            warm_p99_us: percentile(&warm_us, 99.0),
+        };
+        assert!(
+            r.warm_p50_us < r.cold_p50_us,
+            "warm p50 must be strictly below cold p50 (N={neurons})"
+        );
+        table.row(vec![
+            neurons.to_string(),
+            workers.to_string(),
+            format!("{:.1}ms", r.cold_p50_us as f64 / 1000.0),
+            format!("{:.1}ms", r.cold_p99_us as f64 / 1000.0),
+            format!("{:.1}ms", r.warm_p50_us as f64 / 1000.0),
+            format!("{:.1}ms", r.warm_p99_us as f64 / 1000.0),
+            format!("{:.2}x", r.cold_p50_us as f64 / r.warm_p50_us as f64),
+        ]);
+        results.push(r);
+    }
+    table.print(&format!(
+        "Warm pool — launch-to-first-output, {SAMPLES} samples per path, FSD-Inf-Queue"
+    ));
+
+    // Machine-readable emission for CI trend tracking.
+    let mut json = String::from("{\n  \"bench\": \"warm_pool\",\n  \"samples_per_path\": ");
+    let _ = write!(json, "{SAMPLES},\n  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"neurons\": {}, \"workers\": {}, \
+             \"cold_p50_us\": {}, \"cold_p99_us\": {}, \
+             \"warm_p50_us\": {}, \"warm_p99_us\": {}}}{}",
+            r.neurons,
+            r.workers,
+            r.cold_p50_us,
+            r.cold_p99_us,
+            r.warm_p50_us,
+            r.warm_p99_us,
+            if i + 1 < results.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_warm_pool.json", &json).expect("write BENCH_warm_pool.json");
+    println!("wrote BENCH_warm_pool.json");
+}

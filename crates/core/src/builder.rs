@@ -7,7 +7,8 @@
 //! partitioned and staged at build time (so first requests skip the offline
 //! step, exactly the "a priori, not per request" discipline of §III).
 
-use crate::engine::EngineConfig;
+use crate::engine::{EngineConfig, Variant};
+use crate::pool::WarmPoolConfig;
 use crate::provider::{ChannelProvider, ChannelRegistry};
 use crate::queue_channel::ChannelOptions;
 use crate::service::FsdService;
@@ -23,6 +24,8 @@ pub struct ServiceBuilder {
     cfg: EngineConfig,
     registry: ChannelRegistry,
     prewarm: Vec<u32>,
+    warm_pool: Option<WarmPoolConfig>,
+    prewarm_trees: Vec<(Variant, u32, u32)>,
 }
 
 impl ServiceBuilder {
@@ -34,6 +37,8 @@ impl ServiceBuilder {
             cfg: EngineConfig::default(),
             registry: ChannelRegistry::with_builtins(),
             prewarm: Vec::new(),
+            warm_pool: None,
+            prewarm_trees: Vec::new(),
         }
     }
 
@@ -117,12 +122,56 @@ impl ServiceBuilder {
         self
     }
 
+    /// Enables the warm-tree pool: up to `max_trees` launched worker trees
+    /// stay parked between requests of the same `(variant, P, memory)`
+    /// shape, so matching requests skip cold start, launch rounds and
+    /// weight loads entirely ([`crate::LaunchPath::WarmHit`]). A parked
+    /// tree that sits out `idle_ttl` subsequent *distributed* requests is
+    /// evicted — the pool clock ticks once per Queue/Object checkout;
+    /// Serial requests run no tree and do not age the shelf (`u64::MAX`
+    /// never evicts). `max_trees = 0` disables the pool.
+    pub fn warm_pool(mut self, max_trees: usize, idle_ttl: u64) -> ServiceBuilder {
+        self.warm_pool = Some(WarmPoolConfig {
+            max_trees,
+            idle_ttl,
+        });
+        self
+    }
+
+    /// Launches and parks a warm tree for this shape at build time, so the
+    /// very first matching request is already a warm hit. Requires
+    /// [`ServiceBuilder::warm_pool`]; may be called repeatedly (each call
+    /// parks one more tree).
+    pub fn prewarm_tree(
+        mut self,
+        variant: Variant,
+        workers: u32,
+        memory_mb: u32,
+    ) -> ServiceBuilder {
+        self.prewarm_trees.push((variant, workers, memory_mb));
+        self
+    }
+
     /// Assembles the service, staging artifacts for every pre-warmed
-    /// worker count.
+    /// worker count and launching every pre-warmed tree.
+    ///
+    /// # Panics
+    /// If `prewarm_tree` was used without an *enabled* `warm_pool`
+    /// (`max_trees ≥ 1`), or a pre-warm launch fails (a build-time
+    /// configuration bug, not a request error).
     pub fn build(self) -> FsdService {
-        let service = FsdService::assemble(self.dnn, self.cfg, self.registry);
+        assert!(
+            self.prewarm_trees.is_empty() || self.warm_pool.is_some_and(|w| w.max_trees > 0),
+            "prewarm_tree requires an enabled warm_pool (max_trees >= 1)"
+        );
+        let service = FsdService::assemble(self.dnn, self.cfg, self.registry, self.warm_pool);
         for p in self.prewarm {
             service.prepare(p);
+        }
+        for (variant, workers, memory_mb) in self.prewarm_trees {
+            service
+                .prewarm_tree(variant, workers, memory_mb)
+                .expect("pre-warm tree launch failed at build time");
         }
         service
     }

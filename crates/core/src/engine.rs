@@ -1,5 +1,4 @@
-//! Public request/report types of the serving API, plus the deprecated
-//! single-threaded [`FsdInference`] shim kept for one release.
+//! Public request/report types of the serving API.
 //!
 //! The engine logic itself lives in [`crate::service::FsdService`]; this
 //! module defines what goes in (requests, [`EngineConfig`]) and what comes
@@ -7,14 +6,10 @@
 
 use crate::cost::CostBreakdown;
 use crate::queue_channel::ChannelOptions;
-use crate::recommend::Recommendation;
-use crate::service::FsdService;
-use fsd_comm::{CloudConfig, CloudEnv, MeterSnapshot, VirtualTime};
-use fsd_faas::{ComputeModel, FaasError, LambdaSnapshot, MAX_MEMORY_MB};
-use fsd_model::SparseDnn;
-use fsd_partition::{Partition, PartitionScheme};
+use fsd_comm::{CloudConfig, MeterSnapshot, VirtualTime};
+use fsd_faas::{ComputeModel, LambdaSnapshot, MAX_MEMORY_MB};
+use fsd_partition::PartitionScheme;
 use fsd_sparse::SparseRows;
-use std::sync::Arc;
 
 use crate::stats::ChannelStatsSnapshot;
 
@@ -53,6 +48,30 @@ impl std::fmt::Display for Variant {
             Variant::Queue => write!(f, "FSD-Inf-Queue"),
             Variant::Object => write!(f, "FSD-Inf-Object"),
             Variant::Auto => write!(f, "FSD-Inf-Auto"),
+        }
+    }
+}
+
+/// How a request's worker tree came to exist (reported per request so
+/// callers, schedulers and benches can split latency by path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaunchPath {
+    /// The request paid the full launch bill: coordinator invoke + cold
+    /// start, the hierarchical `launch_rounds(P, b)` tree invocations and
+    /// per-worker weight loads (also reported by Serial runs and any
+    /// request of a service without a warm pool).
+    ColdStart,
+    /// The request was routed into an already-launched, weights-resident
+    /// warm tree: no invocations, no cold starts, no launch rounds, no
+    /// weight loads — one control-plane hop.
+    WarmHit,
+}
+
+impl std::fmt::Display for LaunchPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchPath::ColdStart => write!(f, "cold-start"),
+            LaunchPath::WarmHit => write!(f, "warm-hit"),
         }
     }
 }
@@ -148,6 +167,9 @@ pub struct InferenceReport {
     /// variant it resolved to).
     pub variant: Variant,
     pub workers: u32,
+    /// Whether the run paid the launch bill ([`LaunchPath::ColdStart`]) or
+    /// was routed into a warm tree ([`LaunchPath::WarmHit`]).
+    pub launch: LaunchPath,
     /// Virtual time the request arrived — the origin of the measurement
     /// window [`InferenceReport::latency`] is derived from.
     pub arrival: VirtualTime,
@@ -206,67 +228,6 @@ impl InferenceReport {
     }
 }
 
-/// The original single-threaded engine façade, now a thin veneer over
-/// [`FsdService`]. Kept for one release so downstream code migrates at its
-/// own pace; new code should use `ServiceBuilder`/[`FsdService`], whose
-/// `&self` request path serves concurrent callers.
-#[deprecated(
-    since = "0.2.0",
-    note = "use ServiceBuilder/FsdService: the &self API serves concurrent requests"
-)]
-pub struct FsdInference {
-    service: FsdService,
-}
-
-#[allow(deprecated)]
-impl FsdInference {
-    /// Creates an engine for a model over a fresh simulated region.
-    pub fn new(dnn: Arc<SparseDnn>, cfg: EngineConfig) -> FsdInference {
-        FsdInference {
-            service: crate::builder::ServiceBuilder::new(dnn).config(cfg).build(),
-        }
-    }
-
-    /// The simulated environment (inspection/tests).
-    pub fn env(&self) -> &Arc<CloudEnv> {
-        self.service.env()
-    }
-
-    /// The model being served.
-    pub fn dnn(&self) -> &Arc<SparseDnn> {
-        self.service.dnn()
-    }
-
-    /// The partition used for `P` workers (preparing it if needed).
-    pub fn partition(&mut self, p: u32) -> Arc<Partition> {
-        self.service.partition(p)
-    }
-
-    /// Recommends a variant for this model at parallelism `p` (§IV-C).
-    pub fn recommend(&mut self, p: u32, est_bytes_per_row: usize) -> Recommendation {
-        self.service.recommend(p, est_bytes_per_row)
-    }
-
-    /// Offline step: partition for `P` workers and stage the artifacts.
-    pub fn prepare(&mut self, p: u32) {
-        self.service.prepare(p);
-    }
-
-    /// Runs one single-batch inference request end to end. Keeps the
-    /// original `FaasError` signature so pre-0.2 matches still compile;
-    /// service-level [`FsdError`] conditions surface as a `"service"`
-    /// comm failure.
-    pub fn run(&mut self, req: &InferenceRequest) -> Result<InferenceReport, FaasError> {
-        self.service.submit(req).map_err(FaasError::from)
-    }
-
-    /// Runs several successive batches through one worker tree (same
-    /// error-type compatibility as [`FsdInference::run`]).
-    pub fn run_batched(&mut self, req: &BatchedRequest) -> Result<InferenceReport, FaasError> {
-        self.service.submit_batched(req).map_err(FaasError::from)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,29 +247,8 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_runs() {
-        use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
-        let spec = DnnSpec {
-            neurons: 48,
-            layers: 2,
-            nnz_per_row: 6,
-            bias: -0.25,
-            clip: 32.0,
-            seed: 3,
-        };
-        let dnn = Arc::new(generate_dnn(&spec));
-        let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(8, 3));
-        let expected = dnn.serial_inference(&inputs);
-        let mut engine = FsdInference::new(dnn, EngineConfig::deterministic(3));
-        let report = engine
-            .run(&InferenceRequest {
-                variant: Variant::Serial,
-                workers: 1,
-                memory_mb: 2048,
-                inputs,
-            })
-            .expect("shim runs");
-        assert_eq!(report.first_output(), &expected);
+    fn launch_path_displays() {
+        assert_eq!(LaunchPath::ColdStart.to_string(), "cold-start");
+        assert_eq!(LaunchPath::WarmHit.to_string(), "warm-hit");
     }
 }

@@ -112,28 +112,6 @@ impl From<FaasError> for FsdError {
     }
 }
 
-/// Back-conversion for the deprecated `FsdInference` shim, which keeps its
-/// original `Result<_, FaasError>` signatures so downstream matches keep
-/// compiling for one release. Service-level conditions with no FaaS
-/// counterpart become a structured `Comm` failure under the `"service"`
-/// op.
-impl From<FsdError> for FaasError {
-    fn from(e: FsdError) -> FaasError {
-        match e {
-            FsdError::OutOfMemory {
-                used_bytes,
-                limit_bytes,
-            } => FaasError::OutOfMemory {
-                used_bytes,
-                limit_bytes,
-            },
-            FsdError::Timeout { elapsed, limit } => FaasError::Timeout { elapsed, limit },
-            FsdError::Comm(failure) => FaasError::Comm(failure),
-            service_level => FaasError::comm("service", "", service_level),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,36 +145,12 @@ mod tests {
     }
 
     #[test]
-    fn fsd_errors_map_back_for_the_shim() {
-        let oom = FsdError::OutOfMemory {
-            used_bytes: 10,
-            limit_bytes: 5,
-        };
-        assert!(matches!(
-            FaasError::from(oom),
-            FaasError::OutOfMemory { .. }
-        ));
-        match FaasError::from(FsdError::EmptyRequest) {
-            FaasError::Comm(failure) => {
-                assert_eq!(failure.op, "service");
-                assert!(failure.detail.contains("no batches"));
-            }
-            other => panic!("expected Comm, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn scheduler_errors_display_and_shim_convert() {
+    fn scheduler_errors_display() {
         let overloaded = FsdError::Overloaded {
             retry_after: VirtualTime::from_secs_f64(1.5),
         };
         assert!(overloaded.to_string().contains("retry after"));
         assert!(FsdError::ShuttingDown.to_string().contains("shutting down"));
-        // Service-level conditions route through the shim's "service" op.
-        match FaasError::from(overloaded) {
-            FaasError::Comm(failure) => assert_eq!(failure.op, "service"),
-            other => panic!("expected Comm, got {other:?}"),
-        }
     }
 
     #[test]

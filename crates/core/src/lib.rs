@@ -25,6 +25,12 @@
 //! run. Channel backends plug in through [`ChannelProvider`] /
 //! [`ChannelRegistry`]. Errors are the structured [`FsdError`].
 //!
+//! With [`ServiceBuilder::warm_pool`], launched worker trees stay parked
+//! between requests of the same `(variant, P, memory)` shape and matching
+//! requests are routed into them — skipping cold start, launch rounds and
+//! weight loads ([`LaunchPath::WarmHit`] in the report); see [`TreeKey`]
+//! and [`WarmPoolStats`].
+//!
 //! ```
 //! use fsd_core::{InferenceRequest, ServiceBuilder, Variant};
 //! use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
@@ -50,11 +56,13 @@ pub mod cost;
 mod engine;
 mod error;
 mod object_channel;
+mod pool;
 mod provider;
 mod queue_channel;
 mod recommend;
 mod service;
 mod stats;
+mod warm;
 pub mod wire;
 pub mod worker;
 
@@ -64,15 +72,16 @@ pub use artifacts::{
 };
 pub use builder::ServiceBuilder;
 pub use channel::{barrier, reduce, FsiChannel, RecvTracker, Tag};
-#[allow(deprecated)]
-pub use engine::FsdInference;
 pub use engine::{
-    BatchedRequest, EngineConfig, InferenceReport, InferenceRequest, Variant, WorkerReport,
+    BatchedRequest, EngineConfig, InferenceReport, InferenceRequest, LaunchPath, Variant,
+    WorkerReport,
 };
 pub use error::FsdError;
 pub use object_channel::ObjectChannel;
+pub use pool::{WarmPoolConfig, WarmPoolStats};
 pub use provider::{ChannelProvider, ChannelRegistry, ObjectChannelProvider, QueueChannelProvider};
 pub use queue_channel::{ChannelOptions, QueueChannel};
 pub use recommend::{fits_single_instance, recommend_variant, Recommendation, WorkloadProfile};
 pub use service::FsdService;
 pub use stats::{ChannelStats, ChannelStatsSnapshot};
+pub use warm::TreeKey;

@@ -1,0 +1,239 @@
+//! The warm-tree pool: checkout/checkin of parked [`WorkerTree`]s.
+//!
+//! Trees are shelved by [`TreeKey`] `(variant, P, memory)`. A request of a
+//! matching shape checks the most-recently-parked tree out (LIFO keeps the
+//! hottest tree in use), runs, and checks it back in at teardown; a miss
+//! falls back to a cold launch that creates the tree the checkin then
+//! parks. The shelf is bounded (`max_trees`) — a checkin that would
+//! overflow it shuts the tree down instead — and parked trees age out
+//! after `idle_ttl` pool ticks.
+//!
+//! **Time base.** Requests run on private virtual timelines, so there is
+//! no global virtual "now" to age idle trees against. The pool instead
+//! counts **ticks**: every checkout attempt advances the pool clock by
+//! one. `idle_ttl` is therefore "evict a tree that sat out this many
+//! subsequent *distributed* requests" — Serial requests run no tree,
+//! never reach the pool, and do not age the shelf. Tick counting is
+//! deterministic under a deterministic request sequence — the property
+//! every load-replay test relies on.
+//!
+//! **Invalidation.** [`TreePool::invalidate`] bumps the pool generation;
+//! parked trees from older generations are shut down lazily at the next
+//! pool operation (and eagerly by `invalidate` itself). Call it when the
+//! model's staged artifacts change — a warm tree keeps its weights
+//! resident, so it must never serve a request for newer weights.
+
+use crate::warm::{TreeKey, WorkerTree};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Builder-facing pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmPoolConfig {
+    /// Maximum parked (idle) trees across all shapes; `0` disables the
+    /// pool entirely.
+    pub max_trees: usize,
+    /// Idle ticks (subsequent checkout attempts) after which a parked tree
+    /// is evicted. `u64::MAX` never evicts.
+    pub idle_ttl: u64,
+}
+
+/// Point-in-time pool counters (all monotonic except `idle`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmPoolStats {
+    /// Checkouts that found a matching parked tree.
+    pub hits: u64,
+    /// Checkouts that found none (the request cold-launches).
+    pub misses: u64,
+    /// Trees created (cold launches + pre-warms) and offered to the pool.
+    pub created: u64,
+    /// Parked trees evicted by the idle TTL.
+    pub evicted_ttl: u64,
+    /// Parked trees dropped by a generation bump.
+    pub evicted_stale: u64,
+    /// Checkins discarded because the shelf was full.
+    pub discarded_full: u64,
+    /// Poisoned trees discarded at checkin (a worker died).
+    pub discarded_poisoned: u64,
+    /// Currently parked trees.
+    pub idle: usize,
+}
+
+struct Parked {
+    tree: WorkerTree,
+    parked_at_tick: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: u64,
+    misses: u64,
+    created: u64,
+    evicted_ttl: u64,
+    evicted_stale: u64,
+    discarded_full: u64,
+    discarded_poisoned: u64,
+}
+
+/// The pool itself; owned by the service, shared by all request threads.
+pub(crate) struct TreePool {
+    cfg: WarmPoolConfig,
+    tick: AtomicU64,
+    generation: AtomicU64,
+    shelf: Mutex<Vec<Parked>>,
+    counters: Mutex<Counters>,
+}
+
+impl TreePool {
+    pub(crate) fn new(cfg: WarmPoolConfig) -> TreePool {
+        TreePool {
+            cfg,
+            tick: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            shelf: Mutex::new(Vec::new()),
+            counters: Mutex::new(Counters::default()),
+        }
+    }
+
+    /// The current pool generation (new trees must carry it).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Checks a matching tree out (most recently parked first). Returns
+    /// `None` on a miss — the caller cold-launches and later checks the
+    /// new tree in.
+    pub(crate) fn checkout(&self, key: TreeKey) -> Option<WorkerTree> {
+        let now_tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let generation = self.generation();
+        let mut expired: Vec<WorkerTree> = Vec::new();
+        let picked = {
+            let mut shelf = self.shelf.lock();
+            let mut counters = self.counters.lock();
+            // Age out stale / expired trees first, keeping the survivors.
+            let mut survivors: Vec<Parked> = Vec::with_capacity(shelf.len());
+            for parked in shelf.drain(..) {
+                if parked.tree.generation() != generation {
+                    counters.evicted_stale += 1;
+                    expired.push(parked.tree);
+                } else if now_tick.saturating_sub(parked.parked_at_tick) > self.cfg.idle_ttl {
+                    counters.evicted_ttl += 1;
+                    expired.push(parked.tree);
+                } else {
+                    survivors.push(parked);
+                }
+            }
+            *shelf = survivors;
+            let found = shelf.iter().rposition(|p| p.tree.key() == key);
+            match found {
+                Some(i) => {
+                    counters.hits += 1;
+                    Some(shelf.remove(i).tree)
+                }
+                None => {
+                    counters.misses += 1;
+                    None
+                }
+            }
+        };
+        for mut tree in expired {
+            tree.shutdown();
+        }
+        picked
+    }
+
+    /// Records a newly created tree (cold launch or pre-warm).
+    pub(crate) fn record_created(&self) {
+        self.counters.lock().created += 1;
+    }
+
+    /// Returns a tree to the shelf — or shuts it down if it is poisoned,
+    /// stale, or the shelf is full.
+    pub(crate) fn checkin(&self, mut tree: WorkerTree) {
+        if tree.is_poisoned() {
+            self.counters.lock().discarded_poisoned += 1;
+            tree.shutdown();
+            return;
+        }
+        if tree.generation() != self.generation() {
+            self.counters.lock().evicted_stale += 1;
+            tree.shutdown();
+            return;
+        }
+        let parked_at_tick = self.tick.load(Ordering::Relaxed);
+        {
+            let mut shelf = self.shelf.lock();
+            if shelf.len() < self.cfg.max_trees {
+                shelf.push(Parked {
+                    tree,
+                    parked_at_tick,
+                });
+                return;
+            }
+        }
+        // Shelf full: the tree is discarded (outside the lock).
+        self.counters.lock().discarded_full += 1;
+        tree.shutdown();
+    }
+
+    /// Discards a tree without parking it (failed request teardown).
+    pub(crate) fn discard(&self, mut tree: WorkerTree) {
+        if tree.is_poisoned() {
+            self.counters.lock().discarded_poisoned += 1;
+        }
+        tree.shutdown();
+    }
+
+    /// Bumps the generation and eagerly shuts every parked tree down.
+    /// Returns how many trees were dropped.
+    pub(crate) fn invalidate(&self) -> usize {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        let drained: Vec<Parked> = std::mem::take(&mut *self.shelf.lock());
+        let n = drained.len();
+        self.counters.lock().evicted_stale += n as u64;
+        for mut parked in drained {
+            parked.tree.shutdown();
+        }
+        n
+    }
+
+    /// Arms the kill switch of `rank` on one parked tree of shape `key`
+    /// (failure injection / chaos hook). Returns whether a tree matched.
+    pub(crate) fn arm_kill(&self, key: TreeKey, rank: u32) -> bool {
+        let shelf = self.shelf.lock();
+        match shelf.iter().rev().find(|p| p.tree.key() == key) {
+            Some(parked) => {
+                parked.tree.kill_worker(rank);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Point-in-time counters.
+    pub(crate) fn stats(&self) -> WarmPoolStats {
+        // Lock order: shelf before counters, matching `checkout`.
+        let idle = self.shelf.lock().len();
+        let counters = self.counters.lock();
+        WarmPoolStats {
+            hits: counters.hits,
+            misses: counters.misses,
+            created: counters.created,
+            evicted_ttl: counters.evicted_ttl,
+            evicted_stale: counters.evicted_stale,
+            discarded_full: counters.discarded_full,
+            discarded_poisoned: counters.discarded_poisoned,
+            idle,
+        }
+    }
+}
+
+impl Drop for TreePool {
+    fn drop(&mut self) {
+        let drained: Vec<Parked> = std::mem::take(&mut *self.shelf.lock());
+        for parked in drained {
+            // WorkerTree::drop shuts the instances down.
+            drop(parked);
+        }
+    }
+}

@@ -20,15 +20,18 @@ use crate::artifacts::{stage_full_model, stage_inputs, stage_partitioned_model, 
 use crate::channel::FsiChannel;
 use crate::cost::CostModel;
 use crate::engine::{
-    BatchedRequest, EngineConfig, InferenceReport, InferenceRequest, Variant, WorkerReport,
+    BatchedRequest, EngineConfig, InferenceReport, InferenceRequest, LaunchPath, Variant,
+    WorkerReport,
 };
 use crate::error::FsdError;
+use crate::pool::{TreePool, WarmPoolConfig, WarmPoolStats};
 use crate::provider::ChannelRegistry;
 use crate::recommend::{self, Recommendation, WorkloadProfile};
 use crate::stats::ChannelStatsSnapshot;
+use crate::warm::{TreeKey, TreeParams, WorkItem, WorkerTree};
 use crate::worker::{run_serial, run_worker, WorkerOutput, WorkerParams};
 use fsd_comm::{CloudEnv, VirtualTime};
-use fsd_faas::{FaasError, FaasPlatform, FunctionConfig, InvocationReport, LambdaSnapshot};
+use fsd_faas::{launch, FaasError, FaasPlatform, FunctionConfig, InvocationReport, LambdaSnapshot};
 use fsd_model::SparseDnn;
 use fsd_partition::{partition_model, CommPlan, Partition};
 use fsd_sparse::codec;
@@ -92,6 +95,9 @@ pub struct FsdService {
     stage_lock: Mutex<()>,
     /// Request counter; its successor is the request's flow id.
     requests: AtomicU64,
+    /// The warm-tree pool (`ServiceBuilder::warm_pool`); `None` keeps the
+    /// original launch-per-request behavior.
+    pool: Option<TreePool>,
 }
 
 impl FsdService {
@@ -99,6 +105,7 @@ impl FsdService {
         dnn: Arc<SparseDnn>,
         cfg: EngineConfig,
         registry: ChannelRegistry,
+        warm: Option<WarmPoolConfig>,
     ) -> FsdService {
         let env = CloudEnv::new(cfg.cloud);
         let platform = FaasPlatform::new(env.clone(), cfg.compute);
@@ -113,6 +120,7 @@ impl FsdService {
             state: RwLock::new(StagedState::default()),
             stage_lock: Mutex::new(()),
             requests: AtomicU64::new(0),
+            pool: warm.filter(|w| w.max_trees > 0).map(TreePool::new),
         }
     }
 
@@ -300,7 +308,7 @@ impl FsdService {
         // not — a long-lived service must not accrete per-flow buckets).
         let comm = self.env.release_flow(flow);
         let lambda: LambdaSnapshot = self.platform.lambda_meter().release_flow(flow);
-        let (root_out, reports, client) = launched?;
+        let (root_out, reports, client, launch_path) = launched?;
         let per_worker: Vec<WorkerReport> = reports
             .iter()
             .map(|(rank, r)| WorkerReport {
@@ -331,6 +339,7 @@ impl FsdService {
         Ok(InferenceReport {
             variant: resolved,
             workers: p,
+            launch: launch_path,
             arrival,
             latency,
             per_worker,
@@ -344,6 +353,82 @@ impl FsdService {
             samples,
             work_done: root_out.work_done,
         })
+    }
+
+    /// Launches a warm tree for `(variant, workers, memory_mb)` ahead of
+    /// traffic and parks it in the pool, so the *first* matching request
+    /// is already a [`LaunchPath::WarmHit`]. The launch runs on the
+    /// unattributed flow (0), mirroring offline staging.
+    ///
+    /// # Panics
+    /// If the service was built without `warm_pool`, or `variant` is not a
+    /// channel variant (`Queue`/`Object`) — both are configuration bugs.
+    pub fn prewarm_tree(
+        &self,
+        variant: Variant,
+        workers: u32,
+        memory_mb: u32,
+    ) -> Result<(), FsdError> {
+        assert!(
+            variant.channel_name().is_some(),
+            "prewarm_tree needs a channel variant (Queue/Object), got {variant}"
+        );
+        let pool = self
+            .pool
+            .as_ref()
+            .expect("prewarm_tree requires ServiceBuilder::warm_pool");
+        let p = workers.max(1);
+        self.ensure_partition(p);
+        let key = TreeKey {
+            variant,
+            workers: p,
+            memory_mb,
+        };
+        let params = TreeParams {
+            n_workers: p,
+            branching: self.cfg.branching,
+            memory_mb,
+            model_key: self.model_key.clone(),
+            spec: *self.dnn.spec(),
+        };
+        let tree = WorkerTree::launch(&self.platform, key, pool.generation(), params, 0)?;
+        pool.record_created();
+        pool.checkin(tree);
+        Ok(())
+    }
+
+    /// Warm-pool counters, if a pool is configured.
+    pub fn warm_pool_stats(&self) -> Option<WarmPoolStats> {
+        self.pool.as_ref().map(TreePool::stats)
+    }
+
+    /// Invalidates every warm tree (generation bump + eager shutdown).
+    /// Call after re-staging model weights: a warm tree keeps its weights
+    /// resident and must never serve requests for newer artifacts.
+    /// Returns how many parked trees were dropped; 0 without a pool.
+    pub fn invalidate_warm_trees(&self) -> usize {
+        self.pool.as_ref().map_or(0, TreePool::invalidate)
+    }
+
+    /// Failure injection (tests/chaos): arms a kill switch on worker
+    /// `rank` of one *parked* tree matching the shape, so the next request
+    /// routed into it loses that instance mid-request. Returns whether a
+    /// parked tree matched.
+    pub fn inject_warm_failure(
+        &self,
+        variant: Variant,
+        workers: u32,
+        memory_mb: u32,
+        rank: u32,
+    ) -> bool {
+        let key = TreeKey {
+            variant,
+            workers: workers.max(1),
+            memory_mb,
+        };
+        self.pool
+            .as_ref()
+            .is_some_and(|pool| pool.arm_kill(key, rank))
     }
 
     /// Resolves [`Variant::Auto`] into a concrete variant for this request
@@ -378,7 +463,12 @@ impl FsdService {
         match variant {
             Variant::Serial => {
                 let (out, report) = self.launch_serial(input_key, widths.len(), flow)?;
-                Ok((out, vec![(0u32, report)], ChannelStatsSnapshot::default()))
+                Ok((
+                    out,
+                    vec![(0u32, report)],
+                    ChannelStatsSnapshot::default(),
+                    LaunchPath::ColdStart,
+                ))
             }
             Variant::Auto => unreachable!("Auto resolves before execution"),
             routed => {
@@ -392,6 +482,11 @@ impl FsdService {
                         name: name.to_string(),
                     })?;
                 let channel = provider.provision(&self.env, p, self.cfg.channel, flow);
+                if let Some(pool) = &self.pool {
+                    return self.execute_pooled(
+                        pool, routed, channel, p, memory_mb, input_key, widths, flow,
+                    );
+                }
                 let launched =
                     self.launch_tree(channel.clone(), p, memory_mb, input_key, widths, flow);
                 // Harvest request-local stats, then release the request's
@@ -399,7 +494,101 @@ impl FsdService {
                 let client = channel.stats().snapshot();
                 channel.teardown();
                 let (out, reports) = launched?;
-                Ok((out, reports, client))
+                Ok((out, reports, client, LaunchPath::ColdStart))
+            }
+        }
+    }
+
+    /// Runs a routed request through the warm-tree pool: a matching parked
+    /// tree is checked out (warm hit — no invocations, no cold starts, no
+    /// launch rounds, no weight loads); a miss falls back to a cold launch
+    /// of a *persistent* tree that the teardown then checks in. Either way
+    /// the data channel is provisioned and torn down per request, so flow
+    /// namespacing and billing disjointness are identical to the one-shot
+    /// path.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_pooled(
+        &self,
+        pool: &TreePool,
+        routed: Variant,
+        channel: Arc<dyn FsiChannel>,
+        p: u32,
+        memory_mb: u32,
+        input_key: &str,
+        widths: &[usize],
+        flow: u64,
+    ) -> ExecuteResult {
+        let key = TreeKey {
+            variant: routed,
+            workers: p,
+            memory_mb,
+        };
+        let (mut tree, warm) = match pool.checkout(key) {
+            Some(tree) => (tree, true),
+            None => {
+                // Cold fallback. With branching = 1 the "tree" launch
+                // degrades to a serial invocation chain of P rounds
+                // (documented in `fsd_faas::launch`); assert the documented
+                // equivalence so the fallback never silently pays a
+                // different launch bill than the model predicts.
+                debug_assert!(
+                    self.cfg.branching > 1 || launch::launch_rounds(p as usize, 1) == p as usize,
+                    "branching=1 launch must degrade to a P-round serial loop"
+                );
+                let params = TreeParams {
+                    n_workers: p,
+                    branching: self.cfg.branching,
+                    memory_mb,
+                    model_key: self.model_key.clone(),
+                    spec: *self.dnn.spec(),
+                };
+                let tree =
+                    WorkerTree::launch(&self.platform, key, pool.generation(), params, flow)?;
+                pool.record_created();
+                (tree, false)
+            }
+        };
+        // One control-plane hop routes a request into a live tree.
+        let dispatch_at =
+            VirtualTime::from_micros(self.env.jitter().apply(self.env.latency().lambda_invoke_us));
+        let item = WorkItem {
+            warm,
+            flow,
+            input_key: input_key.to_string(),
+            batch_widths: widths.to_vec(),
+            channel: channel.clone(),
+            dispatch_at,
+        };
+        let ran = tree.run(item);
+        // Harvest request-local stats, then release the request's
+        // queues/subscriptions/objects — error or not.
+        let client = channel.stats().snapshot();
+        channel.teardown();
+        match ran {
+            Ok(out) => {
+                // Checkin at request teardown: the tree parks for the next
+                // matching request (or is discarded if the shelf is full).
+                pool.checkin(tree);
+                let root_out = WorkerOutput {
+                    rank: 0,
+                    final_batches: Some(out.final_batches),
+                    subtree_reports: Vec::new(),
+                    artifact_gets: out.artifact_gets,
+                    work_done: out.work_done,
+                };
+                let path = if warm {
+                    LaunchPath::WarmHit
+                } else {
+                    LaunchPath::ColdStart
+                };
+                Ok((root_out, out.reports, client, path))
+            }
+            Err(e) => {
+                // A worker died mid-request: the tree is evicted, never
+                // checked back in, and the error surfaces to the caller
+                // (the scheduler releases the slot as for any failure).
+                pool.discard(tree);
+                Err(e.into())
             }
         }
     }
@@ -482,6 +671,7 @@ type ExecuteResult = Result<
         WorkerOutput,
         Vec<(u32, InvocationReport)>,
         ChannelStatsSnapshot,
+        LaunchPath,
     ),
     FsdError,
 >;
@@ -636,6 +826,63 @@ mod tests {
         assert!(Arc::ptr_eq(&one, &service.partition(0)));
         let three = service.partition(3);
         assert_eq!(three.n_parts(), 3);
+    }
+
+    #[test]
+    fn warm_pool_reuses_trees_and_labels_paths() {
+        let spec = DnnSpec {
+            neurons: 64,
+            layers: 3,
+            nnz_per_row: 8,
+            bias: -0.25,
+            clip: 32.0,
+            seed: 21,
+        };
+        let dnn = Arc::new(generate_dnn(&spec));
+        let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(10, 21));
+        let expected = dnn.serial_inference(&inputs);
+        let service = ServiceBuilder::new(dnn)
+            .deterministic(21)
+            .warm_pool(2, u64::MAX)
+            .build();
+        let req = InferenceRequest {
+            variant: Variant::Queue,
+            workers: 3,
+            memory_mb: 1769,
+            inputs,
+        };
+        let cold = service.submit(&req).expect("cold run");
+        assert_eq!(cold.launch, crate::LaunchPath::ColdStart);
+        assert_eq!(cold.lambda.invocations, 4, "coordinator + 3 workers");
+        assert_eq!(cold.first_output(), &expected);
+
+        let warm = service.submit(&req).expect("warm run");
+        assert_eq!(warm.launch, crate::LaunchPath::WarmHit);
+        assert_eq!(warm.lambda.invocations, 0, "warm hits invoke nothing");
+        assert!(warm.lambda.mb_ms > 0, "execution window still bills");
+        assert_eq!(warm.first_output(), &expected);
+        assert_eq!(
+            warm.outputs, cold.outputs,
+            "warm and cold paths must produce identical outputs"
+        );
+        assert!(
+            warm.latency < cold.latency,
+            "warm hit must skip launch latency: warm {} vs cold {}",
+            warm.latency,
+            cold.latency
+        );
+        let stats = service.warm_pool_stats().expect("pool enabled");
+        assert_eq!((stats.hits, stats.misses, stats.created), (1, 1, 1));
+        assert_eq!(stats.idle, 1);
+        // Flow-scoped channel resources were torn down on both paths.
+        assert_eq!(service.env().queue_count(), 0);
+        assert_eq!(service.env().meter().tracked_flows(), 0);
+        assert_eq!(service.platform().lambda_meter().tracked_flows(), 0);
+        // Invalidation drops the parked tree; the next request is cold.
+        assert_eq!(service.invalidate_warm_trees(), 1);
+        let again = service.submit(&req).expect("post-invalidate run");
+        assert_eq!(again.launch, crate::LaunchPath::ColdStart);
+        assert_eq!(again.outputs, cold.outputs);
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Warm worker trees: keep-alive instances that serve many requests.
+//!
+//! The one-shot path pays the full launch bill on every request —
+//! coordinator invoke + cold start, `launch_rounds(P, b)` hierarchical
+//! tree-invocation rounds, per-worker weight loads, then teardown. A
+//! [`WorkerTree`] pays that bill **once**: the same hierarchical launch
+//! brings up `P` keep-alive instances ([`FunctionConfig::keep_alive`]),
+//! each of which loads its weight/map artifacts and then parks in a serve
+//! loop on a long-lived control channel. Successive requests are routed
+//! into the parked tree as [`WorkItem`]s — each carrying its own flow id,
+//! input prefix and a freshly provisioned (flow-namespaced) data channel —
+//! so a warm hit skips the invoke round trips, the cold starts, the launch
+//! rounds *and* the weight loads, paying only one control-plane hop
+//! (λScale-style request routing into model-loaded instances).
+//!
+//! Billing stays per-flow disjoint across reuse: every work item opens its
+//! own metering window on the instance ([`WorkerCtx::begin_request`] /
+//! [`WorkerCtx::finish_request`]), and the per-request data channel
+//! namespaces all service traffic by the request's flow exactly as on the
+//! cold path. Parked (idle) time is never billed, mirroring the fact that
+//! idle provisioned instances bill differently from execution and keeping
+//! the cost model's request windows comparable between paths.
+//!
+//! Failure containment: if any instance dies mid-request it raises the
+//! tree's poison flag; peers observe it at their next limit check and fail
+//! fast, the collector surfaces the first error, and the pool evicts the
+//! tree instead of checking it back in.
+
+use crate::artifacts::load_worker_artifacts;
+use crate::channel::FsiChannel;
+use crate::engine::Variant;
+use crate::worker::run_batches;
+use fsd_comm::VirtualTime;
+use fsd_faas::{launch, FaasError, FaasPlatform, FunctionConfig, Invocation, InvocationReport};
+use fsd_model::DnnSpec;
+use fsd_sparse::SparseRows;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel as mpsc_channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// The shape a warm tree can serve: requests match on the resolved
+/// variant, worker count and per-worker memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeKey {
+    /// Resolved channel variant (never `Serial`/`Auto` — Serial runs no
+    /// tree and Auto resolves before the pool is consulted).
+    pub variant: Variant,
+    /// Worker count `P`.
+    pub workers: u32,
+    /// Per-worker memory (MB).
+    pub memory_mb: u32,
+}
+
+/// Launch-time parameters of a persistent tree (the request-independent
+/// subset of the old `WorkerParams`).
+#[derive(Clone)]
+pub(crate) struct TreeParams {
+    pub n_workers: u32,
+    pub branching: usize,
+    pub memory_mb: u32,
+    pub model_key: String,
+    pub spec: DnnSpec,
+}
+
+/// One request routed into a parked tree.
+#[derive(Clone)]
+pub(crate) struct WorkItem {
+    /// `false` for the creating request of an on-demand tree: the workers
+    /// continue on their launch timeline (so the creating request pays —
+    /// and measures — the full cold-start bill), `true` for every routed
+    /// (warm-hit) request.
+    pub warm: bool,
+    /// The request's flow id (billing + channel namespacing).
+    pub flow: u64,
+    /// Staged input prefix (batch `b` under `{input_key}/b{b}`).
+    pub input_key: String,
+    /// Width of each successive batch.
+    pub batch_widths: Vec<usize>,
+    /// The request-scoped data channel (provisioned for `flow`).
+    pub channel: Arc<dyn FsiChannel>,
+    /// Virtual instant (on the request's own timeline) at which the parked
+    /// workers receive the item — one control-plane hop after arrival.
+    pub dispatch_at: VirtualTime,
+}
+
+/// What one worker reports back per work item.
+pub(crate) struct WarmWorkerOut {
+    pub report: InvocationReport,
+    pub artifact_gets: u64,
+    pub work_done: u64,
+    pub final_batches: Option<Vec<SparseRows>>,
+}
+
+type WorkResult = (u32, Result<WarmWorkerOut, FaasError>);
+
+/// Everything the service needs to assemble an `InferenceReport` from one
+/// tree run.
+pub(crate) struct TreeRunOutput {
+    pub final_batches: Vec<SparseRows>,
+    /// `(rank, report)` sorted by rank.
+    pub reports: Vec<(u32, InvocationReport)>,
+    pub artifact_gets: u64,
+    pub work_done: u64,
+}
+
+/// Shared plumbing cloned into every serve-loop instance.
+#[derive(Clone)]
+struct ServeShared {
+    params: TreeParams,
+    /// Flow the hierarchical launch bills to (the creating request, or 0
+    /// for build-time pre-warmed trees).
+    launch_flow: u64,
+    /// Per-rank control receivers, taken exactly once by their rank.
+    controls: Arc<Mutex<Vec<Option<Receiver<WorkItem>>>>>,
+    results: Sender<WorkResult>,
+    handles: Sender<Invocation<()>>,
+    /// Per-rank kill switches (failure injection / chaos hooks).
+    kills: Arc<Vec<Arc<AtomicBool>>>,
+    /// Tree-wide poison flag; raised by the first dying instance.
+    poison: Arc<AtomicBool>,
+}
+
+/// The keep-alive serve loop run by every instance of a warm tree.
+fn serve_worker(
+    ctx: &mut fsd_faas::WorkerCtx,
+    rank: u32,
+    shared: ServeShared,
+) -> Result<(), FaasError> {
+    let p = shared.params.n_workers;
+    // --- hierarchical launch, exactly as the one-shot path ---------------
+    for child in launch::children_of(rank as usize, shared.params.branching, p as usize) {
+        let lat = ctx.env().latency().lambda_invoke_us;
+        let jittered = ctx.env().jitter().apply(lat);
+        ctx.clock_mut().advance_micros(jittered);
+        let cfg = FunctionConfig::worker(format!("fsd-warm-{child}"), shared.params.memory_mb)
+            .for_flow(shared.launch_flow)
+            .keep_alive();
+        let shared_c = shared.clone();
+        let at = ctx.now();
+        let inv = ctx.platform().clone().invoke(cfg, at, move |child_ctx| {
+            serve_worker(child_ctx, child as u32, shared_c)
+        });
+        // Hand the join handle to the tree owner for shutdown.
+        let _ = shared.handles.send(inv);
+    }
+    // A dying peer must be able to unwedge this instance mid-poll.
+    ctx.set_abort(shared.poison.clone());
+
+    let control = shared
+        .controls
+        .lock()
+        .expect("control slots lock")
+        .get_mut(rank as usize)
+        .and_then(Option::take)
+        .expect("each rank takes its control receiver exactly once");
+
+    // --- load weights and maps once; they stay resident while parked -----
+    let art = match load_worker_artifacts(
+        ctx,
+        &shared.params.model_key,
+        p,
+        rank,
+        shared.params.spec.layers,
+    ) {
+        Ok(art) => art,
+        Err(e) => {
+            shared.poison.store(true, Ordering::Relaxed);
+            let _ = shared.results.send((rank, Err(e.clone())));
+            return Err(e);
+        }
+    };
+    let launch_gets = art.n_gets;
+
+    // --- the serve loop: park until the control channel closes -----------
+    while let Ok(item) = control.recv() {
+        if shared.kills[rank as usize].load(Ordering::Relaxed) {
+            let e = FaasError::comm(
+                "instance",
+                format!("fsd-warm-{rank}"),
+                "keep-alive instance terminated",
+            );
+            shared.poison.store(true, Ordering::Relaxed);
+            let _ = shared.results.send((rank, Err(e.clone())));
+            return Err(e);
+        }
+        if item.warm {
+            // A routed request: jump onto its timeline, one control hop in.
+            ctx.begin_request(item.flow, item.dispatch_at);
+        }
+        match run_batches(
+            ctx,
+            &item.channel,
+            rank,
+            p,
+            &shared.params.spec,
+            &art,
+            &item.input_key,
+            &item.batch_widths,
+        ) {
+            Ok(out) => {
+                let report = ctx.finish_request();
+                // The creating (cold) request also pays the launch-time
+                // artifact GETs, exactly like the one-shot path.
+                let artifact_gets = out.artifact_gets + if item.warm { 0 } else { launch_gets };
+                let _ = shared.results.send((
+                    rank,
+                    Ok(WarmWorkerOut {
+                        report,
+                        artifact_gets,
+                        work_done: out.work_done,
+                        final_batches: out.final_batches,
+                    }),
+                ));
+            }
+            Err(e) => {
+                shared.poison.store(true, Ordering::Relaxed);
+                let _ = shared.results.send((rank, Err(e.clone())));
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A persistent coordinator + `P`-worker tree parked in serve loops.
+///
+/// Created by the pool's cold path (or a build-time pre-warm), driven with
+/// [`WorkerTree::run`], and eventually [`WorkerTree::shutdown`] — also
+/// invoked on drop, so an evicted or discarded tree never leaks its
+/// instance threads.
+pub(crate) struct WorkerTree {
+    key: TreeKey,
+    generation: u64,
+    controls: Vec<Sender<WorkItem>>,
+    kills: Vec<Arc<AtomicBool>>,
+    poison: Arc<AtomicBool>,
+    results: Receiver<WorkResult>,
+    handles: Receiver<Invocation<()>>,
+    joined: bool,
+}
+
+impl WorkerTree {
+    /// Launches a persistent tree: coordinator invoke (billed to `flow`),
+    /// hierarchical `worker_invoke_children` launch of `P` keep-alive
+    /// instances, each loading its artifacts before parking. Returns as
+    /// soon as the coordinator has seeded the launch — workers still
+    /// booting simply pick queued work items up when they are ready.
+    pub(crate) fn launch(
+        platform: &Arc<FaasPlatform>,
+        key: TreeKey,
+        generation: u64,
+        params: TreeParams,
+        flow: u64,
+    ) -> Result<WorkerTree, FaasError> {
+        let p = params.n_workers;
+        let (result_tx, result_rx) = mpsc_channel();
+        let (handle_tx, handle_rx) = mpsc_channel();
+        let mut control_txs = Vec::with_capacity(p as usize);
+        let mut control_rxs = Vec::with_capacity(p as usize);
+        for _ in 0..p {
+            let (tx, rx) = mpsc_channel();
+            control_txs.push(tx);
+            control_rxs.push(Some(rx));
+        }
+        let kills: Vec<Arc<AtomicBool>> =
+            (0..p).map(|_| Arc::new(AtomicBool::new(false))).collect();
+        let shared = ServeShared {
+            params: params.clone(),
+            launch_flow: flow,
+            controls: Arc::new(Mutex::new(control_rxs)),
+            results: result_tx,
+            handles: handle_tx.clone(),
+            kills: Arc::new(kills.clone()),
+            poison: Arc::new(AtomicBool::new(false)),
+        };
+        let poison = shared.poison.clone();
+        let memory_mb = params.memory_mb;
+        let platform_c = platform.clone();
+        let shared_c = shared.clone();
+        let coordinator = platform.invoke(
+            FunctionConfig::coordinator().for_flow(flow),
+            VirtualTime::ZERO,
+            move |ctx| {
+                ctx.charge_work(10_000); // request parsing
+                let at = ctx.now();
+                let cfg = FunctionConfig::worker("fsd-warm-0", memory_mb)
+                    .for_flow(flow)
+                    .keep_alive();
+                let inv = platform_c.invoke(cfg, at, move |worker_ctx| {
+                    serve_worker(worker_ctx, 0, shared_c)
+                });
+                let _ = handle_tx.send(inv);
+                Ok(())
+            },
+        );
+        coordinator.join()?;
+        Ok(WorkerTree {
+            key,
+            generation,
+            controls: control_txs,
+            kills,
+            poison,
+            results: result_rx,
+            handles: handle_rx,
+            joined: false,
+        })
+    }
+
+    /// The shape this tree serves.
+    pub(crate) fn key(&self) -> TreeKey {
+        self.key
+    }
+
+    /// The pool generation this tree was created under.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether an instance of this tree has died (the tree must not be
+    /// checked back in).
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poison.load(Ordering::Relaxed)
+    }
+
+    /// Arms the kill switch of one rank: the instance terminates at its
+    /// next work item, poisoning the tree (failure injection / chaos hook).
+    pub(crate) fn kill_worker(&self, rank: u32) {
+        if let Some(flag) = self.kills.get(rank as usize) {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Routes one request into the parked tree and collects every worker's
+    /// result. The first worker error poisons the tree and is returned
+    /// immediately (peers unwedge through the poison flag).
+    pub(crate) fn run(&mut self, item: WorkItem) -> Result<TreeRunOutput, FaasError> {
+        for control in &self.controls {
+            if control.send(item.clone()).is_err() {
+                self.poison.store(true, Ordering::Relaxed);
+                return Err(FaasError::comm(
+                    "tree",
+                    format!("fsd-warm-tree-p{}", self.key.workers),
+                    "a keep-alive instance hung up its control channel",
+                ));
+            }
+        }
+        let mut reports: Vec<(u32, InvocationReport)> = Vec::with_capacity(self.controls.len());
+        let mut final_batches = None;
+        let mut artifact_gets = 0u64;
+        let mut work_done = 0u64;
+        for _ in 0..self.controls.len() {
+            match self.results.recv() {
+                Ok((rank, Ok(out))) => {
+                    reports.push((rank, out.report));
+                    artifact_gets += out.artifact_gets;
+                    work_done += out.work_done;
+                    if rank == 0 {
+                        final_batches = out.final_batches;
+                    }
+                }
+                Ok((_rank, Err(e))) => {
+                    self.poison.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+                Err(_) => {
+                    self.poison.store(true, Ordering::Relaxed);
+                    return Err(FaasError::comm(
+                        "tree",
+                        format!("fsd-warm-tree-p{}", self.key.workers),
+                        "worker tree hung up mid-request",
+                    ));
+                }
+            }
+        }
+        // Arrival order races across real threads; rank order is canonical.
+        reports.sort_unstable_by_key(|(rank, _)| *rank);
+        let final_batches = final_batches.ok_or_else(|| {
+            FaasError::comm("tree", "rank 0", "root worker returned no final output")
+        })?;
+        Ok(TreeRunOutput {
+            final_batches,
+            reports,
+            artifact_gets,
+            work_done,
+        })
+    }
+
+    /// Closes the control channels and joins every instance. Safe to call
+    /// more than once. A poisoned tree's stragglers exit through the
+    /// poison-raised abort in their limit checks, so this returns in real
+    /// time even after a failure.
+    pub(crate) fn shutdown(&mut self) {
+        if self.joined {
+            return;
+        }
+        self.joined = true;
+        // Stop serve loops (they exit once queued items are drained)…
+        self.controls.clear();
+        // …and make sure nothing can park in a poll forever.
+        self.poison.store(true, Ordering::Relaxed);
+        for _ in 0..self.kills.len() {
+            match self.handles.recv() {
+                // Poisoned / killed instances legitimately return errors.
+                Ok(handle) => {
+                    let _ = handle.join();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl Drop for WorkerTree {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

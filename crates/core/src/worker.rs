@@ -58,62 +58,48 @@ fn layer_tag(spec: &DnnSpec, batch: usize, k: usize) -> Tag {
     Tag::Layer((batch * spec.layers + k) as u32)
 }
 
-/// Runs worker `rank` of a distributed FSI inference.
-pub fn run_worker(
-    ctx: &mut WorkerCtx,
-    channel: Arc<dyn FsiChannel>,
-    rank: u32,
-    params: WorkerParams,
-) -> Result<WorkerOutput, FaasError> {
-    // --- 1. worker_invoke_children(): launch the subtree ---------------
-    let children = launch::children_of(rank as usize, params.branching, params.n_workers as usize);
-    let mut child_invocations = Vec::with_capacity(children.len());
-    for &child in &children {
-        // The (async) Invoke API call costs the parent one round trip.
-        let lat = ctx.env().latency().lambda_invoke_us;
-        let jittered = ctx.env().jitter().apply(lat);
-        ctx.clock_mut().advance_micros(jittered);
-        // Children inherit the parent's flow: the whole tree bills to the
-        // request that launched it.
-        let cfg = FunctionConfig::worker(format!("fsd-worker-{child}"), params.memory_mb)
-            .for_flow(ctx.config().flow);
-        let channel = channel.clone();
-        let params_c = params.clone();
-        let at = ctx.now();
-        let inv = ctx.platform().clone().invoke(cfg, at, move |child_ctx| {
-            run_worker(child_ctx, channel, child as u32, params_c)
-        });
-        child_invocations.push((child as u32, inv));
-    }
+/// What one worker produced for one request's batches (the per-request
+/// slice of [`WorkerOutput`], shared by the one-shot path and the warm
+/// serve loop).
+pub(crate) struct BatchRunOutput {
+    /// Final activations per batch (root only).
+    pub final_batches: Option<Vec<SparseRows>>,
+    /// Input-share GETs issued while running the batches.
+    pub artifact_gets: u64,
+    /// Kernel work units charged.
+    pub work_done: u64,
+}
 
-    // --- 2. load weights and maps (once; amortized across batches) ------
-    let art = load_worker_artifacts(
-        ctx,
-        &params.model_key,
-        params.n_workers,
-        rank,
-        params.spec.layers,
-    )?;
-    let mut artifact_gets = art.n_gets;
+/// Runs every batch of one request through an already-loaded worker: per
+/// batch, the layer loop of Algorithms 1 & 2 followed by a barrier + reduce
+/// to rank 0. This is the request-scoped core of [`run_worker`], factored
+/// out so a warm (kept-alive) worker re-runs *exactly* the same code per
+/// work item — outputs are bit-identical between cold and warm paths by
+/// construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_batches(
+    ctx: &mut WorkerCtx,
+    channel: &Arc<dyn FsiChannel>,
+    rank: u32,
+    n_workers: u32,
+    spec: &DnnSpec,
+    art: &crate::artifacts::WorkerArtifacts,
+    input_key: &str,
+    batch_widths: &[usize],
+) -> Result<BatchRunOutput, FaasError> {
+    let mut artifact_gets = 0u64;
     let mut work_done = 0u64;
     let mut final_batches: Vec<SparseRows> = Vec::new();
-
-    // --- 3. successive batches (paper Fig. 1) ---------------------------
-    for (b, &width) in params.batch_widths.iter().enumerate() {
-        let mut x = load_input_share(
-            ctx,
-            &format!("{}/b{b}", params.input_key),
-            params.n_workers,
-            rank,
-        )?;
+    for (b, &width) in batch_widths.iter().enumerate() {
+        let mut x = load_input_share(ctx, &format!("{input_key}/b{b}"), n_workers, rank)?;
         artifact_gets += 1;
         let mut acc = LayerAccumulator::new(art.owned.len(), width);
         ctx.track_alloc(art.owned.len() * width * 4);
         ctx.check_limits()?;
 
         // --- the layer loop (Algorithms 1 & 2) --------------------------
-        for k in 0..params.spec.layers {
-            let tag = layer_tag(&params.spec, b, k);
+        for k in 0..spec.layers {
+            let tag = layer_tag(spec, b, k);
             // Sends: extract and ship the rows each target needs.
             let sends: Vec<(u32, SparseRows)> = art.send[k]
                 .iter()
@@ -151,7 +137,7 @@ pub fn run_worker(
             acc.reset(art.owned.len());
             acc.accumulate(&art.weights[k], &x);
             let old_mem = x.mem_bytes();
-            let (next, fw) = acc.finalize(&art.owned, params.spec.bias, params.spec.clip);
+            let (next, fw) = acc.finalize(&art.owned, spec.bias, spec.clip);
             ctx.charge_work(fw);
             work_done += fw;
             ctx.track_free(old_mem);
@@ -161,13 +147,71 @@ pub fn run_worker(
         }
 
         // --- synchronize and reduce this batch to rank 0 ----------------
-        barrier(channel.as_ref(), ctx, rank, params.n_workers, b as u32)?;
+        barrier(channel.as_ref(), ctx, rank, n_workers, b as u32)?;
         let batch_mem = x.mem_bytes();
-        if let Some(out) = reduce(channel.as_ref(), ctx, rank, params.n_workers, x, b as u32)? {
+        if let Some(out) = reduce(channel.as_ref(), ctx, rank, n_workers, x, b as u32)? {
             final_batches.push(out);
         }
         ctx.track_free(batch_mem + art.owned.len() * width * 4);
     }
+    Ok(BatchRunOutput {
+        final_batches: if rank == 0 { Some(final_batches) } else { None },
+        artifact_gets,
+        work_done,
+    })
+}
+
+/// Runs worker `rank` of a distributed FSI inference.
+pub fn run_worker(
+    ctx: &mut WorkerCtx,
+    channel: Arc<dyn FsiChannel>,
+    rank: u32,
+    params: WorkerParams,
+) -> Result<WorkerOutput, FaasError> {
+    // --- 1. worker_invoke_children(): launch the subtree ---------------
+    let children = launch::children_of(rank as usize, params.branching, params.n_workers as usize);
+    let mut child_invocations = Vec::with_capacity(children.len());
+    for &child in &children {
+        // The (async) Invoke API call costs the parent one round trip.
+        let lat = ctx.env().latency().lambda_invoke_us;
+        let jittered = ctx.env().jitter().apply(lat);
+        ctx.clock_mut().advance_micros(jittered);
+        // Children inherit the parent's flow: the whole tree bills to the
+        // request that launched it.
+        let cfg = FunctionConfig::worker(format!("fsd-worker-{child}"), params.memory_mb)
+            .for_flow(ctx.config().flow);
+        let channel = channel.clone();
+        let params_c = params.clone();
+        let at = ctx.now();
+        let inv = ctx.platform().clone().invoke(cfg, at, move |child_ctx| {
+            run_worker(child_ctx, channel, child as u32, params_c)
+        });
+        child_invocations.push((child as u32, inv));
+    }
+
+    // --- 2. load weights and maps (once; amortized across batches) ------
+    let art = load_worker_artifacts(
+        ctx,
+        &params.model_key,
+        params.n_workers,
+        rank,
+        params.spec.layers,
+    )?;
+    let mut artifact_gets = art.n_gets;
+
+    // --- 3. successive batches (paper Fig. 1) ---------------------------
+    let run = run_batches(
+        ctx,
+        &channel,
+        rank,
+        params.n_workers,
+        &params.spec,
+        &art,
+        &params.input_key,
+        &params.batch_widths,
+    )?;
+    artifact_gets += run.artifact_gets;
+    let mut work_done = run.work_done;
 
     // --- 4. join the subtree and aggregate reports ----------------------
     let mut subtree_reports = Vec::new();
@@ -181,7 +225,7 @@ pub fn run_worker(
     }
     Ok(WorkerOutput {
         rank,
-        final_batches: if rank == 0 { Some(final_batches) } else { None },
+        final_batches: run.final_batches,
         subtree_reports,
         artifact_gets,
         work_done,

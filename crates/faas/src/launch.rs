@@ -7,8 +7,20 @@
 //! the paper reports this beats both a single launch loop and Lambada's
 //! two-level scheme. Ranks are assigned deterministically so each instance
 //! can compute its own position with no coordination.
+//!
+//! # Degenerate branching
+//!
+//! `branching = 1` is **documented, supported behavior**: the "tree"
+//! degrades to a serial invocation chain (`rank r` launches only
+//! `rank r + 1`), so [`launch_rounds`]`(P, 1) == P` — the central-loop
+//! cost the paper compares against. Callers that care about launch
+//! latency (notably the warm pool's cold-start fallback) assert this
+//! equivalence rather than silently paying `O(P)` rounds. `branching = 0`
+//! is rejected: a node with no children could never populate the tree.
 
 /// Children of `rank` in a `branching`-ary tree over `0..total`.
+/// With `branching = 1` this is the serial chain `[rank + 1]` (see the
+/// module docs on degenerate branching).
 pub fn children_of(rank: usize, branching: usize, total: usize) -> Vec<usize> {
     assert!(branching >= 1, "branching factor must be ≥ 1");
     (1..=branching)
@@ -39,6 +51,10 @@ pub fn depth_of(rank: usize, branching: usize) -> usize {
 
 /// Number of sequential invocation rounds to populate the whole tree —
 /// the launch critical path (tree height + 1 initial invocation).
+///
+/// Documented edge cases: `launch_rounds(0, b) == 0` (an empty tree
+/// launches nothing), and `launch_rounds(P, 1) == P` (unary branching is
+/// a serial loop — see the module docs on degenerate branching).
 pub fn launch_rounds(total: usize, branching: usize) -> usize {
     if total == 0 {
         return 0;

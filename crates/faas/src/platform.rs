@@ -27,6 +27,12 @@ pub struct FunctionConfig {
     /// platform stamps the instance's clock with it, so every metered
     /// service call the function makes is attributed to the flow too.
     pub flow: u64,
+    /// Keep-alive instance: the body outlives a single request (a warm
+    /// worker parked in a serve loop). The platform then skips the
+    /// exit-time duration billing and limit check — the body is expected
+    /// to meter each request it serves through
+    /// [`WorkerCtx::begin_request`] / [`WorkerCtx::finish_request`].
+    pub keep_alive: bool,
 }
 
 impl FunctionConfig {
@@ -41,6 +47,7 @@ impl FunctionConfig {
             memory_mb,
             timeout: VirtualTime::from_secs_f64(MAX_TIMEOUT_SECS),
             flow: 0,
+            keep_alive: false,
         }
     }
 
@@ -51,12 +58,20 @@ impl FunctionConfig {
             memory_mb: MIN_MEMORY_MB,
             timeout: VirtualTime::from_secs_f64(MAX_TIMEOUT_SECS),
             flow: 0,
+            keep_alive: false,
         }
     }
 
     /// Attributes this invocation (and everything it bills) to `flow`.
     pub fn for_flow(mut self, flow: u64) -> FunctionConfig {
         self.flow = flow;
+        self
+    }
+
+    /// Marks this invocation as a keep-alive (warm-pool) instance; see
+    /// [`FunctionConfig::keep_alive`].
+    pub fn keep_alive(mut self) -> FunctionConfig {
+        self.keep_alive = true;
         self
     }
 
@@ -305,8 +320,25 @@ impl FaasPlatform {
                 started,
                 mem_bytes: 0,
                 peak_mem_bytes: 0,
+                abort: None,
             };
             let out = body(&mut ctx)?;
+            if cfg.keep_alive {
+                // A keep-alive body meters every request it served through
+                // begin_request/finish_request; its idle lifetime is not
+                // billed (and not limit-checked) at exit.
+                let finished = ctx.clock.now();
+                return Ok((
+                    out,
+                    InvocationReport {
+                        started,
+                        finished,
+                        billed_ms: 0,
+                        peak_mem_bytes: ctx.peak_mem_bytes,
+                        memory_mb: cfg.memory_mb,
+                    },
+                ));
+            }
             ctx.check_limits()?;
             let finished = ctx.clock.now();
             let elapsed_ms =
@@ -339,6 +371,10 @@ pub struct WorkerCtx {
     started: VirtualTime,
     mem_bytes: usize,
     peak_mem_bytes: usize,
+    /// Cooperative abort: when the flag is raised (a peer instance of the
+    /// same warm tree died), [`WorkerCtx::check_limits`] fails fast instead
+    /// of letting the instance poll toward its full virtual timeout.
+    abort: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl WorkerCtx {
@@ -366,6 +402,52 @@ impl WorkerCtx {
     /// (`store.put(..., ctx.clock_mut())`).
     pub fn clock_mut(&mut self) -> &mut VClock {
         &mut self.clock
+    }
+
+    /// Opens a fresh request window on a kept-alive instance: the clock
+    /// jumps onto the new request's own virtual timeline at `at`, all
+    /// subsequent metered calls bill to `flow`, and the timeout/billing
+    /// window restarts. Peak-memory tracking restarts from the currently
+    /// resident bytes (the warm instance keeps its loaded weights).
+    pub fn begin_request(&mut self, flow: u64, at: VirtualTime) {
+        self.clock = VClock::starting_at(at).with_flow(flow);
+        self.cfg.flow = flow;
+        self.started = at;
+        self.peak_mem_bytes = self.mem_bytes;
+    }
+
+    /// Closes the current request window: bills the window's
+    /// MB-milliseconds to the window's flow and returns its
+    /// [`InvocationReport`]. On a kept-alive instance this is the *only*
+    /// duration billing (the platform skips exit billing); on the window
+    /// opened at launch it covers cold start → now, exactly like a
+    /// one-shot invocation.
+    pub fn finish_request(&mut self) -> InvocationReport {
+        let finished = self.clock.now();
+        let elapsed_ms = ((finished
+            .as_micros()
+            .saturating_sub(self.started.as_micros())) as f64
+            / 1000.0)
+            .ceil() as u64;
+        let billed_ms = elapsed_ms.max(1);
+        self.platform
+            .meter
+            .record_mb_ms(self.cfg.flow, billed_ms * self.cfg.memory_mb as u64);
+        InvocationReport {
+            started: self.started,
+            finished,
+            billed_ms,
+            peak_mem_bytes: self.peak_mem_bytes,
+            memory_mb: self.cfg.memory_mb,
+        }
+    }
+
+    /// Installs a cooperative abort flag; once raised,
+    /// [`WorkerCtx::check_limits`] fails with a structured `"abort"` comm
+    /// failure. Warm trees use this so the death of one peer tears the
+    /// whole request down in real time instead of virtual-timeout time.
+    pub fn set_abort(&mut self, flag: Arc<std::sync::atomic::AtomicBool>) {
+        self.abort = Some(flag);
     }
 
     /// Charges `work` kernel units against the clock under the platform's
@@ -406,6 +488,15 @@ impl WorkerCtx {
     /// boundaries and inside poll loops. The platform also re-checks at
     /// function exit.
     pub fn check_limits(&self) -> Result<(), FaasError> {
+        if let Some(flag) = &self.abort {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(FaasError::comm(
+                    "abort",
+                    self.cfg.name.clone(),
+                    "worker tree poisoned: a peer instance died",
+                ));
+            }
+        }
         if self.mem_bytes > self.cfg.memory_bytes() {
             return Err(FaasError::OutOfMemory {
                 used_bytes: self.mem_bytes,
@@ -637,6 +728,103 @@ mod tests {
             .join()
             .expect("ok");
         assert_eq!(flow_seen, 42);
+    }
+
+    #[test]
+    fn keep_alive_bills_per_request_window_not_at_exit() {
+        let p = platform();
+        // A keep-alive body serving two request windows: each window bills
+        // its own flow; the instance's exit adds nothing.
+        let (reports, exit_report) = p
+            .invoke(
+                FunctionConfig::worker("warm", 1000)
+                    .for_flow(7)
+                    .keep_alive(),
+                VirtualTime::ZERO,
+                |ctx| {
+                    // Window 1: the launch window (flow 7, covers cold start).
+                    ctx.charge_work(25_000_000);
+                    let r1 = ctx.finish_request();
+                    // Window 2: a warm request on its own timeline.
+                    ctx.begin_request(9, VirtualTime::from_micros(30_000));
+                    ctx.charge_work(25_000_000);
+                    let r2 = ctx.finish_request();
+                    Ok((r1, r2))
+                },
+            )
+            .join()
+            .expect("ok");
+        let (r1, r2) = reports;
+        assert_eq!(exit_report.billed_ms, 0, "keep-alive exit is unbilled");
+        assert!(r1.started >= VirtualTime::from_micros(280_000));
+        assert_eq!(r2.started, VirtualTime::from_micros(30_000));
+        assert!(
+            r2.finished < r1.finished,
+            "warm window lives on its own (earlier) timeline"
+        );
+        assert_eq!(p.lambda_meter().flow_snapshot(7).mb_ms, r1.billed_ms * 1000);
+        assert_eq!(p.lambda_meter().flow_snapshot(9).mb_ms, r2.billed_ms * 1000);
+        // Global duration billing is exactly the sum of the two windows.
+        assert_eq!(
+            p.lambda_snapshot().mb_ms,
+            (r1.billed_ms + r2.billed_ms) * 1000
+        );
+        // The launch invocation itself billed to the creating flow only.
+        assert_eq!(p.lambda_meter().flow_snapshot(7).invocations, 1);
+        assert_eq!(p.lambda_meter().flow_snapshot(9).invocations, 0);
+    }
+
+    #[test]
+    fn begin_request_restarts_timeout_and_peak_tracking() {
+        let p = platform();
+        let (peaks, _) = p
+            .invoke(
+                FunctionConfig::worker("warm", 1024).keep_alive(),
+                VirtualTime::ZERO,
+                |ctx| {
+                    ctx.track_alloc(80 * 1024 * 1024); // resident weights
+                    ctx.track_alloc(100 * 1024 * 1024); // request-1 scratch
+                    ctx.track_free(100 * 1024 * 1024);
+                    let peak1 = ctx.finish_request().peak_mem_bytes;
+                    ctx.begin_request(2, VirtualTime::ZERO);
+                    ctx.check_limits()?; // fresh window: timeout restarted
+                    let peak2 = ctx.finish_request().peak_mem_bytes;
+                    Ok((peak1, peak2))
+                },
+            )
+            .join()
+            .expect("ok");
+        assert_eq!(peaks.0, 180 * 1024 * 1024);
+        assert_eq!(
+            peaks.1,
+            80 * 1024 * 1024,
+            "peak restarts from the resident weights"
+        );
+    }
+
+    #[test]
+    fn raised_abort_flag_fails_limit_checks() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let p = platform();
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = flag.clone();
+        let res = p
+            .invoke(
+                FunctionConfig::worker("w", 512),
+                VirtualTime::ZERO,
+                move |ctx| {
+                    ctx.set_abort(f.clone());
+                    ctx.check_limits()?; // not raised yet
+                    f.store(true, Ordering::Relaxed);
+                    ctx.check_limits()?;
+                    Ok(())
+                },
+            )
+            .join();
+        match res {
+            Err(FaasError::Comm(failure)) => assert_eq!(failure.op, "abort"),
+            other => panic!("expected abort comm failure, got {other:?}"),
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use crate::scheduler::{Priority, SchedStatsSnapshot, Scheduler, Ticket};
 use crate::trace::Arrival;
-use fsd_core::{BatchedRequest, FsdError, Variant};
+use fsd_core::{BatchedRequest, FsdError, LaunchPath, Variant};
 use fsd_model::{generate_inputs, InputSpec};
 use fsd_sparse::codec;
 use std::collections::HashMap;
@@ -38,6 +38,9 @@ pub struct RunDigest {
     pub variant: Variant,
     /// Workers the run used.
     pub workers: u32,
+    /// Launch path the run took (warm hit vs cold start) — part of the
+    /// deterministic contract: replays must route requests identically.
+    pub launch: LaunchPath,
     /// End-to-end virtual latency in microseconds.
     pub latency_us: u64,
     /// FNV-1a digest over every output batch's wire encoding.
@@ -108,6 +111,7 @@ fn digest_report(report: &fsd_core::InferenceReport) -> RunDigest {
     RunDigest {
         variant: report.variant,
         workers: report.workers,
+        launch: report.launch,
         latency_us: report.latency.as_micros(),
         output_digest,
         sqs_api_calls: report.comm.sqs_api_calls,

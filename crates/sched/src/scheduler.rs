@@ -175,6 +175,12 @@ pub struct SchedStatsSnapshot {
     pub completed: u64,
     /// Requests that finished with an error.
     pub failed: u64,
+    /// Completed requests served by a warm tree (the admission path found
+    /// a matching parked tree in the service's warm pool).
+    pub warm_hits: u64,
+    /// Completed requests that paid the full launch bill (including all
+    /// Serial runs and every request of a pool-less service).
+    pub cold_starts: u64,
     /// Currently queued (accepted, not yet admitted).
     pub queued: usize,
     /// Currently holding a concurrency slot.
@@ -287,6 +293,8 @@ struct Counters {
     rejected: [u64; Priority::COUNT],
     completed: u64,
     failed: u64,
+    warm_hits: u64,
+    cold_starts: u64,
 }
 
 struct SchedState {
@@ -415,6 +423,10 @@ impl SchedulerCore {
                 match &result {
                     Ok(report) => {
                         state.counters.completed += 1;
+                        match report.launch {
+                            fsd_core::LaunchPath::WarmHit => state.counters.warm_hits += 1,
+                            fsd_core::LaunchPath::ColdStart => state.counters.cold_starts += 1,
+                        }
                         let l = report.latency.as_micros() as f64;
                         state.ewma_latency_us = if state.ewma_latency_us == 0.0 {
                             l
@@ -708,6 +720,8 @@ impl Scheduler {
             rejected: state.counters.rejected,
             completed: state.counters.completed,
             failed: state.counters.failed,
+            warm_hits: state.counters.warm_hits,
+            cold_starts: state.counters.cold_starts,
             queued: state.queues.iter().map(VecDeque::len).sum(),
             inflight: state.inflight_global,
             max_inflight: state.max_inflight_global,
@@ -925,6 +939,47 @@ mod tests {
         let sched = Scheduler::wrap(svc, SchedulerConfig::default());
         assert_eq!(sched.model_cap(DEFAULT_MODEL), Some(MAX_DERIVED_CAP));
         assert_eq!(sched.model_names(), vec![DEFAULT_MODEL]);
+    }
+
+    #[test]
+    fn admission_path_routes_through_the_warm_pool() {
+        let spec = fsd_model::DnnSpec {
+            neurons: 64,
+            layers: 2,
+            nnz_per_row: 8,
+            bias: -0.25,
+            clip: 32.0,
+            seed: 31,
+        };
+        let dnn = Arc::new(fsd_model::generate_dnn(&spec));
+        let inputs = fsd_model::generate_inputs(spec.neurons, &InputSpec::scaled(8, 31));
+        let svc = Arc::new(
+            ServiceBuilder::new(dnn)
+                .deterministic(31)
+                .warm_pool(2, u64::MAX)
+                .build(),
+        );
+        // Serialize execution so the second request finds the first's tree.
+        let sched = Scheduler::wrap(svc.clone(), SchedulerConfig::default().global_cap(1));
+        let req = request(&inputs, Variant::Queue, 2);
+        let a = sched
+            .enqueue_default(Priority::Interactive, req.clone())
+            .expect("accepted")
+            .wait()
+            .expect("cold run");
+        let b = sched
+            .enqueue_default(Priority::Interactive, req)
+            .expect("accepted")
+            .wait()
+            .expect("warm run");
+        assert_eq!(a.launch, fsd_core::LaunchPath::ColdStart);
+        assert_eq!(b.launch, fsd_core::LaunchPath::WarmHit);
+        assert_eq!(a.outputs, b.outputs, "paths agree on outputs");
+        let stats = sched.stats();
+        assert_eq!(stats.warm_hits, 1);
+        assert_eq!(stats.cold_starts, 1);
+        let pool = svc.warm_pool_stats().expect("pool enabled");
+        assert_eq!((pool.hits, pool.misses), (1, 1));
     }
 
     #[test]

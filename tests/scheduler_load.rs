@@ -56,12 +56,49 @@ fn fresh_scheduler(seed: u64, cfg: SchedulerConfig) -> Scheduler {
         .build()
 }
 
+/// A harness-mode scheduler over a **warm-pooled** service: every
+/// distributed shape the steady trace produces (`Queue` × P ∈ {1, 2}) is
+/// pre-warmed `global_cap` times, so a matching request can never miss —
+/// the warm/cold split stays a pure function of the trace and the replay
+/// digests (which include the launch label) stay bit-identical.
+fn fresh_pooled_scheduler(seed: u64, cfg: SchedulerConfig) -> Scheduler {
+    use fsd_inference::core::Variant;
+    let spec = DnnSpec {
+        neurons: 72,
+        layers: 3,
+        nnz_per_row: 8,
+        bias: -0.25,
+        clip: 32.0,
+        seed,
+    };
+    let dnn = Arc::new(generate_dnn(&spec));
+    let mut builder = ServiceBuilder::new(dnn)
+        .deterministic(seed)
+        .prewarm(1)
+        .prewarm(2)
+        .warm_pool(2 * cfg.global_cap, u64::MAX);
+    for p in [1u32, 2] {
+        for _ in 0..cfg.global_cap {
+            builder = builder.prewarm_tree(Variant::Queue, p, 1769);
+        }
+    }
+    let service = Arc::new(builder.build());
+    SchedulerBuilder::new(cfg.manual())
+        .model("m", service)
+        .build()
+}
+
 /// Replays `trace` three times against fresh schedulers; asserts the runs
 /// are identical and returns the (canonical) first report.
 fn replay_thrice(seed: u64, cfg: SchedulerConfig, trace: &[Arrival]) -> ReplayReport {
-    let first = replay(&fresh_scheduler(seed, cfg), "m", trace);
+    replay_thrice_with(|| fresh_scheduler(seed, cfg), trace)
+}
+
+/// [`replay_thrice`] over an arbitrary scheduler factory.
+fn replay_thrice_with(fresh: impl Fn() -> Scheduler, trace: &[Arrival]) -> ReplayReport {
+    let first = replay(&fresh(), "m", trace);
     for run in 1..3 {
-        let again = replay(&fresh_scheduler(seed, cfg), "m", trace);
+        let again = replay(&fresh(), "m", trace);
         assert_eq!(
             first.admission_order, again.admission_order,
             "run {run}: admission order diverged"
@@ -203,6 +240,43 @@ fn steady_trace_is_deterministic_and_unthrottled() {
         assert!(digest.latency_us > 0);
         assert!(digest.invocations > 0, "lambda billing is request-local");
     }
+}
+
+#[test]
+fn warm_pool_replays_are_deterministic_and_all_warm() {
+    let _guard = engine_guard();
+    use fsd_inference::core::{LaunchPath, Variant};
+    let cfg = SchedulerConfig::default()
+        .global_cap(3)
+        .queue_capacity(8)
+        .weights(3, 1);
+    let trace = trace::steady(12, 250_000, 19);
+    let report = replay_thrice_with(|| fresh_pooled_scheduler(19, cfg), &trace);
+    assert_invariants(&report, &cfg);
+    assert!(report.rejected.is_empty(), "steady trace must not reject");
+    assert_eq!(report.stats.failed, 0);
+    // With the pool pre-warmed past the concurrency cap, every distributed
+    // request is a warm hit — zero invocations, label included in the
+    // bit-identical digests — while Serial requests stay cold.
+    let mut warm = 0;
+    for outcome in &report.outcomes {
+        let digest = outcome.result.as_ref().expect("steady requests succeed");
+        match digest.variant {
+            Variant::Queue => {
+                assert_eq!(digest.launch, LaunchPath::WarmHit, "{digest:?}");
+                assert_eq!(digest.invocations, 0, "warm hits invoke nothing");
+                warm += 1;
+            }
+            _ => {
+                assert_eq!(digest.launch, LaunchPath::ColdStart, "{digest:?}");
+                assert!(digest.invocations > 0);
+            }
+        }
+        assert!(digest.latency_us > 0);
+    }
+    assert_eq!(warm, 8, "the steady trace carries 8 Queue requests");
+    assert_eq!(report.stats.warm_hits, 8);
+    assert_eq!(report.stats.cold_starts, 4);
 }
 
 #[test]
