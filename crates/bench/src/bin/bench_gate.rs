@@ -1,0 +1,52 @@
+//! CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate <baseline_dir> <fresh_dir> [--tolerance 0.25]
+//! ```
+//!
+//! Compares the `BENCH_*.json` files a fresh `--release` bench run wrote
+//! into `<fresh_dir>` against the committed baselines in
+//! `<baseline_dir>`, metric by metric (see [`fsd_bench::gate::GATED`]).
+//! Exits non-zero — failing the CI job — if any latency rose, or any hit
+//! rate fell, by more than the tolerance (default 25%).
+
+use fsd_bench::gate::{gate_file, report, GATED};
+use std::path::Path;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.25f64;
+    let mut dirs = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            let v = it.next().expect("--tolerance needs a value");
+            tolerance = v.parse().expect("--tolerance must be a number");
+        } else {
+            dirs.push(arg.clone());
+        }
+    }
+    let [baseline_dir, fresh_dir] = dirs.as_slice() else {
+        eprintln!("usage: bench_gate <baseline_dir> <fresh_dir> [--tolerance 0.25]");
+        exit(2);
+    };
+
+    let mut checked = 0;
+    let mut regressions = Vec::new();
+    for &(file, keys) in GATED {
+        let baseline_path = Path::new(baseline_dir).join(file);
+        let fresh_path = Path::new(fresh_dir).join(file);
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", baseline_path.display()));
+        let fresh = std::fs::read_to_string(&fresh_path)
+            .unwrap_or_else(|e| panic!("read fresh {}: {e}", fresh_path.display()));
+        let (n, r) = gate_file(file, keys, &baseline, &fresh, tolerance);
+        checked += n;
+        regressions.extend(r);
+    }
+    print!("{}", report(checked, &regressions, tolerance));
+    if !regressions.is_empty() {
+        exit(1);
+    }
+}

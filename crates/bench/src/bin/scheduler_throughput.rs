@@ -17,6 +17,7 @@ use fsd_comm::VirtualTime;
 use fsd_core::{BatchedRequest, FsdError, FsdService, ServiceBuilder};
 use fsd_model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
 use fsd_sched::{trace, Arrival, Scheduler, SchedulerConfig, Ticket};
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -120,6 +121,12 @@ fn drive(sched: &Scheduler, service: &FsdService, arrivals: &[Arrival]) -> RunRe
 }
 
 fn main() {
+    // Virtual-time metrics are deterministic (per-request private
+    // timelines, seeded jitter) and feed the CI bench-regression gate;
+    // wall-clock numbers are printed but never emitted.
+    let mut cap_rows: Vec<(usize, u64)> = Vec::new();
+    let mut pool_rows: Vec<(&str, u64, u64, u64)> = Vec::new();
+
     // Part 1: throughput vs global concurrency cap on a bursty trace.
     let arrivals = trace::bursty(4, 8, 400_000, SEED);
     let mut t = Table::new(&[
@@ -140,6 +147,7 @@ fn main() {
         );
         let r = drive(&sched, &service, &arrivals);
         assert_eq!(r.rejected, 0, "generous queues must not reject");
+        cap_rows.push((cap, r.mean_virtual_latency.as_micros()));
         t.row(vec![
             cap.to_string(),
             r.accepted.to_string(),
@@ -211,6 +219,12 @@ fn main() {
         );
         let r = drive(&sched, &service, &arrivals);
         assert_eq!(r.rejected, 0, "generous queues must not reject");
+        pool_rows.push((
+            if pooled { "warm" } else { "off" },
+            r.warm_hits,
+            r.cold_starts,
+            r.mean_virtual_latency.as_micros(),
+        ));
         t.row(vec![
             if pooled { "warm" } else { "off" }.to_string(),
             r.warm_hits.to_string(),
@@ -224,4 +238,28 @@ fn main() {
          warm hits skip coordinator cold start and all launch rounds",
         arrivals.len(),
     ));
+
+    // Machine-readable emission for the CI bench-regression gate —
+    // deterministic virtual-time metrics only.
+    let mut json = String::from("{\n  \"bench\": \"scheduler_throughput\",\n  \"caps\": [\n");
+    for (i, (cap, mean_us)) in cap_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"global_cap\": {cap}, \"bursty_mean_latency_us\": {mean_us}}}{}",
+            if i + 1 < cap_rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n  \"pool\": [\n");
+    for (i, (mode, warm_hits, cold_starts, mean_us)) in pool_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{mode}\", \"warm_hits\": {warm_hits}, \
+             \"cold_starts\": {cold_starts}, \"bursty_mean_latency_us\": {mean_us}}}{}",
+            if i + 1 < pool_rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_scheduler_throughput.json", &json)
+        .expect("write BENCH_scheduler_throughput.json");
+    println!("wrote BENCH_scheduler_throughput.json");
 }

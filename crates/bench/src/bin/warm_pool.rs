@@ -1,13 +1,15 @@
 //! Warm-pool launch-to-first-output — cold starts vs warm hits.
 //!
 //! Not a paper table: this measures the warm-tree pool. For each model
-//! size, the same single-batch request is served repeatedly through a
-//! pooled service; before each *cold* sample the pool is invalidated (the
-//! parked tree is dropped, forcing the full coordinator + cold start +
-//! `launch_rounds(P, b)` + weight-load bill), while *warm* samples route
-//! into the parked tree. The run asserts warm p50 strictly below cold p50
-//! under the deterministic clock, prints both distributions, and emits
-//! `BENCH_warm_pool.json` for CI trend tracking.
+//! size, `SAMPLES` distinct single-batch requests (per-sample input seed
+//! and width, so the deterministic clock still yields a real latency
+//! distribution) are served through a pooled service; before each *cold*
+//! sample the pool is invalidated (the parked tree is dropped, forcing
+//! the full coordinator + cold start + `launch_rounds(P, b)` +
+//! weight-load bill), while the matching *warm* sample routes the same
+//! inputs into the parked tree. The run asserts warm p50 strictly below
+//! cold p50, prints both distributions, and emits `BENCH_warm_pool.json`
+//! for the CI bench-regression gate.
 //!
 //! ```text
 //! cargo run --release -p fsd-bench --bin warm_pool
@@ -15,6 +17,7 @@
 
 use fsd_bench::{workload_with_batch, Scale, Table};
 use fsd_core::{InferenceRequest, LaunchPath, ServiceBuilder, Variant};
+use fsd_model::{generate_inputs, InputSpec};
 use std::fmt::Write as _;
 
 const SEED: u64 = 42;
@@ -29,6 +32,7 @@ fn percentile(sorted_us: &[u64], p: f64) -> u64 {
 struct SizeResult {
     neurons: usize,
     workers: u32,
+    samples: usize,
     cold_p50_us: u64,
     cold_p99_us: u64,
     warm_p50_us: u64,
@@ -50,36 +54,47 @@ fn main() {
     for &neurons in &scale.neuron_grid() {
         let workers = scale.worker_grid()[1];
         let memory_mb = scale.worker_memory_mb(neurons);
-        let w = workload_with_batch(scale, neurons, scale.batch().min(64), SEED);
+        let base_batch = scale.batch().min(64);
+        let w = workload_with_batch(scale, neurons, base_batch, SEED);
         let service = ServiceBuilder::new(w.dnn.clone())
             .config(scale.engine_config(SEED))
             .warm_pool(2, u64::MAX)
             .prewarm(workers)
             .build();
-        let req = InferenceRequest {
-            variant: Variant::Queue,
-            workers,
-            memory_mb,
-            inputs: w.inputs.clone(),
-        };
         let mut cold_us = Vec::with_capacity(SAMPLES);
         let mut warm_us = Vec::with_capacity(SAMPLES);
-        for _ in 0..SAMPLES {
+        for s in 0..SAMPLES {
+            // Distinct inputs per sample: the virtual clock is
+            // deterministic, so identical requests would collapse every
+            // percentile onto one value (the p50 == p99 bug this fixes).
+            // Varying width and seed spreads real work across samples
+            // while cold and warm still see byte-identical inputs.
+            let width = (base_batch / 2 + s * base_batch / (2 * SAMPLES)).max(1);
+            let inputs = generate_inputs(neurons, &InputSpec::scaled(width, SEED + s as u64));
+            let expected = w.dnn.serial_inference(&inputs);
+            let req = InferenceRequest {
+                variant: Variant::Queue,
+                workers,
+                memory_mb,
+                inputs,
+            };
             service.invalidate_warm_trees();
             let cold = service.submit(&req).expect("cold run");
             assert_eq!(cold.launch, LaunchPath::ColdStart);
-            assert_eq!(cold.first_output(), &w.expected, "cold output wrong");
+            assert_eq!(cold.first_output(), &expected, "cold output wrong");
             cold_us.push(cold.latency.as_micros());
             let warm = service.submit(&req).expect("warm run");
             assert_eq!(warm.launch, LaunchPath::WarmHit);
-            assert_eq!(warm.first_output(), &w.expected, "warm output wrong");
+            assert_eq!(warm.first_output(), &expected, "warm output wrong");
             warm_us.push(warm.latency.as_micros());
         }
         cold_us.sort_unstable();
         warm_us.sort_unstable();
+        assert_eq!(cold_us.len(), SAMPLES);
         let r = SizeResult {
             neurons,
             workers,
+            samples: cold_us.len(),
             cold_p50_us: percentile(&cold_us, 50.0),
             cold_p99_us: percentile(&cold_us, 99.0),
             warm_p50_us: percentile(&warm_us, 50.0),
@@ -88,6 +103,13 @@ fn main() {
         assert!(
             r.warm_p50_us < r.cold_p50_us,
             "warm p50 must be strictly below cold p50 (N={neurons})"
+        );
+        assert!(
+            r.cold_p50_us < r.cold_p99_us,
+            "varied samples must spread the distribution (N={neurons}): \
+             p50 {} == p99 {}",
+            r.cold_p50_us,
+            r.cold_p99_us
         );
         table.row(vec![
             neurons.to_string(),
@@ -101,20 +123,21 @@ fn main() {
         results.push(r);
     }
     table.print(&format!(
-        "Warm pool — launch-to-first-output, {SAMPLES} samples per path, FSD-Inf-Queue"
+        "Warm pool — launch-to-first-output, {SAMPLES} varied samples per path, FSD-Inf-Queue"
     ));
 
-    // Machine-readable emission for CI trend tracking.
+    // Machine-readable emission for the CI bench-regression gate.
     let mut json = String::from("{\n  \"bench\": \"warm_pool\",\n  \"samples_per_path\": ");
     let _ = write!(json, "{SAMPLES},\n  \"sizes\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"neurons\": {}, \"workers\": {}, \
+            "    {{\"neurons\": {}, \"workers\": {}, \"samples\": {}, \
              \"cold_p50_us\": {}, \"cold_p99_us\": {}, \
              \"warm_p50_us\": {}, \"warm_p99_us\": {}}}{}",
             r.neurons,
             r.workers,
+            r.samples,
             r.cold_p50_us,
             r.cold_p99_us,
             r.warm_p50_us,

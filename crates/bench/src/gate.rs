@@ -1,0 +1,285 @@
+//! The bench-regression gate: compare freshly emitted `BENCH_*.json`
+//! metrics against committed baselines with a relative tolerance.
+//!
+//! The bench binaries emit flat, hand-written JSON (the workspace builds
+//! offline — no serde), so the gate reads metrics with a minimal
+//! extractor: every `"key": <number>` occurrence of a metric key, in file
+//! order. Baseline and fresh runs of the same binary emit the same rows
+//! in the same order, so an elementwise comparison is sound.
+//!
+//! Two metric directions exist:
+//!
+//! * **lower-is-better** (latencies): fail when
+//!   `fresh > baseline × (1 + tolerance)`;
+//! * **higher-is-better** (hit rates): fail when
+//!   `fresh < baseline × (1 − tolerance)`.
+//!
+//! Used by the `bench_gate` binary, which CI runs after regenerating the
+//! JSONs in `--release`.
+
+use std::fmt::Write as _;
+
+/// Metrics the gate checks per bench file, with their direction.
+pub const GATED: &[(&str, &[(&str, Direction)])] = &[
+    (
+        "BENCH_warm_pool.json",
+        &[
+            ("warm_p50_us", Direction::LowerIsBetter),
+            ("cold_p50_us", Direction::LowerIsBetter),
+        ],
+    ),
+    (
+        "BENCH_scheduler_throughput.json",
+        &[("bursty_mean_latency_us", Direction::LowerIsBetter)],
+    ),
+    (
+        "BENCH_prewarm.json",
+        &[
+            ("mean_latency_us", Direction::LowerIsBetter),
+            ("hit_rate_pct", Direction::HigherIsBetter),
+        ],
+    ),
+];
+
+/// Which way a metric regresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Latency-like: regression = fresh above baseline.
+    LowerIsBetter,
+    /// Rate-like: regression = fresh below baseline.
+    HigherIsBetter,
+}
+
+/// Extracts every `"key": <number>` value from `json`, in file order.
+/// Tolerant of whitespace; keys must match exactly.
+pub fn extract(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\"");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let Some(colon) = rest.find(':') else { break };
+        // Only a directly following colon counts (skip matches inside
+        // string values, where other text precedes the next colon).
+        if !rest[..colon].trim().is_empty() {
+            continue;
+        }
+        let after = rest[colon + 1..].trim_start();
+        let end = after
+            .find(|c: char| !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e'))
+            .unwrap_or(after.len());
+        if let Ok(v) = after[..end].parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// One metric comparison that failed the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Bench file the metric came from.
+    pub file: String,
+    /// Metric key.
+    pub key: String,
+    /// Row index within the file (emission order).
+    pub index: usize,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}[{}] regressed {:.0} -> {:.0} ({:+.1}%)",
+            self.file,
+            self.key,
+            self.index,
+            self.baseline,
+            self.fresh,
+            100.0 * (self.fresh - self.baseline) / self.baseline.abs().max(f64::MIN_POSITIVE),
+        )
+    }
+}
+
+/// Compares one metric sequence; returns the rows breaching `tolerance`.
+///
+/// # Panics
+/// If baseline and fresh disagree on row count — the bench changed shape,
+/// which means the baseline must be regenerated, not compared.
+pub fn compare(
+    file: &str,
+    key: &str,
+    direction: Direction,
+    baseline: &[f64],
+    fresh: &[f64],
+    tolerance: f64,
+) -> Vec<Regression> {
+    assert_eq!(
+        baseline.len(),
+        fresh.len(),
+        "{file}: {key} row count changed ({} baseline vs {} fresh) — \
+         regenerate the committed baseline",
+        baseline.len(),
+        fresh.len()
+    );
+    baseline
+        .iter()
+        .zip(fresh)
+        .enumerate()
+        .filter(|(_, (&b, &f))| match direction {
+            Direction::LowerIsBetter => f > b * (1.0 + tolerance),
+            Direction::HigherIsBetter => f < b * (1.0 - tolerance),
+        })
+        .map(|(index, (&b, &f))| Regression {
+            file: file.to_string(),
+            key: key.to_string(),
+            index,
+            baseline: b,
+            fresh: f,
+        })
+        .collect()
+}
+
+/// Gates every metric of one bench file. Returns `(checked, regressions)`.
+pub fn gate_file(
+    file: &str,
+    keys: &[(&str, Direction)],
+    baseline_json: &str,
+    fresh_json: &str,
+    tolerance: f64,
+) -> (usize, Vec<Regression>) {
+    let mut checked = 0;
+    let mut regressions = Vec::new();
+    for &(key, direction) in keys {
+        let baseline = extract(baseline_json, key);
+        let fresh = extract(fresh_json, key);
+        assert!(
+            !baseline.is_empty(),
+            "{file}: baseline carries no {key:?} metric — wrong file?"
+        );
+        checked += baseline.len();
+        regressions.extend(compare(file, key, direction, &baseline, &fresh, tolerance));
+    }
+    (checked, regressions)
+}
+
+/// Renders a human-readable gate report.
+pub fn report(checked: usize, regressions: &[Regression], tolerance: f64) -> String {
+    let mut out = String::new();
+    if regressions.is_empty() {
+        let _ = writeln!(
+            out,
+            "bench gate OK: {checked} metrics within {:.0}% of baseline",
+            tolerance * 100.0
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "bench gate FAILED: {} of {checked} metrics regressed beyond {:.0}%:",
+            regressions.len(),
+            tolerance * 100.0
+        );
+        for r in regressions {
+            let _ = writeln!(out, "  {r}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "warm_pool",
+  "samples_per_path": 9,
+  "sizes": [
+    {"neurons": 256, "workers": 4, "warm_p50_us": 100, "cold_p50_us": 200},
+    {"neurons": 1024, "workers": 4, "warm_p50_us": 300, "cold_p50_us": 600}
+  ]
+}
+"#;
+
+    #[test]
+    fn extract_reads_values_in_order() {
+        assert_eq!(extract(SAMPLE, "warm_p50_us"), vec![100.0, 300.0]);
+        assert_eq!(extract(SAMPLE, "cold_p50_us"), vec![200.0, 600.0]);
+        assert_eq!(extract(SAMPLE, "neurons"), vec![256.0, 1024.0]);
+        assert!(extract(SAMPLE, "missing").is_empty());
+    }
+
+    #[test]
+    fn extract_ignores_string_values_and_partial_keys() {
+        // "bench" holds a string, not a number.
+        assert!(extract(SAMPLE, "bench").is_empty());
+        // "p50_us" is a substring of two keys but not a key itself.
+        assert!(extract(SAMPLE, "p50_us").is_empty());
+    }
+
+    #[test]
+    fn compare_flags_only_breaches() {
+        let r = compare(
+            "f",
+            "k",
+            Direction::LowerIsBetter,
+            &[100.0, 100.0, 100.0],
+            &[124.0, 126.0, 90.0],
+            0.25,
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].index, 1);
+        assert_eq!(r[0].fresh, 126.0);
+    }
+
+    #[test]
+    fn compare_direction_matters() {
+        // A falling hit rate is a regression; a falling latency is not.
+        let lower = compare("f", "k", Direction::LowerIsBetter, &[80.0], &[50.0], 0.25);
+        assert!(lower.is_empty());
+        let higher = compare("f", "k", Direction::HigherIsBetter, &[80.0], &[50.0], 0.25);
+        assert_eq!(higher.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count changed")]
+    fn compare_rejects_shape_changes() {
+        compare(
+            "f",
+            "k",
+            Direction::LowerIsBetter,
+            &[1.0, 2.0],
+            &[1.0],
+            0.25,
+        );
+    }
+
+    #[test]
+    fn gate_file_end_to_end() {
+        let fresh = SAMPLE.replace("\"warm_p50_us\": 100", "\"warm_p50_us\": 130");
+        let (checked, regressions) = gate_file(
+            "BENCH_warm_pool.json",
+            &[
+                ("warm_p50_us", Direction::LowerIsBetter),
+                ("cold_p50_us", Direction::LowerIsBetter),
+            ],
+            SAMPLE,
+            &fresh,
+            0.25,
+        );
+        assert_eq!(checked, 4);
+        assert_eq!(regressions.len(), 1);
+        assert!(report(checked, &regressions, 0.25).contains("FAILED"));
+        let (_, none) = gate_file(
+            "BENCH_warm_pool.json",
+            &[("warm_p50_us", Direction::LowerIsBetter)],
+            SAMPLE,
+            SAMPLE,
+            0.25,
+        );
+        assert!(none.is_empty());
+    }
+}

@@ -247,6 +247,8 @@ impl Table {
     }
 }
 
+pub mod gate;
+
 /// Formats dollars with enough precision for per-sample figures.
 pub fn usd(v: f64) -> String {
     if v >= 0.01 {

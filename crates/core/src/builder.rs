@@ -8,7 +8,7 @@
 //! step, exactly the "a priori, not per request" discipline of §III).
 
 use crate::engine::{EngineConfig, Variant};
-use crate::pool::WarmPoolConfig;
+use crate::pool::{WallClock, WarmPoolConfig};
 use crate::provider::{ChannelProvider, ChannelRegistry};
 use crate::queue_channel::ChannelOptions;
 use crate::service::FsdService;
@@ -26,6 +26,8 @@ pub struct ServiceBuilder {
     prewarm: Vec<u32>,
     warm_pool: Option<WarmPoolConfig>,
     prewarm_trees: Vec<(Variant, u32, u32)>,
+    wall_clock: Option<Arc<dyn WallClock>>,
+    reap_interval: Option<std::time::Duration>,
 }
 
 impl ServiceBuilder {
@@ -39,6 +41,8 @@ impl ServiceBuilder {
             prewarm: Vec::new(),
             warm_pool: None,
             prewarm_trees: Vec::new(),
+            wall_clock: None,
+            reap_interval: None,
         }
     }
 
@@ -134,7 +138,60 @@ impl ServiceBuilder {
         self.warm_pool = Some(WarmPoolConfig {
             max_trees,
             idle_ttl,
+            wall_idle_ms: self.warm_pool.and_then(|w| w.wall_idle_ms),
         });
+        self
+    }
+
+    /// Enables a predictor-sized warm pool: shelf and tick TTL derived
+    /// from the expected workload shape via [`WarmPoolConfig::auto`] —
+    /// room for `shapes` distinct `(variant, P, memory)` request shapes
+    /// bursting up to `burst_depth` deep, with a tick TTL spanning four
+    /// shelf turnovers. This is the sizing the `fsd-sched` predictor's
+    /// burst targets are designed against; use it instead of hand-tuning
+    /// `warm_pool(max, ttl)` when a predictive scheduler fronts the
+    /// service.
+    pub fn auto_warm_pool(mut self, shapes: usize, burst_depth: usize) -> ServiceBuilder {
+        let wall_idle_ms = self.warm_pool.and_then(|w| w.wall_idle_ms);
+        self.warm_pool = Some(WarmPoolConfig {
+            wall_idle_ms,
+            ..WarmPoolConfig::auto(shapes, burst_depth)
+        });
+        self
+    }
+
+    /// Adds a **wall-clock** idle TTL to the warm pool: a parked tree that
+    /// sits idle for `wall_idle_ms` real milliseconds is evicted by the
+    /// next reaper pass (`FsdService::reap_warm_trees`, or the background
+    /// reaper). Complements the tick TTL, which only advances with
+    /// distributed traffic — a long-lived deployment wants idle trees
+    /// gone even when no traffic ticks the pool. Call after
+    /// [`ServiceBuilder::warm_pool`] / [`ServiceBuilder::auto_warm_pool`].
+    ///
+    /// # Panics
+    /// At [`ServiceBuilder::build`] if no warm pool was configured.
+    pub fn warm_pool_wall_ttl(mut self, wall_idle_ms: u64) -> ServiceBuilder {
+        let mut cfg = self.warm_pool.unwrap_or(WarmPoolConfig::new(0, u64::MAX));
+        cfg.wall_idle_ms = Some(wall_idle_ms);
+        self.warm_pool = Some(cfg);
+        self
+    }
+
+    /// Injects the clock the wall-clock TTL ages trees against.
+    /// Production keeps the default [`crate::SystemClock`]; deterministic
+    /// harnesses inject a [`crate::ManualClock`] and advance it
+    /// explicitly, so wall-TTL eviction replays bit-identically.
+    pub fn warm_pool_clock(mut self, clock: Arc<dyn WallClock>) -> ServiceBuilder {
+        self.wall_clock = Some(clock);
+        self
+    }
+
+    /// Spawns a background reaper thread that calls
+    /// `FsdService::reap_warm_trees` every `interval`. The thread is
+    /// stopped and joined when the service drops. Only meaningful
+    /// together with [`ServiceBuilder::warm_pool_wall_ttl`].
+    pub fn background_reaper(mut self, interval: std::time::Duration) -> ServiceBuilder {
+        self.reap_interval = Some(interval);
         self
     }
 
@@ -164,7 +221,19 @@ impl ServiceBuilder {
             self.prewarm_trees.is_empty() || self.warm_pool.is_some_and(|w| w.max_trees > 0),
             "prewarm_tree requires an enabled warm_pool (max_trees >= 1)"
         );
-        let service = FsdService::assemble(self.dnn, self.cfg, self.registry, self.warm_pool);
+        assert!(
+            self.warm_pool
+                .is_none_or(|w| w.wall_idle_ms.is_none() || w.max_trees > 0),
+            "warm_pool_wall_ttl requires an enabled warm_pool (max_trees >= 1)"
+        );
+        let service = FsdService::assemble(
+            self.dnn,
+            self.cfg,
+            self.registry,
+            self.warm_pool,
+            self.wall_clock,
+            self.reap_interval,
+        );
         for p in self.prewarm {
             service.prepare(p);
         }

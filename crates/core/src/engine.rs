@@ -14,7 +14,7 @@ use fsd_sparse::SparseRows;
 use crate::stats::ChannelStatsSnapshot;
 
 /// Which FSD-Inference variant executes a request (paper §VI-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Variant {
     /// Single instance, no communication.
     Serial,
@@ -189,7 +189,7 @@ pub struct InferenceReport {
     /// Cost from the application's own metrics (§VI-F validation).
     pub cost_predicted: CostBreakdown,
     /// The inference result of the first batch.
-    #[deprecated(since = "0.2.0", note = "use first_output() or outputs[0]")]
+    #[deprecated(since = "0.2.0", note = "use first_output() or the outputs vec")]
     pub output: SparseRows,
     /// Results of every batch, in order (never empty).
     pub outputs: Vec<SparseRows>,

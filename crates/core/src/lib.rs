@@ -78,7 +78,7 @@ pub use engine::{
 };
 pub use error::FsdError;
 pub use object_channel::ObjectChannel;
-pub use pool::{WarmPoolConfig, WarmPoolStats};
+pub use pool::{ManualClock, SystemClock, WallClock, WarmPoolConfig, WarmPoolStats};
 pub use provider::{ChannelProvider, ChannelRegistry, ObjectChannelProvider, QueueChannelProvider};
 pub use queue_channel::{ChannelOptions, QueueChannel};
 pub use recommend::{fits_single_instance, recommend_variant, Recommendation, WorkloadProfile};

@@ -5,8 +5,9 @@
 //! hottest tree in use), runs, and checks it back in at teardown; a miss
 //! falls back to a cold launch that creates the tree the checkin then
 //! parks. The shelf is bounded (`max_trees`) — a checkin that would
-//! overflow it shuts the tree down instead — and parked trees age out
-//! after `idle_ttl` pool ticks.
+//! overflow it evicts a parked tree of the **least-recently-used shape**
+//! to make room (the incoming tree is always the hottest, so it parks) —
+//! and parked trees age out after `idle_ttl` pool ticks.
 //!
 //! **Time base.** Requests run on private virtual timelines, so there is
 //! no global virtual "now" to age idle trees against. The pool instead
@@ -17,6 +18,16 @@
 //! deterministic under a deterministic request sequence — the property
 //! every load-replay test relies on.
 //!
+//! **Wall-clock elasticity.** Long-lived deployments also want trees to
+//! age out by *real* idle time, independent of traffic: a tree parked for
+//! an hour is waste even if no distributed request ever ticked the pool.
+//! [`WarmPoolConfig::wall_idle_ms`] enables a second, wall-clock TTL
+//! enforced by [`TreePool::reap`] against an injectable [`WallClock`] —
+//! production uses [`SystemClock`] (and typically a background reaper
+//! thread, see `ServiceBuilder::background_reaper`), while deterministic
+//! harnesses inject a [`ManualClock`] and drive `reap` explicitly, keeping
+//! replays bit-identical.
+//!
 //! **Invalidation.** [`TreePool::invalidate`] bumps the pool generation;
 //! parked trees from older generations are shut down lazily at the next
 //! pool operation (and eagerly by `invalidate` itself). Call it when the
@@ -25,7 +36,70 @@
 
 use crate::warm::{TreeKey, WorkerTree};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic millisecond clock the pool ages parked trees against.
+///
+/// Production uses [`SystemClock`]; deterministic harnesses inject a
+/// [`ManualClock`] and advance it explicitly, so wall-TTL eviction becomes
+/// a pure function of the test script.
+pub trait WallClock: Send + Sync {
+    /// Milliseconds since an arbitrary (per-clock) origin; must never
+    /// decrease.
+    fn now_ms(&self) -> u64;
+}
+
+/// The real monotonic clock ([`Instant`]-based).
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> SystemClock {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl WallClock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+/// A test clock that only moves when told to.
+#[derive(Default)]
+pub struct ManualClock {
+    ms: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at origin zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.ms.fetch_add(ms, Ordering::Relaxed);
+    }
+}
+
+impl WallClock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::Relaxed)
+    }
+}
 
 /// Builder-facing pool configuration.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +110,36 @@ pub struct WarmPoolConfig {
     /// Idle ticks (subsequent checkout attempts) after which a parked tree
     /// is evicted. `u64::MAX` never evicts.
     pub idle_ttl: u64,
+    /// Wall-clock idle milliseconds after which a reaper pass
+    /// (`FsdService::reap_warm_trees`) evicts a parked tree; `None`
+    /// disables the wall-clock path.
+    pub wall_idle_ms: Option<u64>,
+}
+
+impl WarmPoolConfig {
+    /// A tick-TTL-only configuration (the PR-3 shape).
+    pub fn new(max_trees: usize, idle_ttl: u64) -> WarmPoolConfig {
+        WarmPoolConfig {
+            max_trees,
+            idle_ttl,
+            wall_idle_ms: None,
+        }
+    }
+
+    /// Sizes a pool for a predicted workload of `shapes` distinct request
+    /// shapes bursting up to `burst_depth` requests deep: the shelf holds
+    /// one full burst of every shape simultaneously, and the tick TTL
+    /// spans four shelf turnovers so a shape survives the other shapes'
+    /// bursts between its own. This is the sizing
+    /// `ServiceBuilder::auto_warm_pool` and the `sched` predictor share.
+    pub fn auto(shapes: usize, burst_depth: usize) -> WarmPoolConfig {
+        let max_trees = (shapes * burst_depth).max(1);
+        WarmPoolConfig {
+            max_trees,
+            idle_ttl: 4 * max_trees as u64,
+            wall_idle_ms: None,
+        }
+    }
 }
 
 /// Point-in-time pool counters (all monotonic except `idle`).
@@ -47,12 +151,18 @@ pub struct WarmPoolStats {
     pub misses: u64,
     /// Trees created (cold launches + pre-warms) and offered to the pool.
     pub created: u64,
-    /// Parked trees evicted by the idle TTL.
+    /// Parked trees evicted by the idle tick-TTL.
     pub evicted_ttl: u64,
+    /// Parked trees evicted by the wall-clock reaper.
+    pub evicted_wall: u64,
+    /// Parked trees of the least-recently-used shape evicted to make room
+    /// for a checkin on a full shelf.
+    pub evicted_lru: u64,
+    /// Parked trees evicted by an explicit per-shape eviction (predictor
+    /// decisions, `FsdService::evict_warm_trees`).
+    pub evicted_shape: u64,
     /// Parked trees dropped by a generation bump.
     pub evicted_stale: u64,
-    /// Checkins discarded because the shelf was full.
-    pub discarded_full: u64,
     /// Poisoned trees discarded at checkin (a worker died).
     pub discarded_poisoned: u64,
     /// Currently parked trees.
@@ -62,6 +172,7 @@ pub struct WarmPoolStats {
 struct Parked {
     tree: WorkerTree,
     parked_at_tick: u64,
+    parked_at_ms: u64,
 }
 
 #[derive(Default)]
@@ -70,27 +181,36 @@ struct Counters {
     misses: u64,
     created: u64,
     evicted_ttl: u64,
+    evicted_wall: u64,
+    evicted_lru: u64,
+    evicted_shape: u64,
     evicted_stale: u64,
-    discarded_full: u64,
     discarded_poisoned: u64,
 }
 
 /// The pool itself; owned by the service, shared by all request threads.
 pub(crate) struct TreePool {
     cfg: WarmPoolConfig,
+    clock: std::sync::Arc<dyn WallClock>,
     tick: AtomicU64,
     generation: AtomicU64,
     shelf: Mutex<Vec<Parked>>,
+    /// Trees currently checked out (or cold-launched for a request),
+    /// per shape — the predictor counts these toward a shape's standing
+    /// so a burst's own checkouts don't trigger redundant pre-warms.
+    in_use: Mutex<HashMap<TreeKey, usize>>,
     counters: Mutex<Counters>,
 }
 
 impl TreePool {
-    pub(crate) fn new(cfg: WarmPoolConfig) -> TreePool {
+    pub(crate) fn new(cfg: WarmPoolConfig, clock: std::sync::Arc<dyn WallClock>) -> TreePool {
         TreePool {
             cfg,
+            clock,
             tick: AtomicU64::new(0),
             generation: AtomicU64::new(0),
             shelf: Mutex::new(Vec::new()),
+            in_use: Mutex::new(HashMap::new()),
             counters: Mutex::new(Counters::default()),
         }
     }
@@ -139,6 +259,9 @@ impl TreePool {
         for mut tree in expired {
             tree.shutdown();
         }
+        if picked.is_some() {
+            *self.in_use.lock().entry(key).or_insert(0) += 1;
+        }
         picked
     }
 
@@ -147,9 +270,31 @@ impl TreePool {
         self.counters.lock().created += 1;
     }
 
-    /// Returns a tree to the shelf — or shuts it down if it is poisoned,
-    /// stale, or the shelf is full.
+    /// Marks a cold-launched request tree as in service for its shape
+    /// (checked-out trees are marked by `checkout` itself).
+    pub(crate) fn note_in_use(&self, key: TreeKey) {
+        *self.in_use.lock().entry(key).or_insert(0) += 1;
+    }
+
+    /// Drops one in-service mark for `key` (checkin or discard).
+    /// Saturating: a build-time pre-warm's checkin has no matching mark.
+    fn release_in_use(&self, key: TreeKey) {
+        let mut in_use = self.in_use.lock();
+        if let Some(n) = in_use.get_mut(&key) {
+            *n -= 1;
+            if *n == 0 {
+                in_use.remove(&key);
+            }
+        }
+    }
+
+    /// Returns a tree to the shelf — or shuts it down if it is poisoned or
+    /// stale. A full shelf no longer rejects the newcomer: a parked tree
+    /// of the least-recently-used *shape* is evicted to make room, because
+    /// the tree being checked in just served traffic and is therefore the
+    /// hottest tree of its shape.
     pub(crate) fn checkin(&self, mut tree: WorkerTree) {
+        self.release_in_use(tree.key());
         if tree.is_poisoned() {
             self.counters.lock().discarded_poisoned += 1;
             tree.shutdown();
@@ -161,27 +306,132 @@ impl TreePool {
             return;
         }
         let parked_at_tick = self.tick.load(Ordering::Relaxed);
-        {
+        let parked_at_ms = self.clock.now_ms();
+        let victim = {
             let mut shelf = self.shelf.lock();
-            if shelf.len() < self.cfg.max_trees {
-                shelf.push(Parked {
-                    tree,
-                    parked_at_tick,
-                });
-                return;
-            }
+            let victim = if shelf.len() >= self.cfg.max_trees {
+                let i = Self::lru_shape_victim(&shelf);
+                self.counters.lock().evicted_lru += 1;
+                Some(shelf.remove(i).tree)
+            } else {
+                None
+            };
+            shelf.push(Parked {
+                tree,
+                parked_at_tick,
+                parked_at_ms,
+            });
+            victim
+        };
+        if let Some(mut victim) = victim {
+            victim.shutdown();
         }
-        // Shelf full: the tree is discarded (outside the lock).
-        self.counters.lock().discarded_full += 1;
-        tree.shutdown();
+    }
+
+    /// Index of the oldest parked tree of the least-recently-used shape.
+    ///
+    /// The shelf is ordered by checkin time, so a shape's *last* index is
+    /// its most recent use; the shape whose last use is earliest is the
+    /// LRU shape, and its first (oldest) tree is the victim.
+    fn lru_shape_victim(shelf: &[Parked]) -> usize {
+        let victim_key = shelf
+            .iter()
+            .map(|p| p.tree.key())
+            .min_by_key(|&key| {
+                shelf
+                    .iter()
+                    .rposition(|p| p.tree.key() == key)
+                    .expect("key taken from the shelf")
+            })
+            .expect("checkin on a full shelf implies max_trees >= 1");
+        shelf
+            .iter()
+            .position(|p| p.tree.key() == victim_key)
+            .expect("victim shape is on the shelf")
     }
 
     /// Discards a tree without parking it (failed request teardown).
     pub(crate) fn discard(&self, mut tree: WorkerTree) {
+        self.release_in_use(tree.key());
         if tree.is_poisoned() {
             self.counters.lock().discarded_poisoned += 1;
         }
         tree.shutdown();
+    }
+
+    /// Parked trees currently matching `key` (predictor sizing input).
+    pub(crate) fn idle_of(&self, key: TreeKey) -> usize {
+        let generation = self.generation();
+        self.shelf
+            .lock()
+            .iter()
+            .filter(|p| p.tree.key() == key && p.tree.generation() == generation)
+            .count()
+    }
+
+    /// Trees of shape `key` that exist at all — parked or serving a
+    /// request right now. The predictor tops a shape up to its burst
+    /// target against *this* count, so checkouts by the burst's own
+    /// requests don't look like missing capacity.
+    pub(crate) fn live_of(&self, key: TreeKey) -> usize {
+        self.idle_of(key) + self.in_use.lock().get(&key).copied().unwrap_or(0)
+    }
+
+    /// Evicts every parked tree of shape `key` (predictor decisions).
+    /// Returns how many trees were dropped.
+    pub(crate) fn evict_shape(&self, key: TreeKey) -> usize {
+        let drained: Vec<WorkerTree> = {
+            let mut shelf = self.shelf.lock();
+            let mut kept = Vec::with_capacity(shelf.len());
+            let mut evicted = Vec::new();
+            for parked in shelf.drain(..) {
+                if parked.tree.key() == key {
+                    evicted.push(parked.tree);
+                } else {
+                    kept.push(parked);
+                }
+            }
+            *shelf = kept;
+            self.counters.lock().evicted_shape += evicted.len() as u64;
+            evicted
+        };
+        let n = drained.len();
+        for mut tree in drained {
+            tree.shutdown();
+        }
+        n
+    }
+
+    /// Evicts parked trees whose wall-clock idle time exceeds
+    /// `wall_idle_ms` (no-op when the wall TTL is disabled). Returns how
+    /// many trees were dropped. Driven by the service's background reaper
+    /// thread in production, or explicitly by harnesses holding a
+    /// [`ManualClock`].
+    pub(crate) fn reap(&self) -> usize {
+        let Some(ttl_ms) = self.cfg.wall_idle_ms else {
+            return 0;
+        };
+        let now_ms = self.clock.now_ms();
+        let drained: Vec<WorkerTree> = {
+            let mut shelf = self.shelf.lock();
+            let mut kept = Vec::with_capacity(shelf.len());
+            let mut evicted = Vec::new();
+            for parked in shelf.drain(..) {
+                if now_ms.saturating_sub(parked.parked_at_ms) > ttl_ms {
+                    evicted.push(parked.tree);
+                } else {
+                    kept.push(parked);
+                }
+            }
+            *shelf = kept;
+            self.counters.lock().evicted_wall += evicted.len() as u64;
+            evicted
+        };
+        let n = drained.len();
+        for mut tree in drained {
+            tree.shutdown();
+        }
+        n
     }
 
     /// Bumps the generation and eagerly shuts every parked tree down.
@@ -220,8 +470,10 @@ impl TreePool {
             misses: counters.misses,
             created: counters.created,
             evicted_ttl: counters.evicted_ttl,
+            evicted_wall: counters.evicted_wall,
+            evicted_lru: counters.evicted_lru,
+            evicted_shape: counters.evicted_shape,
             evicted_stale: counters.evicted_stale,
-            discarded_full: counters.discarded_full,
             discarded_poisoned: counters.discarded_poisoned,
             idle,
         }

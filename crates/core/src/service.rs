@@ -24,7 +24,7 @@ use crate::engine::{
     WorkerReport,
 };
 use crate::error::FsdError;
-use crate::pool::{TreePool, WarmPoolConfig, WarmPoolStats};
+use crate::pool::{SystemClock, TreePool, WallClock, WarmPoolConfig, WarmPoolStats};
 use crate::provider::ChannelRegistry;
 use crate::recommend::{self, Recommendation, WorkloadProfile};
 use crate::stats::ChannelStatsSnapshot;
@@ -96,8 +96,54 @@ pub struct FsdService {
     /// Request counter; its successor is the request's flow id.
     requests: AtomicU64,
     /// The warm-tree pool (`ServiceBuilder::warm_pool`); `None` keeps the
-    /// original launch-per-request behavior.
-    pool: Option<TreePool>,
+    /// original launch-per-request behavior. `Arc` so the background
+    /// reaper thread can hold the pool without borrowing the service.
+    pool: Option<Arc<TreePool>>,
+    /// The background wall-clock reaper, if one was requested; held only
+    /// for its `Drop` (stop + join).
+    _reaper: Option<Reaper>,
+}
+
+/// A background thread that periodically [`TreePool::reap`]s idle trees
+/// by wall-clock TTL. Stopped (condvar-signalled, then joined) when the
+/// service drops, so a service never leaks its reaper.
+struct Reaper {
+    stop: Arc<(Mutex<bool>, parking_lot::Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Reaper {
+    fn spawn(pool: Arc<TreePool>, interval: std::time::Duration) -> Reaper {
+        let stop = Arc::new((Mutex::new(false), parking_lot::Condvar::new()));
+        let stop_c = stop.clone();
+        let handle = std::thread::spawn(move || loop {
+            let (lock, cvar) = &*stop_c;
+            let mut stopped = lock.lock();
+            if !*stopped {
+                cvar.wait_for(&mut stopped, interval);
+            }
+            if *stopped {
+                return;
+            }
+            drop(stopped);
+            pool.reap();
+        });
+        Reaper {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock() = true;
+        cvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl FsdService {
@@ -106,9 +152,19 @@ impl FsdService {
         cfg: EngineConfig,
         registry: ChannelRegistry,
         warm: Option<WarmPoolConfig>,
+        clock: Option<Arc<dyn WallClock>>,
+        reap_interval: Option<std::time::Duration>,
     ) -> FsdService {
         let env = CloudEnv::new(cfg.cloud);
         let platform = FaasPlatform::new(env.clone(), cfg.compute);
+        let clock = clock.unwrap_or_else(|| Arc::new(SystemClock::new()));
+        let pool = warm
+            .filter(|w| w.max_trees > 0)
+            .map(|w| Arc::new(TreePool::new(w, clock)));
+        let reaper = match (&pool, reap_interval) {
+            (Some(pool), Some(interval)) => Some(Reaper::spawn(pool.clone(), interval)),
+            _ => None,
+        };
         FsdService {
             env,
             platform,
@@ -120,7 +176,8 @@ impl FsdService {
             state: RwLock::new(StagedState::default()),
             stage_lock: Mutex::new(()),
             requests: AtomicU64::new(0),
-            pool: warm.filter(|w| w.max_trees > 0).map(TreePool::new),
+            pool,
+            _reaper: reaper,
         }
     }
 
@@ -399,7 +456,7 @@ impl FsdService {
 
     /// Warm-pool counters, if a pool is configured.
     pub fn warm_pool_stats(&self) -> Option<WarmPoolStats> {
-        self.pool.as_ref().map(TreePool::stats)
+        self.pool.as_ref().map(|p| p.stats())
     }
 
     /// Invalidates every warm tree (generation bump + eager shutdown).
@@ -407,7 +464,54 @@ impl FsdService {
     /// resident and must never serve requests for newer artifacts.
     /// Returns how many parked trees were dropped; 0 without a pool.
     pub fn invalidate_warm_trees(&self) -> usize {
-        self.pool.as_ref().map_or(0, TreePool::invalidate)
+        self.pool.as_ref().map_or(0, |p| p.invalidate())
+    }
+
+    /// Parked warm trees currently matching `(variant, workers, memory)`.
+    /// 0 without a pool.
+    pub fn warm_idle_trees(&self, variant: Variant, workers: u32, memory_mb: u32) -> usize {
+        let key = TreeKey {
+            variant,
+            workers: workers.max(1),
+            memory_mb,
+        };
+        self.pool.as_ref().map_or(0, |p| p.idle_of(key))
+    }
+
+    /// Warm trees of the shape that exist at all — parked *or* currently
+    /// serving a request. 0 without a pool. Predictors top a shape up to
+    /// its burst target against this count: a burst's own checkouts must
+    /// not read as missing capacity, or every in-flight request would
+    /// trigger a redundant pre-warm.
+    pub fn warm_live_trees(&self, variant: Variant, workers: u32, memory_mb: u32) -> usize {
+        let key = TreeKey {
+            variant,
+            workers: workers.max(1),
+            memory_mb,
+        };
+        self.pool.as_ref().map_or(0, |p| p.live_of(key))
+    }
+
+    /// Evicts every parked warm tree of one shape (predictor decisions:
+    /// traffic of this shape has gone quiet). Returns how many trees were
+    /// dropped; 0 without a pool.
+    pub fn evict_warm_trees(&self, variant: Variant, workers: u32, memory_mb: u32) -> usize {
+        let key = TreeKey {
+            variant,
+            workers: workers.max(1),
+            memory_mb,
+        };
+        self.pool.as_ref().map_or(0, |p| p.evict_shape(key))
+    }
+
+    /// Runs one wall-clock reaper pass: evicts parked trees whose real
+    /// idle time exceeds `WarmPoolConfig::wall_idle_ms`. Returns how many
+    /// trees were dropped; 0 without a pool or without a wall TTL. The
+    /// background reaper (`ServiceBuilder::background_reaper`) calls this
+    /// on an interval; deterministic harnesses inject a
+    /// [`crate::ManualClock`] and call it explicitly.
+    pub fn reap_warm_trees(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.reap())
     }
 
     /// Failure injection (tests/chaos): arms a kill switch on worker
@@ -545,6 +649,7 @@ impl FsdService {
                 let tree =
                     WorkerTree::launch(&self.platform, key, pool.generation(), params, flow)?;
                 pool.record_created();
+                pool.note_in_use(key);
                 (tree, false)
             }
         };

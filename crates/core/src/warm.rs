@@ -39,8 +39,9 @@ use std::sync::mpsc::{channel as mpsc_channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
 /// The shape a warm tree can serve: requests match on the resolved
-/// variant, worker count and per-worker memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// variant, worker count and per-worker memory. `Ord` gives predictors and
+/// pool policies a canonical shape order for deterministic iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TreeKey {
     /// Resolved channel variant (never `Serial`/`Auto` — Serial runs no
     /// tree and Auto resolves before the pool is consulted).

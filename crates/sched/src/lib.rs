@@ -1,4 +1,4 @@
-//! # fsd-sched — admission control in front of [`FsdService`]
+//! # fsd-sched — admission control in front of [`FsdService`](fsd_core::FsdService)
 //!
 //! PR 1 made the service accept concurrent `&self` requests, but nothing
 //! bounded or ordered that concurrency: every caller raced straight into
@@ -18,10 +18,16 @@
 //!   ([`derive_model_cap`]): the predicted per-tree channel load against
 //!   the region's aggregate publish budget;
 //! * **bounded queues with explicit backpressure** — a full class queue
-//!   rejects with [`FsdError::Overloaded`]`{ retry_after }` instead of
+//!   rejects with [`FsdError::Overloaded`](fsd_core::FsdError::Overloaded)`{ retry_after }` instead of
 //!   buffering without bound;
 //! * **graceful drain/shutdown** — [`Scheduler::shutdown`] stops intake,
-//!   [`Scheduler::drain`] waits for the backlog to finish.
+//!   [`Scheduler::drain`] waits for the backlog to finish;
+//! * **predictive pre-warming** ([`SchedulerConfig::predictive`]) — the
+//!   [`predictor`] mines each model's arrival history (sliding-window
+//!   rate + burst detection per `(variant, P, memory)` shape) and the
+//!   intake path pre-warms matching worker trees *before* admission, so
+//!   a predicted burst lands on already-parked trees; quiet shapes are
+//!   evicted, converging an idle system back to zero pre-warms.
 //!
 //! The second half of the crate is a **deterministic load-test harness**:
 //! [`trace`] generates seeded arrival traces (steady / bursty / flood) and
@@ -56,11 +62,13 @@
 //! ```
 
 pub mod harness;
+pub mod predictor;
 mod scheduler;
 pub mod trace;
 
+pub use predictor::{Predictor, PredictorConfig, PrewarmDecision};
 pub use scheduler::{
     derive_model_cap, Priority, SchedStatsSnapshot, Scheduler, SchedulerBuilder, SchedulerConfig,
-    Ticket,
+    Ticket, DEFAULT_MODEL,
 };
 pub use trace::Arrival;

@@ -21,8 +21,9 @@
 //!   by that thread, so the admission sequence is reproducible bit for bit
 //!   while execution still spreads over real worker threads.
 
+use crate::predictor::{Predictor, PredictorConfig, PrewarmDecision};
 use fsd_comm::{quota, VirtualTime};
-use fsd_core::{BatchedRequest, FsdError, FsdService, InferenceReport, Variant};
+use fsd_core::{BatchedRequest, FsdError, FsdService, InferenceReport, TreeKey, Variant};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -112,6 +113,11 @@ pub struct SchedulerConfig {
     pub manual_dispatch: bool,
     /// Record the admission order (seq numbers) for harnesses/tests.
     pub record_admissions: bool,
+    /// Predictive pre-warming: mine each model's arrival history
+    /// ([`crate::predictor::Predictor`]) and pre-warm/evict its warm pool
+    /// ahead of the traffic. Requires every registered model to have a
+    /// warm pool.
+    pub predictor: Option<PredictorConfig>,
 }
 
 impl Default for SchedulerConfig {
@@ -123,6 +129,7 @@ impl Default for SchedulerConfig {
             typical_workers: 3,
             manual_dispatch: false,
             record_admissions: false,
+            predictor: None,
         }
     }
 }
@@ -160,6 +167,17 @@ impl SchedulerConfig {
         self.record_admissions = true;
         self
     }
+
+    /// Enables predictive pre-warming: every accepted request feeds the
+    /// model's [`Predictor`], whose decisions pre-warm matching trees
+    /// *before* admission runs (and evict shapes whose traffic went
+    /// quiet). [`Scheduler::dispatch`] — the drain tick — re-applies
+    /// standing evictions so a draining system converges back to zero
+    /// warm trees.
+    pub fn predictive(mut self, predictor: PredictorConfig) -> SchedulerConfig {
+        self.predictor = Some(predictor);
+        self
+    }
 }
 
 /// Point-in-time scheduler statistics.
@@ -181,6 +199,10 @@ pub struct SchedStatsSnapshot {
     /// Completed requests that paid the full launch bill (including all
     /// Serial runs and every request of a pool-less service).
     pub cold_starts: u64,
+    /// Trees pre-warmed by predictor decisions.
+    pub prewarmed: u64,
+    /// Parked trees evicted by predictor quiescence decisions.
+    pub predictor_evicted: u64,
     /// Currently queued (accepted, not yet admitted).
     pub queued: usize,
     /// Currently holding a concurrency slot.
@@ -295,6 +317,8 @@ struct Counters {
     failed: u64,
     warm_hits: u64,
     cold_starts: u64,
+    prewarmed: u64,
+    predictor_evicted: u64,
 }
 
 struct SchedState {
@@ -317,12 +341,146 @@ struct SchedulerCore {
     cfg: SchedulerConfig,
     models: Vec<ModelEntry>,
     by_name: HashMap<String, usize>,
+    /// Per-model arrival-history miners (`Some` iff `cfg.predictor`).
+    /// Locked independently of `state`: predictor decisions launch trees,
+    /// which must never happen under the scheduler lock.
+    predictors: Vec<Option<Mutex<Predictor>>>,
+    /// Serializes decision *application* per model: concurrent enqueues
+    /// would otherwise read the same pre-launch `warm_live_trees` count
+    /// and launch duplicate trees (a pre-warm in flight is not yet
+    /// visible as live). Held across the launches; never taken together
+    /// with `state` or a predictor lock.
+    prewarm_apply: Vec<Mutex<()>>,
     state: Mutex<SchedState>,
     /// Signaled on completions, harvests and queue transitions (drain).
     idle: Condvar,
 }
 
+/// The request fields the predictor needs, captured *before* the request
+/// is moved into the queue. The per-row payload estimate is pure
+/// computation (no staging), so capturing it on the backpressure fast
+/// path is cheap; the potentially expensive `Auto` resolution happens
+/// later, in [`SchedulerCore::resolve_shape`], only for accepted
+/// requests.
+#[derive(Clone, Copy)]
+struct ArrivalShape {
+    variant: Variant,
+    workers: u32,
+    memory_mb: u32,
+    /// Wire bytes per row of the first batch; `None` for empty requests
+    /// (they fail at execution with `EmptyRequest`, never reach a tree).
+    est_bytes_per_row: Option<usize>,
+}
+
+impl ArrivalShape {
+    fn capture(req: &BatchedRequest) -> ArrivalShape {
+        ArrivalShape {
+            variant: req.variant,
+            workers: req.workers.max(1),
+            memory_mb: req.memory_mb,
+            est_bytes_per_row: req
+                .batches
+                .first()
+                .map(|first| fsd_sparse::codec::encoded_size(first) / first.n_rows().max(1)),
+        }
+    }
+}
+
 impl SchedulerCore {
+    /// The warm-tree shape an accepted request will run as, for the
+    /// predictor: `None` for requests that run no tree (Serial — they
+    /// advance the predictor's clock without claiming warm capacity).
+    /// `Auto` resolves through the service's §IV-C rules here, which may
+    /// stage partitions — only ever paid for accepted requests.
+    fn resolve_shape(service: &FsdService, shape: ArrivalShape) -> Option<TreeKey> {
+        let resolved = match shape.variant {
+            Variant::Auto => match shape.est_bytes_per_row {
+                Some(est) => service.recommend(shape.workers, est).variant,
+                None => return None,
+            },
+            v => v,
+        };
+        resolved.channel_name().map(|_| TreeKey {
+            variant: resolved,
+            workers: shape.workers,
+            memory_mb: shape.memory_mb,
+        })
+    }
+
+    /// Feeds one accepted arrival to the model's predictor and applies the
+    /// resulting decision set (pre-warms + evictions). Runs on the
+    /// enqueueing thread — in manual mode that is the harness driver, so
+    /// pool mutations stay totally ordered and replays deterministic.
+    fn drive_predictor(&self, model: usize, shape: ArrivalShape) {
+        let Some(predictor) = &self.predictors[model] else {
+            return;
+        };
+        let resolved = SchedulerCore::resolve_shape(&self.models[model].service, shape);
+        let decisions = predictor.lock().observe(resolved);
+        self.apply_decisions(model, &decisions, true);
+    }
+
+    /// Re-applies every predictive model's *standing* decisions, evictions
+    /// only — the drain tick. Pre-warm top-ups are deliberately excluded:
+    /// between arrivals, parked counts dip while requests hold trees, and
+    /// topping those dips up would over-provision (and make pool contents
+    /// depend on dispatch timing instead of the arrival history).
+    fn apply_standing_evictions(&self) {
+        for model in 0..self.models.len() {
+            let Some(predictor) = &self.predictors[model] else {
+                continue;
+            };
+            let decisions = predictor.lock().decisions();
+            self.apply_decisions(model, &decisions, false);
+        }
+    }
+
+    /// Applies a decision set against the model's warm pool: evictions
+    /// always, pre-warms (up to target, counting what is already parked)
+    /// only when `prewarm` is set. Idempotent — re-applying an already
+    /// satisfied decision set is a no-op.
+    fn apply_decisions(&self, model: usize, decisions: &[PrewarmDecision], prewarm: bool) {
+        // One applier per model at a time, so every top-up reads live
+        // counts that include the previous applier's launches.
+        let _applying = self.prewarm_apply[model].lock();
+        let service = &self.models[model].service;
+        let mut prewarmed = 0u64;
+        let mut evicted = 0u64;
+        for decision in decisions {
+            match *decision {
+                PrewarmDecision::Warm { shape, target } if prewarm => {
+                    // Top up against *live* trees (parked + in service):
+                    // a burst's own checkouts must not read as missing
+                    // capacity, or auto mode would launch a redundant
+                    // tree per in-flight request.
+                    let live =
+                        service.warm_live_trees(shape.variant, shape.workers, shape.memory_mb);
+                    for _ in live..target {
+                        // A failed pre-warm launch is a prediction the
+                        // platform declined, not a request error: skip it
+                        // and let the request pay its own cold start.
+                        if service
+                            .prewarm_tree(shape.variant, shape.workers, shape.memory_mb)
+                            .is_ok()
+                        {
+                            prewarmed += 1;
+                        }
+                    }
+                }
+                PrewarmDecision::Warm { .. } => {}
+                PrewarmDecision::Evict { shape } => {
+                    evicted +=
+                        service.evict_warm_trees(shape.variant, shape.workers, shape.memory_mb)
+                            as u64;
+                }
+            }
+        }
+        if prewarmed > 0 || evicted > 0 {
+            let mut state = self.state.lock();
+            state.counters.prewarmed += prewarmed;
+            state.counters.predictor_evicted += evicted;
+        }
+    }
     /// Releases a harvested ticket's slot (manual mode only; in auto mode
     /// the slot was already released at completion).
     fn on_harvest(&self, model: usize) {
@@ -520,11 +678,27 @@ impl SchedulerBuilder {
             models.push(ModelEntry { name, service, cap });
         }
         let n = models.len();
+        let predictors = models
+            .iter()
+            .map(|m| {
+                self.cfg.predictor.map(|pc| {
+                    assert!(
+                        m.service.warm_pool_stats().is_some(),
+                        "predictive pre-warming requires model {:?} to have a \
+                         warm pool (ServiceBuilder::warm_pool / auto_warm_pool)",
+                        m.name
+                    );
+                    Mutex::new(Predictor::new(pc))
+                })
+            })
+            .collect();
         Scheduler {
             core: Arc::new(SchedulerCore {
                 cfg: self.cfg,
                 models,
                 by_name,
+                predictors,
+                prewarm_apply: (0..n).map(|_| Mutex::new(())).collect(),
                 state: Mutex::new(SchedState {
                     queues: Default::default(),
                     credits: [0; Priority::COUNT],
@@ -612,6 +786,15 @@ impl Scheduler {
                 name: model.to_string(),
             })?;
         let class = priority.index();
+        // Capture the predictor's view of the arrival (cheap, pure
+        // computation) before taking the lock; the potentially expensive
+        // `Auto` resolution runs in `drive_predictor`, only after
+        // acceptance and outside the scheduler lock.
+        let shape = if self.core.predictors[model_idx].is_some() {
+            Some(ArrivalShape::capture(&req))
+        } else {
+            None
+        };
         let mut state = self.core.state.lock();
         if state.shutting_down {
             return Err(FsdError::ShuttingDown);
@@ -634,12 +817,22 @@ impl Scheduler {
             ticket: shared.clone(),
             req,
         });
+        drop(state);
+        // Pre-warm *before* admission: trees predicted for this arrival's
+        // burst must be parked by the time the request (and its burst
+        // peers) are admitted. In manual mode the same ordering holds
+        // trivially — enqueues precede the driver's dispatch call.
+        if let Some(shape) = shape {
+            self.core.drive_predictor(model_idx, shape);
+        }
         let admitted = if self.core.cfg.manual_dispatch {
             Vec::new()
         } else {
-            self.core.dispatch_locked(&mut state)
+            let mut state = self.core.state.lock();
+            let admitted = self.core.dispatch_locked(&mut state);
+            drop(state);
+            admitted
         };
-        drop(state);
         self.core.spawn(admitted);
         Ok(Ticket {
             shared,
@@ -659,8 +852,12 @@ impl Scheduler {
 
     /// Runs one admission pass, spawning every request the caps allow.
     /// Returns how many were admitted. The manual-dispatch driver's pump;
-    /// harmless (and normally a no-op) in auto mode.
+    /// harmless (and normally a no-op) in auto mode. With predictive
+    /// pre-warming enabled this is also the drain tick: standing
+    /// quiescence evictions are applied first, so a draining system
+    /// converges back to zero warm trees.
     pub fn dispatch(&self) -> usize {
+        self.core.apply_standing_evictions();
         let mut state = self.core.state.lock();
         let admitted = self.core.dispatch_locked(&mut state);
         drop(state);
@@ -722,6 +919,8 @@ impl Scheduler {
             failed: state.counters.failed,
             warm_hits: state.counters.warm_hits,
             cold_starts: state.counters.cold_starts,
+            prewarmed: state.counters.prewarmed,
+            predictor_evicted: state.counters.predictor_evicted,
             queued: state.queues.iter().map(VecDeque::len).sum(),
             inflight: state.inflight_global,
             max_inflight: state.max_inflight_global,

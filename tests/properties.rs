@@ -193,6 +193,106 @@ proptest! {
     }
 }
 
+// Predictor invariants: decisions are a deterministic pure function of
+// the arrival history, warm targets never exceed the budget, and
+// quiescent shapes converge to eviction. Pure state-machine properties —
+// no engine threads — so the case count can stay high.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn predictor_decisions_are_deterministic_and_budgeted(
+        arrivals in proptest::collection::vec((0usize..5, 1u32..4), 1..64),
+        window in 1usize..24,
+        burst_threshold in 1usize..5,
+        max_warm in 0usize..10,
+        quiet_after in 1u64..64,
+    ) {
+        use fsd_inference::core::{TreeKey, Variant};
+        use fsd_inference::sched::{Predictor, PredictorConfig, PrewarmDecision};
+
+        // Shape alphabet: index 0 is Serial (no tree), the rest map to
+        // channel-variant shapes.
+        let shape_of = |i: usize, p: u32| -> Option<TreeKey> {
+            match i {
+                0 => None,
+                1 | 2 => Some(TreeKey { variant: Variant::Queue, workers: p, memory_mb: 1769 }),
+                _ => Some(TreeKey { variant: Variant::Object, workers: p, memory_mb: 1769 }),
+            }
+        };
+        let cfg = PredictorConfig::default()
+            .window(window)
+            .burst_threshold(burst_threshold)
+            .max_warm(max_warm)
+            .quiet_after(quiet_after);
+
+        let mut a = Predictor::new(cfg);
+        let mut b = Predictor::new(cfg);
+        for &(i, p) in &arrivals {
+            let shape = shape_of(i, p);
+            let da = a.observe(shape);
+            let db = b.observe(shape);
+            // Determinism: identical histories yield identical decisions.
+            prop_assert_eq!(&da, &db);
+            // Budget: summed warm targets never exceed max_warm.
+            let total: usize = da.iter().map(|d| match d {
+                PrewarmDecision::Warm { target, .. } => *target,
+                PrewarmDecision::Evict { .. } => 0,
+            }).sum();
+            prop_assert!(total <= max_warm,
+                "targets {} exceed budget {}: {:?}", total, max_warm, da);
+            // No shape is simultaneously warmed and evicted.
+            for d in &da {
+                if let PrewarmDecision::Evict { shape } = d {
+                    prop_assert!(!da.iter().any(|o| matches!(
+                        o, PrewarmDecision::Warm { shape: w, .. } if w == shape)));
+                }
+            }
+        }
+        // decisions() is pure: calling it twice changes nothing.
+        prop_assert_eq!(a.decisions(), a.decisions());
+    }
+
+    #[test]
+    fn predictor_quiescent_traffic_converges_to_zero_prewarms(
+        arrivals in proptest::collection::vec(1usize..4, 1..24),
+        quiet_after in 1u64..32,
+    ) {
+        use fsd_inference::core::{TreeKey, Variant};
+        use fsd_inference::sched::{Predictor, PredictorConfig, PrewarmDecision};
+
+        let shape_of = |i: usize| TreeKey {
+            variant: if i.is_multiple_of(2) { Variant::Queue } else { Variant::Object },
+            workers: 1 + (i % 3) as u32,
+            memory_mb: 1769,
+        };
+        let cfg = PredictorConfig::default().quiet_after(quiet_after);
+        let mut p = Predictor::new(cfg);
+        let mut seen = std::collections::BTreeSet::new();
+        for &i in &arrivals {
+            let s = shape_of(i);
+            seen.insert(s);
+            p.observe(Some(s));
+        }
+        // Traffic stops: only no-tree arrivals past the horizon.
+        let mut last = Vec::new();
+        for _ in 0..(quiet_after + cfg.window as u64) {
+            last = p.observe(None);
+        }
+        prop_assert!(
+            !last.iter().any(|d| matches!(d, PrewarmDecision::Warm { .. })),
+            "quiescent traffic must emit no warm targets: {:?}", last
+        );
+        // Every shape ever seen has a standing eviction.
+        for s in &seen {
+            prop_assert!(
+                last.contains(&PrewarmDecision::Evict { shape: *s }),
+                "missing eviction for {:?}: {:?}", s, last
+            );
+        }
+    }
+}
+
 // Scheduler invariants over arbitrary configurations and request mixes.
 // Each case drives a real scheduler (auto dispatch, real worker threads),
 // so the case count stays small and the models tiny.

@@ -164,27 +164,142 @@ fn idle_ttl_evicts_parked_trees() {
 }
 
 #[test]
-fn full_shelf_discards_checkins_and_falls_back_cold() {
+fn full_shelf_evicts_the_lru_shape_instead_of_rejecting_the_checkin() {
     let _guard = engine_guard();
-    // Shelf of one: whichever tree parks first wins it.
+    // Shelf of one: a checkin on a full shelf evicts the
+    // least-recently-used shape to park the (hotter) incoming tree.
     let (service, inputs, _) = pooled_service(45, 1, u64::MAX);
     let queue_req = request(&inputs, Variant::Queue, 2);
     let object_req = request(&inputs, Variant::Object, 2);
     service.submit(&queue_req).expect("queue parks");
-    // The object tree finds the shelf full at checkin and is discarded…
+    // The object tree's checkin finds the shelf full: the parked queue
+    // tree (LRU shape) is evicted and the object tree parks.
     service.submit(&object_req).expect("object cold");
     let stats = service.warm_pool_stats().expect("pool enabled");
-    assert_eq!(stats.discarded_full, 1, "{stats:?}");
+    assert_eq!(stats.evicted_lru, 1, "{stats:?}");
     assert_eq!(stats.idle, 1);
-    // …so the same shape stays cold, while the parked shape stays warm.
+    // …so the recently used shape is warm and the evicted one is cold.
     assert_eq!(
         service.submit(&object_req).expect("object again").launch,
-        LaunchPath::ColdStart
+        LaunchPath::WarmHit
     );
     assert_eq!(
         service.submit(&queue_req).expect("queue again").launch,
+        LaunchPath::ColdStart
+    );
+}
+
+#[test]
+fn lru_under_pressure_evicts_the_least_recently_used_shape() {
+    let _guard = engine_guard();
+    // Shelf of two, three shapes. Use order: Q2, O2, then Q3. At Q3's
+    // checkin the shelf holds {Q2, O2}; Q2 is the least recently used
+    // shape, so it is the victim — O2 and Q3 stay warm.
+    let (service, inputs, _) = pooled_service(48, 2, u64::MAX);
+    let q2 = request(&inputs, Variant::Queue, 2);
+    let o2 = request(&inputs, Variant::Object, 2);
+    let q3 = request(&inputs, Variant::Queue, 3);
+    service.submit(&q2).expect("q2 parks");
+    service.submit(&o2).expect("o2 parks");
+    service.submit(&q3).expect("q3 evicts the LRU shape");
+    let stats = service.warm_pool_stats().expect("pool enabled");
+    assert_eq!(stats.evicted_lru, 1, "{stats:?}");
+    assert_eq!(stats.idle, 2);
+    assert_eq!(service.warm_idle_trees(Variant::Queue, 2, 1769), 0);
+    assert_eq!(service.warm_idle_trees(Variant::Object, 2, 1769), 1);
+    assert_eq!(service.warm_idle_trees(Variant::Queue, 3, 1769), 1);
+    assert_eq!(
+        service.submit(&o2).expect("o2 again").launch,
         LaunchPath::WarmHit
     );
+    assert_eq!(
+        service.submit(&q3).expect("q3 again").launch,
+        LaunchPath::WarmHit
+    );
+    assert_eq!(
+        service.submit(&q2).expect("q2 again").launch,
+        LaunchPath::ColdStart,
+        "the LRU shape was evicted"
+    );
+}
+
+#[test]
+fn wall_clock_reaper_evicts_by_real_idle_time_with_an_injected_clock() {
+    let _guard = engine_guard();
+    use fsd_inference::core::ManualClock;
+    let spec = spec(49);
+    let dnn = Arc::new(generate_dnn(&spec));
+    let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(10, 49));
+    let clock = Arc::new(ManualClock::new());
+    let service = ServiceBuilder::new(dnn)
+        .deterministic(49)
+        .warm_pool(4, u64::MAX)
+        .warm_pool_wall_ttl(1_000)
+        .warm_pool_clock(clock.clone())
+        .build();
+    let req = request(&inputs, Variant::Queue, 2);
+    service.submit(&req).expect("parks a tree");
+    // Young tree: a reaper pass keeps it, and it still serves warm.
+    assert_eq!(service.reap_warm_trees(), 0);
+    assert_eq!(
+        service.submit(&req).expect("warm").launch,
+        LaunchPath::WarmHit
+    );
+    // Idle past the wall TTL: the reaper evicts it. The tick TTL is
+    // u64::MAX, so only the wall-clock path can be responsible.
+    clock.advance_ms(1_500);
+    assert_eq!(service.reap_warm_trees(), 1);
+    let stats = service.warm_pool_stats().expect("pool enabled");
+    assert_eq!(stats.evicted_wall, 1, "{stats:?}");
+    assert_eq!(stats.idle, 0);
+    assert_eq!(
+        service.submit(&req).expect("re-launches").launch,
+        LaunchPath::ColdStart
+    );
+}
+
+#[test]
+fn background_reaper_evicts_without_explicit_reap_calls() {
+    let _guard = engine_guard();
+    use fsd_inference::core::ManualClock;
+    use std::time::Duration;
+    let spec = spec(50);
+    let dnn = Arc::new(generate_dnn(&spec));
+    let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(10, 50));
+    // The injected manual clock controls *aging*; the background thread
+    // only controls *when passes run*, so the test is timing-tolerant:
+    // nothing can be evicted before the clock is advanced, and after it
+    // is, some pass within the polling horizon must evict.
+    let clock = Arc::new(ManualClock::new());
+    let service = ServiceBuilder::new(dnn)
+        .deterministic(50)
+        .warm_pool(4, u64::MAX)
+        .warm_pool_wall_ttl(100)
+        .warm_pool_clock(clock.clone())
+        .background_reaper(Duration::from_millis(5))
+        .build();
+    let req = request(&inputs, Variant::Queue, 2);
+    service.submit(&req).expect("parks a tree");
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(
+        service.warm_pool_stats().expect("pool").evicted_wall,
+        0,
+        "a frozen clock must never age trees"
+    );
+    clock.advance_ms(500);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if service.warm_pool_stats().expect("pool").evicted_wall >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background reaper never ran: {:?}",
+            service.warm_pool_stats()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(service.warm_pool_stats().expect("pool").idle, 0);
 }
 
 #[test]
