@@ -39,6 +39,14 @@ pub const GATED: &[(&str, &[(&str, Direction)])] = &[
             ("hit_rate_pct", Direction::HigherIsBetter),
         ],
     ),
+    (
+        "BENCH_comm_matrix.json",
+        &[
+            ("queue_p50_us", Direction::LowerIsBetter),
+            ("object_p50_us", Direction::LowerIsBetter),
+            ("hybrid_p50_us", Direction::LowerIsBetter),
+        ],
+    ),
 ];
 
 /// Which way a metric regresses.

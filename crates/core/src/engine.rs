@@ -22,9 +22,13 @@ pub enum Variant {
     Queue,
     /// Object-storage channel (FSI Algorithm 2).
     Object,
+    /// Queue control plane with per-target payloads above
+    /// `ChannelOptions::spill_threshold` spilled to object storage and
+    /// dereferenced through in-queue pointer records.
+    Hybrid,
     /// Per-request routing by the Section IV-C recommendation rules: the
-    /// service picks Serial/Queue/Object from the model size and the
-    /// estimated per-pair payload volume of this request.
+    /// service picks Serial/Queue/Hybrid/Object from the model size and
+    /// the estimated per-pair payload volume of this request.
     Auto,
 }
 
@@ -37,6 +41,7 @@ impl Variant {
             Variant::Serial | Variant::Auto => None,
             Variant::Queue => Some("queue"),
             Variant::Object => Some("object"),
+            Variant::Hybrid => Some("hybrid"),
         }
     }
 }
@@ -47,6 +52,7 @@ impl std::fmt::Display for Variant {
             Variant::Serial => write!(f, "FSD-Inf-Serial"),
             Variant::Queue => write!(f, "FSD-Inf-Queue"),
             Variant::Object => write!(f, "FSD-Inf-Object"),
+            Variant::Hybrid => write!(f, "FSD-Inf-Hybrid"),
             Variant::Auto => write!(f, "FSD-Inf-Auto"),
         }
     }
@@ -236,6 +242,7 @@ mod tests {
     fn variant_channel_names() {
         assert_eq!(Variant::Queue.channel_name(), Some("queue"));
         assert_eq!(Variant::Object.channel_name(), Some("object"));
+        assert_eq!(Variant::Hybrid.channel_name(), Some("hybrid"));
         assert_eq!(Variant::Serial.channel_name(), None);
         assert_eq!(Variant::Auto.channel_name(), None);
     }
@@ -244,6 +251,7 @@ mod tests {
     fn variant_displays() {
         assert_eq!(Variant::Auto.to_string(), "FSD-Inf-Auto");
         assert_eq!(Variant::Queue.to_string(), "FSD-Inf-Queue");
+        assert_eq!(Variant::Hybrid.to_string(), "FSD-Inf-Hybrid");
     }
 
     #[test]

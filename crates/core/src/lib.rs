@@ -10,6 +10,9 @@
 //!   service-side filter fan-out, long polling;
 //! * **[`ObjectChannel`]** — one object per (source, target) pair, multiple
 //!   buckets, `.nul` markers, redundant-read avoidance;
+//! * **[`HybridChannel`]** — queue control plane with payloads above
+//!   [`ChannelOptions::spill_threshold`] spilled to object storage behind
+//!   in-queue pointer records (the paper's deployed mixed regime);
 //! * **hierarchical launch** — `worker_invoke_children` b-ary tree;
 //! * **collectives** — [`channel::barrier`] / [`channel::reduce`] built on
 //!   the same serverless primitives;
@@ -55,6 +58,7 @@ pub mod channel;
 pub mod cost;
 mod engine;
 mod error;
+mod hybrid_channel;
 mod object_channel;
 mod pool;
 mod provider;
@@ -77,11 +81,18 @@ pub use engine::{
     WorkerReport,
 };
 pub use error::FsdError;
+pub use hybrid_channel::HybridChannel;
 pub use object_channel::ObjectChannel;
 pub use pool::{ManualClock, SystemClock, WallClock, WarmPoolConfig, WarmPoolStats};
-pub use provider::{ChannelProvider, ChannelRegistry, ObjectChannelProvider, QueueChannelProvider};
+pub use provider::{
+    ChannelProvider, ChannelRegistry, HybridChannelProvider, ObjectChannelProvider,
+    QueueChannelProvider,
+};
 pub use queue_channel::{ChannelOptions, QueueChannel};
-pub use recommend::{fits_single_instance, recommend_variant, Recommendation, WorkloadProfile};
+pub use recommend::{
+    channel_variant, fits_instance, fits_single_instance, recommend_variant, Recommendation,
+    WorkloadProfile,
+};
 pub use service::FsdService;
 pub use stats::{ChannelStats, ChannelStatsSnapshot};
 pub use warm::TreeKey;

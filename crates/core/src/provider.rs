@@ -9,6 +9,7 @@
 //! `ServiceBuilder::register_channel` without touching the request path.
 
 use crate::channel::FsiChannel;
+use crate::hybrid_channel::HybridChannel;
 use crate::object_channel::ObjectChannel;
 use crate::queue_channel::{ChannelOptions, QueueChannel};
 use fsd_comm::CloudEnv;
@@ -71,6 +72,27 @@ impl ChannelProvider for ObjectChannelProvider {
     }
 }
 
+/// Provider for the hybrid channel: queue control plane with payloads
+/// above [`ChannelOptions::spill_threshold`] spilled to object storage.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HybridChannelProvider;
+
+impl ChannelProvider for HybridChannelProvider {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn provision(
+        &self,
+        env: &Arc<CloudEnv>,
+        n_workers: u32,
+        opts: ChannelOptions,
+        flow: u64,
+    ) -> Arc<dyn FsiChannel> {
+        HybridChannel::setup_scoped(env.clone(), n_workers, opts, flow)
+    }
+}
+
 /// The provider registry consulted by the service per request.
 pub struct ChannelRegistry {
     providers: HashMap<&'static str, Arc<dyn ChannelProvider>>,
@@ -84,11 +106,12 @@ impl ChannelRegistry {
         }
     }
 
-    /// A registry holding the two built-in transports.
+    /// A registry holding the three built-in transports.
     pub fn with_builtins() -> ChannelRegistry {
         let mut r = ChannelRegistry::empty();
         r.register(Arc::new(QueueChannelProvider));
         r.register(Arc::new(ObjectChannelProvider));
+        r.register(Arc::new(HybridChannelProvider));
         r
     }
 
@@ -124,9 +147,10 @@ mod tests {
     #[test]
     fn builtins_are_registered() {
         let r = ChannelRegistry::with_builtins();
-        assert_eq!(r.names(), vec!["object", "queue"]);
+        assert_eq!(r.names(), vec!["hybrid", "object", "queue"]);
         assert!(r.get("queue").is_some());
         assert!(r.get("object").is_some());
+        assert!(r.get("hybrid").is_some());
         assert!(r.get("warp").is_none());
     }
 
@@ -148,6 +172,38 @@ mod tests {
             .get("object")
             .expect("object")
             .provision(&env, 3, ChannelOptions::default(), 7);
+    }
+
+    #[test]
+    fn hybrid_provider_leaks_nothing_on_teardown() {
+        // The hybrid channel holds queue-side *and* object-side resources;
+        // teardown must release both, leaving the region exactly as found.
+        let env = CloudEnv::new(CloudConfig::deterministic(2));
+        let r = ChannelRegistry::with_builtins();
+        let h = r
+            .get("hybrid")
+            .expect("hybrid")
+            .provision(&env, 4, ChannelOptions::default(), 9);
+        assert_eq!(env.queue_count(), 4);
+        for t in 0..env.pubsub().n_topics() {
+            assert_eq!(env.pubsub().subscription_count(t), 4);
+        }
+        h.teardown();
+        assert_eq!(env.queue_count(), 0, "hybrid queues leaked");
+        for t in 0..env.pubsub().n_topics() {
+            assert_eq!(
+                env.pubsub().subscription_count(t),
+                0,
+                "hybrid subscriptions leaked on topic {t}"
+            );
+        }
+        for i in 0..env.config().n_buckets {
+            assert_eq!(
+                env.object_store().object_count(&fsd_comm::bucket_name(i)),
+                0,
+                "hybrid objects leaked in bucket {i}"
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct ChannelOptions {
     /// Queue channel: pack messages into multi-message publish batches
     /// (ablation lever; `false` = one message per publish, inflating `S`).
     pub packing: bool,
+    /// Hybrid channel: per-target payloads whose serialized
+    /// (pre-compression) size exceeds this many bytes are spilled to
+    /// object storage and replaced in-queue by a pointer record; at or
+    /// below it they ride the queue inline. Defaults to one publish quota
+    /// — anything that would not fit a single message spills.
+    pub spill_threshold: usize,
 }
 
 impl Default for ChannelOptions {
@@ -51,6 +57,7 @@ impl Default for ChannelOptions {
             chunk_nnz: 28_000,
             nul_markers: true,
             packing: true,
+            spill_threshold: quota::MAX_PUBLISH_BYTES,
         }
     }
 }
@@ -104,13 +111,125 @@ pub(crate) fn decode_payload(
 /// sequence is reconstructed from the stamps
 /// ([`SqsQueue::settle_receives`]) — so per-request timing and billing
 /// never depend on how real threads happened to batch the arrivals.
+/// Shared by the queue and hybrid channels (identical control planes).
 #[derive(Default)]
-struct TagInbox {
+pub(crate) struct TagInbox {
     /// `(stamp, source, total_chunks, wire body)` in arrival order.
-    raw: Vec<(fsd_comm::VirtualTime, u32, u32, Vec<u8>)>,
+    pub(crate) raw: Vec<(fsd_comm::VirtualTime, u32, u32, Vec<u8>)>,
     /// Chunk announcements not yet applied to the tag's tracker (filled
     /// when messages arrive while another tag is being received).
-    unapplied: Vec<(u32, u32)>,
+    pub(crate) unapplied: Vec<(u32, u32)>,
+}
+
+/// The shared receive prologue of the queue-fed channels: applies stashed
+/// chunk announcements for `(me, want)` to `tracker`, then — while the
+/// tag is still incomplete — takes one raw physical batch (attribute
+/// parsing only; no billing, no clock movement) and stashes it per tag,
+/// or bills one empty long poll when producers have genuinely not shown
+/// up within the real-time grace (so a stuck run still walks toward its
+/// virtual timeout).
+pub(crate) fn poll_and_stash(
+    queue: &SqsQueue,
+    inboxes: &Mutex<HashMap<(u32, u32), TagInbox>>,
+    stats: &ChannelStats,
+    ctx: &mut WorkerCtx,
+    opts: &ChannelOptions,
+    (me, want): (u32, u32),
+    tracker: &mut RecvTracker,
+) {
+    {
+        let mut inboxes = inboxes.lock();
+        if let Some(inbox) = inboxes.get_mut(&(me, want)) {
+            for (source, total) in inbox.unapplied.drain(..) {
+                tracker.record_chunk(source, total);
+            }
+        }
+    }
+    if tracker.done() {
+        return;
+    }
+    let msgs = queue.take_visible(quota::MAX_BATCH_MESSAGES);
+    if msgs.is_empty() {
+        queue.empty_poll(ctx.clock_mut(), opts.long_poll_secs);
+        stats.add(&stats.sqs_calls, 1);
+        return;
+    }
+    let mut inboxes = inboxes.lock();
+    for msg in msgs {
+        let attrs = msg.message.attributes;
+        if attrs.layer == want {
+            tracker.record_chunk(attrs.source, attrs.total_chunks);
+        } else {
+            inboxes
+                .entry((me, attrs.layer))
+                .or_default()
+                .unapplied
+                .push((attrs.source, attrs.total_chunks));
+        }
+        inboxes.entry((me, attrs.layer)).or_default().raw.push((
+            msg.available_at,
+            attrs.source,
+            attrs.total_chunks,
+            msg.message.body,
+        ));
+    }
+}
+
+/// Packs `messages` into publish batches (≤ 10 messages, ≤ 256 KiB — or
+/// one message per publish with packing disabled) and issues them to
+/// `topic` over the modeled `send_threads` lane pool, joining the
+/// caller's clock to the slowest lane and recording client-side stats.
+/// The shared control-plane send path of the queue and hybrid channels.
+pub(crate) fn publish_over_lanes(
+    env: &CloudEnv,
+    stats: &ChannelStats,
+    ctx: &mut WorkerCtx,
+    opts: &ChannelOptions,
+    topic: usize,
+    messages: Vec<Message>,
+) -> Result<(), FaasError> {
+    let max_batch = if opts.packing {
+        quota::MAX_BATCH_MESSAGES
+    } else {
+        1
+    };
+    let mut batches: Vec<Vec<Message>> = Vec::new();
+    let mut cur: Vec<Message> = Vec::new();
+    let mut cur_bytes = 0usize;
+    for msg in messages {
+        let too_full = cur.len() == max_batch
+            || (!cur.is_empty() && cur_bytes + msg.len() > quota::MAX_PUBLISH_BYTES);
+        if too_full {
+            batches.push(std::mem::take(&mut cur));
+            cur_bytes = 0;
+        }
+        cur_bytes += msg.len();
+        cur.push(msg);
+    }
+    if !cur.is_empty() {
+        batches.push(cur);
+    }
+    // Lane clocks inherit the worker's flow so publishes bill to the
+    // request; the caller's clock joins the slowest lane.
+    let lanes = opts.send_threads.max(1);
+    let lane0 = VClock::starting_at(ctx.now()).with_flow(ctx.clock_mut().flow());
+    let mut lane_clocks: Vec<VClock> = vec![lane0; lanes];
+    for (i, batch) in batches.into_iter().enumerate() {
+        let lane = &mut lane_clocks[i % lanes];
+        let bytes: u64 = batch.iter().map(|m| m.len() as u64).sum();
+        let n_msgs = batch.len() as u64;
+        let billed = env
+            .pubsub()
+            .publish_batch(topic, lane, batch)
+            .map_err(|e| FaasError::comm("publish", format!("topic-{topic}"), e))?;
+        stats.add(&stats.sns_billed, billed);
+        stats.add(&stats.sns_batches, 1);
+        stats.add(&stats.messages, n_msgs);
+        stats.add(&stats.bytes_sent, bytes);
+    }
+    let slowest = lane_clocks.iter().map(|c| c.now()).max().expect("≥1 lane");
+    ctx.clock_mut().observe(slowest);
+    Ok(())
 }
 
 /// The pub-sub/queueing channel. One instance serves one request flow:
@@ -262,54 +381,10 @@ impl FsiChannel for QueueChannel {
                 });
             }
         }
-        // 2. Greedy batch packing: ≤ 10 messages and ≤ 256 KiB per publish
-        //    (or one message per publish with packing disabled — ablation).
-        let max_batch = if self.opts.packing {
-            quota::MAX_BATCH_MESSAGES
-        } else {
-            1
-        };
-        let mut batches: Vec<Vec<Message>> = Vec::new();
-        let mut cur: Vec<Message> = Vec::new();
-        let mut cur_bytes = 0usize;
-        for msg in messages {
-            let too_full = cur.len() == max_batch
-                || (!cur.is_empty() && cur_bytes + msg.len() > quota::MAX_PUBLISH_BYTES);
-            if too_full {
-                batches.push(std::mem::take(&mut cur));
-                cur_bytes = 0;
-            }
-            cur_bytes += msg.len();
-            cur.push(msg);
-        }
-        if !cur.is_empty() {
-            batches.push(cur);
-        }
-        // 3. Publish over the modeled thread pool: lane i handles batches
-        //    i, i+T, i+2T, …; the caller's clock joins the slowest lane.
+        // 2. Greedy batch packing + lane-clocked publishes (shared with
+        //    the hybrid channel's control plane).
         let topic = src as usize % self.env.pubsub().n_topics();
-        let lanes = self.opts.send_threads.max(1);
-        // Lane clocks inherit the worker's flow so publishes bill to the
-        // request.
-        let lane0 = VClock::starting_at(ctx.now()).with_flow(ctx.clock_mut().flow());
-        let mut lane_clocks: Vec<VClock> = vec![lane0; lanes];
-        for (i, batch) in batches.into_iter().enumerate() {
-            let lane = &mut lane_clocks[i % lanes];
-            let bytes: u64 = batch.iter().map(|m| m.len() as u64).sum();
-            let n_msgs = batch.len() as u64;
-            let billed = self
-                .env
-                .pubsub()
-                .publish_batch(topic, lane, batch)
-                .map_err(|e| FaasError::comm("publish", format!("topic-{topic}"), e))?;
-            self.stats.add(&self.stats.sns_billed, billed);
-            self.stats.add(&self.stats.sns_batches, 1);
-            self.stats.add(&self.stats.messages, n_msgs);
-            self.stats.add(&self.stats.bytes_sent, bytes);
-        }
-        let slowest = lane_clocks.iter().map(|c| c.now()).max().expect("≥1 lane");
-        ctx.clock_mut().observe(slowest);
-        Ok(())
+        publish_over_lanes(&self.env, &self.stats, ctx, &self.opts, topic, messages)
     }
 
     fn receive_round(
@@ -320,50 +395,20 @@ impl FsiChannel for QueueChannel {
         tracker: &mut RecvTracker,
     ) -> Result<Vec<(u32, SparseRows)>, FaasError> {
         let want = tag.encode();
-        // Apply chunk announcements that arrived while another tag was
-        // being received (early senders a layer ahead).
-        {
-            let mut inboxes = self.inboxes.lock();
-            if let Some(inbox) = inboxes.get_mut(&(me, want)) {
-                for (source, total) in inbox.unapplied.drain(..) {
-                    tracker.record_chunk(source, total);
-                }
-            }
-        }
-        if !tracker.done() {
-            // Raw physical take: attribute parsing only — every virtual
-            // effect (decode charges, poll billing, clock joins) is
-            // deferred to the tag's completion so it cannot depend on how
-            // the arrivals were batched in real time.
-            let msgs = self.queues[me as usize].take_visible(quota::MAX_BATCH_MESSAGES);
-            if msgs.is_empty() {
-                // Genuine producer drought beyond the real-time grace:
-                // bill one empty long poll so a stuck run still walks
-                // toward its virtual timeout instead of spinning forever.
-                self.queues[me as usize].empty_poll(ctx.clock_mut(), self.opts.long_poll_secs);
-                self.stats.add(&self.stats.sqs_calls, 1);
-                return Ok(Vec::new());
-            }
-            let mut inboxes = self.inboxes.lock();
-            for msg in msgs {
-                let attrs = msg.message.attributes;
-                if attrs.layer == want {
-                    tracker.record_chunk(attrs.source, attrs.total_chunks);
-                } else {
-                    inboxes
-                        .entry((me, attrs.layer))
-                        .or_default()
-                        .unapplied
-                        .push((attrs.source, attrs.total_chunks));
-                }
-                inboxes.entry((me, attrs.layer)).or_default().raw.push((
-                    msg.available_at,
-                    attrs.source,
-                    attrs.total_chunks,
-                    msg.message.body,
-                ));
-            }
-        }
+        // Shared prologue: apply early announcements, raw-take one
+        // physical batch (every virtual effect — decode charges, poll
+        // billing, clock joins — is deferred to the tag's completion so
+        // it cannot depend on how the arrivals were batched in real
+        // time), or bill one empty long poll on a genuine drought.
+        poll_and_stash(
+            &self.queues[me as usize],
+            &self.inboxes,
+            &self.stats,
+            ctx,
+            &self.opts,
+            (me, want),
+            tracker,
+        );
         if !tracker.done() {
             return Ok(Vec::new());
         }

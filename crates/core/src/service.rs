@@ -264,13 +264,15 @@ impl FsdService {
     }
 
     /// Recommends a variant for this model at parallelism `p`, from the
-    /// Section IV-C rules: whether the model fits a single instance, then
-    /// estimated per-pair payload volume (plan rows × typical row bytes)
-    /// against the publish quota. Models that fit one instance skip the
+    /// Section IV-C rules: whether the model fits this service's Serial
+    /// instance (`EngineConfig::serial_memory_mb`, Lambda's maximum by
+    /// default), then estimated per-pair payload volume (plan rows ×
+    /// typical row bytes) against the publish-quota bands
+    /// (Queue → Hybrid → Object). Models that fit one instance skip the
     /// partitioning step entirely.
     pub fn recommend(&self, p: u32, est_bytes_per_row: usize) -> Recommendation {
         let model_bytes = self.dnn.mem_bytes();
-        if p <= 1 || recommend::fits_single_instance(model_bytes) {
+        if p <= 1 || recommend::fits_instance(model_bytes, self.cfg.serial_memory_mb) {
             return Recommendation {
                 variant: Variant::Serial,
                 profile: WorkloadProfile {
@@ -290,8 +292,10 @@ impl FsdService {
             workers: p,
             bytes_per_pair_layer,
         };
+        // Serial eligibility was decided above against *this service's*
+        // instance size; what remains is the volume-band choice.
         Recommendation {
-            variant: recommend::recommend_variant(&profile),
+            variant: recommend::channel_variant(bytes_per_pair_layer),
             profile,
         }
     }
@@ -419,7 +423,8 @@ impl FsdService {
     ///
     /// # Panics
     /// If the service was built without `warm_pool`, or `variant` is not a
-    /// channel variant (`Queue`/`Object`) — both are configuration bugs.
+    /// channel variant (`Queue`/`Object`/`Hybrid`) — both are
+    /// configuration bugs.
     pub fn prewarm_tree(
         &self,
         variant: Variant,
@@ -428,7 +433,7 @@ impl FsdService {
     ) -> Result<(), FsdError> {
         assert!(
             variant.channel_name().is_some(),
-            "prewarm_tree needs a channel variant (Queue/Object), got {variant}"
+            "prewarm_tree needs a channel variant (Queue/Object/Hybrid), got {variant}"
         );
         let pool = self
             .pool
@@ -535,20 +540,39 @@ impl FsdService {
             .is_some_and(|pool| pool.arm_kill(key, rank))
     }
 
+    /// The single §IV-C resolution point: resolves a (possibly
+    /// [`Variant::Auto`]) variant for `workers` ranks and an estimated
+    /// wire-bytes-per-row. Explicit variants pass through unchanged. The
+    /// execution path ([`FsdService::resolve_variant`]), the scheduler's
+    /// admission-cap derivation and its predictor all route through here,
+    /// so caps and execution can never disagree on where a request runs.
+    pub fn resolve(&self, variant: Variant, workers: u32, est_bytes_per_row: usize) -> Variant {
+        match variant {
+            Variant::Auto => self.recommend(workers.max(1), est_bytes_per_row).variant,
+            v => v,
+        }
+    }
+
+    /// The a-priori wire-bytes-per-row estimate for this model (each
+    /// nonzero costs a column id + value on the wire) — what cap
+    /// derivation uses before any request exists. Per-request resolution
+    /// refines it with the request's own first batch.
+    pub fn est_bytes_per_row(&self) -> usize {
+        self.dnn.spec().nnz_per_row.max(1) * 8
+    }
+
     /// Resolves [`Variant::Auto`] into a concrete variant for this request
-    /// using the §IV-C rules; the per-pair volume estimate comes from the
-    /// request's own first batch (wire bytes per row as a proxy for the
-    /// intermediate activations the layers will exchange). Explicit
-    /// variants pass through unchanged. Public as a planning hook: the
-    /// scheduler (and tests) can ask where a request *would* route without
-    /// executing it.
+    /// via [`FsdService::resolve`]; the per-pair volume estimate comes
+    /// from the request's own first batch (wire bytes per row as a proxy
+    /// for the intermediate activations the layers will exchange). Public
+    /// as a planning hook: the scheduler (and tests) can ask where a
+    /// request *would* route without executing it.
     pub fn resolve_variant(&self, req: &BatchedRequest) -> Variant {
         match req.variant {
             Variant::Auto => {
                 let first = &req.batches[0];
                 let est_bytes_per_row = codec::encoded_size(first) / first.n_rows().max(1);
-                self.recommend(req.workers.max(1), est_bytes_per_row)
-                    .variant
+                self.resolve(Variant::Auto, req.workers, est_bytes_per_row)
             }
             v => v,
         }
@@ -852,7 +876,7 @@ mod tests {
     #[test]
     fn requests_get_distinct_flows_and_clean_up() {
         let (service, inputs, expected) = small_service(3);
-        for variant in [Variant::Queue, Variant::Object] {
+        for variant in [Variant::Queue, Variant::Object, Variant::Hybrid] {
             let report = service
                 .submit(&InferenceRequest {
                     variant,
@@ -863,7 +887,7 @@ mod tests {
                 .expect("runs");
             assert_eq!(report.first_output(), &expected);
         }
-        assert_eq!(service.requests_served(), 2);
+        assert_eq!(service.requests_served(), 3);
         // Queue-channel teardown removed the per-request queues and
         // filter policies.
         assert_eq!(service.env().queue_count(), 0);
@@ -877,6 +901,62 @@ mod tests {
                     .object_count(&fsd_comm::bucket_name(i)),
                 0,
                 "bucket {i} still holds intermediate objects"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_spilling_requests_stay_correct_and_clean() {
+        use crate::queue_channel::ChannelOptions;
+        let spec = DnnSpec {
+            neurons: 64,
+            layers: 3,
+            nnz_per_row: 8,
+            bias: -0.25,
+            clip: 32.0,
+            seed: 33,
+        };
+        let dnn = Arc::new(generate_dnn(&spec));
+        let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(12, 33));
+        let expected = dnn.serial_inference(&inputs);
+        // A 1-byte threshold forces every layer payload through the spill
+        // path: control plane on the queues, data plane on the buckets.
+        let service = ServiceBuilder::new(dnn)
+            .deterministic(33)
+            .channel_options(ChannelOptions {
+                spill_threshold: 1,
+                ..ChannelOptions::default()
+            })
+            .build();
+        let report = service
+            .submit(&InferenceRequest {
+                variant: Variant::Hybrid,
+                workers: 3,
+                memory_mb: 1769,
+                inputs,
+            })
+            .expect("hybrid runs");
+        assert_eq!(report.first_output(), &expected);
+        assert!(report.comm.sns_publish_requests > 0, "pointers publish");
+        assert!(report.comm.s3_put_requests > 0, "payloads spill");
+        assert!(report.comm.s3_get_requests > 0, "receivers dereference");
+        assert_eq!(report.comm.s3_list_requests, 0, "hybrid never LISTs");
+        // Predicted vs metered cost agree for the mixed transport too
+        // (§VI-F validation extended to the hybrid regime).
+        let err = report.cost_actual.relative_error(&report.cost_predicted);
+        assert!(err < 0.02, "hybrid cost validation off by {err:.3}");
+        // Flow-namespaced cleanup: queues, subscriptions and spilled
+        // objects are all gone after teardown.
+        assert_eq!(service.env().queue_count(), 0);
+        assert_eq!(service.env().pubsub().subscription_count(0), 0);
+        for i in 0..service.env().config().n_buckets {
+            assert_eq!(
+                service
+                    .env()
+                    .object_store()
+                    .object_count(&fsd_comm::bucket_name(i)),
+                0,
+                "bucket {i} holds residual spilled objects"
             );
         }
     }

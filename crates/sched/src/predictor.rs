@@ -321,8 +321,10 @@ mod tests {
             Some(shape(Variant::Queue, 1)),
             None,
             Some(shape(Variant::Object, 2)),
+            Some(shape(Variant::Hybrid, 2)),
             Some(shape(Variant::Queue, 1)),
             None,
+            Some(shape(Variant::Hybrid, 2)),
             Some(shape(Variant::Queue, 2)),
         ];
         let mut p1 = Predictor::new(cfg);

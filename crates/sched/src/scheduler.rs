@@ -81,10 +81,12 @@ const EWMA_ALPHA: f64 = 0.2;
 /// a few publish quotas each (the same "a few quotas per pair" saturation
 /// multiple the recommender uses). Models the recommender routes to
 /// Serial use no channel; their concurrency is compute-bound and the
-/// global cap governs.
+/// global cap governs. Routing runs through the service's own resolver
+/// (`FsdService::recommend` with its a-priori
+/// `FsdService::est_bytes_per_row`), so admission caps and execution can
+/// never disagree on a model's variant.
 pub fn derive_model_cap(service: &FsdService, typical_workers: u32) -> usize {
-    let est_bytes_per_row = service.dnn().spec().nnz_per_row.max(1) * 8;
-    let rec = service.recommend(typical_workers.max(1), est_bytes_per_row);
+    let rec = service.recommend(typical_workers.max(1), service.est_bytes_per_row());
     match rec.variant {
         Variant::Serial => MAX_DERIVED_CAP,
         _ => {
@@ -390,15 +392,15 @@ impl SchedulerCore {
     /// The warm-tree shape an accepted request will run as, for the
     /// predictor: `None` for requests that run no tree (Serial — they
     /// advance the predictor's clock without claiming warm capacity).
-    /// `Auto` resolves through the service's §IV-C rules here, which may
-    /// stage partitions — only ever paid for accepted requests.
+    /// `Auto` resolves through `FsdService::resolve` — the same resolver
+    /// the execution path uses, so predicted shapes always match the trees
+    /// requests actually run on. Resolution may stage partitions — only
+    /// ever paid for accepted requests.
     fn resolve_shape(service: &FsdService, shape: ArrivalShape) -> Option<TreeKey> {
-        let resolved = match shape.variant {
-            Variant::Auto => match shape.est_bytes_per_row {
-                Some(est) => service.recommend(shape.workers, est).variant,
-                None => return None,
-            },
-            v => v,
+        let resolved = match (shape.variant, shape.est_bytes_per_row) {
+            (Variant::Auto, None) => return None,
+            (Variant::Auto, Some(est)) => service.resolve(Variant::Auto, shape.workers, est),
+            (v, _) => v,
         };
         resolved.channel_name().map(|_| TreeKey {
             variant: resolved,
@@ -1138,6 +1140,108 @@ mod tests {
         let sched = Scheduler::wrap(svc, SchedulerConfig::default());
         assert_eq!(sched.model_cap(DEFAULT_MODEL), Some(MAX_DERIVED_CAP));
         assert_eq!(sched.model_names(), vec![DEFAULT_MODEL]);
+    }
+
+    #[test]
+    fn auto_cap_derivation_and_execution_agree_near_the_threshold() {
+        // A model deliberately too large for its configured Serial
+        // instance, so Auto routes to a channel variant — right where the
+        // scheduler's old private byte-size heuristic could drift from
+        // the service's resolver. Cap derivation, the planning hook and
+        // the executed report must all name the same variant, *including
+        // at the Queue → Hybrid band edge* where a divergent estimate
+        // would first show.
+        let spec = DnnSpec {
+            neurons: 768,
+            layers: 6,
+            nnz_per_row: 24,
+            bias: -0.25,
+            clip: 32.0,
+            seed: 41,
+        };
+        let dnn = Arc::new(fsd_model::generate_dnn(&spec));
+        let svc = Arc::new(
+            ServiceBuilder::new(dnn.clone())
+                .deterministic(41)
+                .serial_memory_mb(1)
+                .build(),
+        );
+        assert_ne!(
+            svc.recommend(3, svc.est_bytes_per_row()).variant,
+            Variant::Serial,
+            "model must not fit Serial"
+        );
+        // Binary-search the per-row estimate where the resolver leaves
+        // the Queue band: one byte under the flip stays Queue, the flip
+        // itself is Hybrid — the band edge the old private heuristic
+        // could silently cross differently than execution.
+        let (mut lo, mut hi) = (1usize, 1usize << 30);
+        assert_eq!(svc.resolve(Variant::Auto, 3, lo), Variant::Queue);
+        assert_ne!(svc.resolve(Variant::Auto, 3, hi), Variant::Queue);
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if svc.resolve(Variant::Auto, 3, mid) == Variant::Queue {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        assert_eq!(svc.resolve(Variant::Auto, 3, lo), Variant::Queue);
+        assert_eq!(
+            svc.resolve(Variant::Auto, 3, hi),
+            Variant::Hybrid,
+            "the first band past Queue must be Hybrid"
+        );
+
+        // One Auto request on each side of the edge: per-row wire sizes
+        // engineered to straddle the flip estimate (rows of `k` nonzeros
+        // each), so the per-request refinement resolves Queue just under
+        // it and Hybrid just over it. Both executions must agree with
+        // the plan and with what the cap was derived on.
+        let row_nnz_for = |est: usize| (est.saturating_sub(16) / 8).max(1);
+        let inputs_with = |k: usize| {
+            let cols: Vec<u32> = (0..k as u32).collect();
+            fsd_sparse::SparseRows::from_rows(
+                k,
+                (0..8u32).map(|i| {
+                    let vals: Vec<f32> = (0..k)
+                        .map(|j| 0.5 + ((i as usize + j) % 7) as f32 * 0.1)
+                        .collect();
+                    (i, cols.clone(), vals)
+                }),
+            )
+        };
+        let cap = derive_model_cap(&svc, 3);
+        assert!((1..=MAX_DERIVED_CAP).contains(&cap));
+        for (k, expected_side) in [
+            (row_nnz_for(hi / 2), Variant::Queue),
+            (row_nnz_for(2 * hi), Variant::Hybrid),
+        ] {
+            let inputs = inputs_with(k);
+            let est = fsd_sparse::codec::encoded_size(&inputs) / inputs.n_rows().max(1);
+            let req = BatchedRequest {
+                variant: Variant::Auto,
+                workers: 3,
+                memory_mb: 1769,
+                batches: vec![inputs],
+            };
+            let planned = svc.resolve_variant(&req);
+            assert_eq!(planned, expected_side, "est {est} landed off-band");
+            assert_eq!(
+                planned,
+                svc.resolve(Variant::Auto, 3, est),
+                "plan diverged from the shared resolver"
+            );
+            let report = svc.submit_batched(&req).expect("auto runs");
+            assert_eq!(
+                report.variant, planned,
+                "execution diverged from the resolver the cap was derived on"
+            );
+            assert_eq!(
+                report.first_output(),
+                &dnn.serial_inference(&req.batches[0])
+            );
+        }
     }
 
     #[test]

@@ -109,7 +109,8 @@ pub fn bursty(bursts: usize, burst_size: usize, gap_us: u64, seed: u64) -> Vec<A
 }
 
 /// The adversarial case: `n` large-`P` requests all arriving at once
-/// (virtual time zero), batch-heavy — the flood that must trip the
+/// (virtual time zero), batch-heavy, cycling through every channel
+/// transport (queue, object, hybrid) — the flood that must trip the
 /// bounded queues into explicit backpressure instead of buffering without
 /// bound or starving interactive traffic.
 pub fn flood(n: usize, workers: u32, seed: u64) -> Vec<Arrival> {
@@ -121,10 +122,10 @@ pub fn flood(n: usize, workers: u32, seed: u64) -> Vec<Arrival> {
             } else {
                 Priority::Batch
             };
-            let variant = if i % 2 == 0 {
-                Variant::Queue
-            } else {
-                Variant::Object
+            let variant = match i % 3 {
+                0 => Variant::Queue,
+                1 => Variant::Object,
+                _ => Variant::Hybrid,
             };
             arrival(&mut rng, 0, priority, variant, workers, i)
         })
@@ -153,5 +154,11 @@ mod tests {
         let f = flood(10, 4, 3);
         assert!(f.iter().all(|a| a.at == VirtualTime::ZERO));
         assert!(f.iter().all(|a| a.workers == 4));
+        for v in [Variant::Queue, Variant::Object, Variant::Hybrid] {
+            assert!(
+                f.iter().any(|a| a.variant == v),
+                "flood must cycle through {v}"
+            );
+        }
     }
 }

@@ -1,13 +1,14 @@
-//! Queue vs object-storage channels on one workload.
+//! Queue vs object vs hybrid channels on one workload.
 //!
 //! ```text
 //! cargo run --release --example channel_comparison
 //! ```
 //!
-//! Runs the same model/batch through FSD-Inf-Queue and FSD-Inf-Object at
-//! increasing parallelism, printing the latency/cost trade-off the paper's
-//! design recommendations are built on — and demonstrating that both
-//! channels (and the serial fallback) return identical results.
+//! Runs the same model/batch through FSD-Inf-Queue, FSD-Inf-Object and
+//! FSD-Inf-Hybrid at increasing parallelism, printing the latency/cost
+//! trade-off the paper's design recommendations are built on — and
+//! demonstrating that all channels (and the serial fallback) return
+//! identical results.
 
 use fsd_inference::core::{InferenceRequest, ServiceBuilder, Variant};
 use fsd_inference::model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
@@ -21,34 +22,33 @@ fn main() {
     let service = ServiceBuilder::new(dnn).deterministic(3).build();
 
     println!(
-        "{:>3}  {:>14}  {:>12}  {:>14}  {:>12}",
-        "P", "queue ms", "queue $", "object ms", "object $"
+        "{:>3}  {:>10}  {:>10}  {:>11}  {:>11}  {:>11}  {:>11}",
+        "P", "queue ms", "queue $", "object ms", "object $", "hybrid ms", "hybrid $"
     );
     for p in [2u32, 4, 8] {
-        let queue = service
-            .submit(&InferenceRequest {
-                variant: Variant::Queue,
-                workers: p,
-                memory_mb: 1769,
-                inputs: inputs.clone(),
-            })
-            .expect("queue runs");
-        let object = service
-            .submit(&InferenceRequest {
-                variant: Variant::Object,
-                workers: p,
-                memory_mb: 1769,
-                inputs: inputs.clone(),
-            })
-            .expect("object runs");
-        assert_eq!(queue.first_output(), &expected);
-        assert_eq!(object.first_output(), &expected);
+        let run = |variant: Variant| {
+            let report = service
+                .submit(&InferenceRequest {
+                    variant,
+                    workers: p,
+                    memory_mb: 1769,
+                    inputs: inputs.clone(),
+                })
+                .unwrap_or_else(|e| panic!("{variant} runs: {e}"));
+            assert_eq!(report.first_output(), &expected);
+            report
+        };
+        let queue = run(Variant::Queue);
+        let object = run(Variant::Object);
+        let hybrid = run(Variant::Hybrid);
         println!(
-            "{p:>3}  {:>14.1}  {:>12.6}  {:>14.1}  {:>12.6}",
+            "{p:>3}  {:>10.1}  {:>10.6}  {:>11.1}  {:>11.6}  {:>11.1}  {:>11.6}",
             queue.latency.as_millis_f64(),
             queue.cost_actual.total(),
             object.latency.as_millis_f64(),
-            object.cost_actual.total()
+            object.cost_actual.total(),
+            hybrid.latency.as_millis_f64(),
+            hybrid.cost_actual.total()
         );
     }
 
@@ -62,10 +62,11 @@ fn main() {
         .expect("serial runs");
     assert_eq!(serial.first_output(), &expected);
     println!(
-        "\nserial reference: {:.1} ms, ${:.6} — all three variants agree bit-for-bit ✓",
+        "\nserial reference: {:.1} ms, ${:.6} — all four variants agree bit-for-bit ✓",
         serial.latency.as_millis_f64(),
         serial.cost_actual.total()
     );
-    println!("\npattern to expect: object-storage cost grows ~linearly with P,");
-    println!("queue cost grows much more slowly — the paper's §IV-C recommendation.");
+    println!("\npattern to expect: object-storage cost grows ~linearly with P, queue");
+    println!("cost grows much more slowly, and hybrid tracks queue until payloads");
+    println!("cross the spill threshold — the paper's §IV-C recommendation.");
 }

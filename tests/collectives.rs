@@ -3,11 +3,24 @@
 
 use fsd_inference::comm::{CloudConfig, CloudEnv, VirtualTime};
 use fsd_inference::core::{
-    barrier, reduce, ChannelOptions, FsiChannel, ObjectChannel, QueueChannel,
+    barrier, reduce, ChannelOptions, ChannelRegistry, FsiChannel, ObjectChannel, QueueChannel,
 };
 use fsd_inference::faas::{ComputeModel, FaasPlatform, FunctionConfig};
 use fsd_inference::sparse::SparseRows;
 use std::sync::Arc;
+
+mod common;
+
+/// Builds the env-selected channel (flow 0) through the provider registry
+/// — the same construction path the service uses per request.
+fn selected_channel(env: &Arc<CloudEnv>, p: u32) -> Arc<dyn FsiChannel> {
+    let variant = common::test_variant();
+    let name = variant.channel_name().expect("matrix selects channels");
+    ChannelRegistry::with_builtins()
+        .get(name)
+        .unwrap_or_else(|| panic!("no provider for {variant}"))
+        .provision(env, p, ChannelOptions::default(), 0)
+}
 
 fn rows_for(rank: u32) -> SparseRows {
     SparseRows::from_rows(
@@ -83,6 +96,48 @@ fn reduce_collects_every_workers_rows_object() {
         let ch = ObjectChannel::setup(env.clone(), p, ChannelOptions::default());
         let (rows, _) = run_collective(env, ch, p);
         assert_eq!(rows.n_rows(), p as usize, "object P={p}");
+    }
+}
+
+#[test]
+fn reduce_collects_every_workers_rows_env_variant() {
+    // The CI channel matrix points this at each transport in turn.
+    for p in [2u32, 4] {
+        let env = CloudEnv::new(CloudConfig::deterministic(500 + p as u64));
+        let ch = selected_channel(&env, p);
+        let (rows, _) = run_collective(env, ch, p);
+        let expected_ids: Vec<u32> = (0..p).map(|m| m * 5).collect();
+        assert_eq!(
+            rows.ids(),
+            &expected_ids[..],
+            "{} P={p}",
+            common::test_variant()
+        );
+    }
+}
+
+#[test]
+fn consecutive_barrier_rounds_env_variant() {
+    let p = 3u32;
+    let env = CloudEnv::new(CloudConfig::deterministic(600));
+    let ch = selected_channel(&env, p);
+    let platform = FaasPlatform::new(env, ComputeModel::default());
+    let mut handles = Vec::new();
+    for m in 0..p {
+        let ch = ch.clone();
+        handles.push(platform.invoke(
+            FunctionConfig::worker(format!("w{m}"), 1024),
+            VirtualTime::ZERO,
+            move |ctx| {
+                for round in 0..4 {
+                    barrier(ch.as_ref(), ctx, m, p, round)?;
+                }
+                Ok(())
+            },
+        ));
+    }
+    for h in handles {
+        h.join().expect("all rounds complete");
     }
 }
 

@@ -5,7 +5,26 @@
 use fsd_inference::comm::{
     bucket_name, quota, CloudConfig, CloudEnv, Message, MessageAttributes, VClock, VirtualTime,
 };
+use fsd_inference::core::{ChannelOptions, ChannelRegistry, RecvTracker, Tag};
+use fsd_inference::faas::{ComputeModel, FaasError, FaasPlatform, FunctionConfig, WorkerCtx};
+use fsd_inference::sparse::SparseRows;
 use proptest::prelude::*;
+use std::sync::Arc;
+
+mod common;
+
+/// Runs `body` inside one simulated worker invocation.
+fn with_ctx<T: Send + 'static>(
+    env: Arc<CloudEnv>,
+    body: impl FnOnce(&mut WorkerCtx) -> Result<T, FaasError> + Send + 'static,
+) -> T {
+    let platform = FaasPlatform::new(env, ComputeModel::default());
+    platform
+        .invoke(FunctionConfig::worker("t", 2048), VirtualTime::ZERO, body)
+        .join()
+        .expect("test body ok")
+        .0
+}
 
 fn msg(source: u32, target: u32, body: Vec<u8>) -> Message {
     Message {
@@ -110,6 +129,51 @@ proptest! {
         prop_assert!(res.is_err(), "oversized batch accepted");
         // Rejected calls must not bill or deliver anything.
         prop_assert_eq!(env.snapshot(), before);
+    }
+
+    #[test]
+    fn selected_channel_conserves_arbitrary_payloads(
+        seed in 1u64..1000,
+        rows in proptest::collection::vec((0u32..64, 1usize..40), 1..6),
+    ) {
+        // The CI channel matrix points this at queue, object and hybrid in
+        // turn: arbitrary per-row payloads must arrive bit-identically,
+        // whatever transport (and, for hybrid, whatever spill decisions)
+        // carried them.
+        let env = CloudEnv::new(CloudConfig::deterministic(seed));
+        let variant = common::test_variant();
+        let channel = ChannelRegistry::with_builtins()
+            .get(variant.channel_name().expect("channel variant"))
+            .expect("builtin provider")
+            .provision(&env, 2, ChannelOptions { spill_threshold: 512, ..ChannelOptions::default() }, 0);
+        let mut sent = SparseRows::new(64);
+        for (pos, &(id_off, nnz)) in rows.iter().enumerate() {
+            let id = pos as u32 * 64 + id_off; // strictly increasing ids
+            let cols: Vec<u32> = (0..nnz as u32).collect();
+            let vals: Vec<f32> = (0..nnz).map(|j| (j as f32) * 0.31 + seed as f32).collect();
+            sent.push_row(id, &cols, &vals);
+        }
+        let sent2 = sent.clone();
+        let ch_send = channel.clone();
+        with_ctx(env.clone(), move |ctx| {
+            ch_send.send_layer(ctx, Tag::Layer(0), 0, &[(1, sent2)])
+        });
+        let ch_recv = channel.clone();
+        let got = with_ctx(env.clone(), move |ctx| {
+            let mut tracker = RecvTracker::expecting([0u32]);
+            ch_recv.receive_all(ctx, Tag::Layer(0), 1, &mut tracker)
+        });
+        let mut merged = SparseRows::new(64);
+        for (_, block) in got {
+            merged.merge(&block);
+        }
+        prop_assert_eq!(merged, sent);
+        // Teardown leaves the region exactly as found, on every transport.
+        channel.teardown();
+        prop_assert_eq!(env.queue_count(), 0);
+        for i in 0..env.config().n_buckets {
+            prop_assert_eq!(env.object_store().object_count(&bucket_name(i)), 0);
+        }
     }
 
     #[test]

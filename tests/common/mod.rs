@@ -1,0 +1,23 @@
+//! Shared helpers for the integration suites.
+
+use fsd_inference::core::Variant;
+
+/// The channel variant under test, selected by the `FSD_TEST_VARIANT`
+/// environment variable (`queue` | `object` | `hybrid`; default `queue`).
+/// The CI channel-matrix job sets it per matrix leg, so the same suites
+/// exercise every transport.
+///
+/// # Panics
+/// On an unrecognized value — a misconfigured matrix leg must fail loudly,
+/// not silently test the default transport.
+pub fn test_variant() -> Variant {
+    match std::env::var("FSD_TEST_VARIANT") {
+        Err(_) => Variant::Queue,
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "" | "queue" => Variant::Queue,
+            "object" => Variant::Object,
+            "hybrid" => Variant::Hybrid,
+            other => panic!("FSD_TEST_VARIANT={other:?}: expected queue | object | hybrid"),
+        },
+    }
+}

@@ -7,6 +7,8 @@ use fsd_inference::model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
 use fsd_inference::partition::PartitionScheme;
 use std::sync::{Arc, Mutex, MutexGuard};
 
+mod common;
+
 /// Engine runs spawn many threads and rely on short real-time grace
 /// periods inside the simulated services; running them concurrently with
 /// other engine tests starves producers and inflates (virtual) waiting.
@@ -109,6 +111,80 @@ fn object_variant_matches_ground_truth_at_various_p() {
         assert!(report.comm.s3_list_requests > 0, "object run must LIST");
         // Queue services untouched by the object channel.
         assert_eq!(report.comm.sns_publish_requests, 0);
+    }
+}
+
+#[test]
+fn hybrid_variant_matches_ground_truth_at_various_p() {
+    let _guard = engine_guard();
+    let spec = small_spec(14);
+    let (service, inputs) = service_for(&spec, 14);
+    let expected = service.dnn().serial_inference(&inputs);
+    for p in [2u32, 3, 5] {
+        let report = service
+            .submit(&InferenceRequest {
+                variant: Variant::Hybrid,
+                workers: p,
+                memory_mb: 1536,
+                inputs: inputs.clone(),
+            })
+            .unwrap_or_else(|e| panic!("hybrid P={p}: {e}"));
+        assert_eq!(
+            report.first_output(),
+            &expected,
+            "hybrid P={p} output mismatch"
+        );
+        assert_eq!(report.variant, Variant::Hybrid);
+        assert!(
+            report.comm.sns_publish_requests > 0,
+            "hybrid control plane must publish"
+        );
+        assert_eq!(
+            report.comm.s3_list_requests, 0,
+            "hybrid receivers poll queues, never LIST"
+        );
+    }
+}
+
+/// The CI channel matrix runs this suite once per transport, selecting the
+/// variant with `FSD_TEST_VARIANT` — ground truth, per-worker reporting
+/// and flow-scoped cleanup must hold identically on every channel.
+#[test]
+fn env_selected_variant_matches_ground_truth() {
+    let _guard = engine_guard();
+    let variant = common::test_variant();
+    let spec = small_spec(15);
+    let (service, inputs) = service_for(&spec, 15);
+    let expected = service.dnn().serial_inference(&inputs);
+    for p in [2u32, 4] {
+        let report = service
+            .submit(&InferenceRequest {
+                variant,
+                workers: p,
+                memory_mb: 1536,
+                inputs: inputs.clone(),
+            })
+            .unwrap_or_else(|e| panic!("{variant} P={p}: {e}"));
+        assert_eq!(
+            report.first_output(),
+            &expected,
+            "{variant} P={p} output mismatch"
+        );
+        assert_eq!(report.per_worker.len(), p as usize);
+        assert_eq!(report.variant, variant);
+    }
+    // Whatever the transport held on the region is gone after teardown.
+    assert_eq!(service.env().queue_count(), 0, "{variant} leaked queues");
+    assert_eq!(service.env().pubsub().subscription_count(0), 0);
+    for i in 0..service.env().config().n_buckets {
+        assert_eq!(
+            service
+                .env()
+                .object_store()
+                .object_count(&fsd_inference::comm::bucket_name(i)),
+            0,
+            "{variant} leaked objects in bucket {i}"
+        );
     }
 }
 

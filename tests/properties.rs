@@ -4,6 +4,9 @@
 //! arbitrary models/batches/parallelism.
 
 use fsd_inference::core::wire;
+use fsd_inference::core::{
+    ChannelOptions, FsiChannel, HybridChannel, QueueChannel, RecvTracker, Tag,
+};
 use fsd_inference::model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
 use fsd_inference::partition::{partition_model, CommPlan, Hypergraph, PartitionScheme};
 use fsd_inference::sparse::{codec, compress, CsrMatrix, SparseRows};
@@ -176,7 +179,7 @@ proptest! {
         neurons in 48usize..96,
         parts in 2u32..5,
         seed in 0u64..1000,
-        object in any::<bool>(),
+        variant_idx in 0usize..3,
     ) {
         use fsd_inference::core::{InferenceRequest, ServiceBuilder, Variant};
         use std::sync::Arc;
@@ -185,11 +188,97 @@ proptest! {
         let inputs = generate_inputs(neurons, &InputSpec::scaled(12, seed));
         let expected = dnn.serial_inference(&inputs);
         let service = ServiceBuilder::new(dnn).deterministic(seed).build();
-        let variant = if object { Variant::Object } else { Variant::Queue };
+        let variant = [Variant::Queue, Variant::Object, Variant::Hybrid][variant_idx];
         let report = service
             .submit(&InferenceRequest { variant, workers: parts, memory_mb: 1536, inputs })
             .expect("run succeeds");
         prop_assert_eq!(report.first_output(), &expected);
+    }
+}
+
+/// Runs `body` inside one simulated worker invocation (channel-level
+/// property tests below).
+fn with_worker_ctx<T: Send + 'static>(
+    env: std::sync::Arc<fsd_inference::comm::CloudEnv>,
+    body: impl FnOnce(&mut fsd_inference::faas::WorkerCtx) -> Result<T, fsd_inference::faas::FaasError>
+        + Send
+        + 'static,
+) -> T {
+    use fsd_inference::comm::VirtualTime;
+    use fsd_inference::faas::{ComputeModel, FaasPlatform, FunctionConfig};
+    let platform = FaasPlatform::new(env, ComputeModel::default());
+    platform
+        .invoke(FunctionConfig::worker("t", 2048), VirtualTime::ZERO, body)
+        .join()
+        .expect("test body ok")
+        .0
+}
+
+// Hybrid spill boundaries: a payload exactly at the threshold, one byte
+// under it, and far above it must all deliver rows bit-identical to the
+// pure-queue path — the spill decision may move bytes between planes but
+// never change what arrives — and a spilled flow's teardown must leave
+// zero residual objects, queues or subscriptions.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn hybrid_spill_boundaries_match_pure_queue(
+        block in sparse_rows_strategy(24, 16),
+        seed in 1u64..500,
+    ) {
+        use fsd_inference::comm::{bucket_name, CloudConfig, CloudEnv};
+        prop_assume!(!block.is_empty());
+        let wire = codec::encoded_size(&block);
+        // spill iff serialized size > threshold: at and one-under stay
+        // inline, far-above (and zero) thresholds spill.
+        for (threshold, spills) in [(wire, false), (wire + 1, false), (wire / 8, true), (0, true)] {
+            let env = CloudEnv::new(CloudConfig::deterministic(seed));
+            let opts = ChannelOptions { spill_threshold: threshold, ..ChannelOptions::default() };
+            let queue = QueueChannel::setup_scoped(env.clone(), 2, opts, 1);
+            let hybrid = HybridChannel::setup_scoped(env.clone(), 2, opts, 2);
+            let (q2, h2) = (queue.clone(), hybrid.clone());
+            let (block_q, block_h) = (block.clone(), block.clone());
+            with_worker_ctx(env.clone(), move |ctx| {
+                q2.send_layer(ctx, Tag::Layer(0), 0, &[(1, block_q)])?;
+                h2.send_layer(ctx, Tag::Layer(0), 0, &[(1, block_h)])
+            });
+            prop_assert_eq!(
+                hybrid.stats().snapshot().s3_puts > 0,
+                spills,
+                "threshold {} vs wire {}: wrong spill decision",
+                threshold,
+                wire
+            );
+            let (q3, h3) = (queue.clone(), hybrid.clone());
+            let (got_q, got_h) = with_worker_ctx(env.clone(), move |ctx| {
+                let mut tq = RecvTracker::expecting([0u32]);
+                let gq = q3.receive_all(ctx, Tag::Layer(0), 1, &mut tq)?;
+                let mut th = RecvTracker::expecting([0u32]);
+                let gh = h3.receive_all(ctx, Tag::Layer(0), 1, &mut th)?;
+                Ok((gq, gh))
+            });
+            let merge = |blocks: Vec<(u32, SparseRows)>| {
+                let mut m = SparseRows::new(block.width());
+                for (_, b) in blocks {
+                    m.merge(&b);
+                }
+                m
+            };
+            let (merged_q, merged_h) = (merge(got_q), merge(got_h));
+            prop_assert_eq!(&merged_h, &merged_q, "hybrid diverged from queue");
+            prop_assert_eq!(&merged_h, &block, "delivery lost rows");
+            // Flow-namespaced cleanup holds for spilled flows too.
+            queue.teardown();
+            hybrid.teardown();
+            prop_assert_eq!(env.queue_count(), 0);
+            for t in 0..env.pubsub().n_topics() {
+                prop_assert_eq!(env.pubsub().subscription_count(t), 0);
+            }
+            for i in 0..env.config().n_buckets {
+                prop_assert_eq!(env.object_store().object_count(&bucket_name(i)), 0);
+            }
+        }
     }
 }
 
