@@ -1,0 +1,53 @@
+//! `fsd_lint`: walk the workspace and enforce FSD-Inference project
+//! invariants. Exits 0 when clean, 1 with `path:line: [lint] message`
+//! diagnostics otherwise, 2 on I/O errors.
+//!
+//! Usage: `cargo run -p fsd-analysis --bin fsd_lint [workspace-root]`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root() -> PathBuf {
+    // Start from the crate manifest dir (works under `cargo run`) or the
+    // current dir, and walk up to the first Cargo.toml with a [workspace].
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(find_workspace_root);
+    match fsd_analysis::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            eprintln!("fsd_lint: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("fsd_lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("fsd_lint: error walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,5 @@
+// BAD: opens a billing window it never closes.
+pub fn serve(ctx: &mut WorkerCtx, item: &WorkItem) -> Output {
+    ctx.begin_request(item.flow, item.dispatch_at);
+    run_batches(ctx, item)
+}

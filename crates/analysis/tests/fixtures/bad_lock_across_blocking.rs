@@ -1,0 +1,14 @@
+// BAD: holds the pool lock while sleeping and while draining a channel.
+pub fn drain(&self) {
+    let guard = self.inner.lock();
+    std::thread::sleep(Duration::from_millis(10));
+    guard.flush();
+}
+
+pub fn pump(&self, rx: &Receiver<u32>) -> u32 {
+    let mut total = self.total.lock();
+    while let Ok(v) = rx.recv() {
+        *total += v;
+    }
+    *total
+}

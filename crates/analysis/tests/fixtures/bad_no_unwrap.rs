@@ -1,0 +1,19 @@
+// BAD: four ways to crash a library crate.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.get(1).expect(&format!("no second in {xs:?}"))
+}
+
+pub fn third(kind: u8) -> u32 {
+    match kind {
+        0 => 0,
+        _ => unreachable!(),
+    }
+}
+
+pub fn fourth() -> u32 {
+    panic!("not yet");
+}

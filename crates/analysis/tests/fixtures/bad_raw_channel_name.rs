@@ -1,0 +1,8 @@
+// BAD: channel names assembled inline instead of via *_name helpers.
+pub fn publish(topic: usize) -> String {
+    format!("topic-{topic}")
+}
+
+pub fn stash(flow: u64, rank: u32) -> String {
+    format!("fsd-f{flow}-q{rank}")
+}

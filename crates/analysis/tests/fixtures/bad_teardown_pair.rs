@@ -1,0 +1,8 @@
+// BAD: provisions resources with no teardown on the public surface.
+pub fn create_session(&self, name: &str) -> Session {
+    Session::new(name)
+}
+
+pub fn provision_lanes(&self, n: usize) -> Lanes {
+    Lanes::new(n)
+}

@@ -1,0 +1,15 @@
+// BAD: one match hides variants behind `_`, another behind a binding.
+pub fn route(v: Variant) -> u32 {
+    match v {
+        Variant::Serial => 0,
+        Variant::Queue => 1,
+        _ => 2,
+    }
+}
+
+pub fn passthrough(v: Variant) -> Variant {
+    match v {
+        Variant::Auto => Variant::Serial,
+        other => other,
+    }
+}

@@ -1,0 +1,9 @@
+// GOOD: begin/finish balance within the function body.
+pub fn serve(ctx: &mut WorkerCtx, item: &WorkItem) -> Output {
+    if item.warm {
+        ctx.begin_request(item.flow, item.dispatch_at);
+    }
+    let out = run_batches(ctx, item);
+    let report = ctx.finish_request();
+    finish(out, report)
+}

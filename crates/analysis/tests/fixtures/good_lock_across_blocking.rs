@@ -1,0 +1,19 @@
+// GOOD: drop the guard before blocking; condvar waits consume the guard
+// (the lock is released atomically while parked).
+pub fn drain(&self) {
+    let guard = self.inner.lock();
+    let batch = guard.take_batch();
+    drop(guard);
+    std::thread::sleep(Duration::from_millis(10));
+    self.flush(batch);
+}
+
+pub fn park(&self) {
+    let mut stopped = self.lock.lock();
+    while !*stopped {
+        let result = self.cvar.wait_timeout(&mut stopped, self.interval);
+        if result.timed_out() {
+            self.reap();
+        }
+    }
+}

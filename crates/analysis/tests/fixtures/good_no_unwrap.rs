@@ -1,0 +1,20 @@
+// GOOD: structured errors, documented expects, and test code is exempt.
+pub fn first(xs: &[u32]) -> Result<u32, Error> {
+    xs.first().copied().ok_or(Error::Empty)
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    *xs.first().expect("callers verified non-empty above")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = vec![1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+        if xs.len() > 1 {
+            panic!("impossible");
+        }
+    }
+}

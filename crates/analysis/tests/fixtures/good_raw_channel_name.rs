@@ -1,0 +1,15 @@
+// GOOD: the display form lives in *_name helpers; a const is the other
+// sanctioned single-definition-point pattern.
+pub const ARTIFACT_BUCKET: &str = "bucket-artifacts";
+
+pub fn topic_name(topic: usize) -> String {
+    format!("topic-{topic}")
+}
+
+pub fn queue_name(flow: u64, rank: u32) -> String {
+    format!("fsd-f{flow}-q{rank}")
+}
+
+pub fn publish(topic: usize) -> String {
+    topic_name(topic)
+}

@@ -1,0 +1,16 @@
+// GOOD: every create/provision has a teardown twin in the same module.
+pub fn create_session(&self, name: &str) -> Session {
+    Session::new(name)
+}
+
+pub fn remove_session(&self, name: &str) {
+    self.sessions.lock().remove(name);
+}
+
+pub fn provision_lanes(&self, n: usize) -> Lanes {
+    Lanes::new(n)
+}
+
+pub fn teardown_lanes(&self, lanes: Lanes) {
+    lanes.close();
+}

@@ -1,0 +1,26 @@
+// GOOD: every variant named; bindings constrained with `@` patterns.
+pub fn route(v: Variant) -> u32 {
+    match v {
+        Variant::Serial => 0,
+        Variant::Queue => 1,
+        Variant::Object => 2,
+        Variant::Hybrid => 3,
+        Variant::Auto => 4,
+    }
+}
+
+pub fn passthrough(v: Variant) -> Variant {
+    match v {
+        Variant::Auto => Variant::Serial,
+        o @ (Variant::Serial | Variant::Queue | Variant::Object | Variant::Hybrid) => o,
+    }
+}
+
+pub fn not_a_variant_match(j: usize) -> Variant {
+    // Variant only on the arm RHS: this is a match over an integer.
+    match j % 3 {
+        0 => Variant::Queue,
+        1 => Variant::Object,
+        _ => Variant::Serial,
+    }
+}

@@ -10,6 +10,7 @@
 //! All baselines execute the *real* inference kernel (their outputs are
 //! checked against ground truth) and model their platform's latency and
 //! billing.
+#![forbid(unsafe_code)]
 
 mod hspff;
 mod sagemaker;

@@ -6,6 +6,7 @@
 //! grid (N up to 65536, L = 120, 10 000-sample batches — slow and
 //! memory-hungry) or at the reduced default scale that preserves the
 //! shapes (who wins, crossovers).
+#![forbid(unsafe_code)]
 
 use fsd_core::{
     EngineConfig, FsdService, InferenceReport, InferenceRequest, ServiceBuilder, Variant,
@@ -160,6 +161,8 @@ pub fn run_checked(
             memory_mb,
             inputs: workload.inputs.clone(),
         })
+        // fsd_lint::allow(no-unwrap): the bench harness aborts on any
+        // submit failure by design — a broken run must not produce numbers.
         .unwrap_or_else(|e| panic!("{variant} P={workers}: {e}"));
     assert_eq!(
         report.first_output(),

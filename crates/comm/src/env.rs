@@ -156,6 +156,60 @@ impl CloudEnv {
         self.queues.lock().len()
     }
 
+    /// Leak audit: everything per-request still alive in the region, as
+    /// human-readable descriptions. Empty means clean.
+    ///
+    /// Covered: live queues, filter-policy subscriptions on every topic,
+    /// objects left in the data buckets (`bucket-{i}`), and per-flow
+    /// billing buckets still tracked by the meter. Buckets outside the
+    /// `bucket-{i}` set (e.g. the artifact bucket holding staged model
+    /// weights) are deliberately long-lived and not audited.
+    ///
+    /// The audit requires quiescence: it must not run while requests are
+    /// in flight, or their legitimately-live resources read as leaks. The
+    /// serving path therefore never calls it; `tests/residue.rs` does,
+    /// after teardown.
+    pub fn residue_report(&self) -> Vec<String> {
+        let mut residue = Vec::new();
+        let queues = self.queue_count();
+        if queues > 0 {
+            residue.push(format!("{queues} live queue(s)"));
+        }
+        for t in 0..self.pubsub.n_topics() {
+            let subs = self.pubsub.subscription_count(t);
+            if subs > 0 {
+                residue.push(format!(
+                    "{subs} subscription(s) on {}",
+                    crate::pubsub::topic_name(t)
+                ));
+            }
+        }
+        for i in 0..self.config.n_buckets {
+            let name = bucket_name(i);
+            let objects = self.store.object_count(&name);
+            if objects > 0 {
+                residue.push(format!("{objects} object(s) in {name}"));
+            }
+        }
+        let flows = self.meter.tracked_flows();
+        if flows > 0 {
+            residue.push(format!("{flows} tracked billing flow(s)"));
+        }
+        residue
+    }
+
+    /// Debug-mode leak audit: asserts [`CloudEnv::residue_report`] is empty,
+    /// listing every leak otherwise. See there for coverage and the
+    /// quiescence requirement.
+    pub fn assert_no_residue(&self) {
+        let residue = self.residue_report();
+        assert!(
+            residue.is_empty(),
+            "cloud residue after teardown: {}",
+            residue.join("; ")
+        );
+    }
+
     /// Purges all queues and intermediate objects (between repetitions).
     ///
     /// Test/benchmark utility only: it wipes state globally, so it must

@@ -22,6 +22,7 @@
 //! assert_eq!(&body[..], b"v");
 //! assert_eq!(env.snapshot().s3_put_requests, 1);
 //! ```
+#![forbid(unsafe_code)]
 
 mod env;
 mod latency;
@@ -37,6 +38,6 @@ pub use latency::{Jitter, LatencyModel};
 pub use message::{quota, CommError, Message, MessageAttributes, QueuedMessage, ReceivedMessage};
 pub use meter::{MeterSnapshot, ServiceMeter};
 pub use object::ObjectStore;
-pub use pubsub::PubSub;
+pub use pubsub::{topic_name, PubSub};
 pub use queue::{PollKind, SqsQueue};
 pub use time::{VClock, VirtualTime};

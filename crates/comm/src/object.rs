@@ -64,6 +64,14 @@ impl ObjectStore {
         self.buckets.lock().entry(name.to_string()).or_default();
     }
 
+    /// Removes a bucket and everything in it (idempotent) — the teardown
+    /// twin of [`ObjectStore::create_bucket`]. Like creation, bucket
+    /// lifecycle is an offline control-plane operation and is not billed.
+    pub fn remove_bucket(&self, name: &str) {
+        self.buckets.lock().remove(name);
+        self.cond.notify_all();
+    }
+
     /// Whether a bucket exists.
     pub fn bucket_exists(&self, name: &str) -> bool {
         self.buckets.lock().contains_key(name)

@@ -142,6 +142,13 @@ impl PubSub {
     }
 }
 
+/// Canonical topic naming: `topic-{m}` as in the paper's `topic-{m % 10}`
+/// parallel-topic scheme. Topics are addressed by index everywhere; this is
+/// the single place the display form is assembled (diagnostics, errors).
+pub fn topic_name(topic: usize) -> String {
+    format!("topic-{topic}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,6 +33,19 @@ pub enum Variant {
 }
 
 impl Variant {
+    /// Every variant, in declaration order. Compile-time companion of the
+    /// enum: registry assembly ([`crate::provider::ChannelRegistry::with_builtins`])
+    /// and exhaustiveness-sensitive sweeps iterate this so their coverage
+    /// can never drift from the enum definition. Keep in sync when adding
+    /// a variant — the `variant-exhaustive` lint flags every match site.
+    pub const ALL: [Variant; 5] = [
+        Variant::Serial,
+        Variant::Queue,
+        Variant::Object,
+        Variant::Hybrid,
+        Variant::Auto,
+    ];
+
     /// The channel-provider name this variant runs on; `None` for variants
     /// that use no communication channel (Serial) or that resolve into
     /// another variant first (Auto).
@@ -158,11 +171,17 @@ pub struct BatchedRequest {
 /// Per-worker runtime facts extracted from invocation reports.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkerReport {
+    /// Worker rank within the tree (0 = root/coordinator).
     pub rank: u32,
+    /// Virtual time the worker body began executing.
     pub started: VirtualTime,
+    /// Virtual time the worker body returned.
     pub finished: VirtualTime,
+    /// Billed duration in milliseconds (Lambda rounds up per invocation).
     pub billed_ms: u64,
+    /// Peak resident bytes observed by the memory tracker.
     pub peak_mem_bytes: usize,
+    /// Configured instance memory in MB.
     pub memory_mb: u32,
 }
 
@@ -172,6 +191,7 @@ pub struct InferenceReport {
     /// The variant that executed (an [`Variant::Auto`] request reports the
     /// variant it resolved to).
     pub variant: Variant,
+    /// Worker count `P` the request ran with.
     pub workers: u32,
     /// Whether the run paid the launch bill ([`LaunchPath::ColdStart`]) or
     /// was routed into a warm tree ([`LaunchPath::WarmHit`]).
@@ -181,6 +201,7 @@ pub struct InferenceReport {
     pub arrival: VirtualTime,
     /// End-to-end query latency: request arrival → root holds the result.
     pub latency: VirtualTime,
+    /// Per-worker runtime facts, indexed by rank.
     pub per_worker: Vec<WorkerReport>,
     /// Service-side billing events of *this request only*: the meters
     /// bucket events by the request's flow id (carried on every worker's

@@ -51,6 +51,8 @@
 //!     .unwrap();
 //! assert_eq!(report.first_output(), &expected);
 //! ```
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod artifacts;
 mod builder;

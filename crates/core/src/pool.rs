@@ -35,6 +35,7 @@
 //! resident, so it must never serve a request for newer weights.
 
 use crate::warm::{TreeKey, WorkerTree};
+use fsd_faas::lockorder;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -228,7 +229,9 @@ impl TreePool {
         let generation = self.generation();
         let mut expired: Vec<WorkerTree> = Vec::new();
         let picked = {
+            let _shelf_ord = lockorder::acquire(lockorder::rank::POOL_SHELF, "pool.shelf");
             let mut shelf = self.shelf.lock();
+            let _counters_ord = lockorder::acquire(lockorder::rank::POOL_COUNTERS, "pool.counters");
             let mut counters = self.counters.lock();
             // Age out stale / expired trees first, keeping the survivors.
             let mut survivors: Vec<Parked> = Vec::with_capacity(shelf.len());
@@ -301,6 +304,7 @@ impl TreePool {
             return;
         }
         if tree.generation() != self.generation() {
+            let _counters_ord = lockorder::acquire(lockorder::rank::POOL_COUNTERS, "pool.counters");
             self.counters.lock().evicted_stale += 1;
             tree.shutdown();
             return;
@@ -308,9 +312,12 @@ impl TreePool {
         let parked_at_tick = self.tick.load(Ordering::Relaxed);
         let parked_at_ms = self.clock.now_ms();
         let victim = {
+            let _shelf_ord = lockorder::acquire(lockorder::rank::POOL_SHELF, "pool.shelf");
             let mut shelf = self.shelf.lock();
             let victim = if shelf.len() >= self.cfg.max_trees {
                 let i = Self::lru_shape_victim(&shelf);
+                let _counters_ord =
+                    lockorder::acquire(lockorder::rank::POOL_COUNTERS, "pool.counters");
                 self.counters.lock().evicted_lru += 1;
                 Some(shelf.remove(i).tree)
             } else {
@@ -381,6 +388,7 @@ impl TreePool {
     /// Returns how many trees were dropped.
     pub(crate) fn evict_shape(&self, key: TreeKey) -> usize {
         let drained: Vec<WorkerTree> = {
+            let _shelf_ord = lockorder::acquire(lockorder::rank::POOL_SHELF, "pool.shelf");
             let mut shelf = self.shelf.lock();
             let mut kept = Vec::with_capacity(shelf.len());
             let mut evicted = Vec::new();
@@ -392,6 +400,7 @@ impl TreePool {
                 }
             }
             *shelf = kept;
+            let _counters_ord = lockorder::acquire(lockorder::rank::POOL_COUNTERS, "pool.counters");
             self.counters.lock().evicted_shape += evicted.len() as u64;
             evicted
         };
@@ -413,6 +422,7 @@ impl TreePool {
         };
         let now_ms = self.clock.now_ms();
         let drained: Vec<WorkerTree> = {
+            let _shelf_ord = lockorder::acquire(lockorder::rank::POOL_SHELF, "pool.shelf");
             let mut shelf = self.shelf.lock();
             let mut kept = Vec::with_capacity(shelf.len());
             let mut evicted = Vec::new();
@@ -424,6 +434,7 @@ impl TreePool {
                 }
             }
             *shelf = kept;
+            let _counters_ord = lockorder::acquire(lockorder::rank::POOL_COUNTERS, "pool.counters");
             self.counters.lock().evicted_wall += evicted.len() as u64;
             evicted
         };
@@ -462,8 +473,13 @@ impl TreePool {
 
     /// Point-in-time counters.
     pub(crate) fn stats(&self) -> WarmPoolStats {
-        // Lock order: shelf before counters, matching `checkout`.
-        let idle = self.shelf.lock().len();
+        // Lock order: shelf before counters, matching `checkout` — enforced
+        // by the debug-assertions lockorder registry.
+        let idle = {
+            let _shelf_ord = lockorder::acquire(lockorder::rank::POOL_SHELF, "pool.shelf");
+            self.shelf.lock().len()
+        };
+        let _counters_ord = lockorder::acquire(lockorder::rank::POOL_COUNTERS, "pool.counters");
         let counters = self.counters.lock();
         WarmPoolStats {
             hits: counters.hits,

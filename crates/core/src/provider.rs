@@ -9,6 +9,7 @@
 //! `ServiceBuilder::register_channel` without touching the request path.
 
 use crate::channel::FsiChannel;
+use crate::engine::Variant;
 use crate::hybrid_channel::HybridChannel;
 use crate::object_channel::ObjectChannel;
 use crate::queue_channel::{ChannelOptions, QueueChannel};
@@ -106,12 +107,29 @@ impl ChannelRegistry {
         }
     }
 
-    /// A registry holding the three built-in transports.
+    /// A registry holding the built-in transports, assembled by iterating
+    /// [`Variant::ALL`] with an exhaustive match: a new variant with a
+    /// channel fails to compile (and fails the `variant-exhaustive` lint)
+    /// right here until its provider is wired in, so the registry list can
+    /// never drift from the enum.
     pub fn with_builtins() -> ChannelRegistry {
         let mut r = ChannelRegistry::empty();
-        r.register(Arc::new(QueueChannelProvider));
-        r.register(Arc::new(ObjectChannelProvider));
-        r.register(Arc::new(HybridChannelProvider));
+        for v in Variant::ALL {
+            let provider: Option<Arc<dyn ChannelProvider>> = match v {
+                Variant::Serial | Variant::Auto => None,
+                Variant::Queue => Some(Arc::new(QueueChannelProvider)),
+                Variant::Object => Some(Arc::new(ObjectChannelProvider)),
+                Variant::Hybrid => Some(Arc::new(HybridChannelProvider)),
+            };
+            if let Some(p) = provider {
+                debug_assert_eq!(
+                    Some(p.name()),
+                    v.channel_name(),
+                    "provider registered under a name different from its variant's channel_name"
+                );
+                r.register(p);
+            }
+        }
         r
     }
 

@@ -15,7 +15,7 @@
 
 use crate::channel::{FsiChannel, RecvTracker, Tag};
 use crate::stats::ChannelStats;
-use fsd_comm::{quota, CloudEnv, Message, MessageAttributes, SqsQueue, VClock};
+use fsd_comm::{quota, topic_name, CloudEnv, Message, MessageAttributes, SqsQueue, VClock};
 use fsd_faas::{FaasError, WorkerCtx};
 use fsd_sparse::{codec, compress, SparseRows};
 use parking_lot::Mutex;
@@ -221,7 +221,7 @@ pub(crate) fn publish_over_lanes(
         let billed = env
             .pubsub()
             .publish_batch(topic, lane, batch)
-            .map_err(|e| FaasError::comm("publish", format!("topic-{topic}"), e))?;
+            .map_err(|e| FaasError::comm("publish", topic_name(topic), e))?;
         stats.add(&stats.sns_billed, billed);
         stats.add(&stats.sns_batches, 1);
         stats.add(&stats.messages, n_msgs);

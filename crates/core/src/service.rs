@@ -549,7 +549,7 @@ impl FsdService {
     pub fn resolve(&self, variant: Variant, workers: u32, est_bytes_per_row: usize) -> Variant {
         match variant {
             Variant::Auto => self.recommend(workers.max(1), est_bytes_per_row).variant,
-            v => v,
+            v @ (Variant::Serial | Variant::Queue | Variant::Object | Variant::Hybrid) => v,
         }
     }
 
@@ -574,7 +574,7 @@ impl FsdService {
                 let est_bytes_per_row = codec::encoded_size(first) / first.n_rows().max(1);
                 self.resolve(Variant::Auto, req.workers, est_bytes_per_row)
             }
-            v => v,
+            v @ (Variant::Serial | Variant::Queue | Variant::Object | Variant::Hybrid) => v,
         }
     }
 
@@ -598,8 +598,10 @@ impl FsdService {
                     LaunchPath::ColdStart,
                 ))
             }
+            // fsd_lint::allow(no-unwrap): submit_batched resolves Auto via
+            // resolve_variant before calling execute; reaching here is a bug.
             Variant::Auto => unreachable!("Auto resolves before execution"),
-            routed => {
+            routed @ (Variant::Queue | Variant::Object | Variant::Hybrid) => {
                 let name = routed
                     .channel_name()
                     .expect("routed variants name a channel");

@@ -37,15 +37,25 @@ pub struct ChannelStats {
 /// Plain-data snapshot of [`ChannelStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStatsSnapshot {
+    /// Billed SNS publish requests (client's own 64 KiB accounting): `S`.
     pub sns_billed: u64,
+    /// `PublishBatch` API calls issued.
     pub sns_batches: u64,
+    /// Messages handed to the pub-sub service.
     pub messages: u64,
+    /// Payload bytes shipped through pub-sub (= SNS→SQS transfer): `Z`.
     pub bytes_sent: u64,
+    /// SQS API calls (receive rounds + deletes): `Q`.
     pub sqs_calls: u64,
+    /// Object PUT requests: `V`.
     pub s3_puts: u64,
+    /// Object GET requests: `R`.
     pub s3_gets: u64,
+    /// Object LIST requests: `L`.
     pub s3_lists: u64,
+    /// Bytes written to object storage (diagnostics; not billed by S3).
     pub s3_bytes_put: u64,
+    /// Pre-compression payload bytes (compression-effectiveness metric).
     pub bytes_precompress: u64,
 }
 

@@ -24,9 +24,11 @@
 //! });
 //! assert_eq!(inv.join().unwrap().0, 4);
 //! ```
+#![forbid(unsafe_code)]
 
 mod compute;
 pub mod launch;
+pub mod lockorder;
 mod platform;
 
 pub use compute::{ComputeModel, MAX_MEMORY_MB, MAX_TIMEOUT_SECS, MB_PER_VCPU, MIN_MEMORY_MB};

@@ -1,0 +1,127 @@
+//! Debug-assertions lock-order registry.
+//!
+//! The platform's multi-lock sites follow a documented acquisition order
+//! (e.g. the warm pool's "shelf before counters"). Nothing used to enforce
+//! it: an inverted acquisition in a rarely-hit branch deadlocks only under
+//! the right interleaving, which tests rarely produce. This registry turns
+//! ordering bugs into immediate panics on *any* interleaving, in debug
+//! builds only — release builds compile the whole thing to nothing.
+//!
+//! Usage: assign each lock a rank (see [`rank`]); immediately before
+//! acquiring, obtain an [`OrderToken`] via [`acquire`]. Acquiring a rank
+//! lower than or equal to the highest rank currently held by the same
+//! thread panics with both lock names. Tokens release their rank on drop,
+//! so bind them alongside the guard (`let (_ord, guard) = ...`).
+//!
+//! The `lock-across-blocking` static lint and this registry are
+//! complementary: the lint catches guards held across blocking calls at
+//! compile-review time; the registry catches inverted acquisition orders
+//! the lexer cannot see (locks acquired behind function calls).
+
+/// Well-known ranks for the platform's documented lock orders. Gaps are
+/// deliberate so new locks can slot between existing ones.
+pub mod rank {
+    /// Warm-pool shelf (`TreePool::shelf`) — always first.
+    pub const POOL_SHELF: u16 = 10;
+    /// Warm-pool counters (`TreePool::counters`) — only after the shelf.
+    pub const POOL_COUNTERS: u16 = 20;
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<(u16, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Records one ranked acquisition; drops release it.
+    #[must_use = "bind the token alongside the lock guard, or the rank releases immediately"]
+    pub struct OrderToken {
+        rank: u16,
+    }
+
+    pub fn acquire(rank: u16, name: &'static str) -> OrderToken {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&(top_rank, top_name)) = held.last() {
+                assert!(
+                    rank > top_rank,
+                    "lock-order inversion: acquiring `{name}` (rank {rank}) while \
+                     holding `{top_name}` (rank {top_rank}); ranks must strictly increase"
+                );
+            }
+            held.push((rank, name));
+        });
+        OrderToken { rank }
+    }
+
+    impl Drop for OrderToken {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                // Guards usually drop LIFO, but struct fields and manual
+                // drops may not; release the innermost entry of this rank.
+                if let Some(pos) = held.iter().rposition(|&(r, _)| r == self.rank) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    /// Records one ranked acquisition; a no-op in release builds.
+    #[must_use = "bind the token alongside the lock guard, or the rank releases immediately"]
+    pub struct OrderToken {}
+
+    #[inline(always)]
+    pub fn acquire(_rank: u16, _name: &'static str) -> OrderToken {
+        OrderToken {}
+    }
+}
+
+pub use imp::OrderToken;
+
+/// Registers an acquisition of `rank` under `name` on this thread,
+/// panicking (debug builds only) if `rank` does not strictly exceed every
+/// rank the thread already holds. Returns the token that releases the rank
+/// on drop.
+pub fn acquire(rank: u16, name: &'static str) -> OrderToken {
+    imp::acquire(rank, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increasing_ranks_are_fine() {
+        let a = acquire(rank::POOL_SHELF, "shelf");
+        let b = acquire(rank::POOL_COUNTERS, "counters");
+        drop(b);
+        drop(a);
+        // Re-acquiring after release is fine too.
+        let _c = acquire(rank::POOL_SHELF, "shelf");
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "registry is compiled out in release")]
+    fn inversion_panics() {
+        let _b = acquire(rank::POOL_COUNTERS, "counters");
+        let r = std::panic::catch_unwind(|| {
+            let _a = acquire(rank::POOL_SHELF, "shelf");
+        });
+        assert!(r.is_err(), "acquiring a lower rank must panic");
+    }
+
+    #[test]
+    fn out_of_order_drop_releases_correct_rank() {
+        let a = acquire(rank::POOL_SHELF, "shelf");
+        let b = acquire(rank::POOL_COUNTERS, "counters");
+        drop(a); // not LIFO
+        drop(b);
+        let _again = acquire(rank::POOL_SHELF, "shelf");
+    }
+}

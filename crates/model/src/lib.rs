@@ -15,6 +15,7 @@
 //! let out = dnn.serial_inference(&inputs);
 //! assert!(out.nnz() > 0);
 //! ```
+#![forbid(unsafe_code)]
 
 mod dnn;
 mod generate;

@@ -21,6 +21,7 @@
 //! let plan = CommPlan::build(&dnn, &part);
 //! assert!(plan.total_row_sends() > 0);
 //! ```
+#![forbid(unsafe_code)]
 
 mod commplan;
 mod hgp;

@@ -136,6 +136,8 @@ pub fn replay(sched: &Scheduler, model: &str, trace: &[Arrival]) -> ReplayReport
     );
     let service = sched
         .service(model)
+        // fsd_lint::allow(no-unwrap): replay is a test/bench driver — a
+        // misconfigured trace must fail fast (documented under # Panics).
         .unwrap_or_else(|| panic!("model {model:?} not registered"))
         .clone();
     let neurons = service.dnn().spec().neurons;
@@ -207,6 +209,8 @@ pub fn replay(sched: &Scheduler, model: &str, trace: &[Arrival]) -> ReplayReport
                     );
                     rejected.push(idx);
                 }
+                // fsd_lint::allow(no-unwrap): fail fast on non-backpressure
+                // errors — documented under # Panics.
                 Err(e) => panic!("replay enqueue failed: {e}"),
             }
         }

@@ -60,6 +60,7 @@
 //! sched.shutdown();
 //! sched.drain();
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod harness;
 pub mod predictor;

@@ -89,7 +89,7 @@ pub fn derive_model_cap(service: &FsdService, typical_workers: u32) -> usize {
     let rec = service.recommend(typical_workers.max(1), service.est_bytes_per_row());
     match rec.variant {
         Variant::Serial => MAX_DERIVED_CAP,
-        _ => {
+        Variant::Queue | Variant::Object | Variant::Hybrid | Variant::Auto => {
             let per_tree = rec.profile.workers as usize * rec.profile.bytes_per_pair_layer.max(1);
             let budget = service.env().config().n_topics * quota::MAX_PUBLISH_BYTES * 4;
             (budget / per_tree).clamp(1, MAX_DERIVED_CAP)
@@ -400,7 +400,7 @@ impl SchedulerCore {
         let resolved = match (shape.variant, shape.est_bytes_per_row) {
             (Variant::Auto, None) => return None,
             (Variant::Auto, Some(est)) => service.resolve(Variant::Auto, shape.workers, est),
-            (v, _) => v,
+            (v @ (Variant::Serial | Variant::Queue | Variant::Object | Variant::Hybrid), _) => v,
         };
         resolved.channel_name().map(|_| TreeKey {
             variant: resolved,

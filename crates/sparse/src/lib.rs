@@ -21,6 +21,7 @@
 //! let (y, _work) = layer_forward_reference(&w, &x, 0.0, 32.0);
 //! assert_eq!(y.row_by_id(1), Some((&[0u32][..], &[6.0f32][..])));
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod codec;
 pub mod compress;

@@ -192,7 +192,7 @@ impl SparseRows {
         }
         let mut merged = SparseRows::new(self.width);
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.n_rows() || j < other.n_rows() {
+        loop {
             let take_self = match (self.ids.get(i), other.ids.get(j)) {
                 (Some(a), Some(b)) => {
                     assert_ne!(a, b, "duplicate row id {a} in merge");
@@ -200,7 +200,7 @@ impl SparseRows {
                 }
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
-                (None, None) => unreachable!(),
+                (None, None) => break,
             };
             let (id, cols, vals) = if take_self {
                 let r = self.row_at(i);

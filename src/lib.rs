@@ -1,4 +1,6 @@
 //! Umbrella crate re-exporting the FSD-Inference public API.
+#![forbid(unsafe_code)]
+
 pub use fsd_baselines as baselines;
 pub use fsd_comm as comm;
 pub use fsd_core as core;
