@@ -30,7 +30,10 @@ pub const GATED: &[(&str, &[(&str, Direction)])] = &[
     ),
     (
         "BENCH_scheduler_throughput.json",
-        &[("bursty_mean_latency_us", Direction::LowerIsBetter)],
+        &[
+            ("bursty_mean_latency_us", Direction::LowerIsBetter),
+            ("fleet_throughput_rps", Direction::HigherIsBetter),
+        ],
     ),
     (
         "BENCH_prewarm.json",

@@ -354,19 +354,33 @@ impl FsdService {
         // below carries the flow on its clock, so the service meters bucket
         // this request's events separately from concurrent neighbors'
         // (offline staging uses unbilled writes and never shows up).
-        let arrival = VirtualTime::ZERO;
         let samples: usize = req.batches.iter().map(|b| b.width()).sum();
         let widths: Vec<usize> = req.batches.iter().map(|b| b.width()).collect();
 
         let launched = self.execute(resolved, p, req.memory_mb, &input_key, &widths, flow);
+        self.finalize_report(resolved, p, samples, &input_key, flow, launched)
+    }
 
+    /// The shared request-teardown tail of [`FsdService::submit_batched`]
+    /// and [`FsdService::submit_coalesced`]: deletes the request's input
+    /// artifacts, harvests and releases its flow-scoped billing windows
+    /// (success or not — a long-lived service must not accrete per-flow
+    /// buckets), and assembles the [`InferenceReport`].
+    fn finalize_report(
+        &self,
+        resolved: Variant,
+        p: u32,
+        samples: usize,
+        input_key: &str,
+        flow: u64,
+        launched: ExecuteResult,
+    ) -> Result<InferenceReport, FsdError> {
+        let arrival = VirtualTime::ZERO;
         // Per-request input artifacts are dead after the run (success or
         // not); remove them so a long-lived service does not accrete state.
         self.env
             .object_store()
             .delete_prefix(ARTIFACT_BUCKET, &format!("{input_key}/"));
-        // Harvest-and-release the request-local billing windows (success or
-        // not — a long-lived service must not accrete per-flow buckets).
         let comm = self.env.release_flow(flow);
         let lambda: LambdaSnapshot = self.platform.lambda_meter().release_flow(flow);
         let (root_out, reports, client, launch_path) = launched?;
@@ -414,6 +428,204 @@ impl FsdService {
             samples,
             work_done: root_out.work_done,
         })
+    }
+
+    /// Runs several *shape-compatible* requests through **one** worker-tree
+    /// pass (cross-request continuous batching): the tree is acquired once
+    /// — a warm-pool checkout, or a single cold launch billed to the first
+    /// member's flow — and every member then runs as its own flow-scoped
+    /// work item on the resident tree. Per-member inputs, data channels,
+    /// billing windows and reports stay exactly as disjoint as sequential
+    /// [`FsdService::submit_batched`] calls (the meters bucket each
+    /// member's events under its own flow id), but members after the first
+    /// pay one control-plane hop ([`LaunchPath::WarmHit`]) instead of the
+    /// launch bill. Results are returned in member order.
+    ///
+    /// Members must all resolve (via [`FsdService::resolve_variant`]) to
+    /// the same `(variant, workers, memory_mb)` channel shape — the
+    /// scheduler's coalition formation guarantees this. If any member does
+    /// not, or the shared shape is Serial (which runs no tree), the whole
+    /// set falls back to sequential `submit_batched` calls. A member
+    /// failure mid-pass discards the (possibly poisoned) tree, reports the
+    /// error for that member only, and finishes the remaining members on
+    /// the sequential path.
+    pub fn submit_coalesced(
+        &self,
+        reqs: &[BatchedRequest],
+    ) -> Vec<Result<InferenceReport, FsdError>> {
+        if reqs.len() <= 1 {
+            return reqs.iter().map(|r| self.submit_batched(r)).collect();
+        }
+        let shape_of = |r: &BatchedRequest| -> Option<(Variant, u32, u32)> {
+            if r.batches.is_empty() {
+                return None;
+            }
+            let v = self.resolve_variant(r);
+            v.channel_name().map(|_| (v, r.workers.max(1), r.memory_mb))
+        };
+        let Some(shared_shape) = shape_of(&reqs[0]) else {
+            return reqs.iter().map(|r| self.submit_batched(r)).collect();
+        };
+        if reqs[1..].iter().any(|r| shape_of(r) != Some(shared_shape)) {
+            return reqs.iter().map(|r| self.submit_batched(r)).collect();
+        }
+        let (routed, p, memory_mb) = shared_shape;
+        let name = routed.channel_name().expect("channel shape checked above");
+        let Some(provider) = self.registry.get(name) else {
+            // No provider registered: every member fails exactly as its
+            // sequential submission would.
+            return reqs.iter().map(|r| self.submit_batched(r)).collect();
+        };
+        self.ensure_partition(p);
+        let partition = self.state.read().partitions[&p].partition.clone();
+        let key = TreeKey {
+            variant: routed,
+            workers: p,
+            memory_mb,
+        };
+
+        let mut results: Vec<Result<InferenceReport, FsdError>> = Vec::with_capacity(reqs.len());
+        // Acquired lazily on the first member so a cold launch is billed
+        // to that member's flow; the `bool` records a warm checkout.
+        let mut tree_slot: Option<(WorkerTree, bool)> = None;
+        for (i, req) in reqs.iter().enumerate() {
+            let flow = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+            let input_key = format!("inputs/req{flow}");
+            for (b, batch) in req.batches.iter().enumerate() {
+                stage_inputs(
+                    &self.env,
+                    &format!("{input_key}/b{b}"),
+                    batch,
+                    Some(&partition),
+                );
+            }
+            let samples: usize = req.batches.iter().map(|b| b.width()).sum();
+            let widths: Vec<usize> = req.batches.iter().map(|b| b.width()).collect();
+            if tree_slot.is_none() {
+                match self.acquire_coalition_tree(key, flow) {
+                    Ok(acquired) => tree_slot = Some(acquired),
+                    Err(e) => {
+                        // The launch failed before any member ran: this
+                        // member reports the error, the rest fall back to
+                        // sequential execution (each pays its own launch).
+                        results.push(self.finalize_report(
+                            routed,
+                            p,
+                            samples,
+                            &input_key,
+                            flow,
+                            Err(e),
+                        ));
+                        results.extend(reqs[i + 1..].iter().map(|r| self.submit_batched(r)));
+                        return results;
+                    }
+                }
+            }
+            let (tree, from_warm_checkout) =
+                tree_slot.as_mut().expect("coalition tree acquired above");
+            // Member 0 of a cold launch pays the launch bill; every other
+            // member lands on the already-resident tree: one control-plane
+            // hop, billed (begin_request) under its own flow.
+            let warm = *from_warm_checkout || i > 0;
+            let channel = provider.provision(&self.env, p, self.cfg.channel, flow);
+            let dispatch_at = VirtualTime::from_micros(
+                self.env.jitter().apply(self.env.latency().lambda_invoke_us),
+            );
+            let item = WorkItem {
+                warm,
+                flow,
+                input_key: input_key.clone(),
+                batch_widths: widths.clone(),
+                channel: channel.clone(),
+                dispatch_at,
+            };
+            let ran = tree.run(item);
+            // Harvest request-local stats, then release the member's
+            // queues/subscriptions/objects — error or not.
+            let client = channel.stats().snapshot();
+            channel.teardown();
+            match ran {
+                Ok(out) => {
+                    let root_out = WorkerOutput {
+                        rank: 0,
+                        final_batches: Some(out.final_batches),
+                        subtree_reports: Vec::new(),
+                        artifact_gets: out.artifact_gets,
+                        work_done: out.work_done,
+                    };
+                    let path = if warm {
+                        LaunchPath::WarmHit
+                    } else {
+                        LaunchPath::ColdStart
+                    };
+                    results.push(self.finalize_report(
+                        routed,
+                        p,
+                        samples,
+                        &input_key,
+                        flow,
+                        Ok((root_out, out.reports, client, path)),
+                    ));
+                }
+                Err(e) => {
+                    // A worker died mid-pass: the tree may be poisoned —
+                    // never reuse it. This member reports the error; the
+                    // remaining members run sequentially.
+                    let (dead, _) = tree_slot.take().expect("coalition tree held");
+                    match &self.pool {
+                        Some(pool) => pool.discard(dead),
+                        None => drop(dead), // Drop shuts the tree down.
+                    }
+                    results.push(self.finalize_report(
+                        routed,
+                        p,
+                        samples,
+                        &input_key,
+                        flow,
+                        Err(e.into()),
+                    ));
+                    results.extend(reqs[i + 1..].iter().map(|r| self.submit_batched(r)));
+                    return results;
+                }
+            }
+        }
+        if let Some((tree, _)) = tree_slot {
+            match &self.pool {
+                // Checkin at pass teardown: the tree parks for the next
+                // matching request (or coalition).
+                Some(pool) => pool.checkin(tree),
+                None => drop(tree),
+            }
+        }
+        results
+    }
+
+    /// Acquires the single tree a coalesced pass runs on: a warm-pool
+    /// checkout when a matching tree is parked, otherwise a cold launch of
+    /// a persistent tree billed to `flow` (the first member). Returns the
+    /// tree and whether it came from a warm checkout.
+    fn acquire_coalition_tree(
+        &self,
+        key: TreeKey,
+        flow: u64,
+    ) -> Result<(WorkerTree, bool), FsdError> {
+        if let Some(tree) = self.pool.as_ref().and_then(|pool| pool.checkout(key)) {
+            return Ok((tree, true));
+        }
+        let params = TreeParams {
+            n_workers: key.workers,
+            branching: self.cfg.branching,
+            memory_mb: key.memory_mb,
+            model_key: self.model_key.clone(),
+            spec: *self.dnn.spec(),
+        };
+        let generation = self.pool.as_ref().map_or(0, |pool| pool.generation());
+        let tree = WorkerTree::launch(&self.platform, key, generation, params, flow)?;
+        if let Some(pool) = &self.pool {
+            pool.record_created();
+            pool.note_in_use(key);
+        }
+        Ok((tree, false))
     }
 
     /// Launches a warm tree for `(variant, workers, memory_mb)` ahead of

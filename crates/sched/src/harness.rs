@@ -25,7 +25,7 @@
 //! order until nothing is queued or running.
 
 use crate::scheduler::{Priority, SchedStatsSnapshot, Scheduler, Ticket};
-use crate::trace::Arrival;
+use crate::trace::{Arrival, FleetArrival};
 use fsd_core::{BatchedRequest, FsdError, LaunchPath, Variant};
 use fsd_model::{generate_inputs, InputSpec};
 use fsd_sparse::codec;
@@ -198,7 +198,7 @@ pub fn replay(sched: &Scheduler, model: &str, trace: &[Arrival]) -> ReplayReport
                     &InputSpec::scaled(a.width, a.input_seed),
                 )],
             };
-            match sched.enqueue(model, a.priority, req) {
+            match sched.enqueue_at(model, a.priority, a.at, req) {
                 Ok(ticket) => {
                     tickets.insert(ticket.seq(), (idx, ticket));
                 }
@@ -234,14 +234,191 @@ pub fn replay(sched: &Scheduler, model: &str, trace: &[Arrival]) -> ReplayReport
     let class_of: HashMap<u64, Priority> = outcomes.iter().map(|o| (o.seq, o.priority)).collect();
     let admitted_classes = admission_order.iter().map(|s| class_of[s]).collect();
     let mut stats = sched.stats();
-    // The latency EWMA folds completions in the order real threads
-    // finished — an advisory backoff signal, deliberately outside the
+    // The latency EWMAs fold completions in the order real threads
+    // finished — advisory backoff signals, deliberately outside the
     // deterministic contract. Everything else in the report is a pure
     // function of (trace, config, model).
     stats.ewma_latency = fsd_comm::VirtualTime::ZERO;
+    stats.ewma_cold_latency = fsd_comm::VirtualTime::ZERO;
+    stats.ewma_warm_latency = fsd_comm::VirtualTime::ZERO;
     ReplayReport {
         admission_order,
         admitted_classes,
+        rejected,
+        outcomes,
+        stats,
+    }
+}
+
+/// Outcome of one accepted fleet request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetOutcome {
+    /// Scheduler sequence number.
+    pub seq: u64,
+    /// Index into the replay's model list.
+    pub model: usize,
+    /// Index into the replayed trace.
+    pub trace_index: usize,
+    /// Stamped virtual arrival instant (µs) — with the per-run latency in
+    /// the digest, everything a virtual-makespan model needs.
+    pub arrival_us: u64,
+    /// The run's digest, or the error's display string.
+    pub result: Result<RunDigest, String>,
+}
+
+/// Everything a fleet replay observed (the multi-model analogue of
+/// [`ReplayReport`]), plus the admission groups continuous batching
+/// formed. Two replays of the same fleet trace against identically
+/// configured schedulers must compare equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReplayReport {
+    /// Seq numbers in admission order.
+    pub admission_order: Vec<u64>,
+    /// Seq numbers grouped per execution pass: a multi-member group is a
+    /// coalition that ran as one tree pass.
+    pub admission_groups: Vec<Vec<u64>>,
+    /// Trace indices rejected with backpressure, in arrival order.
+    pub rejected: Vec<usize>,
+    /// Per-request outcomes in admission order.
+    pub outcomes: Vec<FleetOutcome>,
+    /// Final scheduler statistics.
+    pub stats: SchedStatsSnapshot,
+}
+
+/// Replays a multi-model fleet trace against a manual-dispatch scheduler:
+/// the driver protocol of [`replay`], with each arrival routed to
+/// `models[a.model]` and stamped with its virtual arrival instant
+/// ([`Scheduler::enqueue_at`]) so continuous batching coalesces as a pure
+/// function of the trace.
+///
+/// # Panics
+/// If the scheduler is not in manual dispatch mode with admission
+/// recording, if a trace entry's model index is out of range or the name
+/// is not registered, or if an enqueue fails with anything but
+/// backpressure.
+pub fn replay_fleet(
+    sched: &Scheduler,
+    models: &[&str],
+    trace: &[FleetArrival],
+) -> FleetReplayReport {
+    assert!(
+        sched.is_manual(),
+        "replay_fleet needs SchedulerConfig::manual(): admissions must \
+         only happen on this driver thread"
+    );
+    let neurons: Vec<usize> = models
+        .iter()
+        .map(|m| {
+            sched
+                .service(m)
+                // fsd_lint::allow(no-unwrap): replay_fleet is a test/bench
+                // driver — a misconfigured fleet must fail fast
+                // (documented under # Panics).
+                .unwrap_or_else(|| panic!("model {m:?} not registered"))
+                .dnn()
+                .spec()
+                .neurons
+        })
+        .collect();
+    let global_cap = sched.global_cap();
+
+    let mut tickets: HashMap<u64, (usize, FleetArrival, Ticket)> = HashMap::new();
+    let mut rejected = Vec::new();
+    let mut outcomes = Vec::new();
+    let mut harvested = 0usize;
+
+    let harvest_next = |sched: &Scheduler,
+                        tickets: &mut HashMap<u64, (usize, FleetArrival, Ticket)>,
+                        harvested: &mut usize,
+                        outcomes: &mut Vec<FleetOutcome>|
+     -> bool {
+        let log = sched.admission_log();
+        if *harvested >= log.len() {
+            return false;
+        }
+        let seq = log[*harvested];
+        *harvested += 1;
+        let (trace_index, a, ticket) = tickets.remove(&seq).expect("admitted ticket is held");
+        let result = ticket
+            .wait()
+            .map(|r| digest_report(&r))
+            .map_err(|e| e.to_string());
+        outcomes.push(FleetOutcome {
+            seq,
+            model: a.model,
+            trace_index,
+            arrival_us: a.arrival.at.as_micros(),
+            result,
+        });
+        true
+    };
+
+    let mut i = 0usize;
+    while i < trace.len() {
+        // One arrival-instant group.
+        let t = trace[i].arrival.at;
+        let group_end = trace[i..]
+            .iter()
+            .position(|a| a.arrival.at != t)
+            .map_or(trace.len(), |off| i + off);
+
+        // The virtual gap before this instant lets the backlog drain.
+        while sched.inflight() >= global_cap
+            && harvest_next(sched, &mut tickets, &mut harvested, &mut outcomes)
+        {}
+
+        for (idx, fa) in trace.iter().enumerate().take(group_end).skip(i) {
+            let a = &fa.arrival;
+            let req = BatchedRequest {
+                variant: a.variant,
+                workers: a.workers,
+                memory_mb: a.memory_mb,
+                batches: vec![generate_inputs(
+                    neurons[fa.model],
+                    &InputSpec::scaled(a.width, a.input_seed),
+                )],
+            };
+            match sched.enqueue_at(models[fa.model], a.priority, a.at, req) {
+                Ok(ticket) => {
+                    tickets.insert(ticket.seq(), (idx, fa.clone(), ticket));
+                }
+                Err(FsdError::Overloaded { retry_after }) => {
+                    assert!(
+                        retry_after > fsd_comm::VirtualTime::ZERO,
+                        "backpressure must carry a positive retry hint"
+                    );
+                    rejected.push(idx);
+                }
+                // fsd_lint::allow(no-unwrap): fail fast on non-backpressure
+                // errors — documented under # Panics.
+                Err(e) => panic!("replay_fleet enqueue failed: {e}"),
+            }
+        }
+        sched.dispatch();
+        i = group_end;
+    }
+
+    // Drain: keep admitting and harvesting until the system is empty.
+    loop {
+        sched.dispatch();
+        if harvest_next(sched, &mut tickets, &mut harvested, &mut outcomes) {
+            continue;
+        }
+        if sched.queued() == 0 && sched.inflight() == 0 {
+            break;
+        }
+    }
+    assert!(tickets.is_empty(), "every accepted ticket was harvested");
+
+    let mut stats = sched.stats();
+    // Same carve-out as `replay`: the latency EWMAs depend on thread
+    // finish order and sit outside the deterministic contract.
+    stats.ewma_latency = fsd_comm::VirtualTime::ZERO;
+    stats.ewma_cold_latency = fsd_comm::VirtualTime::ZERO;
+    stats.ewma_warm_latency = fsd_comm::VirtualTime::ZERO;
+    FleetReplayReport {
+        admission_order: sched.admission_log(),
+        admission_groups: sched.admission_groups(),
         rejected,
         outcomes,
         stats,

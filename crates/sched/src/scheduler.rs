@@ -23,9 +23,12 @@
 
 use crate::predictor::{Predictor, PredictorConfig, PrewarmDecision};
 use fsd_comm::{quota, VirtualTime};
-use fsd_core::{BatchedRequest, FsdError, FsdService, InferenceReport, TreeKey, Variant};
+use fsd_core::{
+    BatchedRequest, FsdError, FsdService, InferenceReport, LaunchPath, TreeKey, Variant,
+};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -97,6 +100,52 @@ pub fn derive_model_cap(service: &FsdService, typical_workers: u32) -> usize {
     }
 }
 
+/// Cross-request continuous-batching knobs
+/// ([`SchedulerConfig::batched`]).
+///
+/// When set, admission coalesces compatible queued requests — same model,
+/// same resolved `(variant, P, memory_mb)` shape via [`FsdService::resolve`]
+/// — into **one** multi-batch tree pass ([`FsdService::submit_coalesced`]):
+/// the coalition holds a single concurrency slot, its first member pays at
+/// most one launch, and every other member lands warm on the resident
+/// tree. Billing stays disjoint per member flow, and a batch **never spans
+/// priority classes**; while Interactive traffic waits, a Batch head is
+/// admitted alone (Interactive preempts the window close).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchingConfig {
+    /// Coalescing window in virtual time: a queued request joins the
+    /// head's coalition only if their stamped arrival instants
+    /// ([`Scheduler::enqueue_at`]) differ by at most this much. Windows
+    /// are measured against trace-stamped virtual arrivals, so
+    /// manual-dispatch replays coalesce bit-identically.
+    pub window: VirtualTime,
+    /// Maximum members per coalition (clamped to ≥ 1).
+    pub max_batch: usize,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> Self {
+        BatchingConfig {
+            window: VirtualTime::from_micros(250_000),
+            max_batch: 8,
+        }
+    }
+}
+
+impl BatchingConfig {
+    /// Sets the coalescing window (virtual time).
+    pub fn window(mut self, window: VirtualTime) -> BatchingConfig {
+        self.window = window;
+        self
+    }
+
+    /// Sets the maximum coalition size (clamped to ≥ 1).
+    pub fn max_batch(mut self, max_batch: usize) -> BatchingConfig {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+}
+
 /// Scheduler tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct SchedulerConfig {
@@ -120,6 +169,9 @@ pub struct SchedulerConfig {
     /// ahead of the traffic. Requires every registered model to have a
     /// warm pool.
     pub predictor: Option<PredictorConfig>,
+    /// Cross-request continuous batching ([`BatchingConfig`]); `None`
+    /// admits every request as its own tree pass.
+    pub batching: Option<BatchingConfig>,
 }
 
 impl Default for SchedulerConfig {
@@ -132,6 +184,7 @@ impl Default for SchedulerConfig {
             manual_dispatch: false,
             record_admissions: false,
             predictor: None,
+            batching: None,
         }
     }
 }
@@ -180,6 +233,16 @@ impl SchedulerConfig {
         self.predictor = Some(predictor);
         self
     }
+
+    /// Enables cross-request continuous batching: admission coalesces
+    /// compatible queued requests (same model and resolved shape, arrivals
+    /// within `batching.window`) into one multi-batch tree pass holding a
+    /// single concurrency slot. See [`BatchingConfig`] for the fairness
+    /// and billing rules.
+    pub fn batched(mut self, batching: BatchingConfig) -> SchedulerConfig {
+        self.batching = Some(batching);
+        self
+    }
 }
 
 /// Point-in-time scheduler statistics.
@@ -205,6 +268,13 @@ pub struct SchedStatsSnapshot {
     pub prewarmed: u64,
     /// Parked trees evicted by predictor quiescence decisions.
     pub predictor_evicted: u64,
+    /// Queued requests cancelled by [`Scheduler::shutdown`] (their tickets
+    /// resolve [`FsdError::ShuttingDown`](fsd_core::FsdError::ShuttingDown)).
+    pub cancelled: u64,
+    /// Multi-member coalitions admitted (continuous batching).
+    pub coalitions: u64,
+    /// Requests admitted as members of a multi-member coalition.
+    pub coalesced: u64,
     /// Currently queued (accepted, not yet admitted).
     pub queued: usize,
     /// Currently holding a concurrency slot.
@@ -213,8 +283,14 @@ pub struct SchedStatsSnapshot {
     pub max_inflight: usize,
     /// Per-model high-water marks, in registration order.
     pub max_inflight_per_model: Vec<usize>,
-    /// Smoothed observed request latency (virtual time).
+    /// Smoothed observed request latency (virtual time), blended across
+    /// launch paths by the observed warm/cold mix — what `retry_after`
+    /// hints are computed from.
     pub ewma_latency: VirtualTime,
+    /// Smoothed latency of cold-start completions only.
+    pub ewma_cold_latency: VirtualTime,
+    /// Smoothed latency of warm-hit completions only.
+    pub ewma_warm_latency: VirtualTime,
 }
 
 impl SchedStatsSnapshot {
@@ -240,11 +316,27 @@ struct ModelEntry {
 struct Pending {
     ticket: Arc<TicketShared>,
     req: BatchedRequest,
+    /// Stamped virtual arrival instant ([`Scheduler::enqueue_at`]); the
+    /// continuous-batching window is measured between these.
+    arrival: VirtualTime,
+    /// The resolved coalescing shape, written back (outside the scheduler
+    /// lock) after acceptance: `Some(key)` may join a coalition of the
+    /// same key; `None` (Serial-resolved, empty, or not yet resolved)
+    /// always dispatches solo.
+    shape: Option<TreeKey>,
 }
 
 /// Result cell shared between the executor thread and the ticket holder.
 struct TicketCell {
     result: Option<Result<InferenceReport, FsdError>>,
+}
+
+/// The concurrency slot an admitted execution pass holds, shared by every
+/// coalition member's ticket: in manual mode the slot is released when the
+/// **last** member is harvested, so a coalition of `k` tickets frees
+/// exactly one global/model slot (not `k`).
+struct SlotHold {
+    remaining: AtomicUsize,
 }
 
 struct TicketShared {
@@ -253,6 +345,9 @@ struct TicketShared {
     model: usize,
     cell: Mutex<TicketCell>,
     done: Condvar,
+    /// Set at admission; taken (once) at harvest. `None` for tickets that
+    /// never got a slot — e.g. cancelled at shutdown while still queued.
+    slot: Mutex<Option<Arc<SlotHold>>>,
 }
 
 /// Handle to an accepted request; [`Ticket::wait`] blocks for the result.
@@ -292,7 +387,10 @@ impl Ticket {
         self.shared.cell.lock().result.is_some()
     }
 
-    /// Blocks until the request finishes and returns its result.
+    /// Blocks until the request finishes and returns its result. Queued
+    /// tickets cancelled by [`Scheduler::shutdown`] resolve promptly with
+    /// [`FsdError::ShuttingDown`](fsd_core::FsdError::ShuttingDown)
+    /// instead of hanging.
     pub fn wait(self) -> Result<InferenceReport, FsdError> {
         let result = {
             let mut cell = self.shared.cell.lock();
@@ -305,7 +403,7 @@ impl Ticket {
                     .wait_for(&mut cell, Duration::from_millis(50));
             }
         };
-        self.core.on_harvest(self.shared.model);
+        self.core.on_harvest(&self.shared);
         result
     }
 }
@@ -321,6 +419,17 @@ struct Counters {
     cold_starts: u64,
     prewarmed: u64,
     predictor_evicted: u64,
+    cancelled: u64,
+    coalitions: u64,
+    coalesced: u64,
+}
+
+/// Dense index of a launch path into the per-path EWMA array.
+fn path_index(path: LaunchPath) -> usize {
+    match path {
+        LaunchPath::ColdStart => 0,
+        LaunchPath::WarmHit => 1,
+    }
 }
 
 struct SchedState {
@@ -336,7 +445,29 @@ struct SchedState {
     shutting_down: bool,
     counters: Counters,
     admission_log: Vec<u64>,
-    ewma_latency_us: f64,
+    /// Admission groups aligned with `admission_log`: one inner vec per
+    /// admitted execution pass (coalitions keep their members together).
+    admission_groups: Vec<Vec<u64>>,
+    /// Smoothed observed latency per launch path, indexed by
+    /// [`path_index`] (cold starts and warm hits regress separately — a
+    /// warm pool must tighten the `retry_after` hint, not be averaged
+    /// away into the cold estimate).
+    ewma_latency_us: [f64; 2],
+}
+
+impl SchedState {
+    /// The path-mix-weighted latency estimate `retry_after` hints use:
+    /// each path's EWMA weighted by how many completions took it. 0.0
+    /// before the first completion.
+    fn blended_latency_us(&self) -> f64 {
+        let cold_n = self.counters.cold_starts as f64;
+        let warm_n = self.counters.warm_hits as f64;
+        let total = cold_n + warm_n;
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.ewma_latency_us[0] * cold_n + self.ewma_latency_us[1] * warm_n) / total
+    }
 }
 
 struct SchedulerCore {
@@ -409,15 +540,17 @@ impl SchedulerCore {
         })
     }
 
-    /// Feeds one accepted arrival to the model's predictor and applies the
-    /// resulting decision set (pre-warms + evictions). Runs on the
-    /// enqueueing thread — in manual mode that is the harness driver, so
-    /// pool mutations stay totally ordered and replays deterministic.
-    fn drive_predictor(&self, model: usize, shape: ArrivalShape) {
+    /// Feeds one **accepted** arrival's resolved shape to the model's
+    /// predictor and applies the resulting decision set (pre-warms +
+    /// evictions). Runs on the enqueueing thread — in manual mode that is
+    /// the harness driver, so pool mutations stay totally ordered and
+    /// replays deterministic. Rejected arrivals never reach this method:
+    /// a flood of `Overloaded` rejections must not inflate pre-warm
+    /// targets.
+    fn drive_predictor(&self, model: usize, resolved: Option<TreeKey>) {
         let Some(predictor) = &self.predictors[model] else {
             return;
         };
-        let resolved = SchedulerCore::resolve_shape(&self.models[model].service, shape);
         let decisions = predictor.lock().observe(resolved);
         self.apply_decisions(model, &decisions, true);
     }
@@ -484,25 +617,42 @@ impl SchedulerCore {
         }
     }
     /// Releases a harvested ticket's slot (manual mode only; in auto mode
-    /// the slot was already released at completion).
-    fn on_harvest(&self, model: usize) {
+    /// the slot was already released at completion). A coalition's slot is
+    /// shared by every member ticket and releases only when the **last**
+    /// member is harvested — a coalition of `k` tickets frees one slot.
+    fn on_harvest(&self, shared: &TicketShared) {
         if !self.cfg.manual_dispatch {
+            return;
+        }
+        // Take the hold before touching scheduler state: slot mutexes are
+        // leaf locks, never held while waiting on `state`.
+        let hold = shared.slot.lock().take();
+        let Some(hold) = hold else {
+            // Never admitted (cancelled at shutdown while queued): no slot
+            // to release.
+            return;
+        };
+        if hold.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
             return;
         }
         let mut state = self.state.lock();
         state.inflight_global = state.inflight_global.saturating_sub(1);
-        state.inflight_model[model] = state.inflight_model[model].saturating_sub(1);
+        state.inflight_model[shared.model] = state.inflight_model[shared.model].saturating_sub(1);
         drop(state);
         self.idle.notify_all();
     }
 
     /// Backpressure hint: how long (virtual time) the current backlog
-    /// would take to drain a slot, from the observed latency EWMA.
+    /// would take to drain a slot, from the per-launch-path latency EWMAs
+    /// blended by the observed warm/cold mix — a warm pool that starts
+    /// absorbing traffic tightens the hint instead of being averaged into
+    /// the cold estimate.
     fn retry_after(&self, state: &SchedState) -> VirtualTime {
         let backlog =
             state.queues.iter().map(VecDeque::len).sum::<usize>() + state.inflight_global + 1;
-        let per = if state.ewma_latency_us > 0.0 {
-            state.ewma_latency_us
+        let blended = state.blended_latency_us();
+        let per = if blended > 0.0 {
+            blended
         } else {
             DEFAULT_LATENCY_US
         };
@@ -510,10 +660,13 @@ impl SchedulerCore {
         VirtualTime::from_micros((per * waves).ceil() as u64)
     }
 
-    /// Admits as many queued requests as the caps allow. Must run with the
-    /// state lock held; returns the admitted requests for the caller to
-    /// spawn *after* dropping the lock.
-    fn dispatch_locked(&self, state: &mut SchedState) -> Vec<Pending> {
+    /// Admits as many queued execution passes as the caps allow. With
+    /// continuous batching ([`SchedulerConfig::batched`]) a pass may be a
+    /// multi-member coalition — one concurrency slot, one tree pass —
+    /// otherwise every group is a singleton. Must run with the state lock
+    /// held; returns the admitted groups for the caller to spawn *after*
+    /// dropping the lock.
+    fn dispatch_locked(&self, state: &mut SchedState) -> Vec<Vec<Pending>> {
         let mut admitted = Vec::new();
         loop {
             if state.inflight_global >= self.cfg.global_cap {
@@ -554,66 +707,128 @@ impl SchedulerCore {
             state.credits[winner] -= round_weight;
             let pending = state.queues[winner].pop_front().expect("eligible head");
             let model = pending.ticket.model;
+            let mut group = vec![pending];
+            // Coalesce compatible followers behind the head: same model,
+            // same resolved shape, arrivals within the window — and never
+            // across classes. Fairness rule: while Interactive traffic
+            // waits, a Batch head is admitted *alone* (Interactive
+            // preempts the window close; a fat Batch coalition must not
+            // widen ahead of latency-sensitive work).
+            if let Some(batching) = self.cfg.batching {
+                let interactive_waiting = winner == Priority::Batch.index()
+                    && !state.queues[Priority::Interactive.index()].is_empty();
+                if let (Some(key), false) = (group[0].shape, interactive_waiting) {
+                    let head_arrival = group[0].arrival.as_micros();
+                    let window = batching.window.as_micros();
+                    let max_batch = batching.max_batch.max(1);
+                    let queue = &mut state.queues[winner];
+                    let mut i = 0;
+                    while i < queue.len() && group.len() < max_batch {
+                        let member = &queue[i];
+                        let joins = member.ticket.model == model
+                            && member.shape == Some(key)
+                            && member.arrival.as_micros().abs_diff(head_arrival) <= window;
+                        if joins {
+                            group.push(queue.remove(i).expect("scanned index in bounds"));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            // The whole group holds ONE concurrency slot: its members run
+            // as a single tree pass.
             state.inflight_global += 1;
             state.inflight_model[model] += 1;
             state.max_inflight_global = state.max_inflight_global.max(state.inflight_global);
             state.max_inflight_model[model] =
                 state.max_inflight_model[model].max(state.inflight_model[model]);
-            state.counters.admitted[winner] += 1;
-            if self.cfg.record_admissions {
-                state.admission_log.push(pending.ticket.seq);
+            state.counters.admitted[winner] += group.len() as u64;
+            if group.len() > 1 {
+                state.counters.coalitions += 1;
+                state.counters.coalesced += group.len() as u64;
             }
-            admitted.push(pending);
+            let hold = Arc::new(SlotHold {
+                remaining: AtomicUsize::new(group.len()),
+            });
+            for member in &group {
+                *member.ticket.slot.lock() = Some(hold.clone());
+            }
+            if self.cfg.record_admissions {
+                for member in &group {
+                    state.admission_log.push(member.ticket.seq);
+                }
+                state
+                    .admission_groups
+                    .push(group.iter().map(|m| m.ticket.seq).collect());
+            }
+            admitted.push(group);
         }
         admitted
     }
 
-    /// Spawns one executor thread per admitted request.
-    fn spawn(self: &Arc<Self>, admitted: Vec<Pending>) {
-        for pending in admitted {
+    /// Spawns one executor thread per admitted group: a singleton runs
+    /// [`FsdService::submit_batched`], a coalition runs
+    /// [`FsdService::submit_coalesced`] — one tree pass, one report per
+    /// member under its own flow id.
+    fn spawn(self: &Arc<Self>, admitted: Vec<Vec<Pending>>) {
+        for group in admitted {
             let core = self.clone();
-            let service = self.models[pending.ticket.model].service.clone();
+            let model = group[0].ticket.model;
+            let service = self.models[model].service.clone();
             std::thread::spawn(move || {
-                let Pending { ticket, req } = pending;
-                let result = service.submit_batched(&req);
+                let (tickets, reqs): (Vec<_>, Vec<_>) =
+                    group.into_iter().map(|p| (p.ticket, p.req)).unzip();
+                let results = if reqs.len() == 1 {
+                    vec![service.submit_batched(&reqs[0])]
+                } else {
+                    service.submit_coalesced(&reqs)
+                };
 
-                // Completion bookkeeping first, then deliver the result:
+                // Completion bookkeeping first, then deliver the results:
                 // a manual-mode harvester must observe consistent counters.
                 let mut state = core.state.lock();
-                match &result {
-                    Ok(report) => {
-                        state.counters.completed += 1;
-                        match report.launch {
-                            fsd_core::LaunchPath::WarmHit => state.counters.warm_hits += 1,
-                            fsd_core::LaunchPath::ColdStart => state.counters.cold_starts += 1,
+                for result in &results {
+                    match result {
+                        Ok(report) => {
+                            state.counters.completed += 1;
+                            match report.launch {
+                                LaunchPath::WarmHit => state.counters.warm_hits += 1,
+                                LaunchPath::ColdStart => state.counters.cold_starts += 1,
+                            }
+                            let l = report.latency.as_micros() as f64;
+                            let e = &mut state.ewma_latency_us[path_index(report.launch)];
+                            *e = if *e == 0.0 {
+                                l
+                            } else {
+                                (1.0 - EWMA_ALPHA) * *e + EWMA_ALPHA * l
+                            };
                         }
-                        let l = report.latency.as_micros() as f64;
-                        state.ewma_latency_us = if state.ewma_latency_us == 0.0 {
-                            l
-                        } else {
-                            (1.0 - EWMA_ALPHA) * state.ewma_latency_us + EWMA_ALPHA * l
-                        };
+                        Err(_) => state.counters.failed += 1,
                     }
-                    Err(_) => state.counters.failed += 1,
                 }
                 let follow_up = if core.cfg.manual_dispatch {
                     Vec::new()
                 } else {
-                    // Auto mode: an error or a success both release the
-                    // slot immediately and pull in the next request(s) —
-                    // a failing request must never wedge the queue.
+                    // Auto mode: success or error, the group's single slot
+                    // releases as soon as the pass finishes and pulls in
+                    // the next request(s) — a failing pass must never
+                    // wedge the queue.
                     state.inflight_global -= 1;
-                    state.inflight_model[ticket.model] -= 1;
+                    state.inflight_model[model] -= 1;
                     core.dispatch_locked(&mut state)
                 };
                 drop(state);
                 core.idle.notify_all();
                 core.spawn(follow_up);
 
-                let mut cell = ticket.cell.lock();
-                cell.result = Some(result);
-                drop(cell);
-                ticket.done.notify_all();
+                debug_assert_eq!(tickets.len(), results.len());
+                for (ticket, result) in tickets.into_iter().zip(results) {
+                    let mut cell = ticket.cell.lock();
+                    cell.result = Some(result);
+                    drop(cell);
+                    ticket.done.notify_all();
+                }
             });
         }
     }
@@ -712,7 +927,8 @@ impl SchedulerBuilder {
                     shutting_down: false,
                     counters: Counters::default(),
                     admission_log: Vec::new(),
-                    ewma_latency_us: 0.0,
+                    admission_groups: Vec::new(),
+                    ewma_latency_us: [0.0; 2],
                 }),
                 idle: Condvar::new(),
             }),
@@ -780,6 +996,21 @@ impl Scheduler {
         priority: Priority,
         req: BatchedRequest,
     ) -> Result<Ticket, FsdError> {
+        self.enqueue_at(model, priority, VirtualTime::ZERO, req)
+    }
+
+    /// [`Scheduler::enqueue`] with an explicit virtual arrival instant —
+    /// the timestamps the continuous-batching window
+    /// ([`BatchingConfig::window`]) is measured between. Harness replays
+    /// stamp each trace arrival here, so which requests coalesce is a pure
+    /// function of the trace, not of wall-clock enqueue timing.
+    pub fn enqueue_at(
+        &self,
+        model: &str,
+        priority: Priority,
+        arrival: VirtualTime,
+        req: BatchedRequest,
+    ) -> Result<Ticket, FsdError> {
         let &model_idx = self
             .core
             .by_name
@@ -788,15 +1019,13 @@ impl Scheduler {
                 name: model.to_string(),
             })?;
         let class = priority.index();
-        // Capture the predictor's view of the arrival (cheap, pure
-        // computation) before taking the lock; the potentially expensive
-        // `Auto` resolution runs in `drive_predictor`, only after
-        // acceptance and outside the scheduler lock.
-        let shape = if self.core.predictors[model_idx].is_some() {
-            Some(ArrivalShape::capture(&req))
-        } else {
-            None
-        };
+        // Capture the arrival's shape fields (cheap, pure computation)
+        // before taking the lock; the potentially expensive `Auto`
+        // resolution runs only after acceptance and outside the scheduler
+        // lock.
+        let need_shape =
+            self.core.predictors[model_idx].is_some() || self.core.cfg.batching.is_some();
+        let shape = need_shape.then(|| ArrivalShape::capture(&req));
         let mut state = self.core.state.lock();
         if state.shutting_down {
             return Err(FsdError::ShuttingDown);
@@ -814,18 +1043,37 @@ impl Scheduler {
             model: model_idx,
             cell: Mutex::new(TicketCell { result: None }),
             done: Condvar::new(),
+            slot: Mutex::new(None),
         });
         state.queues[class].push_back(Pending {
             ticket: shared.clone(),
             req,
+            arrival,
+            shape: None,
         });
         drop(state);
-        // Pre-warm *before* admission: trees predicted for this arrival's
-        // burst must be parked by the time the request (and its burst
-        // peers) are admitted. In manual mode the same ordering holds
-        // trivially — enqueues precede the driver's dispatch call.
+        // Resolve the shape only for *accepted* requests (rejected
+        // arrivals must never inflate pre-warm targets), then feed the
+        // predictor — pre-warm *before* admission, so trees predicted for
+        // this arrival's burst are parked by the time the request (and its
+        // burst peers) are admitted; in manual mode the same ordering
+        // holds trivially, enqueues precede the driver's dispatch call —
+        // and stamp the coalescing shape back onto the queued entry.
         if let Some(shape) = shape {
-            self.core.drive_predictor(model_idx, shape);
+            let resolved =
+                SchedulerCore::resolve_shape(&self.core.models[model_idx].service, shape);
+            self.core.drive_predictor(model_idx, resolved);
+            if self.core.cfg.batching.is_some() {
+                let mut state = self.core.state.lock();
+                // If auto-mode admission already raced the request out of
+                // the queue it dispatched solo — correct either way.
+                if let Some(pending) = state.queues[class]
+                    .iter_mut()
+                    .find(|p| p.ticket.seq == shared.seq)
+                {
+                    pending.shape = resolved;
+                }
+            }
         }
         let admitted = if self.core.cfg.manual_dispatch {
             Vec::new()
@@ -869,9 +1117,27 @@ impl Scheduler {
     }
 
     /// Stops intake: subsequent `enqueue` calls fail with
-    /// [`FsdError::ShuttingDown`]. Already-accepted requests still run.
+    /// [`FsdError::ShuttingDown`]. Requests already *admitted* still run;
+    /// requests still **queued** are cancelled — their tickets resolve
+    /// promptly with [`FsdError::ShuttingDown`] instead of hanging (they
+    /// never held a slot, so their harvest releases nothing).
     pub fn shutdown(&self) {
-        self.core.state.lock().shutting_down = true;
+        let cancelled: Vec<Arc<TicketShared>> = {
+            let mut state = self.core.state.lock();
+            state.shutting_down = true;
+            let mut cancelled = Vec::new();
+            for queue in &mut state.queues {
+                cancelled.extend(queue.drain(..).map(|p| p.ticket));
+            }
+            state.counters.cancelled += cancelled.len() as u64;
+            cancelled
+        };
+        for ticket in cancelled {
+            let mut cell = ticket.cell.lock();
+            cell.result = Some(Err(FsdError::ShuttingDown));
+            drop(cell);
+            ticket.done.notify_all();
+        }
         self.core.idle.notify_all();
     }
 
@@ -910,6 +1176,15 @@ impl Scheduler {
         self.core.state.lock().admission_log.clone()
     }
 
+    /// The admission *groups* recorded so far: one inner vec of seq
+    /// numbers per admitted execution pass, so coalitions keep their
+    /// members together (singletons without batching). Flattening this in
+    /// order yields [`Scheduler::admission_log`]. Empty unless
+    /// `record_admissions` is set.
+    pub fn admission_groups(&self) -> Vec<Vec<u64>> {
+        self.core.state.lock().admission_groups.clone()
+    }
+
     /// Point-in-time statistics.
     pub fn stats(&self) -> SchedStatsSnapshot {
         let state = self.core.state.lock();
@@ -923,11 +1198,16 @@ impl Scheduler {
             cold_starts: state.counters.cold_starts,
             prewarmed: state.counters.prewarmed,
             predictor_evicted: state.counters.predictor_evicted,
+            cancelled: state.counters.cancelled,
+            coalitions: state.counters.coalitions,
+            coalesced: state.counters.coalesced,
             queued: state.queues.iter().map(VecDeque::len).sum(),
             inflight: state.inflight_global,
             max_inflight: state.max_inflight_global,
             max_inflight_per_model: state.max_inflight_model.clone(),
-            ewma_latency: VirtualTime::from_micros(state.ewma_latency_us.round() as u64),
+            ewma_latency: VirtualTime::from_micros(state.blended_latency_us().round() as u64),
+            ewma_cold_latency: VirtualTime::from_micros(state.ewma_latency_us[0].round() as u64),
+            ewma_warm_latency: VirtualTime::from_micros(state.ewma_latency_us[1].round() as u64),
         }
     }
 }
@@ -1037,7 +1317,7 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_rejects_new_but_drains_backlog() {
+    fn shutdown_rejects_new_and_cancels_queued_tickets() {
         let (svc, inputs, expected) = service(4);
         let sched = Scheduler::wrap(svc, SchedulerConfig::default().global_cap(1));
         let tickets: Vec<Ticket> = (0..3)
@@ -1054,12 +1334,27 @@ mod tests {
                 .unwrap_err(),
             FsdError::ShuttingDown
         );
+        // Whatever admission raced ahead of the shutdown still runs to
+        // completion; everything still queued resolves ShuttingDown
+        // promptly instead of hanging its ticket holder.
+        let mut completed = 0u64;
+        let mut cancelled = 0u64;
         for t in tickets {
-            assert_eq!(t.wait().expect("backlog runs").first_output(), &expected);
+            match t.wait() {
+                Ok(report) => {
+                    assert_eq!(report.first_output(), &expected);
+                    completed += 1;
+                }
+                Err(FsdError::ShuttingDown) => cancelled += 1,
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
         }
+        assert_eq!(completed + cancelled, 3);
+        assert!(completed >= 1, "the admitted head must still run");
         sched.drain();
         let stats = sched.stats();
-        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.completed, completed);
+        assert_eq!(stats.cancelled, cancelled);
         assert_eq!(stats.queued, 0);
         assert_eq!(stats.inflight, 0);
     }
@@ -1324,5 +1619,132 @@ mod tests {
         let log = sched.admission_log();
         assert_eq!(log, vec![1, 7, 2, 3, 8, 4, 5, 9, 6, 10, 11, 12]);
         assert_eq!(sched.stats().max_inflight, 1);
+    }
+
+    #[test]
+    fn interactive_preempts_batch_coalition_and_followers_coalesce() {
+        let spec = DnnSpec {
+            neurons: 64,
+            layers: 2,
+            nnz_per_row: 8,
+            bias: -0.25,
+            clip: 32.0,
+            seed: 11,
+        };
+        let dnn = Arc::new(generate_dnn(&spec));
+        let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(8, 11));
+        let expected = dnn.serial_inference(&inputs);
+        let svc = Arc::new(ServiceBuilder::new(dnn).deterministic(11).build());
+        let sched = Scheduler::wrap(
+            svc,
+            SchedulerConfig::default()
+                .manual()
+                .global_cap(1)
+                .weights(1, 3)
+                .batched(BatchingConfig::default()),
+        );
+        // Three compatible Batch requests (seqs 1..=3), then one
+        // Interactive (seq 4). Batch wins the first SWRR round (weight 3),
+        // but its head must run ALONE while Interactive waits.
+        let mut tickets = HashMap::new();
+        for _ in 0..3 {
+            let t = sched
+                .enqueue_default(Priority::Batch, request(&inputs, Variant::Queue, 2))
+                .expect("accepted");
+            tickets.insert(t.seq(), t);
+        }
+        let t = sched
+            .enqueue_default(Priority::Interactive, request(&inputs, Variant::Queue, 2))
+            .expect("accepted");
+        tickets.insert(t.seq(), t);
+
+        let mut harvested = 0;
+        while harvested < 4 {
+            sched.dispatch();
+            let log = sched.admission_log();
+            while harvested < log.len() {
+                let seq = log[harvested];
+                harvested += 1;
+                let report = tickets.remove(&seq).expect("ticket").wait().expect("runs");
+                assert_eq!(report.first_output(), &expected);
+            }
+        }
+        // Group 1: the Batch head, solo (Interactive was waiting — the
+        // fairness rule forbids widening the coalition ahead of it).
+        // Group 2: the Interactive request. Group 3: the remaining Batch
+        // pair coalesces once no Interactive traffic waits.
+        assert_eq!(sched.admission_groups(), vec![vec![1], vec![4], vec![2, 3]]);
+        let stats = sched.stats();
+        assert_eq!(stats.coalitions, 1);
+        assert_eq!(stats.coalesced, 2);
+        assert_eq!(stats.max_inflight, 1, "a coalition holds one slot");
+        assert_eq!(stats.completed, 4);
+    }
+
+    #[test]
+    fn retry_hint_tightens_after_warm_hits() {
+        let spec = DnnSpec {
+            neurons: 64,
+            layers: 2,
+            nnz_per_row: 8,
+            bias: -0.25,
+            clip: 32.0,
+            seed: 12,
+        };
+        let dnn = Arc::new(generate_dnn(&spec));
+        let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(8, 12));
+        let svc = Arc::new(
+            ServiceBuilder::new(dnn)
+                .deterministic(12)
+                .warm_pool(1, u64::MAX)
+                .build(),
+        );
+        let sched = Scheduler::wrap(
+            svc,
+            SchedulerConfig::default()
+                .manual()
+                .global_cap(1)
+                .queue_capacity(1),
+        );
+        let run_one = || {
+            let t = sched
+                .enqueue_default(Priority::Batch, request(&inputs, Variant::Queue, 2))
+                .expect("accepted");
+            sched.dispatch();
+            t.wait().expect("runs")
+        };
+        let overload_hint = || {
+            let parked = sched
+                .enqueue_default(Priority::Batch, request(&inputs, Variant::Queue, 2))
+                .expect("fills the queue");
+            let hint =
+                match sched.enqueue_default(Priority::Batch, request(&inputs, Variant::Queue, 2)) {
+                    Err(FsdError::Overloaded { retry_after }) => retry_after,
+                    other => panic!("expected Overloaded, got {other:?}"),
+                };
+            sched.dispatch();
+            (hint, parked.wait().expect("parked request runs"))
+        };
+        assert_eq!(run_one().launch, LaunchPath::ColdStart);
+        // Hint read while only the cold EWMA is seeded...
+        let (hint_cold, first_warm) = overload_hint();
+        assert_eq!(first_warm.launch, LaunchPath::WarmHit);
+        // ...then a few warm hits weight the blended estimate toward the
+        // cheaper warm path...
+        for _ in 0..3 {
+            assert_eq!(run_one().launch, LaunchPath::WarmHit);
+        }
+        // ...so the *same* backlog state must now hint a shorter retry.
+        let (hint_warm, another_warm) = overload_hint();
+        assert_eq!(another_warm.launch, LaunchPath::WarmHit);
+        assert!(
+            hint_warm < hint_cold,
+            "hint must tighten after warm hits: {hint_warm:?} !< {hint_cold:?}"
+        );
+        let stats = sched.stats();
+        assert!(stats.ewma_warm_latency < stats.ewma_cold_latency);
+        assert!(stats.ewma_warm_latency > VirtualTime::ZERO);
+        assert_eq!(stats.cold_starts, 1);
+        assert_eq!(stats.warm_hits, 5);
     }
 }

@@ -108,6 +108,67 @@ pub fn bursty(bursts: usize, burst_size: usize, gap_us: u64, seed: u64) -> Vec<A
     out
 }
 
+/// One arrival in a multi-model *fleet* trace: which registered model the
+/// request targets, plus the arrival itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetArrival {
+    /// Index into the fleet replay's model list
+    /// ([`crate::harness::replay_fleet`]).
+    pub model: usize,
+    /// The request arrival.
+    pub arrival: Arrival,
+}
+
+/// The fleet-scale workload: `rounds` rounds, each sending one burst of
+/// `burst` simultaneous requests to *every* one of `models` models, rounds
+/// `gap_us` apart. A burst shares one arrival instant, one variant and one
+/// worker count (shapes alternate per `(model, round)`), so continuous
+/// batching can coalesce its Batch body; on even rounds each burst leads
+/// with an Interactive head, exercising the never-spans-classes rule under
+/// coalescing pressure. Scaling `models × rounds × burst` is the 10–100×
+/// fleet axis of the `scheduler_throughput` bench.
+pub fn fleet(
+    models: usize,
+    rounds: usize,
+    burst: usize,
+    gap_us: u64,
+    seed: u64,
+) -> Vec<FleetArrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(models * rounds * burst);
+    let mut idx = 0usize;
+    for round in 0..rounds {
+        for model in 0..models {
+            let variant = if (model + round) % 2 == 0 {
+                Variant::Queue
+            } else {
+                Variant::Object
+            };
+            let workers = 1 + ((model + round) % 2) as u32;
+            for j in 0..burst {
+                let priority = if j == 0 && round % 2 == 0 {
+                    Priority::Interactive
+                } else {
+                    Priority::Batch
+                };
+                out.push(FleetArrival {
+                    model,
+                    arrival: arrival(
+                        &mut rng,
+                        round as u64 * gap_us,
+                        priority,
+                        variant,
+                        workers,
+                        idx,
+                    ),
+                });
+                idx += 1;
+            }
+        }
+    }
+    out
+}
+
 /// The adversarial case: `n` large-`P` requests all arriving at once
 /// (virtual time zero), batch-heavy, cycling through every channel
 /// transport (queue, object, hybrid) — the flood that must trip the
@@ -141,7 +202,43 @@ mod tests {
         assert_eq!(steady(20, 1000, 7), steady(20, 1000, 7));
         assert_eq!(bursty(3, 8, 50_000, 7), bursty(3, 8, 50_000, 7));
         assert_eq!(flood(16, 4, 7), flood(16, 4, 7));
+        assert_eq!(fleet(4, 5, 6, 100_000, 7), fleet(4, 5, 6, 100_000, 7));
         assert_ne!(steady(20, 1000, 7), steady(20, 1000, 8));
+        assert_ne!(fleet(4, 5, 6, 100_000, 7), fleet(4, 5, 6, 100_000, 8));
+    }
+
+    #[test]
+    fn fleet_traces_are_coalescible_per_burst_and_fair_to_interactive() {
+        let models = 3;
+        let burst = 5;
+        let t = fleet(models, 4, burst, 100_000, 9);
+        assert_eq!(t.len(), models * 4 * burst);
+        assert!(
+            t.windows(2).all(|w| w[0].arrival.at <= w[1].arrival.at),
+            "sorted by time"
+        );
+        assert!(t.iter().all(|a| a.model < models));
+        for chunk in t.chunks(burst) {
+            // A burst shares model, instant and coalescing shape...
+            assert!(chunk.iter().all(|a| a.model == chunk[0].model));
+            assert!(chunk.iter().all(|a| a.arrival.at == chunk[0].arrival.at));
+            assert!(chunk
+                .iter()
+                .all(|a| a.arrival.variant == chunk[0].arrival.variant));
+            assert!(chunk
+                .iter()
+                .all(|a| a.arrival.workers == chunk[0].arrival.workers));
+            // ...but never mixes an Interactive head into its Batch body.
+            assert!(chunk[1..]
+                .iter()
+                .all(|a| a.arrival.priority == Priority::Batch));
+        }
+        assert!(t
+            .iter()
+            .any(|a| a.arrival.priority == Priority::Interactive));
+        for v in [Variant::Queue, Variant::Object] {
+            assert!(t.iter().any(|a| a.arrival.variant == v));
+        }
     }
 
     #[test]

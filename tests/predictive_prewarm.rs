@@ -154,6 +154,57 @@ fn predictive_replays_are_bit_identical() {
     assert!(first.stats.prewarmed > 0);
 }
 
+/// Regression (scheduler-hint sweep): the predictor must observe only
+/// *admitted* requests. A flood that overflows the bounded queues used to
+/// risk feeding every rejected `Overloaded` arrival into the shape
+/// counters, inflating pre-warm targets far past what will ever run. Two
+/// floods sharing a seed accept the identical prefix (the rng stream is
+/// sequential per arrival), so tripling the rejected tail must change
+/// *nothing* about pre-warming.
+#[test]
+fn rejected_flood_arrivals_do_not_inflate_prewarm_targets() {
+    let _guard = engine_guard();
+    let run_flood = |n: usize| {
+        let dnn = Arc::new(generate_dnn(&spec()));
+        let service = Arc::new(
+            ServiceBuilder::new(dnn)
+                .deterministic(SEED)
+                .prewarm(4)
+                .auto_warm_pool(4, 2)
+                .build(),
+        );
+        let cfg = SchedulerConfig::default()
+            .global_cap(1)
+            .queue_capacity(4)
+            .manual()
+            .predictive(PredictorConfig::default().window(8).max_warm(8));
+        let sched = SchedulerBuilder::new(cfg).model("m", service).build();
+        replay(&sched, "m", &trace::flood(n, 4, SEED))
+    };
+    let small = run_flood(16);
+    let large = run_flood(48);
+
+    // Both floods overflow; the larger one rejects strictly more.
+    assert!(small.stats.total_rejected() > 0, "flood must overflow");
+    assert!(large.stats.total_rejected() > small.stats.total_rejected());
+    // The accepted prefix is identical, so the admitted work is identical…
+    assert_eq!(small.stats.total_admitted(), large.stats.total_admitted());
+    assert_eq!(small.admission_order, large.admission_order);
+    // …and so must be the predictor's output: rejected arrivals are
+    // invisible to it, no matter how many there are.
+    assert!(
+        small.stats.prewarmed > 0,
+        "predictor must engage on the flood"
+    );
+    assert_eq!(
+        small.stats.prewarmed, large.stats.prewarmed,
+        "rejected arrivals inflated pre-warm targets: {} -> {}",
+        small.stats.prewarmed, large.stats.prewarmed
+    );
+    assert_eq!(small.stats.warm_hits, large.stats.warm_hits);
+    assert_eq!(small.stats.cold_starts, large.stats.cold_starts);
+}
+
 #[test]
 fn quiescence_evicts_prewarmed_trees_on_drain_ticks() {
     let _guard = engine_guard();
