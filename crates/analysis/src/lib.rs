@@ -17,6 +17,7 @@
 //! | `teardown-pair` | every `pub fn create_*`/`provision_*` in `crates/core`/`crates/comm` has a `remove_*`/`delete_*`/`teardown_*`/`destroy_*` twin in the same module |
 //! | `no-unwrap` | no `.unwrap()`, bare/undocumented `.expect(..)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` in non-test library code |
 //! | `lock-across-blocking` | a live `.lock()` guard must not be held across `.wait*(`/`.recv*(`/`sleep(` (condvar waits that consume the guard are recognized and allowed) |
+//! | `retry-idempotent` | a `RetryPolicy` `.run(..)` closure must not call non-idempotent channel ops (`receive_wait`, `take_visible`, `poll`, `poll_and_stash`, `settle_receives`, `delete_batch`, `enqueue`) — a retried attempt repeats its calls, so only idempotent ops may sit inside one |
 //!
 //! Escape hatch: a comment containing `fsd_lint::allow(lint-name)` (optionally
 //! a comma-separated list, optionally followed by `: reason`) suppresses those
@@ -42,15 +43,18 @@ pub const LINT_TEARDOWN_PAIR: &str = "teardown-pair";
 pub const LINT_NO_UNWRAP: &str = "no-unwrap";
 /// Lint name: mutex guard held across a blocking call.
 pub const LINT_LOCK_BLOCKING: &str = "lock-across-blocking";
+/// Lint name: non-idempotent op inside a `RetryPolicy::run` closure.
+pub const LINT_RETRY_IDEMPOTENT: &str = "retry-idempotent";
 
 /// Every lint this binary knows about, in diagnostic-name form.
-pub const ALL_LINTS: [&str; 6] = [
+pub const ALL_LINTS: [&str; 7] = [
     LINT_VARIANT_EXHAUSTIVE,
     LINT_BILLING_PAIR,
     LINT_RAW_CHANNEL_NAME,
     LINT_TEARDOWN_PAIR,
     LINT_NO_UNWRAP,
     LINT_LOCK_BLOCKING,
+    LINT_RETRY_IDEMPOTENT,
 ];
 
 /// A single diagnostic: `path:line: [lint] message`.
@@ -1005,6 +1009,64 @@ fn lint_lock_across_blocking(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// Lint 7: `retry-idempotent`.
+///
+/// A retried attempt repeats every call its closure makes, so only
+/// idempotent ops (re-PUT same key, re-GET, re-publish of a deduped
+/// record) may run under a `RetryPolicy`. Consuming/destructive ops —
+/// receives that pop messages, visibility takes, deletes, scheduler
+/// enqueues — would double their effect on retry.
+fn lint_retry_idempotent(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    const NON_IDEMPOTENT: [&str; 7] = [
+        "receive_wait",
+        "take_visible",
+        "poll",
+        "poll_and_stash",
+        "settle_receives",
+        "delete_batch",
+        "enqueue",
+    ];
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.test[i] || !toks[i].is_word("run") {
+            continue;
+        }
+        if i == 0 || !toks[i - 1].is_sym('.') || !toks.get(i + 1).is_some_and(|t| t.is_sym('(')) {
+            continue;
+        }
+        // Receiver must be retry-ish: a `retry` field/binding or a
+        // `RetryPolicy` constructor within the few tokens leading up to
+        // the `.run(` (e.g. `self.opts.retry.run(` or
+        // `RetryPolicy::default().run(`).
+        let lookback_start = i.saturating_sub(8);
+        let retry_ish = toks[lookback_start..i]
+            .iter()
+            .any(|t| t.is_word("retry") || t.is_word("RetryPolicy"));
+        if !retry_ish {
+            continue;
+        }
+        let close = matching_close(toks, i + 1);
+        for k in i + 2..close {
+            let t = &toks[k];
+            if t.kind == Kind::Word
+                && NON_IDEMPOTENT.contains(&t.text.as_str())
+                && toks.get(k + 1).is_some_and(|n| n.is_sym('('))
+            {
+                ctx.push(
+                    out,
+                    t.line,
+                    LINT_RETRY_IDEMPOTENT,
+                    format!(
+                        "non-idempotent op `{}(` inside a RetryPolicy::run closure (entered at line {}); a retry repeats its calls, so only idempotent ops may run under the policy",
+                        t.text,
+                        toks[i].line
+                    ),
+                );
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Entry points
 // ---------------------------------------------------------------------------
@@ -1028,6 +1090,7 @@ pub fn lint_source(src: &str, cfg: &LintConfig) -> Vec<Finding> {
         lint_teardown_pair(&ctx, &mut out);
         lint_no_unwrap(&ctx, &mut out);
         lint_lock_across_blocking(&ctx, &mut out);
+        lint_retry_idempotent(&ctx, &mut out);
     }
     out.sort();
     out

@@ -1,0 +1,13 @@
+fn bad_retry_over_receive(opts: &Opts, lane: &mut VClock, env: &CloudEnv, q: u32) {
+    let (res, retries) = opts.retry.run(lane, |lane| {
+        env.queue(q).receive_wait(lane, 10)
+    });
+    let _ = (res, retries);
+}
+
+fn bad_retry_over_delete(lane: &mut VClock, env: &CloudEnv, q: u32, handles: Vec<u64>) {
+    let (res, _) = RetryPolicy::default().run(lane, |lane| {
+        env.queue(q).delete_batch(lane, &handles)
+    });
+    let _ = res;
+}

@@ -133,6 +133,17 @@ fn lock_across_blocking_flags_live_guards() {
 }
 
 #[test]
+fn retry_idempotent_flags_consuming_ops_in_retry_closures() {
+    let bad = include_str!("fixtures/bad_retry_idempotent.rs");
+    assert_eq!(
+        findings(bad, "crates/core/src/fixture.rs"),
+        vec![("retry-idempotent", 3), ("retry-idempotent", 10)]
+    );
+    let good = include_str!("fixtures/good_retry_idempotent.rs");
+    assert_eq!(findings(good, "crates/core/src/fixture.rs"), vec![]);
+}
+
+#[test]
 fn allow_comment_silences_only_the_named_line() {
     let src = include_str!("fixtures/allow_escape_hatch.rs");
     // The documented panic! is silenced; the undocumented unwrap is not.

@@ -50,6 +50,13 @@ pub const GATED: &[(&str, &[(&str, Direction)])] = &[
             ("hybrid_p50_us", Direction::LowerIsBetter),
         ],
     ),
+    (
+        "BENCH_chaos_soak.json",
+        &[
+            ("fault_free_mean_latency_us", Direction::LowerIsBetter),
+            ("success_rate_pct", Direction::HigherIsBetter),
+        ],
+    ),
 ];
 
 /// Which way a metric regresses.

@@ -1,5 +1,6 @@
 //! The shared cloud environment: services + meters + timing sources.
 
+use crate::fault::{FaultPlan, FaultPlane};
 use crate::latency::{Jitter, LatencyModel};
 use crate::meter::{MeterSnapshot, ServiceMeter};
 use crate::object::ObjectStore;
@@ -20,6 +21,9 @@ pub struct CloudConfig {
     pub n_topics: usize,
     /// Number of object-storage buckets (the paper uses 10).
     pub n_buckets: usize,
+    /// Optional seeded fault-injection plan (chaos testing). `None`
+    /// draws nothing and adds no overhead.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for CloudConfig {
@@ -29,6 +33,7 @@ impl Default for CloudConfig {
             seed: 0,
             n_topics: 10,
             n_buckets: 10,
+            faults: None,
         }
     }
 }
@@ -42,6 +47,12 @@ impl CloudConfig {
             ..CloudConfig::default()
         }
     }
+
+    /// Arms the fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> CloudConfig {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// One simulated cloud region holding all communication services. Shared
@@ -50,6 +61,7 @@ pub struct CloudEnv {
     config: CloudConfig,
     meter: Arc<ServiceMeter>,
     jitter: Arc<Jitter>,
+    faults: Arc<FaultPlane>,
     pubsub: PubSub,
     store: ObjectStore,
     queues: Mutex<HashMap<String, Arc<SqsQueue>>>,
@@ -61,13 +73,20 @@ impl CloudEnv {
     pub fn new(config: CloudConfig) -> Arc<CloudEnv> {
         let meter = Arc::new(ServiceMeter::new());
         let jitter = Arc::new(Jitter::new(config.seed, config.latency.jitter));
+        let faults = Arc::new(FaultPlane::new(config.faults));
         let pubsub = PubSub::new(
             config.n_topics,
             meter.clone(),
             config.latency,
             jitter.clone(),
+            faults.clone(),
         );
-        let store = ObjectStore::new(meter.clone(), config.latency, jitter.clone());
+        let store = ObjectStore::new(
+            meter.clone(),
+            config.latency,
+            jitter.clone(),
+            faults.clone(),
+        );
         for i in 0..config.n_buckets {
             store.create_bucket(&bucket_name(i));
         }
@@ -75,6 +94,7 @@ impl CloudEnv {
             config,
             meter,
             jitter,
+            faults,
             pubsub,
             store,
             queues: Mutex::new(HashMap::new()),
@@ -117,6 +137,12 @@ impl CloudEnv {
         &self.jitter
     }
 
+    /// The region's fault-injection plane (inert unless a plan or a
+    /// targeted schedule is armed).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
+    }
+
     /// The pub-sub service.
     pub fn pubsub(&self) -> &PubSub {
         &self.pubsub
@@ -139,6 +165,7 @@ impl CloudEnv {
                     self.meter.clone(),
                     self.config.latency,
                     self.jitter.clone(),
+                    self.faults.clone(),
                 ))
             })
             .clone()

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 mod env;
+mod fault;
 mod latency;
 mod message;
 mod meter;
@@ -34,6 +35,10 @@ mod queue;
 mod time;
 
 pub use env::{bucket_name, CloudConfig, CloudEnv};
+pub use fault::{
+    mix64, unit_from, ApiClass, ClassFaults, FaultKind, FaultPlan, FaultPlane, FaultStatsSnapshot,
+    TargetedFault,
+};
 pub use latency::{Jitter, LatencyModel};
 pub use message::{quota, CommError, Message, MessageAttributes, QueuedMessage, ReceivedMessage};
 pub use meter::{MeterSnapshot, ServiceMeter};

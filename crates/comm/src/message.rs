@@ -85,6 +85,26 @@ pub enum CommError {
     NoSuchBucket { bucket: String },
     /// GET on a key that does not exist (or is not yet visible).
     NoSuchKey { key: String },
+    /// Injected 5xx-class transient service failure; retryable.
+    Unavailable { api: String },
+    /// Injected 429-class throttle; retryable after backoff.
+    Throttled { api: String },
+    /// Injected permanent failure (targeted fault schedule); not
+    /// retryable.
+    Faulted { api: String },
+}
+
+impl CommError {
+    /// Whether a bounded retry of the same call may succeed. Quota and
+    /// missing-resource errors are logic errors — retrying them burns
+    /// billed calls for nothing — so only injected transient/throttle
+    /// failures qualify.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            CommError::Unavailable { .. } | CommError::Throttled { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for CommError {
@@ -107,6 +127,11 @@ impl std::fmt::Display for CommError {
             CommError::NoSuchTopic { topic } => write!(f, "topic {topic} does not exist"),
             CommError::NoSuchBucket { bucket } => write!(f, "bucket {bucket} does not exist"),
             CommError::NoSuchKey { key } => write!(f, "key {key} does not exist"),
+            CommError::Unavailable { api } => {
+                write!(f, "{api}: service unavailable (injected transient fault)")
+            }
+            CommError::Throttled { api } => write!(f, "{api}: throttled (injected fault)"),
+            CommError::Faulted { api } => write!(f, "{api}: permanent injected fault"),
         }
     }
 }

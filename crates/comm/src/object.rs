@@ -11,6 +11,7 @@
 //! write consistency in simulated time, preventing causality violations
 //! between workers whose clocks have drifted apart).
 
+use crate::fault::{ApiClass, FaultPlane};
 use crate::latency::{Jitter, LatencyModel};
 use crate::message::CommError;
 use crate::meter::ServiceMeter;
@@ -41,6 +42,7 @@ pub struct ObjectStore {
     meter: Arc<ServiceMeter>,
     latency: LatencyModel,
     jitter: Arc<Jitter>,
+    faults: Arc<FaultPlane>,
 }
 
 impl ObjectStore {
@@ -48,6 +50,7 @@ impl ObjectStore {
         meter: Arc<ServiceMeter>,
         latency: LatencyModel,
         jitter: Arc<Jitter>,
+        faults: Arc<FaultPlane>,
     ) -> ObjectStore {
         ObjectStore {
             buckets: Mutex::new(HashMap::new()),
@@ -55,6 +58,7 @@ impl ObjectStore {
             meter,
             latency,
             jitter,
+            faults,
         }
     }
 
@@ -89,6 +93,16 @@ impl ObjectStore {
     ) -> Result<(), CommError> {
         let bytes = bytes.into();
         let dur = self.jitter.apply(self.latency.s3_put_total_us(bytes.len()));
+        // Injected PUT failure: billed and the round trip elapses (AWS
+        // bills failed requests), but nothing is stored.
+        if let Some(kind) = self
+            .faults
+            .check(ApiClass::ObjectPut, clock.flow(), clock.now(), key)
+        {
+            self.meter.record_s3_put(clock.flow(), bytes.len() as u64);
+            clock.advance_micros(dur);
+            return Err(kind.to_error(format!("s3:put {bucket}/{key}")));
+        }
         clock.advance_micros(dur);
         let mut buckets = self.buckets.lock();
         let b = buckets
@@ -141,6 +155,16 @@ impl ObjectStore {
     /// One `GET`: returns the object body if it exists and is visible at
     /// the caller's clock. Billed even when it fails (as on AWS).
     pub fn get(&self, bucket: &str, key: &str, clock: &mut VClock) -> Result<Arc<[u8]>, CommError> {
+        // Injected GET failure: billed as an unproductive request, the
+        // first-byte round trip elapses, no body moves.
+        if let Some(kind) = self
+            .faults
+            .check(ApiClass::ObjectGet, clock.flow(), clock.now(), key)
+        {
+            self.meter.record_s3_get(clock.flow(), 0);
+            clock.advance_micros(self.jitter.apply(self.latency.s3_get_us));
+            return Err(kind.to_error(format!("s3:get {bucket}/{key}")));
+        }
         let buckets = self.buckets.lock();
         let b = buckets.get(bucket).ok_or_else(|| CommError::NoSuchBucket {
             bucket: bucket.to_string(),
@@ -396,7 +420,15 @@ impl ObjectStore {
 
     /// Deletes every object under `prefix` (inter-run cleanup; modeled as
     /// lifecycle expiry, not billed).
+    ///
+    /// Deletes are free and idempotent in this model, so an injected
+    /// fault here is *counted* (observability for chaos runs) but the
+    /// modeled lifecycle retry always succeeds — a delete that silently
+    /// failed would leak residue with no billed call left to retry.
     pub fn delete_prefix(&self, bucket: &str, prefix: &str) {
+        let _ = self
+            .faults
+            .check(ApiClass::ObjectDelete, 0, VirtualTime::ZERO, prefix);
         if let Some(b) = self.buckets.lock().get_mut(bucket) {
             b.retain(|k, _| !k.starts_with(prefix));
         }
@@ -417,6 +449,7 @@ mod tests {
             Arc::new(ServiceMeter::new()),
             LatencyModel::deterministic(),
             Arc::new(Jitter::new(5, 0.0)),
+            Arc::new(FaultPlane::disabled()),
         )
     }
 

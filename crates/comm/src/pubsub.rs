@@ -8,6 +8,7 @@
 //! worker's dedicated queue. Messages whose target has no subscription are
 //! silently dropped — exact SNS filter semantics.
 
+use crate::fault::{ApiClass, FaultPlane};
 use crate::latency::{Jitter, LatencyModel};
 use crate::message::{quota, CommError, Message};
 use crate::meter::ServiceMeter;
@@ -30,6 +31,7 @@ pub struct PubSub {
     meter: Arc<ServiceMeter>,
     latency: LatencyModel,
     jitter: Arc<Jitter>,
+    faults: Arc<FaultPlane>,
 }
 
 impl PubSub {
@@ -38,6 +40,7 @@ impl PubSub {
         meter: Arc<ServiceMeter>,
         latency: LatencyModel,
         jitter: Arc<Jitter>,
+        faults: Arc<FaultPlane>,
     ) -> PubSub {
         let topics = (0..n_topics.max(1))
             .map(|_| Topic {
@@ -49,6 +52,7 @@ impl PubSub {
             meter,
             latency,
             jitter,
+            faults,
         }
     }
 
@@ -119,6 +123,20 @@ impl PubSub {
         }
         // Billed in 64 KiB increments, minimum one request per batch.
         let billed = (total.div_ceil(quota::BILLING_INCREMENT)).max(1) as u64;
+        // Injected publish failure: the API call is billed and takes the
+        // full round trip (AWS bills failed requests), but nothing is
+        // delivered — the batch is all-or-nothing, so a retry republishes
+        // it whole and cannot double-deliver.
+        if let Some(kind) = self.faults.check(
+            ApiClass::TopicPublish,
+            clock.flow(),
+            clock.now(),
+            &topic_name(topic),
+        ) {
+            self.meter.record_sns_publish(clock.flow(), billed);
+            clock.advance_micros(self.jitter.apply(self.latency.sns_publish_total_us(total)));
+            return Err(kind.to_error(format!("sns:publish {}", topic_name(topic))));
+        }
         self.meter.record_sns_publish(clock.flow(), billed);
         clock.advance_micros(self.jitter.apply(self.latency.sns_publish_total_us(total)));
 
@@ -127,7 +145,23 @@ impl PubSub {
         let subs = t.subs.read();
         for msg in messages {
             if let Some(queue) = subs.get(&(msg.attributes.flow, msg.attributes.target)) {
-                let delay = self.jitter.apply(self.latency.sns_delivery_us);
+                let mut delay = self.jitter.apply(self.latency.sns_delivery_us);
+                // Injected delivery fault: SNS retries queue delivery
+                // internally, so the message is *delayed*, never lost — a
+                // lost delivery after a successful publish would be
+                // unrecoverable for the receiver (no failed call to retry).
+                if self
+                    .faults
+                    .check(
+                        ApiClass::QueueSend,
+                        msg.attributes.flow,
+                        clock.now(),
+                        queue.name(),
+                    )
+                    .is_some()
+                {
+                    delay += self.latency.sns_delivery_us.max(1) * 4;
+                }
                 let available_at = clock.now().plus_micros(delay);
                 // Delivery is attributed to the *message's* flow — the
                 // service-side fan-out belongs to the request that published
@@ -156,18 +190,23 @@ mod tests {
     use crate::queue::PollKind;
     use crate::time::VirtualTime;
 
+    fn plane() -> Arc<FaultPlane> {
+        Arc::new(FaultPlane::disabled())
+    }
+
     fn setup(n_topics: usize) -> (PubSub, Arc<SqsQueue>, Arc<SqsQueue>) {
         let meter = Arc::new(ServiceMeter::new());
         let jitter = Arc::new(Jitter::new(3, 0.0));
         let lat = LatencyModel::deterministic();
-        let ps = PubSub::new(n_topics, meter.clone(), lat, jitter.clone());
+        let ps = PubSub::new(n_topics, meter.clone(), lat, jitter.clone(), plane());
         let q0 = Arc::new(SqsQueue::new(
             "q0".into(),
             meter.clone(),
             lat,
             jitter.clone(),
+            plane(),
         ));
-        let q1 = Arc::new(SqsQueue::new("q1".into(), meter, lat, jitter));
+        let q1 = Arc::new(SqsQueue::new("q1".into(), meter, lat, jitter, plane()));
         ps.subscribe(0, 0, 0, q0.clone()).expect("subscribe q0");
         ps.subscribe(0, 0, 1, q1.clone()).expect("subscribe q1");
         (ps, q0, q1)
@@ -250,8 +289,14 @@ mod tests {
         let meter = Arc::new(ServiceMeter::new());
         let jitter = Arc::new(Jitter::new(3, 0.0));
         let lat = LatencyModel::deterministic();
-        let ps = PubSub::new(1, meter.clone(), lat, jitter.clone());
-        let q = Arc::new(SqsQueue::new("q".into(), meter.clone(), lat, jitter));
+        let ps = PubSub::new(1, meter.clone(), lat, jitter.clone(), plane());
+        let q = Arc::new(SqsQueue::new(
+            "q".into(),
+            meter.clone(),
+            lat,
+            jitter,
+            plane(),
+        ));
         ps.subscribe(0, 0, 0, q).expect("subscribe");
         let mut clock = VClock::default();
         // Tiny batch: 1 billed request.
@@ -319,14 +364,15 @@ mod tests {
         let meter = Arc::new(ServiceMeter::new());
         let jitter = Arc::new(Jitter::new(3, 0.0));
         let lat = LatencyModel::deterministic();
-        let ps = PubSub::new(1, meter.clone(), lat, jitter.clone());
+        let ps = PubSub::new(1, meter.clone(), lat, jitter.clone(), plane());
         let qa = Arc::new(SqsQueue::new(
             "flow-a".into(),
             meter.clone(),
             lat,
             jitter.clone(),
+            plane(),
         ));
-        let qb = Arc::new(SqsQueue::new("flow-b".into(), meter, lat, jitter));
+        let qb = Arc::new(SqsQueue::new("flow-b".into(), meter, lat, jitter, plane()));
         ps.subscribe(0, 1, 0, qa.clone()).expect("subscribe flow 1");
         ps.subscribe(0, 2, 0, qb.clone()).expect("subscribe flow 2");
         let mut clock = VClock::default();

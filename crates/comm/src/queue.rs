@@ -14,6 +14,7 @@
 //! * received messages become *in flight* until deleted; a failure-injection
 //!   hook re-queues them, modeling visibility-timeout expiry.
 
+use crate::fault::{ApiClass, FaultPlane};
 use crate::latency::{Jitter, LatencyModel};
 use crate::message::{quota, Message, QueuedMessage, ReceivedMessage};
 use crate::meter::ServiceMeter;
@@ -48,6 +49,13 @@ const REAL_WAIT: Duration = Duration::from_millis(2);
 /// toward their virtual timeout.
 const REAL_WAIT_LONG: Duration = Duration::from_millis(150);
 
+/// Cap on consecutive injected receive/delete failures modeled inside one
+/// [`SqsQueue::settle_receives`] round. Bounds the settle loop even under
+/// a pathological 100% fault rate; in that regime the visibility timeout
+/// would expire and redeliver the batch anyway, which is exactly what the
+/// capped re-settle models.
+const MAX_SETTLE_RETRIES: u32 = 8;
+
 struct QueueInner {
     visible: VecDeque<QueuedMessage>,
     in_flight: HashMap<u64, QueuedMessage>,
@@ -62,6 +70,7 @@ pub struct SqsQueue {
     meter: Arc<ServiceMeter>,
     latency: LatencyModel,
     jitter: Arc<Jitter>,
+    faults: Arc<FaultPlane>,
 }
 
 impl SqsQueue {
@@ -71,6 +80,7 @@ impl SqsQueue {
         meter: Arc<ServiceMeter>,
         latency: LatencyModel,
         jitter: Arc<Jitter>,
+        faults: Arc<FaultPlane>,
     ) -> SqsQueue {
         SqsQueue {
             name,
@@ -83,6 +93,7 @@ impl SqsQueue {
             meter,
             latency,
             jitter,
+            faults,
         }
     }
 
@@ -336,6 +347,27 @@ impl SqsQueue {
             // Long polling returns as soon as the earliest message lands;
             // the round takes everything visible at that instant (≤ 10).
             clock.observe(next);
+            // Injected receive failure: the `ReceiveMessage` round trip
+            // is billed but returns nothing; the messages stay governed
+            // by the visibility machinery and the next round re-settles
+            // them — retries here are *never* a blind re-call.
+            let mut retries = 0u32;
+            while retries < MAX_SETTLE_RETRIES
+                && self
+                    .faults
+                    .check(
+                        ApiClass::QueueReceive,
+                        clock.flow(),
+                        clock.now(),
+                        &self.name,
+                    )
+                    .is_some()
+            {
+                self.meter.record_sqs_call(clock.flow(), 0, true);
+                calls += 1;
+                clock.advance_micros(self.jitter.apply(self.latency.sqs_poll_us));
+                retries += 1;
+            }
             let mut batch_bytes = 0usize;
             let mut n = 0u64;
             while i < msgs.len() && msgs[i].0 <= clock.now() && n < quota::MAX_BATCH_MESSAGES as u64
@@ -350,6 +382,20 @@ impl SqsQueue {
                 self.jitter
                     .apply(self.latency.sqs_poll_total_us(batch_bytes)),
             );
+            // Injected delete failure: the `DeleteMessageBatch` is billed
+            // and retried with the same receipt handles (idempotent).
+            let mut retries = 0u32;
+            while retries < MAX_SETTLE_RETRIES
+                && self
+                    .faults
+                    .check(ApiClass::QueueDelete, clock.flow(), clock.now(), &self.name)
+                    .is_some()
+            {
+                self.meter.record_sqs_call(clock.flow(), 0, false);
+                calls += 1;
+                clock.advance_micros(self.jitter.apply(self.latency.sqs_delete_us));
+                retries += 1;
+            }
             // Algorithm 1 line 15: delete the polled batch.
             self.meter.record_sqs_call(clock.flow(), 0, false);
             calls += 1;
@@ -405,6 +451,7 @@ mod tests {
             Arc::new(ServiceMeter::new()),
             LatencyModel::deterministic(),
             Arc::new(Jitter::new(1, 0.0)),
+            Arc::new(FaultPlane::disabled()),
         )
     }
 
@@ -514,6 +561,7 @@ mod tests {
             meter.clone(),
             LatencyModel::deterministic(),
             Arc::new(Jitter::new(1, 0.0)),
+            Arc::new(FaultPlane::disabled()),
         );
         let mut clock = VClock::default();
         q.poll(&mut clock, PollKind::Long { wait_secs: 0.1 });
@@ -554,6 +602,7 @@ mod tests {
             meter.clone(),
             LatencyModel::deterministic(),
             Arc::new(Jitter::new(1, 0.0)),
+            Arc::new(FaultPlane::disabled()),
         );
         // Message stamped 5s into the consumer's future; W = 2s → consumer
         // would have issued 2 empty polls + 1 successful one.
@@ -576,6 +625,7 @@ mod tests {
             meter.clone(),
             LatencyModel::deterministic(),
             Arc::new(Jitter::new(1, 0.0)),
+            Arc::new(FaultPlane::disabled()),
         );
         q.enqueue(VirtualTime::ZERO, msg(1, b"now"));
         let mut clock = VClock::starting_at(VirtualTime::from_secs_f64(1.0));
@@ -593,6 +643,7 @@ mod tests {
             meter.clone(),
             LatencyModel::deterministic(),
             Arc::new(Jitter::new(1, 0.0)),
+            Arc::new(FaultPlane::disabled()),
         );
         let mut clock = VClock::default();
         let (got, rounds) = q.receive_wait(&mut clock, 2.0);

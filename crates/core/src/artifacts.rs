@@ -165,10 +165,13 @@ pub struct WorkerArtifacts {
 
 fn fetch(ctx: &mut WorkerCtx, key: &str) -> Result<Vec<u8>, FaasError> {
     let env = ctx.env().clone();
-    let body = env
-        .object_store()
-        .get(ARTIFACT_BUCKET, key, ctx.clock_mut())
-        .map_err(|e| FaasError::comm("artifact", key, e))?;
+    // Artifact GETs are pure reads; a transient fault here would otherwise
+    // kill the whole worker before inference even starts, so the default
+    // retry policy wraps this single funnel.
+    let (res, _) = crate::retry::RetryPolicy::default().run(ctx.clock_mut(), |clock| {
+        env.object_store().get(ARTIFACT_BUCKET, key, clock)
+    });
+    let body = res.map_err(|e| FaasError::comm("artifact", key, e))?;
     ctx.charge_bytes(body.len() as u64, ARTIFACT_DECODE_BPS);
     Ok(body.to_vec())
 }

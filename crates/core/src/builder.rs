@@ -28,6 +28,7 @@ pub struct ServiceBuilder {
     prewarm_trees: Vec<(Variant, u32, u32)>,
     wall_clock: Option<Arc<dyn WallClock>>,
     reap_interval: Option<std::time::Duration>,
+    regenerate_poisoned: bool,
 }
 
 impl ServiceBuilder {
@@ -43,6 +44,7 @@ impl ServiceBuilder {
             prewarm_trees: Vec::new(),
             wall_clock: None,
             reap_interval: None,
+            regenerate_poisoned: false,
         }
     }
 
@@ -186,6 +188,19 @@ impl ServiceBuilder {
         self
     }
 
+    /// Auto-heals the warm pool after a mid-request worker crash: when a
+    /// checked-out tree comes back poisoned and is discarded, a fresh tree
+    /// of the same shape is immediately relaunched and parked, billed to
+    /// the unattributed flow exactly like a pre-warm. Off by default —
+    /// failure-injection harnesses usually want to observe the cold-start
+    /// recovery, and an idle shape should not be relaunched speculatively
+    /// unless the deployment opts in. Requires an enabled warm pool to
+    /// have any effect.
+    pub fn regenerate_poisoned(mut self) -> ServiceBuilder {
+        self.regenerate_poisoned = true;
+        self
+    }
+
     /// Spawns a background reaper thread that calls
     /// `FsdService::reap_warm_trees` every `interval`. The thread is
     /// stopped and joined when the service drops. Only meaningful
@@ -233,6 +248,7 @@ impl ServiceBuilder {
             self.warm_pool,
             self.wall_clock,
             self.reap_interval,
+            self.regenerate_poisoned,
         );
         for p in self.prewarm {
             service.prepare(p);

@@ -310,10 +310,15 @@ impl FsiChannel for HybridChannel {
             for (i, (bucket, key, body)) in puts.into_iter().enumerate() {
                 let lane = &mut lane_clocks[i % lanes];
                 let bytes = body.len() as u64;
-                self.env
-                    .object_store()
-                    .put(&bucket, &key, body, lane)
-                    .map_err(|e| FaasError::comm("put", &key, e))?;
+                // A faulted PUT bills but stores nothing; re-PUT of the
+                // same key/body is idempotent.
+                let (res, retries) = self.opts.retry.run(lane, |lane| {
+                    self.env
+                        .object_store()
+                        .put(&bucket, &key, body.clone(), lane)
+                });
+                self.stats.add(&self.stats.retries, retries);
+                res.map_err(|e| FaasError::comm("put", &key, e))?;
                 self.stats.add(&self.stats.s3_puts, 1);
                 self.stats.add(&self.stats.s3_bytes_put, bytes);
             }
@@ -374,11 +379,12 @@ impl FsiChannel for HybridChannel {
             let rows = match parse_frame(&body)? {
                 Frame::Inline(inline) => decode_payload(ctx, inline, self.opts.compression)?,
                 Frame::Pointer { key, payload_len } => {
-                    let fetched = self
-                        .env
-                        .object_store()
-                        .get(&bucket, key, ctx.clock_mut())
-                        .map_err(|e| FaasError::comm("get", key, e))?;
+                    // GET is a pure read — safe to retry on transients.
+                    let (res, retries) = self.opts.retry.run(ctx.clock_mut(), |clock| {
+                        self.env.object_store().get(&bucket, key, clock)
+                    });
+                    self.stats.add(&self.stats.retries, retries);
+                    let fetched = res.map_err(|e| FaasError::comm("get", key, e))?;
                     self.stats.add(&self.stats.s3_gets, 1);
                     if fetched.len() as u64 != payload_len {
                         return Err(FaasError::comm(

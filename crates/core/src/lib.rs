@@ -60,12 +60,14 @@ pub mod channel;
 pub mod cost;
 mod engine;
 mod error;
+mod health;
 mod hybrid_channel;
 mod object_channel;
 mod pool;
 mod provider;
 mod queue_channel;
 mod recommend;
+mod retry;
 mod service;
 mod stats;
 mod warm;
@@ -83,6 +85,7 @@ pub use engine::{
     WorkerReport,
 };
 pub use error::FsdError;
+pub use health::{BreakerState, HealthSnapshot, TransportHealthSnapshot};
 pub use hybrid_channel::HybridChannel;
 pub use object_channel::ObjectChannel;
 pub use pool::{ManualClock, SystemClock, WallClock, WarmPoolConfig, WarmPoolStats};
@@ -91,10 +94,12 @@ pub use provider::{
     QueueChannelProvider,
 };
 pub use queue_channel::{ChannelOptions, QueueChannel};
+pub use retry::RetryPolicy;
+
 pub use recommend::{
     channel_variant, fits_instance, fits_single_instance, recommend_variant, Recommendation,
     WorkloadProfile,
 };
-pub use service::FsdService;
+pub use service::{FailedAttemptBill, FsdService};
 pub use stats::{ChannelStats, ChannelStatsSnapshot};
 pub use warm::TreeKey;

@@ -166,6 +166,9 @@ pub struct WarmPoolStats {
     pub evicted_stale: u64,
     /// Poisoned trees discarded at checkin (a worker died).
     pub discarded_poisoned: u64,
+    /// Replacement trees launched and parked after a poisoned discard
+    /// (`ServiceBuilder::regenerate_poisoned`).
+    pub regenerated: u64,
     /// Currently parked trees.
     pub idle: usize,
 }
@@ -187,6 +190,7 @@ struct Counters {
     evicted_shape: u64,
     evicted_stale: u64,
     discarded_poisoned: u64,
+    regenerated: u64,
 }
 
 /// The pool itself; owned by the service, shared by all request threads.
@@ -271,6 +275,11 @@ impl TreePool {
     /// Records a newly created tree (cold launch or pre-warm).
     pub(crate) fn record_created(&self) {
         self.counters.lock().created += 1;
+    }
+
+    /// Records a replacement launch after a poisoned discard.
+    pub(crate) fn record_regenerated(&self) {
+        self.counters.lock().regenerated += 1;
     }
 
     /// Marks a cold-launched request tree as in service for its shape
@@ -491,6 +500,7 @@ impl TreePool {
             evicted_shape: counters.evicted_shape,
             evicted_stale: counters.evicted_stale,
             discarded_poisoned: counters.discarded_poisoned,
+            regenerated: counters.regenerated,
             idle,
         }
     }

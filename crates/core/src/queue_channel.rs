@@ -46,6 +46,10 @@ pub struct ChannelOptions {
     /// below it they ride the queue inline. Defaults to one publish quota
     /// — anything that would not fit a single message spills.
     pub spill_threshold: usize,
+    /// Retry policy for transient communication faults on the idempotent
+    /// operations (publish / PUT / GET). Enabled by default; with no
+    /// faults injected it changes nothing.
+    pub retry: crate::retry::RetryPolicy,
 }
 
 impl Default for ChannelOptions {
@@ -58,6 +62,7 @@ impl Default for ChannelOptions {
             nul_markers: true,
             packing: true,
             spill_threshold: quota::MAX_PUBLISH_BYTES,
+            retry: crate::retry::RetryPolicy::default(),
         }
     }
 }
@@ -218,10 +223,14 @@ pub(crate) fn publish_over_lanes(
         let lane = &mut lane_clocks[i % lanes];
         let bytes: u64 = batch.iter().map(|m| m.len() as u64).sum();
         let n_msgs = batch.len() as u64;
-        let billed = env
-            .pubsub()
-            .publish_batch(topic, lane, batch)
-            .map_err(|e| FaasError::comm("publish", topic_name(topic), e))?;
+        // A faulted publish bills its requests but delivers nothing, so
+        // republishing the identical batch is idempotent (no duplicate
+        // deliveries); each failed attempt has already advanced the lane.
+        let (res, retries) = opts.retry.run(lane, |lane| {
+            env.pubsub().publish_batch(topic, lane, batch.clone())
+        });
+        stats.add(&stats.retries, retries);
+        let billed = res.map_err(|e| FaasError::comm("publish", topic_name(topic), e))?;
         stats.add(&stats.sns_billed, billed);
         stats.add(&stats.sns_batches, 1);
         stats.add(&stats.messages, n_msgs);

@@ -24,20 +24,21 @@ use crate::engine::{
     WorkerReport,
 };
 use crate::error::FsdError;
+use crate::health::{HealthBoard, HealthSnapshot};
 use crate::pool::{SystemClock, TreePool, WallClock, WarmPoolConfig, WarmPoolStats};
 use crate::provider::ChannelRegistry;
 use crate::recommend::{self, Recommendation, WorkloadProfile};
 use crate::stats::ChannelStatsSnapshot;
 use crate::warm::{TreeKey, TreeParams, WorkItem, WorkerTree};
 use crate::worker::{run_serial, run_worker, WorkerOutput, WorkerParams};
-use fsd_comm::{CloudEnv, VirtualTime};
+use fsd_comm::{ApiClass, CloudEnv, FaultKind, MeterSnapshot, TargetedFault, VirtualTime};
 use fsd_faas::{launch, FaasError, FaasPlatform, FunctionConfig, InvocationReport, LambdaSnapshot};
 use fsd_model::SparseDnn;
 use fsd_partition::{partition_model, CommPlan, Partition};
 use fsd_sparse::codec;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Offline staging state shared by all requests (read-mostly).
@@ -99,9 +100,35 @@ pub struct FsdService {
     /// original launch-per-request behavior. `Arc` so the background
     /// reaper thread can hold the pool without borrowing the service.
     pool: Option<Arc<TreePool>>,
+    /// Per-transport error-rate scoreboard + circuit breakers; drives
+    /// graceful degradation of [`Variant::Auto`] routing.
+    health: HealthBoard,
+    /// Whether a pool tree poisoned mid-request is immediately relaunched
+    /// and re-parked (`ServiceBuilder::regenerate_poisoned`), billed to the
+    /// unattributed flow like a pre-warm.
+    regenerate_poisoned: bool,
+    /// Bills accrued by request attempts that *failed* (AWS semantics:
+    /// failed calls are billed). `finalize_report` folds each failed
+    /// attempt's flow-scoped meters in here when it releases the flow, so
+    /// the exact partition `global == Σ successful reports + failed bill`
+    /// holds even under retries.
+    failed_bill: Mutex<FailedAttemptBill>,
     /// The background wall-clock reaper, if one was requested; held only
     /// for its `Drop` (stop + join).
     _reaper: Option<Reaper>,
+}
+
+/// What failed request attempts have been billed service-wide: the comm
+/// and Lambda meter totals harvested from failed attempts' flows. Together
+/// with the per-request digests of successful reports this partitions the
+/// global meters exactly — "failed attempts are billed; retries may add
+/// calls but never double-count billing".
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FailedAttemptBill {
+    /// Comm-service billing harvested from failed attempts' flows.
+    pub comm: MeterSnapshot,
+    /// Lambda billing harvested from failed attempts' flows.
+    pub lambda: LambdaSnapshot,
 }
 
 /// A background thread that periodically [`TreePool::reap`]s idle trees
@@ -154,6 +181,7 @@ impl FsdService {
         warm: Option<WarmPoolConfig>,
         clock: Option<Arc<dyn WallClock>>,
         reap_interval: Option<std::time::Duration>,
+        regenerate_poisoned: bool,
     ) -> FsdService {
         let env = CloudEnv::new(cfg.cloud);
         let platform = FaasPlatform::new(env.clone(), cfg.compute);
@@ -177,6 +205,9 @@ impl FsdService {
             stage_lock: Mutex::new(()),
             requests: AtomicU64::new(0),
             pool,
+            health: HealthBoard::new(),
+            failed_bill: Mutex::new(FailedAttemptBill::default()),
+            regenerate_poisoned,
             _reaper: reaper,
         }
     }
@@ -375,6 +406,14 @@ impl FsdService {
         flow: u64,
         launched: ExecuteResult,
     ) -> Result<InferenceReport, FsdError> {
+        // Feed the transport scoreboard: a communication failure marks the
+        // transport unhealthy; compute-side errors (OOM, timeout, missing
+        // output) say nothing about it and are not recorded.
+        match &launched {
+            Ok(_) => self.health.record(resolved, true),
+            Err(FsdError::Comm(_)) => self.health.record(resolved, false),
+            Err(_) => {}
+        }
         let arrival = VirtualTime::ZERO;
         // Per-request input artifacts are dead after the run (success or
         // not); remove them so a long-lived service does not accrete state.
@@ -383,7 +422,21 @@ impl FsdService {
             .delete_prefix(ARTIFACT_BUCKET, &format!("{input_key}/"));
         let comm = self.env.release_flow(flow);
         let lambda: LambdaSnapshot = self.platform.lambda_meter().release_flow(flow);
-        let (root_out, reports, client, launch_path) = launched?;
+        let (root_out, reports, client, launch_path) = match launched {
+            Ok(run) => run,
+            Err(e) => {
+                // The attempt failed but its calls were made and billed
+                // (AWS semantics). Its flow window was just harvested —
+                // fold it into the service-wide failed-attempt bill so the
+                // global meters stay exactly partitioned between
+                // successful reports and this accumulator.
+                let mut bill = self.failed_bill.lock();
+                bill.comm = bill.comm.plus(&comm);
+                bill.lambda.invocations += lambda.invocations;
+                bill.lambda.mb_ms += lambda.mb_ms;
+                return Err(e);
+            }
+        };
         let per_worker: Vec<WorkerReport> = reports
             .iter()
             .map(|(rank, r)| WorkerReport {
@@ -731,10 +784,87 @@ impl FsdService {
         self.pool.as_ref().map_or(0, |p| p.reap())
     }
 
+    /// Per-transport health scoreboard (error-rate EWMAs and breaker
+    /// states) — inspection/tests.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        self.health.snapshot()
+    }
+
+    /// What failed request attempts have been billed so far. Failed
+    /// attempts are billed (as on AWS); this accumulator plus the digests
+    /// of the successful [`InferenceReport`]s partitions the global comm
+    /// and Lambda meters exactly — the invariant the chaos gate asserts.
+    pub fn failed_attempt_bill(&self) -> FailedAttemptBill {
+        *self.failed_bill.lock()
+    }
+
+    /// The fault-plane spelling of "kill worker `rank` of a parked warm
+    /// tree": a [`TargetedFault`] whose resource predicate
+    /// [`FsdService::inject_fault`] recognizes and routes to the pool's
+    /// kill switches instead of the comm plane. Build it here, inject it
+    /// there — one injection surface for every fault in the system.
+    pub fn warm_worker_fault(
+        variant: Variant,
+        workers: u32,
+        memory_mb: u32,
+        rank: u32,
+    ) -> TargetedFault {
+        let name = variant.channel_name().unwrap_or("serial");
+        TargetedFault {
+            class: ApiClass::InstanceLaunch,
+            nth: 1,
+            resource_contains: format!("warm:{name}:{}:{memory_mb}:{rank}", workers.max(1)),
+            kind: FaultKind::Transient,
+        }
+    }
+
+    /// Failure injection (tests/chaos), one surface for the whole system:
+    /// a `resource_contains` of the form `warm:{variant}:{P}:{mem}:{rank}`
+    /// (build it with [`FsdService::warm_worker_fault`]) arms the kill
+    /// switch of worker `rank` on one *parked* tree of that shape, so the
+    /// next request routed into it loses the instance mid-request; any
+    /// other fault is installed on the region's
+    /// [`fsd_comm::FaultPlane`] targeted schedule. Returns whether the
+    /// fault was armed (a warm target with no matching parked tree, or an
+    /// unparseable warm predicate, reports `false`).
+    pub fn inject_fault(&self, fault: TargetedFault) -> bool {
+        if let Some(spec) = fault.resource_contains.strip_prefix("warm:") {
+            let mut parts = spec.split(':');
+            let variant = match parts.next() {
+                Some("queue") => Variant::Queue,
+                Some("object") => Variant::Object,
+                Some("hybrid") => Variant::Hybrid,
+                _ => return false,
+            };
+            let (Some(workers), Some(memory_mb), Some(rank)) = (
+                parts.next().and_then(|s| s.parse::<u32>().ok()),
+                parts.next().and_then(|s| s.parse::<u32>().ok()),
+                parts.next().and_then(|s| s.parse::<u32>().ok()),
+            ) else {
+                return false;
+            };
+            let key = TreeKey {
+                variant,
+                workers: workers.max(1),
+                memory_mb,
+            };
+            return self
+                .pool
+                .as_ref()
+                .is_some_and(|pool| pool.arm_kill(key, rank));
+        }
+        self.env.faults().inject(fault);
+        true
+    }
+
     /// Failure injection (tests/chaos): arms a kill switch on worker
     /// `rank` of one *parked* tree matching the shape, so the next request
     /// routed into it loses that instance mid-request. Returns whether a
     /// parked tree matched.
+    #[deprecated(
+        note = "use FsdService::inject_fault(FsdService::warm_worker_fault(..)) — the \
+                unified fault-plane surface"
+    )]
     pub fn inject_warm_failure(
         &self,
         variant: Variant,
@@ -742,14 +872,7 @@ impl FsdService {
         memory_mb: u32,
         rank: u32,
     ) -> bool {
-        let key = TreeKey {
-            variant,
-            workers: workers.max(1),
-            memory_mb,
-        };
-        self.pool
-            .as_ref()
-            .is_some_and(|pool| pool.arm_kill(key, rank))
+        self.inject_fault(Self::warm_worker_fault(variant, workers, memory_mb, rank))
     }
 
     /// The single §IV-C resolution point: resolves a (possibly
@@ -760,7 +883,14 @@ impl FsdService {
     /// so caps and execution can never disagree on where a request runs.
     pub fn resolve(&self, variant: Variant, workers: u32, est_bytes_per_row: usize) -> Variant {
         match variant {
-            Variant::Auto => self.recommend(workers.max(1), est_bytes_per_row).variant,
+            // Auto routing consults the circuit breakers: a recommendation
+            // whose transport is tripped open degrades to a healthy
+            // fallback (hybrid → queue → object; queue ↔ object). Explicit
+            // variants pass through — the caller asked for that transport
+            // and gets its errors.
+            Variant::Auto => self
+                .health
+                .degrade(self.recommend(workers.max(1), est_bytes_per_row).variant),
             v @ (Variant::Serial | Variant::Queue | Variant::Object | Variant::Hybrid) => v,
         }
     }
@@ -931,8 +1061,33 @@ impl FsdService {
                 // checked back in, and the error surfaces to the caller
                 // (the scheduler releases the slot as for any failure).
                 pool.discard(tree);
+                if self.regenerate_poisoned {
+                    self.regenerate_tree(pool, key);
+                }
                 Err(e.into())
             }
+        }
+    }
+
+    /// Relaunches and parks a fresh tree of `key`'s shape after a poisoned
+    /// one was discarded (`ServiceBuilder::regenerate_poisoned`). Billed to
+    /// the unattributed flow exactly like a pre-warm — the failed request
+    /// already paid for its own launch, and the replacement serves whoever
+    /// comes next. Best-effort: a failed relaunch (e.g. a persistent
+    /// injected launch fault) leaves the shape cold rather than erroring
+    /// the request a second time.
+    fn regenerate_tree(&self, pool: &TreePool, key: TreeKey) {
+        let params = TreeParams {
+            n_workers: key.workers,
+            branching: self.cfg.branching,
+            memory_mb: key.memory_mb,
+            model_key: self.model_key.clone(),
+            spec: *self.dnn.spec(),
+        };
+        if let Ok(tree) = WorkerTree::launch(&self.platform, key, pool.generation(), params, 0) {
+            pool.record_created();
+            pool.record_regenerated();
+            pool.checkin(tree);
         }
     }
 
@@ -986,6 +1141,7 @@ impl FsdService {
             input_key: input_key.to_string(),
             spec: *self.dnn.spec(),
             batch_widths: widths.to_vec(),
+            abort: Arc::new(AtomicBool::new(false)),
         };
         let platform = self.platform.clone();
         let coordinator = self.platform.invoke(

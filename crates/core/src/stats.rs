@@ -32,6 +32,11 @@ pub struct ChannelStats {
     pub s3_bytes_put: AtomicU64,
     /// Pre-compression payload bytes (compression-effectiveness metric).
     pub bytes_precompress: AtomicU64,
+    /// Retries performed on idempotent ops after transient faults. Failed
+    /// attempts are billed by the service meters, so under injected faults
+    /// the service-side counts exceed these client-side logical counts by
+    /// design (AWS semantics).
+    pub retries: AtomicU64,
 }
 
 /// Plain-data snapshot of [`ChannelStats`].
@@ -57,6 +62,8 @@ pub struct ChannelStatsSnapshot {
     pub s3_bytes_put: u64,
     /// Pre-compression payload bytes (compression-effectiveness metric).
     pub bytes_precompress: u64,
+    /// Retries performed on idempotent ops after transient faults.
+    pub retries: u64,
 }
 
 impl ChannelStats {
@@ -82,6 +89,7 @@ impl ChannelStats {
             s3_lists: self.s3_lists.load(Ordering::Relaxed),
             s3_bytes_put: self.s3_bytes_put.load(Ordering::Relaxed),
             bytes_precompress: self.bytes_precompress.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 }

@@ -141,6 +141,13 @@ fn serve_worker(
         let inv = ctx.platform().clone().invoke(cfg, at, move |child_ctx| {
             serve_worker(child_ctx, child as u32, shared_c)
         });
+        // A refused launch (injected Invoke fault) is known synchronously:
+        // poison the tree and report the dead rank so peers unwedge instead
+        // of polling collectives for an instance that never existed.
+        if let Some(e) = inv.launch_error() {
+            shared.poison.store(true, Ordering::Relaxed);
+            let _ = shared.results.send((child as u32, Err(e)));
+        }
         // Hand the join handle to the tree owner for shutdown.
         let _ = shared.handles.send(inv);
     }
@@ -290,8 +297,14 @@ impl WorkerTree {
                 let inv = platform_c.invoke(cfg, at, move |worker_ctx| {
                     serve_worker(worker_ctx, 0, shared_c)
                 });
+                // Surface a refused rank-0 launch as a failed tree build
+                // (the handle still goes to the owner for cleanup).
+                let refused = inv.launch_error();
                 let _ = handle_tx.send(inv);
-                Ok(())
+                match refused {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
             },
         );
         coordinator.join()?;

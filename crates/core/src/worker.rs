@@ -15,6 +15,7 @@ use crate::channel::{barrier, reduce, FsiChannel, RecvTracker, Tag};
 use fsd_faas::{launch, FaasError, FunctionConfig, InvocationReport, WorkerCtx};
 use fsd_model::DnnSpec;
 use fsd_sparse::{codec, layer_forward_reference, LayerAccumulator, SparseRows};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Parameters shared by every worker of a run.
@@ -34,6 +35,11 @@ pub struct WorkerParams {
     pub spec: DnnSpec,
     /// Width (samples) of each successive batch.
     pub batch_widths: Vec<usize>,
+    /// Run-wide abort flag: raised by the first failing worker (including
+    /// a child whose *launch* was refused), observed by every peer's
+    /// [`WorkerCtx::check_limits`] mid-collective — a dead instance must
+    /// fail its tree fast, not leave peers polling until their timeout.
+    pub abort: Arc<AtomicBool>,
 }
 
 /// What bubbles up from a worker: its own measurements plus everything from
@@ -161,8 +167,25 @@ pub(crate) fn run_batches(
     })
 }
 
-/// Runs worker `rank` of a distributed FSI inference.
+/// Runs worker `rank` of a distributed FSI inference. Any failure raises
+/// the run-wide abort flag on the way out, so peers blocked in collectives
+/// unwedge at their next limit check instead of draining their timeout.
 pub fn run_worker(
+    ctx: &mut WorkerCtx,
+    channel: Arc<dyn FsiChannel>,
+    rank: u32,
+    params: WorkerParams,
+) -> Result<WorkerOutput, FaasError> {
+    let abort = params.abort.clone();
+    ctx.set_abort(abort.clone());
+    let out = run_worker_inner(ctx, channel, rank, params);
+    if out.is_err() {
+        abort.store(true, Ordering::Relaxed);
+    }
+    out
+}
+
+fn run_worker_inner(
     ctx: &mut WorkerCtx,
     channel: Arc<dyn FsiChannel>,
     rank: u32,
@@ -171,6 +194,7 @@ pub fn run_worker(
     // --- 1. worker_invoke_children(): launch the subtree ---------------
     let children = launch::children_of(rank as usize, params.branching, params.n_workers as usize);
     let mut child_invocations = Vec::with_capacity(children.len());
+    let mut launch_refused = None;
     for &child in &children {
         // The (async) Invoke API call costs the parent one round trip.
         let lat = ctx.env().latency().lambda_invoke_us;
@@ -186,49 +210,82 @@ pub fn run_worker(
         let inv = ctx.platform().clone().invoke(cfg, at, move |child_ctx| {
             run_worker(child_ctx, channel, child as u32, params_c)
         });
+        // An injected launch fault is known synchronously (a real Invoke
+        // API error): the subtree below that child will never exist, so
+        // fail the whole tree now rather than wedging its collectives.
+        if let Some(e) = inv.launch_error() {
+            launch_refused.get_or_insert(e);
+        }
         child_invocations.push((child as u32, inv));
     }
-
-    // --- 2. load weights and maps (once; amortized across batches) ------
-    let art = load_worker_artifacts(
-        ctx,
-        &params.model_key,
-        params.n_workers,
-        rank,
-        params.spec.layers,
-    )?;
-    let mut artifact_gets = art.n_gets;
-
-    // --- 3. successive batches (paper Fig. 1) ---------------------------
-    let run = run_batches(
-        ctx,
-        &channel,
-        rank,
-        params.n_workers,
-        &params.spec,
-        &art,
-        &params.input_key,
-        &params.batch_widths,
-    )?;
-    artifact_gets += run.artifact_gets;
-    let mut work_done = run.work_done;
+    // --- 2+3. load weights, run the batches (skipped when a child launch
+    // was refused: that subtree will never exist, so the collectives can
+    // only wedge) ---------------------------------------------------------
+    let body = match launch_refused {
+        Some(e) => Err(e),
+        None => (|| {
+            let art = load_worker_artifacts(
+                ctx,
+                &params.model_key,
+                params.n_workers,
+                rank,
+                params.spec.layers,
+            )?;
+            let gets = art.n_gets;
+            let run = run_batches(
+                ctx,
+                &channel,
+                rank,
+                params.n_workers,
+                &params.spec,
+                &art,
+                &params.input_key,
+                &params.batch_widths,
+            )?;
+            Ok((gets, run))
+        })(),
+    };
+    if body.is_err() {
+        // Raise the run-wide abort *before* joining so the subtree's
+        // collectives unwedge and every descendant exits promptly.
+        params.abort.store(true, Ordering::Relaxed);
+    }
 
     // --- 4. join the subtree and aggregate reports ----------------------
+    // Unconditional, error or not: a child that outlived its parent's
+    // return would keep billing the flow after the service released the
+    // request's window (a tracked-flow leak, and a torn billing report).
     let mut subtree_reports = Vec::new();
+    let mut child_gets = 0u64;
+    let mut child_work = 0u64;
+    let mut child_error = None;
     for (child_rank, inv) in child_invocations {
-        let (child_out, child_report) = inv.join()?;
-        debug_assert_eq!(child_out.rank, child_rank);
-        subtree_reports.push((child_rank, child_report));
-        subtree_reports.extend(child_out.subtree_reports);
-        artifact_gets += child_out.artifact_gets;
-        work_done += child_out.work_done;
+        match inv.join() {
+            Ok((child_out, child_report)) => {
+                debug_assert_eq!(child_out.rank, child_rank);
+                subtree_reports.push((child_rank, child_report));
+                subtree_reports.extend(child_out.subtree_reports);
+                child_gets += child_out.artifact_gets;
+                child_work += child_out.work_done;
+            }
+            Err(e) => {
+                child_error.get_or_insert(e);
+            }
+        }
     }
+    // This worker's own failure wins over a descendant's (it is the
+    // proximate cause the service reports); either fails the tree.
+    let (mut artifact_gets, run) = body?;
+    if let Some(e) = child_error {
+        return Err(e);
+    }
+    artifact_gets += child_gets;
     Ok(WorkerOutput {
         rank,
         final_batches: run.final_batches,
         subtree_reports,
         artifact_gets,
-        work_done,
+        work_done: run.work_done + child_work,
     })
 }
 

@@ -247,6 +247,7 @@ pub struct FaasPlatform {
 /// A running invocation; `join` waits for the instance to finish.
 pub struct Invocation<T> {
     handle: JoinHandle<Result<(T, InvocationReport), FaasError>>,
+    launch_error: Option<FaasError>,
 }
 
 impl<T> Invocation<T> {
@@ -255,6 +256,15 @@ impl<T> Invocation<T> {
     /// it is a bug in the engine, not a simulated fault.
     pub fn join(self) -> Result<(T, InvocationReport), FaasError> {
         self.handle.join().expect("function instance panicked")
+    }
+
+    /// The injected launch fault, if this invoke drew one — known to the
+    /// caller synchronously (as a real Invoke API error would be), so a
+    /// fire-and-forget launcher can fail its tree fast instead of leaving
+    /// peers waiting on an instance that will never start. [`Invocation::join`]
+    /// returns the same error.
+    pub fn launch_error(&self) -> Option<FaasError> {
+        self.launch_error.clone()
     }
 }
 
@@ -302,6 +312,23 @@ impl FaasPlatform {
         F: FnOnce(&mut WorkerCtx) -> Result<T, FaasError> + Send + 'static,
     {
         self.meter.record_invocation(cfg.flow);
+        // Injected launch fault: the invoke request is billed (Lambda
+        // charges the request even when the instance fails to start) and
+        // the round trip is suffered, but the body never runs. Drawn on
+        // the caller thread so the decision depends only on (flow, at,
+        // function name) — deterministic across replays.
+        let launch_error = self
+            .env
+            .faults()
+            .check(fsd_comm::ApiClass::InstanceLaunch, cfg.flow, at, &cfg.name)
+            .map(|kind| {
+                FaasError::comm(
+                    "instance",
+                    cfg.name.clone(),
+                    kind.to_error(format!("lambda:invoke {}", cfg.name)),
+                )
+            });
+        let launch_fault = launch_error.clone();
         let platform = self.clone();
         let handle = std::thread::spawn(move || {
             let jitter = platform.env.jitter();
@@ -311,6 +338,9 @@ impl FaasPlatform {
             // service call this function makes bills to its request.
             clock.set_flow(cfg.flow);
             clock.advance_micros(jitter.apply(lat.lambda_invoke_us));
+            if let Some(err) = launch_fault {
+                return Err(err);
+            }
             clock.advance_micros(jitter.apply(lat.lambda_cold_start_us));
             let started = clock.now();
             let mut ctx = WorkerCtx {
@@ -358,7 +388,10 @@ impl FaasPlatform {
                 },
             ))
         });
-        Invocation { handle }
+        Invocation {
+            handle,
+            launch_error,
+        }
     }
 }
 
@@ -825,6 +858,41 @@ mod tests {
             Err(FaasError::Comm(failure)) => assert_eq!(failure.op, "abort"),
             other => panic!("expected abort comm failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn injected_launch_fault_bills_the_request_but_never_runs_the_body() {
+        use fsd_comm::{ApiClass, TargetedFault};
+        let p = platform();
+        p.env()
+            .faults()
+            .inject(TargetedFault::first(ApiClass::InstanceLaunch, "w"));
+        let ran = Arc::new(AtomicU64::new(0));
+        let r = ran.clone();
+        let res = p
+            .invoke(
+                FunctionConfig::worker("w", 512),
+                VirtualTime::ZERO,
+                move |_| {
+                    r.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                },
+            )
+            .join();
+        match res {
+            Err(FaasError::Comm(failure)) => assert_eq!(failure.op, "instance"),
+            other => panic!("expected instance comm failure, got {other:?}"),
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "body must not run");
+        // The failed launch still bills the invoke request (AWS semantics).
+        assert_eq!(p.lambda_snapshot().invocations, 1);
+        // The targeted schedule is consumed: the retry launches fine.
+        p.invoke(FunctionConfig::worker("w", 512), VirtualTime::ZERO, |_| {
+            Ok(())
+        })
+        .join()
+        .expect("retry launches");
+        assert_eq!(p.lambda_snapshot().invocations, 2);
     }
 
     #[test]

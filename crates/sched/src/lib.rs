@@ -69,7 +69,7 @@ pub mod trace;
 
 pub use predictor::{Predictor, PredictorConfig, PrewarmDecision};
 pub use scheduler::{
-    derive_model_cap, BatchingConfig, Priority, SchedStatsSnapshot, Scheduler, SchedulerBuilder,
-    SchedulerConfig, Ticket, DEFAULT_MODEL,
+    derive_model_cap, BatchingConfig, FailureCause, Priority, SchedStatsSnapshot, Scheduler,
+    SchedulerBuilder, SchedulerConfig, Ticket, DEFAULT_MODEL,
 };
 pub use trace::{Arrival, FleetArrival};

@@ -70,6 +70,65 @@ impl std::fmt::Display for Priority {
 /// governed by the global cap.
 const MAX_DERIVED_CAP: usize = 32;
 
+/// Relative half-width of the seeded jitter applied to `retry_after`
+/// hints, decorrelating retry herds: every rejected client of one
+/// overload burst would otherwise be told the *same* instant to return.
+const RETRY_HINT_JITTER: f64 = 0.1;
+
+/// Why an admitted request failed — the scheduler's coarse classification
+/// of [`FsdError`] for its counters and retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureCause {
+    /// A communication-layer failure (transport fault, quota, codec).
+    /// Retryable: the next attempt draws fresh fault decisions.
+    Comm,
+    /// A worker instance (or its whole tree) crashed mid-request.
+    /// Retryable: the relaunch lands on fresh instances.
+    InstanceCrash,
+    /// A worker exceeded its runtime limit. **Not** retryable — the rerun
+    /// would compute the same too-long answer and burn the bill twice.
+    Timeout,
+    /// Everything else (OOM, config errors, empty requests). Not
+    /// retryable: deterministic failures of the request itself.
+    Other,
+}
+
+impl FailureCause {
+    /// Number of causes (dense-array sizing).
+    pub const COUNT: usize = 4;
+
+    /// Classifies a request error. Instance deaths travel as
+    /// [`FsdError::Comm`] with the platform's launch/abort/tree op tags,
+    /// so they are split out *before* the generic comm bucket.
+    pub fn of(err: &FsdError) -> FailureCause {
+        match err {
+            FsdError::Comm(f) if matches!(f.op, "instance" | "abort" | "tree") => {
+                FailureCause::InstanceCrash
+            }
+            FsdError::Comm(_) => FailureCause::Comm,
+            FsdError::Timeout { .. } => FailureCause::Timeout,
+            _ => FailureCause::Other,
+        }
+    }
+
+    /// Dense index for per-cause arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FailureCause::Comm => 0,
+            FailureCause::InstanceCrash => 1,
+            FailureCause::Timeout => 2,
+            FailureCause::Other => 3,
+        }
+    }
+
+    /// Whether a failed attempt of this cause is worth re-admitting: comm
+    /// faults and instance crashes are environmental and transient;
+    /// timeouts and compute-side errors are properties of the request.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, FailureCause::Comm | FailureCause::InstanceCrash)
+    }
+}
+
 /// Fallback service-latency estimate for `retry_after` before the first
 /// completion has seeded the EWMA (1 virtual second).
 const DEFAULT_LATENCY_US: f64 = 1_000_000.0;
@@ -256,8 +315,16 @@ pub struct SchedStatsSnapshot {
     pub rejected: [u64; Priority::COUNT],
     /// Requests that finished successfully.
     pub completed: u64,
-    /// Requests that finished with an error.
+    /// Requests that finished with an error (terminally — retried attempts
+    /// count under `retried` until their budget runs out).
     pub failed: u64,
+    /// Terminal failures by [`FailureCause`], indexed by
+    /// [`FailureCause::index`].
+    pub failed_by: [u64; FailureCause::COUNT],
+    /// Failed attempts re-admitted under the request's retry budget
+    /// ([`Scheduler::enqueue_with_retries`]); the re-admission is not
+    /// re-counted under `enqueued` and never feeds the predictor.
+    pub retried: u64,
     /// Completed requests served by a warm tree (the admission path found
     /// a matching parked tree in the service's warm pool).
     pub warm_hits: u64,
@@ -324,6 +391,10 @@ struct Pending {
     /// same key; `None` (Serial-resolved, empty, or not yet resolved)
     /// always dispatches solo.
     shape: Option<TreeKey>,
+    /// Remaining retry budget ([`Scheduler::enqueue_with_retries`]): a
+    /// retryable failure with budget left re-enters its class queue at the
+    /// head instead of resolving the ticket.
+    retries_left: u32,
 }
 
 /// Result cell shared between the executor thread and the ticket holder.
@@ -415,6 +486,8 @@ struct Counters {
     rejected: [u64; Priority::COUNT],
     completed: u64,
     failed: u64,
+    failed_by: [u64; FailureCause::COUNT],
+    retried: u64,
     warm_hits: u64,
     cold_starts: u64,
     prewarmed: u64,
@@ -646,7 +719,11 @@ impl SchedulerCore {
     /// would take to drain a slot, from the per-launch-path latency EWMAs
     /// blended by the observed warm/cold mix — a warm pool that starts
     /// absorbing traffic tightens the hint instead of being averaged into
-    /// the cold estimate.
+    /// the cold estimate. A seeded ±[`RETRY_HINT_JITTER`] factor
+    /// decorrelates the herd (every client of one overload burst would
+    /// otherwise be told the same return instant) while staying a pure
+    /// function of the region seed and the rejection count — identically
+    /// seeded replays hint bit-identically.
     fn retry_after(&self, state: &SchedState) -> VirtualTime {
         let backlog =
             state.queues.iter().map(VecDeque::len).sum::<usize>() + state.inflight_global + 1;
@@ -657,7 +734,13 @@ impl SchedulerCore {
             DEFAULT_LATENCY_US
         };
         let waves = (backlog as f64 / self.cfg.global_cap.max(1) as f64).ceil();
-        VirtualTime::from_micros((per * waves).ceil() as u64)
+        let seed = self.models[0].service.env().config().seed;
+        let draw = state.counters.rejected.iter().sum::<u64>();
+        let unit = fsd_comm::unit_from(fsd_comm::mix64(
+            seed.rotate_left(17) ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ));
+        let factor = 1.0 - RETRY_HINT_JITTER + 2.0 * RETRY_HINT_JITTER * unit;
+        VirtualTime::from_micros((per * waves * factor).ceil() as u64)
     }
 
     /// Admits as many queued execution passes as the caps allow. With
@@ -777,18 +860,29 @@ impl SchedulerCore {
             let model = group[0].ticket.model;
             let service = self.models[model].service.clone();
             std::thread::spawn(move || {
-                let (tickets, reqs): (Vec<_>, Vec<_>) =
-                    group.into_iter().map(|p| (p.ticket, p.req)).unzip();
+                let (metas, reqs): (Vec<_>, Vec<_>) = group
+                    .into_iter()
+                    .map(|p| ((p.ticket, p.arrival, p.shape, p.retries_left), p.req))
+                    .unzip();
                 let results = if reqs.len() == 1 {
                     vec![service.submit_batched(&reqs[0])]
                 } else {
                     service.submit_coalesced(&reqs)
                 };
+                debug_assert_eq!(metas.len(), results.len());
 
                 // Completion bookkeeping first, then deliver the results:
                 // a manual-mode harvester must observe consistent counters.
+                // A retryable failure with budget left re-enters its class
+                // queue at the *head* (it already waited its turn once) —
+                // not re-counted under `enqueued`, never re-fed to the
+                // predictor, so admission is charged exactly once per
+                // logical request.
+                let mut deliver = Vec::with_capacity(results.len());
                 let mut state = core.state.lock();
-                for result in &results {
+                for (((ticket, arrival, shape, retries_left), req), result) in
+                    metas.into_iter().zip(reqs).zip(results)
+                {
                     match result {
                         Ok(report) => {
                             state.counters.completed += 1;
@@ -803,8 +897,40 @@ impl SchedulerCore {
                             } else {
                                 (1.0 - EWMA_ALPHA) * *e + EWMA_ALPHA * l
                             };
+                            deliver.push((ticket, Ok(report)));
                         }
-                        Err(_) => state.counters.failed += 1,
+                        Err(e) => {
+                            let cause = FailureCause::of(&e);
+                            if retries_left > 0 && cause.is_retryable() && !state.shutting_down {
+                                // Manual mode: this member's share of the
+                                // pass slot must release *before* the
+                                // re-admission assigns a fresh hold, or the
+                                // old slot leaks and wedges the caps.
+                                if core.cfg.manual_dispatch {
+                                    if let Some(hold) = ticket.slot.lock().take() {
+                                        if hold.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                            state.inflight_global =
+                                                state.inflight_global.saturating_sub(1);
+                                            state.inflight_model[model] =
+                                                state.inflight_model[model].saturating_sub(1);
+                                        }
+                                    }
+                                }
+                                state.counters.retried += 1;
+                                let class = ticket.priority.index();
+                                state.queues[class].push_front(Pending {
+                                    ticket,
+                                    req,
+                                    arrival,
+                                    shape,
+                                    retries_left: retries_left - 1,
+                                });
+                            } else {
+                                state.counters.failed += 1;
+                                state.counters.failed_by[cause.index()] += 1;
+                                deliver.push((ticket, Err(e)));
+                            }
+                        }
                     }
                 }
                 let follow_up = if core.cfg.manual_dispatch {
@@ -813,7 +939,8 @@ impl SchedulerCore {
                     // Auto mode: success or error, the group's single slot
                     // releases as soon as the pass finishes and pulls in
                     // the next request(s) — a failing pass must never
-                    // wedge the queue.
+                    // wedge the queue. Requeued retries sit at their class
+                    // head and are picked up by this same dispatch pass.
                     state.inflight_global -= 1;
                     state.inflight_model[model] -= 1;
                     core.dispatch_locked(&mut state)
@@ -822,8 +949,7 @@ impl SchedulerCore {
                 core.idle.notify_all();
                 core.spawn(follow_up);
 
-                debug_assert_eq!(tickets.len(), results.len());
-                for (ticket, result) in tickets.into_iter().zip(results) {
+                for (ticket, result) in deliver {
                     let mut cell = ticket.cell.lock();
                     cell.result = Some(result);
                     drop(cell);
@@ -999,6 +1125,24 @@ impl Scheduler {
         self.enqueue_at(model, priority, VirtualTime::ZERO, req)
     }
 
+    /// [`Scheduler::enqueue`] with a retry budget: an admitted request
+    /// that fails with a *retryable* cause ([`FailureCause::is_retryable`]
+    /// — comm faults and instance crashes, never timeouts) is re-admitted
+    /// at the head of its class queue up to `max_retries` times before the
+    /// ticket resolves the error. Retries hold no queue slot twice:
+    /// admission is charged once per logical request (`enqueued` does not
+    /// grow, the predictor is not re-fed), and each re-execution runs
+    /// under a fresh flow id so billing never double-counts.
+    pub fn enqueue_with_retries(
+        &self,
+        model: &str,
+        priority: Priority,
+        req: BatchedRequest,
+        max_retries: u32,
+    ) -> Result<Ticket, FsdError> {
+        self.enqueue_full(model, priority, VirtualTime::ZERO, req, max_retries)
+    }
+
     /// [`Scheduler::enqueue`] with an explicit virtual arrival instant —
     /// the timestamps the continuous-batching window
     /// ([`BatchingConfig::window`]) is measured between. Harness replays
@@ -1010,6 +1154,18 @@ impl Scheduler {
         priority: Priority,
         arrival: VirtualTime,
         req: BatchedRequest,
+    ) -> Result<Ticket, FsdError> {
+        self.enqueue_full(model, priority, arrival, req, 0)
+    }
+
+    /// The full intake path: explicit arrival stamp *and* retry budget.
+    pub fn enqueue_full(
+        &self,
+        model: &str,
+        priority: Priority,
+        arrival: VirtualTime,
+        req: BatchedRequest,
+        max_retries: u32,
     ) -> Result<Ticket, FsdError> {
         let &model_idx = self
             .core
@@ -1050,6 +1206,7 @@ impl Scheduler {
             req,
             arrival,
             shape: None,
+            retries_left: max_retries,
         });
         drop(state);
         // Resolve the shape only for *accepted* requests (rejected
@@ -1194,6 +1351,8 @@ impl Scheduler {
             rejected: state.counters.rejected,
             completed: state.counters.completed,
             failed: state.counters.failed,
+            failed_by: state.counters.failed_by,
+            retried: state.counters.retried,
             warm_hits: state.counters.warm_hits,
             cold_starts: state.counters.cold_starts,
             prewarmed: state.counters.prewarmed,
@@ -1746,5 +1905,126 @@ mod tests {
         assert!(stats.ewma_warm_latency > VirtualTime::ZERO);
         assert_eq!(stats.cold_starts, 1);
         assert_eq!(stats.warm_hits, 5);
+    }
+
+    #[test]
+    fn retry_budget_recovers_an_injected_instance_crash() {
+        let spec = DnnSpec {
+            neurons: 64,
+            layers: 2,
+            nnz_per_row: 8,
+            bias: -0.25,
+            clip: 32.0,
+            seed: 14,
+        };
+        let dnn = Arc::new(generate_dnn(&spec));
+        let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(8, 14));
+        let expected = dnn.serial_inference(&inputs);
+        let svc = Arc::new(
+            ServiceBuilder::new(dnn)
+                .deterministic(14)
+                .warm_pool(2, u64::MAX)
+                .build(),
+        );
+        let sched = Scheduler::wrap(svc.clone(), SchedulerConfig::default().global_cap(1));
+        let req = request(&inputs, Variant::Queue, 2);
+        // Park a tree, then arm a kill on one of its workers through the
+        // unified fault surface: the next routed request loses the
+        // instance mid-request (FailureCause::InstanceCrash).
+        sched
+            .enqueue_default(Priority::Interactive, req.clone())
+            .expect("accepted")
+            .wait()
+            .expect("cold run parks a tree");
+        assert!(svc.inject_fault(FsdService::warm_worker_fault(Variant::Queue, 2, 1769, 1)));
+        // Without a budget the crash surfaces; with one, the scheduler
+        // re-admits at the class head and the rerun cold-starts cleanly.
+        let report = sched
+            .enqueue_with_retries(DEFAULT_MODEL, Priority::Interactive, req, 2)
+            .expect("accepted")
+            .wait()
+            .expect("retry must recover the injected crash");
+        assert_eq!(report.first_output(), &expected);
+        assert_eq!(report.launch, LaunchPath::ColdStart, "rerun relaunches");
+        let stats = sched.stats();
+        assert_eq!(stats.enqueued, 2, "a retry is not a new enqueue");
+        assert_eq!(stats.retried, 1);
+        assert_eq!(stats.failed, 0, "recovered attempts are not failures");
+        assert_eq!(stats.failed_by, [0; FailureCause::COUNT]);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.inflight, 0, "retry must not leak a slot");
+    }
+
+    #[test]
+    fn failure_causes_classify_and_gate_retry() {
+        let crash = FsdError::Comm(fsd_faas::CommFailure {
+            op: "instance",
+            resource: "fsd-warm-1".into(),
+            detail: "keep-alive instance terminated".into(),
+        });
+        assert_eq!(FailureCause::of(&crash), FailureCause::InstanceCrash);
+        let comm = FsdError::Comm(fsd_faas::CommFailure {
+            op: "publish",
+            resource: "fsd-f1-q0".into(),
+            detail: "unavailable".into(),
+        });
+        assert_eq!(FailureCause::of(&comm), FailureCause::Comm);
+        let timeout = FsdError::Timeout {
+            elapsed: VirtualTime::from_micros(2),
+            limit: VirtualTime::from_micros(1),
+        };
+        assert_eq!(FailureCause::of(&timeout), FailureCause::Timeout);
+        assert_eq!(
+            FailureCause::of(&FsdError::EmptyRequest),
+            FailureCause::Other
+        );
+        assert!(FailureCause::Comm.is_retryable());
+        assert!(FailureCause::InstanceCrash.is_retryable());
+        assert!(
+            !FailureCause::Timeout.is_retryable(),
+            "reruns recompute the same overrun"
+        );
+        assert!(!FailureCause::Other.is_retryable());
+    }
+
+    #[test]
+    fn retry_hint_jitter_is_banded_and_seeded() {
+        let hints_for = |seed: u64| -> Vec<u64> {
+            let (svc, inputs, _) = service(seed);
+            let sched = Scheduler::wrap(svc, SchedulerConfig::default().manual().queue_capacity(1));
+            let parked = sched
+                .enqueue_default(Priority::Batch, request(&inputs, Variant::Serial, 1))
+                .expect("fills the queue");
+            let hints: Vec<u64> = (0..6)
+                .map(|_| {
+                    match sched
+                        .enqueue_default(Priority::Batch, request(&inputs, Variant::Serial, 1))
+                    {
+                        Err(FsdError::Overloaded { retry_after }) => retry_after.as_micros(),
+                        other => panic!("expected Overloaded, got {other:?}"),
+                    }
+                })
+                .collect();
+            sched.dispatch();
+            parked.wait().expect("parked request runs");
+            hints
+        };
+        // Before any completion the blended EWMA is unseeded, so the base
+        // is DEFAULT_LATENCY_US × 1 wave: every hint must land inside the
+        // ±RETRY_HINT_JITTER band around it...
+        let hints = hints_for(15);
+        let base = DEFAULT_LATENCY_US;
+        for &h in &hints {
+            let lo = (base * (1.0 - RETRY_HINT_JITTER)).floor() as u64;
+            let hi = (base * (1.0 + RETRY_HINT_JITTER)).ceil() as u64;
+            assert!((lo..=hi).contains(&h), "hint {h} outside [{lo}, {hi}]");
+        }
+        // ...vary across successive rejections (herd decorrelation)...
+        assert!(
+            hints.windows(2).any(|w| w[0] != w[1]),
+            "jitter must vary between rejections: {hints:?}"
+        );
+        // ...and replay bit-identically under the same region seed.
+        assert_eq!(hints, hints_for(15), "jitter must be seed-deterministic");
     }
 }

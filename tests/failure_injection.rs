@@ -280,6 +280,158 @@ fn scheduler_failed_request_releases_slot_and_does_not_wedge_the_queue() {
 }
 
 #[test]
+fn breaker_trips_degrades_auto_and_recovers_via_half_open_probes() {
+    let _guard = engine_guard();
+    // The transport scoreboard end to end: injected faults fail enough
+    // queue requests to trip its breaker, Auto routing degrades to the
+    // object transport while the breaker is open, and once the cooldown
+    // drains the half-open probes run on queue again and close it.
+    use fsd_inference::comm::{ApiClass, TargetedFault};
+    use fsd_inference::core::{BatchedRequest, BreakerState, FsdError};
+
+    let spec = DnnSpec {
+        neurons: 96,
+        layers: 2,
+        nnz_per_row: 8,
+        bias: -0.25,
+        clip: 32.0,
+        seed: 36,
+    };
+    let dnn = Arc::new(generate_dnn(&spec));
+    let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(8, 36));
+    let expected = dnn.serial_inference(&inputs);
+    // A Serial instance too small for any model, so Auto recommends a
+    // transport — the tiny per-pair volume lands in the Queue band.
+    let service = ServiceBuilder::new(dnn)
+        .deterministic(36)
+        .serial_memory_mb(0)
+        .build();
+    let request = |variant| BatchedRequest {
+        variant,
+        workers: 3,
+        memory_mb: 1769,
+        batches: vec![inputs.clone()],
+    };
+    let auto_req = request(Variant::Auto);
+    assert_eq!(service.resolve_variant(&auto_req), Variant::Queue);
+
+    // Trip the queue transport: five explicit-queue requests, each refused
+    // at its first worker launch by a targeted *permanent* fault (never
+    // retried — a clean terminal communication failure).
+    for i in 0..5 {
+        service
+            .env()
+            .faults()
+            .inject(TargetedFault::first(ApiClass::InstanceLaunch, "fsd-worker").permanent());
+        let err = service
+            .submit_batched(&request(Variant::Queue))
+            .expect_err("an injected launch refusal must fail the request");
+        assert!(matches!(err, FsdError::Comm(_)), "attempt {i}: {err}");
+    }
+    let snap = service.health_snapshot();
+    assert_eq!(snap.queue.state, BreakerState::Open, "{snap:?}");
+    assert!(snap.queue.error_rate > 0.5, "{snap:?}");
+    // Failed attempts are billed — the service accounted their meters.
+    assert!(service.failed_attempt_bill().lambda.invocations > 0);
+
+    // While open (cooldown = 4 consults), Auto degrades queue → object and
+    // keeps serving correct results on the healthy transport.
+    for i in 0..3 {
+        let report = service
+            .submit_batched(&auto_req)
+            .unwrap_or_else(|e| panic!("degraded run {i}: {e}"));
+        assert_eq!(report.variant, Variant::Object, "degraded run {i}");
+        assert_eq!(report.first_output(), &expected);
+    }
+    // Cooldown drained: the breaker half-opens and Auto probes queue
+    // again; two clean probes close it and forgive the error history.
+    for i in 0..2 {
+        let report = service
+            .submit_batched(&auto_req)
+            .unwrap_or_else(|e| panic!("probe run {i}: {e}"));
+        assert_eq!(report.variant, Variant::Queue, "probe run {i}");
+        assert_eq!(report.first_output(), &expected);
+    }
+    let snap = service.health_snapshot();
+    assert_eq!(snap.queue.state, BreakerState::Closed, "{snap:?}");
+    assert_eq!(snap.queue.error_rate, 0.0, "recovery forgives history");
+    assert_eq!(service.resolve_variant(&auto_req), Variant::Queue);
+    // Failure or not, every request released its flow state.
+    service.env().assert_no_residue();
+    assert_eq!(service.env().meter().tracked_flows(), 0);
+    assert_eq!(service.platform().lambda_meter().tracked_flows(), 0);
+}
+
+#[test]
+fn crash_mid_coalition_fails_one_member_and_finishes_the_rest() {
+    let _guard = engine_guard();
+    // A warm-tree instance dying *mid-coalition* must fail only the member
+    // it was serving; the tree is discarded and the remaining members
+    // finish on a fresh launch.
+    use fsd_inference::core::{BatchedRequest, FsdService};
+
+    let spec = DnnSpec {
+        neurons: 96,
+        layers: 2,
+        nnz_per_row: 8,
+        bias: -0.25,
+        clip: 32.0,
+        seed: 37,
+    };
+    let dnn = Arc::new(generate_dnn(&spec));
+    let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(8, 37));
+    let expected = dnn.serial_inference(&inputs);
+    let service = ServiceBuilder::new(dnn)
+        .deterministic(37)
+        .warm_pool(2, u64::MAX)
+        .build();
+    let req = || BatchedRequest {
+        variant: Variant::Queue,
+        workers: 2,
+        memory_mb: 1769,
+        batches: vec![inputs.clone()],
+    };
+    // Park a tree, then arm a mid-request kill on its rank 1 through the
+    // unified fault surface.
+    service
+        .submit_batched(&req())
+        .expect("cold run parks the tree");
+    assert!(
+        service.inject_fault(FsdService::warm_worker_fault(Variant::Queue, 2, 1769, 1)),
+        "a parked tree must match the injection shape"
+    );
+
+    let results = service.submit_coalesced(&[req(), req(), req()]);
+    assert_eq!(results.len(), 3);
+    let failed: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_err())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        failed,
+        vec![0],
+        "exactly the member served by the dying instance fails: {results:?}"
+    );
+    for (i, r) in results.iter().enumerate().skip(1) {
+        let report = r
+            .as_ref()
+            .unwrap_or_else(|e| panic!("member {i} wedged: {e}"));
+        assert_eq!(report.first_output(), &expected, "member {i} wrong output");
+    }
+    let stats = service.warm_pool_stats().expect("pool enabled");
+    assert_eq!(stats.discarded_poisoned, 1, "{stats:?}");
+    // The poisoned tree is never re-shelved; the surviving members park
+    // exactly one fresh replacement.
+    assert_eq!(stats.idle, 1, "{stats:?}");
+    // Success or failure, every member released its flow-scoped state.
+    service.env().assert_no_residue();
+    assert_eq!(service.env().meter().tracked_flows(), 0);
+    assert_eq!(service.platform().lambda_meter().tracked_flows(), 0);
+}
+
+#[test]
 fn cold_start_skew_does_not_break_early_layers() {
     let _guard = engine_guard();
     // Exaggerated cold starts stagger worker launch times wildly; early

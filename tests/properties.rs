@@ -382,6 +382,80 @@ proptest! {
     }
 }
 
+// Chaos determinism and payload conservation: a run under a seeded fault
+// plan is a pure function of (plan seed, workload) — replaying the same
+// service three times yields bit-identical latencies, billing windows,
+// failed-attempt bills and injection counts — and injected transient
+// faults never corrupt payloads: every request that survives its retries
+// returns exactly the serial oracle's outputs, and teardown leaves zero
+// residue either way. Real engine threads per case, so the count is small.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn chaos_replays_are_bit_identical_and_conserve_payloads(
+        fault_seed in 0u64..1000,
+        model_seed in 0u64..100,
+        variant_idx in 0usize..3,
+        parts in 2u32..4,
+    ) {
+        use fsd_inference::comm::{CloudConfig, FaultPlan};
+        use fsd_inference::core::{InferenceRequest, ServiceBuilder, Variant};
+        use std::sync::Arc;
+
+        let spec = DnnSpec {
+            neurons: 64, layers: 2, nnz_per_row: 6, bias: -0.25, clip: 32.0, seed: model_seed,
+        };
+        let dnn = Arc::new(generate_dnn(&spec));
+        let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(8, model_seed));
+        let expected = dnn.serial_inference(&inputs);
+        let variant = [Variant::Queue, Variant::Object, Variant::Hybrid][variant_idx];
+
+        let replay = || -> Result<_, String> {
+            let cloud = CloudConfig::deterministic(model_seed)
+                .with_faults(FaultPlan::uniform_transient(fault_seed, 0.05));
+            let service = ServiceBuilder::new(dnn.clone())
+                .cloud(cloud)
+                .seed(model_seed)
+                .build();
+            let mut outcomes = Vec::new();
+            for _ in 0..3 {
+                let res = service.submit(&InferenceRequest {
+                    variant,
+                    workers: parts,
+                    memory_mb: 1769,
+                    inputs: inputs.clone(),
+                });
+                outcomes.push(match res {
+                    Ok(report) => {
+                        // Conservation: faults may delay or re-send, but
+                        // what arrives is exactly the oracle's answer.
+                        if report.first_output() != &expected {
+                            return Err("surviving run corrupted payload".into());
+                        }
+                        Ok((report.latency, report.comm, report.lambda))
+                    }
+                    Err(e) => Err(e.to_string()),
+                });
+            }
+            // Fault or not, every flow released its namespaced state.
+            service.env().assert_no_residue();
+            Ok((
+                outcomes,
+                service.env().meter().snapshot(),
+                service.failed_attempt_bill(),
+                service.env().faults().stats(),
+            ))
+        };
+
+        let a = replay()?;
+        let b = replay()?;
+        let c = replay()?;
+        prop_assert_eq!(&a, &b, "replay 2 diverged from replay 1");
+        prop_assert_eq!(&b, &c, "replay 3 diverged from replay 2");
+    }
+}
+
 // Scheduler invariants over arbitrary configurations and request mixes.
 // Each case drives a real scheduler (auto dispatch, real worker threads),
 // so the case count stays small and the models tiny.

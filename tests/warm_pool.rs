@@ -320,7 +320,7 @@ fn dead_worker_evicts_the_tree_without_wedging_the_scheduler() {
         .wait()
         .expect("cold run parks the tree");
     assert!(
-        service.inject_warm_failure(Variant::Queue, 3, 1769, 1),
+        service.inject_fault(FsdService::warm_worker_fault(Variant::Queue, 3, 1769, 1)),
         "a parked tree must match the injection shape"
     );
     // The next matching request loses worker 1 mid-request: the request
