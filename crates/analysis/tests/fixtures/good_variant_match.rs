@@ -5,14 +5,19 @@ pub fn route(v: Variant) -> u32 {
         Variant::Queue => 1,
         Variant::Object => 2,
         Variant::Hybrid => 3,
-        Variant::Auto => 4,
+        Variant::Direct => 4,
+        Variant::Auto => 5,
     }
 }
 
 pub fn passthrough(v: Variant) -> Variant {
     match v {
         Variant::Auto => Variant::Serial,
-        o @ (Variant::Serial | Variant::Queue | Variant::Object | Variant::Hybrid) => o,
+        o @ (Variant::Serial
+        | Variant::Queue
+        | Variant::Object
+        | Variant::Hybrid
+        | Variant::Direct) => o,
     }
 }
 

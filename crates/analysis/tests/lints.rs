@@ -6,7 +6,7 @@
 use fsd_analysis::{lint_source, LintConfig};
 
 fn variants() -> Vec<String> {
-    ["Serial", "Queue", "Object", "Hybrid", "Auto"]
+    ["Serial", "Queue", "Object", "Hybrid", "Direct", "Auto"]
         .iter()
         .map(|s| s.to_string())
         .collect()

@@ -36,7 +36,7 @@ fn variant_enum_is_discovered_from_the_workspace() {
     let variants = fsd_analysis::discover_variants_in(&engine).expect("Variant enum found");
     assert_eq!(
         variants,
-        vec!["Serial", "Queue", "Object", "Hybrid", "Auto"],
+        vec!["Serial", "Queue", "Object", "Hybrid", "Direct", "Auto"],
         "discovered variant set must track the enum declaration"
     );
 }

@@ -1,22 +1,27 @@
-//! Channel matrix — payload-size sweep across all three transports.
+//! Channel matrix — payload-size sweep across all four transports.
 //!
 //! Not a paper table: this measures where each channel wins, the evidence
-//! behind the §IV-C three-way routing bands (Queue → Hybrid → Object).
+//! behind the §IV-C routing bands extended with the FMI direct-exchange
+//! band (Direct → Queue → Hybrid → Object).
 //! For each payload size, `SAMPLES` seeded layer fan-outs (one sender
 //! shipping a per-pair payload to [`FANOUT`] targets, `ROUNDS` successive
 //! layer tags — the send shape of an FSI layer) run over each transport
 //! in a fresh deterministic region; the metric is the slowest receiver's
 //! end-to-end virtual time. The run asserts the hybrid contract — p50 no
 //! worse than pure queue wherever payloads spill, and no worse than pure
-//! object wherever they stay inline — prints the matrix, and emits
-//! `BENCH_comm_matrix.json` for the CI bench-regression gate.
+//! object wherever they stay inline — plus the direct contract (p50 no
+//! worse than queue on inline payloads, where zero per-message API cost
+//! must dominate), sweeps the direct transport across NAT-punch transient
+//! failure rates (failed handshakes cost retries, never correctness),
+//! prints the matrices, and emits `BENCH_comm_matrix.json` for the CI
+//! bench-regression gate.
 //!
 //! ```text
 //! cargo run --release -p fsd-bench --bin comm_matrix
 //! ```
 
 use fsd_bench::Table;
-use fsd_comm::{CloudConfig, CloudEnv, VirtualTime};
+use fsd_comm::{ApiClass, CloudConfig, CloudEnv, FaultPlan, VirtualTime};
 use fsd_core::{ChannelOptions, ChannelRegistry, RecvTracker, Tag, Variant};
 use fsd_faas::{ComputeModel, FaasPlatform, FunctionConfig};
 use fsd_sparse::{codec, SparseRows};
@@ -57,7 +62,20 @@ fn payload(total_nnz: usize, seed: u64) -> SparseRows {
 /// Slowest-receiver virtual time for `ROUNDS` fan-outs of `rows` (worker
 /// 0 → every other rank) over `variant` in a fresh deterministic region.
 fn measure(variant: Variant, rows: &SparseRows, seed: u64) -> u64 {
-    let env = CloudEnv::new(CloudConfig::deterministic(seed));
+    measure_with(variant, rows, seed, 0.0)
+}
+
+/// [`measure`] with a seeded transient failure rate on the direct
+/// transport's NAT punches ([`ApiClass::DirectPunch`]). Failed handshakes
+/// are retried by the channel; they cost time, never payloads.
+fn measure_with(variant: Variant, rows: &SparseRows, seed: u64, punch_fail_rate: f64) -> u64 {
+    let mut config = CloudConfig::deterministic(seed);
+    if punch_fail_rate > 0.0 {
+        config = config.with_faults(
+            FaultPlan::new(seed).with_transient(ApiClass::DirectPunch, punch_fail_rate),
+        );
+    }
+    let env = CloudEnv::new(config);
     let channel = ChannelRegistry::with_builtins()
         .get(variant.channel_name().expect("channel variant"))
         .expect("builtin provider")
@@ -119,6 +137,7 @@ struct SweepResult {
     queue_p50_us: u64,
     object_p50_us: u64,
     hybrid_p50_us: u64,
+    direct_p50_us: u64,
 }
 
 fn main() {
@@ -137,15 +156,21 @@ fn main() {
         "queue p50",
         "object p50",
         "hybrid p50",
+        "direct p50",
     ]);
     let mut results = Vec::new();
     for (label, total_nnz) in sweeps {
         let wire_bytes = codec::encoded_size(&payload(total_nnz, SEED));
         let spilled = wire_bytes > threshold;
-        let mut per_variant = [0u64; 3];
-        for (vi, variant) in [Variant::Queue, Variant::Object, Variant::Hybrid]
-            .into_iter()
-            .enumerate()
+        let mut per_variant = [0u64; 4];
+        for (vi, variant) in [
+            Variant::Queue,
+            Variant::Object,
+            Variant::Hybrid,
+            Variant::Direct,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let mut samples: Vec<u64> = (0..SAMPLES)
                 .map(|s| {
@@ -163,6 +188,7 @@ fn main() {
             queue_p50_us: per_variant[0],
             object_p50_us: per_variant[1],
             hybrid_p50_us: per_variant[2],
+            direct_p50_us: per_variant[3],
         };
         // The hybrid contract the §IV-C bands are built on.
         if r.spilled {
@@ -179,6 +205,15 @@ fn main() {
                 r.hybrid_p50_us,
                 r.object_p50_us
             );
+            // The direct contract behind the §IV-C Direct band: on
+            // small/mid inline payloads, zero per-message API cost must
+            // beat the cheapest managed transport.
+            assert!(
+                r.direct_p50_us <= r.queue_p50_us,
+                "{label}: inline direct p50 {} must not exceed queue p50 {}",
+                r.direct_p50_us,
+                r.queue_p50_us
+            );
         }
         table.row(vec![
             label.to_string(),
@@ -188,6 +223,7 @@ fn main() {
             format!("{:.1}ms", r.queue_p50_us as f64 / 1000.0),
             format!("{:.1}ms", r.object_p50_us as f64 / 1000.0),
             format!("{:.1}ms", r.hybrid_p50_us as f64 / 1000.0),
+            format!("{:.1}ms", r.direct_p50_us as f64 / 1000.0),
         ]);
         results.push(r);
     }
@@ -195,6 +231,39 @@ fn main() {
         "Channel matrix — 1→{FANOUT} layer fan-out, {ROUNDS} layers, {SAMPLES} seeded samples, \
          spill threshold {} KiB (serialized)",
         threshold / 1024
+    ));
+
+    // Direct-transport resilience: sweep the NAT-punch transient failure
+    // rate on the small inline payload. Every handshake refusal is billed,
+    // elapsed and retried, so latency may only climb with the rate —
+    // payloads are conserved at every point (asserted inside `measure`).
+    let punch_rates: [f64; 3] = [0.0, 0.1, 0.3];
+    let mut punch_table = Table::new(&["punch fail rate", "direct p50"]);
+    let mut punch_results: Vec<(u32, u64)> = Vec::new();
+    for rate in punch_rates {
+        let mut samples: Vec<u64> = (0..SAMPLES)
+            .map(|s| {
+                let rows = payload(2_000, SEED + s as u64);
+                measure_with(Variant::Direct, &rows, SEED + 100 * s as u64, rate)
+            })
+            .collect();
+        let v = p50(&mut samples);
+        punch_table.row(vec![
+            format!("{:.0}%", rate * 100.0),
+            format!("{:.1}ms", v as f64 / 1000.0),
+        ]);
+        punch_results.push(((rate * 100.0) as u32, v));
+    }
+    let fault_free = punch_results[0].1;
+    for &(rate_pct, v) in &punch_results[1..] {
+        assert!(
+            v >= fault_free,
+            "punch failures can only add retry time: {rate_pct}% p50 {v} < fault-free {fault_free}"
+        );
+    }
+    punch_table.print(&format!(
+        "Direct under punch faults — small payload, 1→{FANOUT} fan-out, {ROUNDS} layers, \
+         {SAMPLES} seeded samples"
     ));
 
     // Machine-readable emission for the CI bench-regression gate.
@@ -209,7 +278,7 @@ fn main() {
             json,
             "    {{\"label\": \"{}\", \"payload_nnz\": {}, \"wire_bytes\": {}, \
              \"spilled\": {}, \"queue_p50_us\": {}, \"object_p50_us\": {}, \
-             \"hybrid_p50_us\": {}}}{}",
+             \"hybrid_p50_us\": {}, \"direct_p50_us\": {}}}{}",
             r.label,
             r.payload_nnz,
             r.wire_bytes,
@@ -217,7 +286,16 @@ fn main() {
             r.queue_p50_us,
             r.object_p50_us,
             r.hybrid_p50_us,
+            r.direct_p50_us,
             if i + 1 < results.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n  \"punch_sweeps\": [\n");
+    for (i, (rate_pct, v)) in punch_results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"punch_fail_rate_pct\": {rate_pct}, \"direct_punch_p50_us\": {v}}}{}",
+            if i + 1 < punch_results.len() { "," } else { "" },
         );
     }
     json.push_str("  ]\n}\n");

@@ -48,6 +48,8 @@ pub const GATED: &[(&str, &[(&str, Direction)])] = &[
             ("queue_p50_us", Direction::LowerIsBetter),
             ("object_p50_us", Direction::LowerIsBetter),
             ("hybrid_p50_us", Direction::LowerIsBetter),
+            ("direct_p50_us", Direction::LowerIsBetter),
+            ("direct_punch_p50_us", Direction::LowerIsBetter),
         ],
     ),
     (

@@ -1,5 +1,6 @@
 //! The shared cloud environment: services + meters + timing sources.
 
+use crate::direct::DirectNet;
 use crate::fault::{FaultPlan, FaultPlane};
 use crate::latency::{Jitter, LatencyModel};
 use crate::meter::{MeterSnapshot, ServiceMeter};
@@ -64,6 +65,7 @@ pub struct CloudEnv {
     faults: Arc<FaultPlane>,
     pubsub: PubSub,
     store: ObjectStore,
+    direct: DirectNet,
     queues: Mutex<HashMap<String, Arc<SqsQueue>>>,
 }
 
@@ -90,6 +92,12 @@ impl CloudEnv {
         for i in 0..config.n_buckets {
             store.create_bucket(&bucket_name(i));
         }
+        let direct = DirectNet::new(
+            meter.clone(),
+            config.latency,
+            jitter.clone(),
+            faults.clone(),
+        );
         Arc::new(CloudEnv {
             config,
             meter,
@@ -97,6 +105,7 @@ impl CloudEnv {
             faults,
             pubsub,
             store,
+            direct,
             queues: Mutex::new(HashMap::new()),
         })
     }
@@ -151,6 +160,11 @@ impl CloudEnv {
     /// The object store.
     pub fn object_store(&self) -> &ObjectStore {
         &self.store
+    }
+
+    /// The direct-exchange fabric (punched connections).
+    pub fn direct(&self) -> &DirectNet {
+        &self.direct
     }
 
     /// Creates (or returns) the queue with the given name. Queues are
@@ -218,6 +232,14 @@ impl CloudEnv {
                 residue.push(format!("{objects} object(s) in {name}"));
             }
         }
+        let conns = self.direct.connection_count();
+        if conns > 0 {
+            residue.push(format!("{conns} punched direct connection(s)"));
+        }
+        let frames = self.direct.undrained_frames();
+        if frames > 0 {
+            residue.push(format!("{frames} undrained direct frame(s)"));
+        }
         let flows = self.meter.tracked_flows();
         if flows > 0 {
             residue.push(format!("{flows} tracked billing flow(s)"));
@@ -249,6 +271,7 @@ impl CloudEnv {
         for i in 0..self.config.n_buckets {
             self.store.delete_prefix(&bucket_name(i), "");
         }
+        self.direct.reset();
     }
 }
 

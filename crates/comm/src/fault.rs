@@ -46,11 +46,13 @@ pub enum ApiClass {
     ObjectDelete,
     /// Lambda `Invoke` — launching a worker instance.
     InstanceLaunch,
+    /// Direct-exchange NAT punch / pairwise connection handshake.
+    DirectPunch,
 }
 
 impl ApiClass {
     /// Every class, in index order.
-    pub const ALL: [ApiClass; 8] = [
+    pub const ALL: [ApiClass; 9] = [
         ApiClass::QueueSend,
         ApiClass::QueueReceive,
         ApiClass::QueueDelete,
@@ -59,6 +61,7 @@ impl ApiClass {
         ApiClass::ObjectGet,
         ApiClass::ObjectDelete,
         ApiClass::InstanceLaunch,
+        ApiClass::DirectPunch,
     ];
 
     /// Dense index for per-class tables.
@@ -79,6 +82,7 @@ impl ApiClass {
             ApiClass::ObjectGet => "object-get",
             ApiClass::ObjectDelete => "object-delete",
             ApiClass::InstanceLaunch => "instance-launch",
+            ApiClass::DirectPunch => "direct-punch",
         }
     }
 }
@@ -144,7 +148,7 @@ pub struct FaultPlan {
     /// jitter seed so fault schedules can vary while timing stays fixed).
     pub seed: u64,
     /// Per-class settings, indexed by [`ApiClass::index`].
-    pub classes: [ClassFaults; 8],
+    pub classes: [ClassFaults; 9],
 }
 
 impl FaultPlan {
@@ -152,7 +156,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
-            classes: [ClassFaults::default(); 8],
+            classes: [ClassFaults::default(); 9],
         }
     }
 
@@ -247,9 +251,9 @@ struct TargetedState {
 pub struct FaultStatsSnapshot {
     /// Injection decisions evaluated per class (only counted while a
     /// plan or targeted schedule is armed).
-    pub checks: [u64; 8],
+    pub checks: [u64; 9],
     /// Faults injected per class.
-    pub injected: [u64; 8],
+    pub injected: [u64; 9],
 }
 
 impl FaultStatsSnapshot {
@@ -272,8 +276,8 @@ pub struct FaultPlane {
     targeted: Mutex<Vec<TargetedState>>,
     /// Count of unfired targeted entries — lock-free fast path.
     armed: AtomicUsize,
-    checks: [AtomicU64; 8],
-    injected: [AtomicU64; 8],
+    checks: [AtomicU64; 9],
+    injected: [AtomicU64; 9],
 }
 
 impl FaultPlane {
@@ -375,7 +379,7 @@ impl FaultPlane {
     /// Current statistics.
     pub fn stats(&self) -> FaultStatsSnapshot {
         let mut snap = FaultStatsSnapshot::default();
-        for i in 0..8 {
+        for i in 0..9 {
             snap.checks[i] = self.checks[i].load(Ordering::Relaxed);
             snap.injected[i] = self.injected[i].load(Ordering::Relaxed);
         }

@@ -33,6 +33,14 @@ pub struct LatencyModel {
     pub lambda_invoke_us: u64,
     /// Cold-start delay before a fresh instance runs user code.
     pub lambda_cold_start_us: u64,
+    /// Direct-exchange NAT punch / handshake round trip (one-time per
+    /// connection pair; relayed through the hole-punching rendezvous).
+    pub direct_punch_us: u64,
+    /// Direct-exchange per-message latency over an established punched
+    /// connection (in-region TCP round trip, no service API in the path).
+    pub direct_latency_us: u64,
+    /// Direct-exchange per-connection bandwidth, bytes/second.
+    pub direct_bandwidth_bps: u64,
     /// Relative jitter half-width (0.2 = ±20 %); 0 disables jitter.
     pub jitter: f64,
 }
@@ -51,6 +59,9 @@ impl Default for LatencyModel {
             mq_bandwidth_bps: 60_000_000,
             lambda_invoke_us: 30_000,
             lambda_cold_start_us: 250_000,
+            direct_punch_us: 40_000,
+            direct_latency_us: 700,
+            direct_bandwidth_bps: 160_000_000,
             jitter: 0.15,
         }
     }
@@ -92,6 +103,12 @@ impl LatencyModel {
     /// SQS poll duration returning `bytes` of bodies.
     pub fn sqs_poll_total_us(&self, bytes: usize) -> u64 {
         self.sqs_poll_us + Self::transfer_us(bytes, self.mq_bandwidth_bps)
+    }
+
+    /// Direct-exchange send duration for a frame of `bytes` over an
+    /// already-punched connection.
+    pub fn direct_send_total_us(&self, bytes: usize) -> u64 {
+        self.direct_latency_us + Self::transfer_us(bytes, self.direct_bandwidth_bps)
     }
 }
 

@@ -24,6 +24,7 @@
 //! ```
 #![forbid(unsafe_code)]
 
+mod direct;
 mod env;
 mod fault;
 mod latency;
@@ -34,6 +35,7 @@ mod pubsub;
 mod queue;
 mod time;
 
+pub use direct::{DirectFrame, DirectNet};
 pub use env::{bucket_name, CloudConfig, CloudEnv};
 pub use fault::{
     mix64, unit_from, ApiClass, ClassFaults, FaultKind, FaultPlan, FaultPlane, FaultStatsSnapshot,

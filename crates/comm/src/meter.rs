@@ -42,6 +42,15 @@ pub struct ServiceMeter {
     s3_put_bytes: AtomicU64,
     /// Bytes read from object storage.
     s3_get_bytes: AtomicU64,
+    /// Direct-exchange punch attempts (successful handshakes).
+    direct_punches: AtomicU64,
+    /// Direct-exchange punch attempts that failed.
+    direct_punch_failures: AtomicU64,
+    /// Frames delivered over punched direct connections.
+    direct_messages: AtomicU64,
+    /// Bytes moved over punched direct connections (un-billed — direct's
+    /// whole point is zero per-message API cost; tracked for validation).
+    direct_bytes: AtomicU64,
     /// The same events bucketed per request flow (flow 0 excluded).
     flows: Mutex<HashMap<u64, MeterSnapshot>>,
 }
@@ -60,6 +69,10 @@ pub struct MeterSnapshot {
     pub s3_list_requests: u64,
     pub s3_put_bytes: u64,
     pub s3_get_bytes: u64,
+    pub direct_punches: u64,
+    pub direct_punch_failures: u64,
+    pub direct_messages: u64,
+    pub direct_bytes: u64,
 }
 
 impl MeterSnapshot {
@@ -77,6 +90,10 @@ impl MeterSnapshot {
             s3_list_requests: self.s3_list_requests - earlier.s3_list_requests,
             s3_put_bytes: self.s3_put_bytes - earlier.s3_put_bytes,
             s3_get_bytes: self.s3_get_bytes - earlier.s3_get_bytes,
+            direct_punches: self.direct_punches - earlier.direct_punches,
+            direct_punch_failures: self.direct_punch_failures - earlier.direct_punch_failures,
+            direct_messages: self.direct_messages - earlier.direct_messages,
+            direct_bytes: self.direct_bytes - earlier.direct_bytes,
         }
     }
 
@@ -94,6 +111,10 @@ impl MeterSnapshot {
             s3_list_requests: self.s3_list_requests + other.s3_list_requests,
             s3_put_bytes: self.s3_put_bytes + other.s3_put_bytes,
             s3_get_bytes: self.s3_get_bytes + other.s3_get_bytes,
+            direct_punches: self.direct_punches + other.direct_punches,
+            direct_punch_failures: self.direct_punch_failures + other.direct_punch_failures,
+            direct_messages: self.direct_messages + other.direct_messages,
+            direct_bytes: self.direct_bytes + other.direct_bytes,
         }
     }
 }
@@ -165,6 +186,30 @@ impl ServiceMeter {
         self.with_flow(flow, |s| s.s3_list_requests += 1);
     }
 
+    pub(crate) fn record_direct_punch(&self, flow: u64, ok: bool) {
+        if ok {
+            self.direct_punches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.direct_punch_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.with_flow(flow, |s| {
+            if ok {
+                s.direct_punches += 1;
+            } else {
+                s.direct_punch_failures += 1;
+            }
+        });
+    }
+
+    pub(crate) fn record_direct_send(&self, flow: u64, messages: u64, bytes: u64) {
+        self.direct_messages.fetch_add(messages, Ordering::Relaxed);
+        self.direct_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.with_flow(flow, |s| {
+            s.direct_messages += messages;
+            s.direct_bytes += bytes;
+        });
+    }
+
     /// Copies the current global counters.
     pub fn snapshot(&self) -> MeterSnapshot {
         MeterSnapshot {
@@ -179,6 +224,10 @@ impl ServiceMeter {
             s3_list_requests: self.s3_list_requests.load(Ordering::Relaxed),
             s3_put_bytes: self.s3_put_bytes.load(Ordering::Relaxed),
             s3_get_bytes: self.s3_get_bytes.load(Ordering::Relaxed),
+            direct_punches: self.direct_punches.load(Ordering::Relaxed),
+            direct_punch_failures: self.direct_punch_failures.load(Ordering::Relaxed),
+            direct_messages: self.direct_messages.load(Ordering::Relaxed),
+            direct_bytes: self.direct_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -215,6 +264,9 @@ mod tests {
         m.record_s3_put(0, 500);
         m.record_s3_get(0, 300);
         m.record_s3_list(0);
+        m.record_direct_punch(0, true);
+        m.record_direct_punch(0, false);
+        m.record_direct_send(0, 3, 900);
         let s = m.snapshot();
         assert_eq!(s.sns_publish_requests, 5);
         assert_eq!(s.sns_publish_batches, 2);
@@ -227,6 +279,10 @@ mod tests {
         assert_eq!(s.s3_list_requests, 1);
         assert_eq!(s.s3_put_bytes, 500);
         assert_eq!(s.s3_get_bytes, 300);
+        assert_eq!(s.direct_punches, 1);
+        assert_eq!(s.direct_punch_failures, 1);
+        assert_eq!(s.direct_messages, 3);
+        assert_eq!(s.direct_bytes, 900);
         assert_eq!(m.tracked_flows(), 0, "flow 0 is never bucketed");
     }
 

@@ -291,7 +291,10 @@ mod tests {
         assert_eq!(service.config().seed, 9);
         assert_eq!(service.config().scheme, PartitionScheme::Block);
         assert_eq!(service.config().serial_memory_mb, 512);
-        assert_eq!(service.channel_names(), vec!["hybrid", "object", "queue"]);
+        assert_eq!(
+            service.channel_names(),
+            vec!["direct", "hybrid", "object", "queue"]
+        );
     }
 
     #[test]

@@ -26,9 +26,12 @@ pub enum Variant {
     /// `ChannelOptions::spill_threshold` spilled to object storage and
     /// dereferenced through in-queue pointer records.
     Hybrid,
+    /// FMI-style direct exchange: NAT-punched pairwise connections
+    /// between workers, zero per-message API cost after the handshake.
+    Direct,
     /// Per-request routing by the Section IV-C recommendation rules: the
-    /// service picks Serial/Queue/Hybrid/Object from the model size and
-    /// the estimated per-pair payload volume of this request.
+    /// service picks Serial/Direct/Queue/Hybrid/Object from the model
+    /// size and the estimated per-pair payload volume of this request.
     Auto,
 }
 
@@ -38,11 +41,12 @@ impl Variant {
     /// and exhaustiveness-sensitive sweeps iterate this so their coverage
     /// can never drift from the enum definition. Keep in sync when adding
     /// a variant — the `variant-exhaustive` lint flags every match site.
-    pub const ALL: [Variant; 5] = [
+    pub const ALL: [Variant; 6] = [
         Variant::Serial,
         Variant::Queue,
         Variant::Object,
         Variant::Hybrid,
+        Variant::Direct,
         Variant::Auto,
     ];
 
@@ -55,6 +59,7 @@ impl Variant {
             Variant::Queue => Some("queue"),
             Variant::Object => Some("object"),
             Variant::Hybrid => Some("hybrid"),
+            Variant::Direct => Some("direct"),
         }
     }
 }
@@ -66,6 +71,7 @@ impl std::fmt::Display for Variant {
             Variant::Queue => write!(f, "FSD-Inf-Queue"),
             Variant::Object => write!(f, "FSD-Inf-Object"),
             Variant::Hybrid => write!(f, "FSD-Inf-Hybrid"),
+            Variant::Direct => write!(f, "FSD-Inf-Direct"),
             Variant::Auto => write!(f, "FSD-Inf-Auto"),
         }
     }
@@ -264,6 +270,7 @@ mod tests {
         assert_eq!(Variant::Queue.channel_name(), Some("queue"));
         assert_eq!(Variant::Object.channel_name(), Some("object"));
         assert_eq!(Variant::Hybrid.channel_name(), Some("hybrid"));
+        assert_eq!(Variant::Direct.channel_name(), Some("direct"));
         assert_eq!(Variant::Serial.channel_name(), None);
         assert_eq!(Variant::Auto.channel_name(), None);
     }
@@ -273,6 +280,7 @@ mod tests {
         assert_eq!(Variant::Auto.to_string(), "FSD-Inf-Auto");
         assert_eq!(Variant::Queue.to_string(), "FSD-Inf-Queue");
         assert_eq!(Variant::Hybrid.to_string(), "FSD-Inf-Hybrid");
+        assert_eq!(Variant::Direct.to_string(), "FSD-Inf-Direct");
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Per-transport health scoreboard and circuit breaker.
 //!
 //! The service keeps a rolling error-rate EWMA per *concrete* transport
-//! (queue / object / hybrid). When a transport's error rate trips the
-//! breaker, [`Variant::Auto`] routing degrades gracefully — hybrid falls
-//! back to a pure transport, queue and object fall back to each other —
-//! until a half-open probe phase observes enough consecutive successes to
-//! close the breaker again. Explicitly requested variants are never
-//! rerouted: the caller asked for that transport and gets its errors.
+//! (queue / object / hybrid / direct). When a transport's error rate trips
+//! the breaker, [`Variant::Auto`] routing degrades gracefully — direct
+//! falls back to hybrid (same payload band, managed services in the path),
+//! hybrid falls back to a pure transport, queue and object fall back to
+//! each other — until a half-open probe phase observes enough consecutive
+//! successes to close the breaker again. Explicitly requested variants are
+//! never rerouted: the caller asked for that transport and gets its errors.
 
 use crate::engine::Variant;
 use parking_lot::Mutex;
@@ -63,7 +64,7 @@ pub struct TransportHealthSnapshot {
     pub state: BreakerState,
 }
 
-/// Health snapshot of all three concrete transports.
+/// Health snapshot of all four concrete transports.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HealthSnapshot {
     /// Pub-sub/queueing transport.
@@ -72,6 +73,8 @@ pub struct HealthSnapshot {
     pub object: TransportHealthSnapshot,
     /// Hybrid transport.
     pub hybrid: TransportHealthSnapshot,
+    /// Direct-exchange transport.
+    pub direct: TransportHealthSnapshot,
 }
 
 impl HealthSnapshot {
@@ -82,6 +85,7 @@ impl HealthSnapshot {
             Variant::Queue => Some(self.queue),
             Variant::Object => Some(self.object),
             Variant::Hybrid => Some(self.hybrid),
+            Variant::Direct => Some(self.direct),
             Variant::Serial | Variant::Auto => None,
         }
     }
@@ -92,7 +96,7 @@ impl HealthSnapshot {
 /// requests of a service instance.
 #[derive(Debug, Default)]
 pub struct HealthBoard {
-    slots: [Mutex<TransportHealth>; 3],
+    slots: [Mutex<TransportHealth>; 4],
 }
 
 fn slot_index(variant: Variant) -> Option<usize> {
@@ -100,6 +104,7 @@ fn slot_index(variant: Variant) -> Option<usize> {
         Variant::Queue => Some(0),
         Variant::Object => Some(1),
         Variant::Hybrid => Some(2),
+        Variant::Direct => Some(3),
         Variant::Serial | Variant::Auto => None,
     }
 }
@@ -167,15 +172,18 @@ impl HealthBoard {
     }
 
     /// Applies graceful degradation to an `Auto`-recommended `variant`:
-    /// if its breaker is open, reroute — hybrid prefers queue then object,
-    /// queue and object fall back to each other. When every fallback is
-    /// open too, the original recommendation stands (failing over to an
-    /// equally broken transport buys nothing). Serial is never rerouted.
+    /// if its breaker is open, reroute — direct prefers hybrid (the
+    /// nearest managed-service band) then the pure transports, hybrid
+    /// prefers queue then object, queue and object fall back to each
+    /// other. When every fallback is open too, the original
+    /// recommendation stands (failing over to an equally broken transport
+    /// buys nothing). Serial is never rerouted.
     pub fn degrade(&self, variant: Variant) -> Variant {
         if slot_index(variant).is_none() || self.consult(variant) != BreakerState::Open {
             return variant;
         }
         let fallbacks: &[Variant] = match variant {
+            Variant::Direct => &[Variant::Hybrid, Variant::Queue, Variant::Object],
             Variant::Hybrid => &[Variant::Queue, Variant::Object],
             Variant::Queue => &[Variant::Object],
             Variant::Object => &[Variant::Queue],
@@ -202,6 +210,7 @@ impl HealthBoard {
             queue: snap(0),
             object: snap(1),
             hybrid: snap(2),
+            direct: snap(3),
         }
     }
 }
@@ -221,10 +230,25 @@ mod tests {
     #[test]
     fn healthy_board_changes_nothing() {
         let b = HealthBoard::new();
-        for v in [Variant::Queue, Variant::Object, Variant::Hybrid] {
+        for v in [
+            Variant::Queue,
+            Variant::Object,
+            Variant::Hybrid,
+            Variant::Direct,
+        ] {
             b.record(v, true);
             assert_eq!(b.degrade(v), v);
         }
+    }
+
+    #[test]
+    fn open_direct_degrades_to_hybrid() {
+        let b = HealthBoard::new();
+        trip(&b, Variant::Direct);
+        assert_eq!(b.degrade(Variant::Direct), Variant::Hybrid);
+        trip(&b, Variant::Hybrid);
+        trip(&b, Variant::Direct); // re-trip: degrade consults drained it
+        assert_eq!(b.degrade(Variant::Direct), Variant::Queue);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * **[`HybridChannel`]** — queue control plane with payloads above
 //!   [`ChannelOptions::spill_threshold`] spilled to object storage behind
 //!   in-queue pointer records (the paper's deployed mixed regime);
+//! * **[`DirectChannel`]** — FMI-style NAT-punched direct exchange, zero
+//!   per-message API cost after the pairwise handshake;
 //! * **hierarchical launch** — `worker_invoke_children` b-ary tree;
 //! * **collectives** — [`channel::barrier`] / [`channel::reduce`] built on
 //!   the same serverless primitives;
@@ -58,6 +60,7 @@ mod artifacts;
 mod builder;
 pub mod channel;
 pub mod cost;
+mod direct_channel;
 mod engine;
 mod error;
 mod health;
@@ -80,6 +83,7 @@ pub use artifacts::{
 };
 pub use builder::ServiceBuilder;
 pub use channel::{barrier, reduce, FsiChannel, RecvTracker, Tag};
+pub use direct_channel::DirectChannel;
 pub use engine::{
     BatchedRequest, EngineConfig, InferenceReport, InferenceRequest, LaunchPath, Variant,
     WorkerReport,
@@ -90,8 +94,8 @@ pub use hybrid_channel::HybridChannel;
 pub use object_channel::ObjectChannel;
 pub use pool::{ManualClock, SystemClock, WallClock, WarmPoolConfig, WarmPoolStats};
 pub use provider::{
-    ChannelProvider, ChannelRegistry, HybridChannelProvider, ObjectChannelProvider,
-    QueueChannelProvider,
+    ChannelProvider, ChannelRegistry, DirectChannelProvider, HybridChannelProvider,
+    ObjectChannelProvider, QueueChannelProvider,
 };
 pub use queue_channel::{ChannelOptions, QueueChannel};
 pub use retry::RetryPolicy;

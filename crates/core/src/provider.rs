@@ -9,6 +9,7 @@
 //! `ServiceBuilder::register_channel` without touching the request path.
 
 use crate::channel::FsiChannel;
+use crate::direct_channel::DirectChannel;
 use crate::engine::Variant;
 use crate::hybrid_channel::HybridChannel;
 use crate::object_channel::ObjectChannel;
@@ -94,6 +95,27 @@ impl ChannelProvider for HybridChannelProvider {
     }
 }
 
+/// Provider for the FMI-style direct-exchange channel (NAT-punched
+/// pairwise connections, zero per-message API cost).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DirectChannelProvider;
+
+impl ChannelProvider for DirectChannelProvider {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn provision(
+        &self,
+        env: &Arc<CloudEnv>,
+        n_workers: u32,
+        opts: ChannelOptions,
+        flow: u64,
+    ) -> Arc<dyn FsiChannel> {
+        DirectChannel::setup_scoped(env.clone(), n_workers, opts, flow)
+    }
+}
+
 /// The provider registry consulted by the service per request.
 pub struct ChannelRegistry {
     providers: HashMap<&'static str, Arc<dyn ChannelProvider>>,
@@ -120,6 +142,7 @@ impl ChannelRegistry {
                 Variant::Queue => Some(Arc::new(QueueChannelProvider)),
                 Variant::Object => Some(Arc::new(ObjectChannelProvider)),
                 Variant::Hybrid => Some(Arc::new(HybridChannelProvider)),
+                Variant::Direct => Some(Arc::new(DirectChannelProvider)),
             };
             if let Some(p) = provider {
                 debug_assert_eq!(
@@ -165,10 +188,11 @@ mod tests {
     #[test]
     fn builtins_are_registered() {
         let r = ChannelRegistry::with_builtins();
-        assert_eq!(r.names(), vec!["hybrid", "object", "queue"]);
+        assert_eq!(r.names(), vec!["direct", "hybrid", "object", "queue"]);
         assert!(r.get("queue").is_some());
         assert!(r.get("object").is_some());
         assert!(r.get("hybrid").is_some());
+        assert!(r.get("direct").is_some());
         assert!(r.get("warp").is_none());
     }
 

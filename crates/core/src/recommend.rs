@@ -1,7 +1,12 @@
-//! Design recommendations (paper Section IV-C).
+//! Design recommendations (paper Section IV-C, extended with the FMI
+//! direct-exchange band).
 //!
 //! * Models that fit one instance comfortably → **Serial** (no IPC latency);
-//! * otherwise **Queue** while per-pair payloads stay within a few publish
+//! * otherwise **Direct** while per-pair payloads stay within the punched
+//!   connections' socket-buffer budget: NAT-punched TCP has no per-message
+//!   API cost at all and sub-millisecond latency, so for small/mid
+//!   payloads it dominates every managed service (FMI, PAPERS.md);
+//! * **Queue** while per-pair payloads stay within a few publish
 //!   quotas (its API requests are ~1 OOM cheaper and batch 10 targets);
 //! * **Hybrid** in the mid-size band where payloads overflow the publish
 //!   quotas but a queue control plane (one pointer message per pair) still
@@ -29,6 +34,12 @@ pub struct WorkloadProfile {
 /// Fraction of instance memory the model may take before Serial stops
 /// being recommended (activations, buffers and runtime need the rest).
 const SERIAL_FIT_FRACTION: f64 = 0.55;
+
+/// Per-pair-per-layer bytes the direct channel absorbs before queueing
+/// effects on the punched connections' socket buffers erase its latency
+/// edge: half a publish quota — safely below the band where the queue
+/// channel still delivers a pair in a single billed publish.
+const DIRECT_SATURATION_BYTES: usize = quota::MAX_PUBLISH_BYTES / 2;
 
 /// Publish quotas a pair/layer may consume before the queue channel starts
 /// paying multiple billed requests per target consistently (§IV-C: queue
@@ -66,10 +77,12 @@ pub fn fits_single_instance(model_bytes: usize) -> bool {
 }
 
 /// Picks among the channel transports by per-pair-per-layer volume — the
-/// Queue → Hybrid → Object bands, for callers that have already ruled
-/// Serial out with their own fit test ([`fits_instance`]).
+/// Direct → Queue → Hybrid → Object bands, for callers that have already
+/// ruled Serial out with their own fit test ([`fits_instance`]).
 pub fn channel_variant(bytes_per_pair_layer: usize) -> Variant {
-    if bytes_per_pair_layer <= quota::MAX_PUBLISH_BYTES * QUEUE_SATURATION_PUBLISHES {
+    if bytes_per_pair_layer <= DIRECT_SATURATION_BYTES {
+        Variant::Direct
+    } else if bytes_per_pair_layer <= quota::MAX_PUBLISH_BYTES * QUEUE_SATURATION_PUBLISHES {
         Variant::Queue
     } else if bytes_per_pair_layer <= quota::MAX_PUBLISH_BYTES * HYBRID_SATURATION_PUBLISHES {
         Variant::Hybrid
@@ -98,6 +111,16 @@ mod tests {
             bytes_per_pair_layer: 10_000,
         };
         assert_eq!(recommend_variant(&w), Variant::Serial);
+    }
+
+    #[test]
+    fn small_payloads_use_direct() {
+        let w = WorkloadProfile {
+            model_bytes: 8 * 1024 * 1024 * 1024,
+            workers: 20,
+            bytes_per_pair_layer: 10 * 1024,
+        };
+        assert_eq!(recommend_variant(&w), Variant::Direct);
     }
 
     #[test]
@@ -142,6 +165,14 @@ mod tests {
             ..base
         };
         let q = quota::MAX_PUBLISH_BYTES;
+        assert_eq!(
+            recommend_variant(&at(DIRECT_SATURATION_BYTES)),
+            Variant::Direct
+        );
+        assert_eq!(
+            recommend_variant(&at(DIRECT_SATURATION_BYTES + 1)),
+            Variant::Queue
+        );
         assert_eq!(
             recommend_variant(&at(q * QUEUE_SATURATION_PUBLISHES)),
             Variant::Queue

@@ -698,7 +698,7 @@ impl FsdService {
     ) -> Result<(), FsdError> {
         assert!(
             variant.channel_name().is_some(),
-            "prewarm_tree needs a channel variant (Queue/Object/Hybrid), got {variant}"
+            "prewarm_tree needs a channel variant (Queue/Object/Hybrid/Direct), got {variant}"
         );
         let pool = self
             .pool
@@ -834,6 +834,7 @@ impl FsdService {
                 Some("queue") => Variant::Queue,
                 Some("object") => Variant::Object,
                 Some("hybrid") => Variant::Hybrid,
+                Some("direct") => Variant::Direct,
                 _ => return false,
             };
             let (Some(workers), Some(memory_mb), Some(rank)) = (
@@ -885,13 +886,18 @@ impl FsdService {
         match variant {
             // Auto routing consults the circuit breakers: a recommendation
             // whose transport is tripped open degrades to a healthy
-            // fallback (hybrid → queue → object; queue ↔ object). Explicit
+            // fallback (direct → hybrid → queue → object; hybrid → queue →
+            // object; queue ↔ object). Explicit
             // variants pass through — the caller asked for that transport
             // and gets its errors.
             Variant::Auto => self
                 .health
                 .degrade(self.recommend(workers.max(1), est_bytes_per_row).variant),
-            v @ (Variant::Serial | Variant::Queue | Variant::Object | Variant::Hybrid) => v,
+            v @ (Variant::Serial
+            | Variant::Queue
+            | Variant::Object
+            | Variant::Hybrid
+            | Variant::Direct) => v,
         }
     }
 
@@ -916,7 +922,11 @@ impl FsdService {
                 let est_bytes_per_row = codec::encoded_size(first) / first.n_rows().max(1);
                 self.resolve(Variant::Auto, req.workers, est_bytes_per_row)
             }
-            v @ (Variant::Serial | Variant::Queue | Variant::Object | Variant::Hybrid) => v,
+            v @ (Variant::Serial
+            | Variant::Queue
+            | Variant::Object
+            | Variant::Hybrid
+            | Variant::Direct) => v,
         }
     }
 
@@ -943,7 +953,7 @@ impl FsdService {
             // fsd_lint::allow(no-unwrap): submit_batched resolves Auto via
             // resolve_variant before calling execute; reaching here is a bug.
             Variant::Auto => unreachable!("Auto resolves before execution"),
-            routed @ (Variant::Queue | Variant::Object | Variant::Hybrid) => {
+            routed @ (Variant::Queue | Variant::Object | Variant::Hybrid | Variant::Direct) => {
                 let name = routed
                     .channel_name()
                     .expect("routed variants name a channel");
@@ -1246,7 +1256,12 @@ mod tests {
     #[test]
     fn requests_get_distinct_flows_and_clean_up() {
         let (service, inputs, expected) = small_service(3);
-        for variant in [Variant::Queue, Variant::Object, Variant::Hybrid] {
+        for variant in [
+            Variant::Queue,
+            Variant::Object,
+            Variant::Hybrid,
+            Variant::Direct,
+        ] {
             let report = service
                 .submit(&InferenceRequest {
                     variant,
@@ -1257,7 +1272,7 @@ mod tests {
                 .expect("runs");
             assert_eq!(report.first_output(), &expected);
         }
-        assert_eq!(service.requests_served(), 3);
+        assert_eq!(service.requests_served(), 4);
         // Queue-channel teardown removed the per-request queues and
         // filter policies.
         assert_eq!(service.env().queue_count(), 0);

@@ -32,6 +32,12 @@ pub struct ChannelStats {
     pub s3_bytes_put: AtomicU64,
     /// Pre-compression payload bytes (compression-effectiveness metric).
     pub bytes_precompress: AtomicU64,
+    /// Direct-exchange punch handshakes performed.
+    pub direct_punches: AtomicU64,
+    /// Frames shipped over punched direct connections.
+    pub direct_msgs: AtomicU64,
+    /// Payload bytes shipped over punched direct connections (un-billed).
+    pub direct_bytes: AtomicU64,
     /// Retries performed on idempotent ops after transient faults. Failed
     /// attempts are billed by the service meters, so under injected faults
     /// the service-side counts exceed these client-side logical counts by
@@ -62,6 +68,12 @@ pub struct ChannelStatsSnapshot {
     pub s3_bytes_put: u64,
     /// Pre-compression payload bytes (compression-effectiveness metric).
     pub bytes_precompress: u64,
+    /// Direct-exchange punch handshakes performed.
+    pub direct_punches: u64,
+    /// Frames shipped over punched direct connections.
+    pub direct_msgs: u64,
+    /// Payload bytes shipped over punched direct connections (un-billed).
+    pub direct_bytes: u64,
     /// Retries performed on idempotent ops after transient faults.
     pub retries: u64,
 }
@@ -89,6 +101,9 @@ impl ChannelStats {
             s3_lists: self.s3_lists.load(Ordering::Relaxed),
             s3_bytes_put: self.s3_bytes_put.load(Ordering::Relaxed),
             bytes_precompress: self.bytes_precompress.load(Ordering::Relaxed),
+            direct_punches: self.direct_punches.load(Ordering::Relaxed),
+            direct_msgs: self.direct_msgs.load(Ordering::Relaxed),
+            direct_bytes: self.direct_bytes.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
         }
     }
@@ -97,7 +112,7 @@ impl ChannelStats {
 impl ChannelStatsSnapshot {
     /// Achieved compression ratio (pre / post), 1.0 when nothing was sent.
     pub fn compression_ratio(&self) -> f64 {
-        let post = self.bytes_sent + self.s3_bytes_put;
+        let post = self.bytes_sent + self.s3_bytes_put + self.direct_bytes;
         if post == 0 {
             return 1.0;
         }

@@ -151,7 +151,7 @@ pub fn derive_model_cap(service: &FsdService, typical_workers: u32) -> usize {
     let rec = service.recommend(typical_workers.max(1), service.est_bytes_per_row());
     match rec.variant {
         Variant::Serial => MAX_DERIVED_CAP,
-        Variant::Queue | Variant::Object | Variant::Hybrid | Variant::Auto => {
+        Variant::Queue | Variant::Object | Variant::Hybrid | Variant::Direct | Variant::Auto => {
             let per_tree = rec.profile.workers as usize * rec.profile.bytes_per_pair_layer.max(1);
             let budget = service.env().config().n_topics * quota::MAX_PUBLISH_BYTES * 4;
             (budget / per_tree).clamp(1, MAX_DERIVED_CAP)
@@ -604,7 +604,14 @@ impl SchedulerCore {
         let resolved = match (shape.variant, shape.est_bytes_per_row) {
             (Variant::Auto, None) => return None,
             (Variant::Auto, Some(est)) => service.resolve(Variant::Auto, shape.workers, est),
-            (v @ (Variant::Serial | Variant::Queue | Variant::Object | Variant::Hybrid), _) => v,
+            (
+                v @ (Variant::Serial
+                | Variant::Queue
+                | Variant::Object
+                | Variant::Hybrid
+                | Variant::Direct),
+                _,
+            ) => v,
         };
         resolved.channel_name().map(|_| TreeKey {
             variant: resolved,
@@ -1630,6 +1637,13 @@ mod tests {
         // itself is Hybrid — the band edge the old private heuristic
         // could silently cross differently than execution.
         let (mut lo, mut hi) = (1usize, 1usize << 30);
+        // The Direct band sits below Queue; walk the lower bound up into
+        // the Queue band first (Queue spans an 8× range of per-pair
+        // volume, so doubling cannot step over it).
+        assert_eq!(svc.resolve(Variant::Auto, 3, lo), Variant::Direct);
+        while svc.resolve(Variant::Auto, 3, lo) == Variant::Direct {
+            lo *= 2;
+        }
         assert_eq!(svc.resolve(Variant::Auto, 3, lo), Variant::Queue);
         assert_ne!(svc.resolve(Variant::Auto, 3, hi), Variant::Queue);
         while lo + 1 < hi {

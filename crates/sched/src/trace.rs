@@ -171,7 +171,7 @@ pub fn fleet(
 
 /// The adversarial case: `n` large-`P` requests all arriving at once
 /// (virtual time zero), batch-heavy, cycling through every channel
-/// transport (queue, object, hybrid) — the flood that must trip the
+/// transport (queue, object, hybrid, direct) — the flood that must trip the
 /// bounded queues into explicit backpressure instead of buffering without
 /// bound or starving interactive traffic.
 pub fn flood(n: usize, workers: u32, seed: u64) -> Vec<Arrival> {
@@ -183,10 +183,11 @@ pub fn flood(n: usize, workers: u32, seed: u64) -> Vec<Arrival> {
             } else {
                 Priority::Batch
             };
-            let variant = match i % 3 {
+            let variant = match i % 4 {
                 0 => Variant::Queue,
                 1 => Variant::Object,
-                _ => Variant::Hybrid,
+                2 => Variant::Hybrid,
+                _ => Variant::Direct,
             };
             arrival(&mut rng, 0, priority, variant, workers, i)
         })
@@ -251,7 +252,12 @@ mod tests {
         let f = flood(10, 4, 3);
         assert!(f.iter().all(|a| a.at == VirtualTime::ZERO));
         assert!(f.iter().all(|a| a.workers == 4));
-        for v in [Variant::Queue, Variant::Object, Variant::Hybrid] {
+        for v in [
+            Variant::Queue,
+            Variant::Object,
+            Variant::Hybrid,
+            Variant::Direct,
+        ] {
             assert!(
                 f.iter().any(|a| a.variant == v),
                 "flood must cycle through {v}"

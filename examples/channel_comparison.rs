@@ -1,14 +1,14 @@
-//! Queue vs object vs hybrid channels on one workload.
+//! Queue vs object vs hybrid vs direct channels on one workload.
 //!
 //! ```text
 //! cargo run --release --example channel_comparison
 //! ```
 //!
-//! Runs the same model/batch through FSD-Inf-Queue, FSD-Inf-Object and
-//! FSD-Inf-Hybrid at increasing parallelism, printing the latency/cost
-//! trade-off the paper's design recommendations are built on — and
-//! demonstrating that all channels (and the serial fallback) return
-//! identical results.
+//! Runs the same model/batch through FSD-Inf-Queue, FSD-Inf-Object,
+//! FSD-Inf-Hybrid and FSD-Inf-Direct at increasing parallelism, printing
+//! the latency/cost trade-off the paper's design recommendations are
+//! built on — and demonstrating that all channels (and the serial
+//! fallback) return identical results.
 
 use fsd_inference::core::{InferenceRequest, ServiceBuilder, Variant};
 use fsd_inference::model::{generate_dnn, generate_inputs, DnnSpec, InputSpec};
@@ -22,8 +22,16 @@ fn main() {
     let service = ServiceBuilder::new(dnn).deterministic(3).build();
 
     println!(
-        "{:>3}  {:>10}  {:>10}  {:>11}  {:>11}  {:>11}  {:>11}",
-        "P", "queue ms", "queue $", "object ms", "object $", "hybrid ms", "hybrid $"
+        "{:>3}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "P",
+        "queue ms",
+        "queue $",
+        "objct ms",
+        "objct $",
+        "hybrd ms",
+        "hybrd $",
+        "direct ms",
+        "direct $"
     );
     for p in [2u32, 4, 8] {
         let run = |variant: Variant| {
@@ -41,14 +49,17 @@ fn main() {
         let queue = run(Variant::Queue);
         let object = run(Variant::Object);
         let hybrid = run(Variant::Hybrid);
+        let direct = run(Variant::Direct);
         println!(
-            "{p:>3}  {:>10.1}  {:>10.6}  {:>11.1}  {:>11.6}  {:>11.1}  {:>11.6}",
+            "{p:>3}  {:>9.1}  {:>9.6}  {:>9.1}  {:>9.6}  {:>9.1}  {:>9.6}  {:>9.1}  {:>9.6}",
             queue.latency.as_millis_f64(),
             queue.cost_actual.total(),
             object.latency.as_millis_f64(),
             object.cost_actual.total(),
             hybrid.latency.as_millis_f64(),
-            hybrid.cost_actual.total()
+            hybrid.cost_actual.total(),
+            direct.latency.as_millis_f64(),
+            direct.cost_actual.total()
         );
     }
 
@@ -62,11 +73,13 @@ fn main() {
         .expect("serial runs");
     assert_eq!(serial.first_output(), &expected);
     println!(
-        "\nserial reference: {:.1} ms, ${:.6} — all four variants agree bit-for-bit ✓",
+        "\nserial reference: {:.1} ms, ${:.6} — all five variants agree bit-for-bit ✓",
         serial.latency.as_millis_f64(),
         serial.cost_actual.total()
     );
     println!("\npattern to expect: object-storage cost grows ~linearly with P, queue");
-    println!("cost grows much more slowly, and hybrid tracks queue until payloads");
-    println!("cross the spill threshold — the paper's §IV-C recommendation.");
+    println!("cost grows much more slowly, hybrid tracks queue until payloads cross");
+    println!("the spill threshold, and direct pays only the one-time hole-punch");
+    println!("handshakes — zero per-message API cost, the paper's §IV-C bands");
+    println!("extended with the FMI direct-exchange transport.");
 }

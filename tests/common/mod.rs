@@ -3,7 +3,8 @@
 use fsd_inference::core::Variant;
 
 /// The channel variant under test, selected by the `FSD_TEST_VARIANT`
-/// environment variable (`queue` | `object` | `hybrid`; default `queue`).
+/// environment variable (`queue` | `object` | `hybrid` | `direct`;
+/// default `queue`).
 /// The CI channel-matrix job sets it per matrix leg, so the same suites
 /// exercise every transport.
 ///
@@ -17,7 +18,10 @@ pub fn test_variant() -> Variant {
             "" | "queue" => Variant::Queue,
             "object" => Variant::Object,
             "hybrid" => Variant::Hybrid,
-            other => panic!("FSD_TEST_VARIANT={other:?}: expected queue | object | hybrid"),
+            "direct" => Variant::Direct,
+            other => {
+                panic!("FSD_TEST_VARIANT={other:?}: expected queue | object | hybrid | direct")
+            }
         },
     }
 }

@@ -282,10 +282,11 @@ fn scheduler_failed_request_releases_slot_and_does_not_wedge_the_queue() {
 #[test]
 fn breaker_trips_degrades_auto_and_recovers_via_half_open_probes() {
     let _guard = engine_guard();
-    // The transport scoreboard end to end: injected faults fail enough
-    // queue requests to trip its breaker, Auto routing degrades to the
-    // object transport while the breaker is open, and once the cooldown
-    // drains the half-open probes run on queue again and close it.
+    // The transport scoreboard end to end: targeted NAT-punch refusals
+    // fail enough direct requests to trip its breaker, Auto routing
+    // degrades direct → hybrid while the breaker is open, and once the
+    // cooldown drains the half-open probes run on direct again and close
+    // it.
     use fsd_inference::comm::{ApiClass, TargetedFault};
     use fsd_inference::core::{BatchedRequest, BreakerState, FsdError};
 
@@ -301,7 +302,7 @@ fn breaker_trips_degrades_auto_and_recovers_via_half_open_probes() {
     let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(8, 36));
     let expected = dnn.serial_inference(&inputs);
     // A Serial instance too small for any model, so Auto recommends a
-    // transport — the tiny per-pair volume lands in the Queue band.
+    // transport — the tiny per-pair volume lands in the Direct band.
     let service = ServiceBuilder::new(dnn)
         .deterministic(36)
         .serial_memory_mb(0)
@@ -313,49 +314,50 @@ fn breaker_trips_degrades_auto_and_recovers_via_half_open_probes() {
         batches: vec![inputs.clone()],
     };
     let auto_req = request(Variant::Auto);
-    assert_eq!(service.resolve_variant(&auto_req), Variant::Queue);
+    assert_eq!(service.resolve_variant(&auto_req), Variant::Direct);
 
-    // Trip the queue transport: five explicit-queue requests, each refused
-    // at its first worker launch by a targeted *permanent* fault (never
-    // retried — a clean terminal communication failure).
+    // Trip the direct transport: five explicit-direct requests, each
+    // refused at its first pairwise punch by a targeted *permanent* fault
+    // (never retried — a clean terminal communication failure). The
+    // explicit variant surfaces the error instead of being rerouted.
     for i in 0..5 {
         service
             .env()
             .faults()
-            .inject(TargetedFault::first(ApiClass::InstanceLaunch, "fsd-worker").permanent());
+            .inject(TargetedFault::first(ApiClass::DirectPunch, "f").permanent());
         let err = service
-            .submit_batched(&request(Variant::Queue))
-            .expect_err("an injected launch refusal must fail the request");
+            .submit_batched(&request(Variant::Direct))
+            .expect_err("an injected punch refusal must fail the request");
         assert!(matches!(err, FsdError::Comm(_)), "attempt {i}: {err}");
     }
     let snap = service.health_snapshot();
-    assert_eq!(snap.queue.state, BreakerState::Open, "{snap:?}");
-    assert!(snap.queue.error_rate > 0.5, "{snap:?}");
+    assert_eq!(snap.direct.state, BreakerState::Open, "{snap:?}");
+    assert!(snap.direct.error_rate > 0.5, "{snap:?}");
     // Failed attempts are billed — the service accounted their meters.
     assert!(service.failed_attempt_bill().lambda.invocations > 0);
 
-    // While open (cooldown = 4 consults), Auto degrades queue → object and
-    // keeps serving correct results on the healthy transport.
+    // While open (cooldown = 4 consults), Auto degrades direct → hybrid
+    // and keeps serving correct results on the healthy transport.
     for i in 0..3 {
         let report = service
             .submit_batched(&auto_req)
             .unwrap_or_else(|e| panic!("degraded run {i}: {e}"));
-        assert_eq!(report.variant, Variant::Object, "degraded run {i}");
+        assert_eq!(report.variant, Variant::Hybrid, "degraded run {i}");
         assert_eq!(report.first_output(), &expected);
     }
-    // Cooldown drained: the breaker half-opens and Auto probes queue
+    // Cooldown drained: the breaker half-opens and Auto probes direct
     // again; two clean probes close it and forgive the error history.
     for i in 0..2 {
         let report = service
             .submit_batched(&auto_req)
             .unwrap_or_else(|e| panic!("probe run {i}: {e}"));
-        assert_eq!(report.variant, Variant::Queue, "probe run {i}");
+        assert_eq!(report.variant, Variant::Direct, "probe run {i}");
         assert_eq!(report.first_output(), &expected);
     }
     let snap = service.health_snapshot();
-    assert_eq!(snap.queue.state, BreakerState::Closed, "{snap:?}");
-    assert_eq!(snap.queue.error_rate, 0.0, "recovery forgives history");
-    assert_eq!(service.resolve_variant(&auto_req), Variant::Queue);
+    assert_eq!(snap.direct.state, BreakerState::Closed, "{snap:?}");
+    assert_eq!(snap.direct.error_rate, 0.0, "recovery forgives history");
+    assert_eq!(service.resolve_variant(&auto_req), Variant::Direct);
     // Failure or not, every request released its flow state.
     service.env().assert_no_residue();
     assert_eq!(service.env().meter().tracked_flows(), 0);

@@ -179,7 +179,7 @@ proptest! {
         neurons in 48usize..96,
         parts in 2u32..5,
         seed in 0u64..1000,
-        variant_idx in 0usize..3,
+        variant_idx in 0usize..4,
     ) {
         use fsd_inference::core::{InferenceRequest, ServiceBuilder, Variant};
         use std::sync::Arc;
@@ -188,7 +188,8 @@ proptest! {
         let inputs = generate_inputs(neurons, &InputSpec::scaled(12, seed));
         let expected = dnn.serial_inference(&inputs);
         let service = ServiceBuilder::new(dnn).deterministic(seed).build();
-        let variant = [Variant::Queue, Variant::Object, Variant::Hybrid][variant_idx];
+        let variant =
+            [Variant::Queue, Variant::Object, Variant::Hybrid, Variant::Direct][variant_idx];
         let report = service
             .submit(&InferenceRequest { variant, workers: parts, memory_mb: 1536, inputs })
             .expect("run succeeds");
@@ -396,7 +397,7 @@ proptest! {
     fn chaos_replays_are_bit_identical_and_conserve_payloads(
         fault_seed in 0u64..1000,
         model_seed in 0u64..100,
-        variant_idx in 0usize..3,
+        variant_idx in 0usize..4,
         parts in 2u32..4,
     ) {
         use fsd_inference::comm::{CloudConfig, FaultPlan};
@@ -409,7 +410,8 @@ proptest! {
         let dnn = Arc::new(generate_dnn(&spec));
         let inputs = generate_inputs(spec.neurons, &InputSpec::scaled(8, model_seed));
         let expected = dnn.serial_inference(&inputs);
-        let variant = [Variant::Queue, Variant::Object, Variant::Hybrid][variant_idx];
+        let variant =
+            [Variant::Queue, Variant::Object, Variant::Hybrid, Variant::Direct][variant_idx];
 
         let replay = || -> Result<_, String> {
             let cloud = CloudConfig::deterministic(model_seed)

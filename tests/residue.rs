@@ -63,6 +63,7 @@ fn every_variant_leaves_zero_residue() {
         Variant::Queue,
         Variant::Object,
         Variant::Hybrid,
+        Variant::Direct,
         Variant::Auto,
     ]
     .into_iter()
@@ -158,6 +159,22 @@ fn audit_detects_planted_leaks() {
     );
     env.object_store()
         .delete_prefix(&fsd_inference::comm::bucket_name(0), "");
+    env.assert_no_residue();
+
+    let mut clock = fsd_inference::comm::VClock::default();
+    clock.set_flow(77);
+    env.direct()
+        .punch(&mut clock, 0, 1)
+        .expect("punch succeeds without faults");
+    let report = env.residue_report();
+    assert!(
+        report.iter().any(|r| r.contains("direct connection")),
+        "planted direct connection not reported: {report:?}"
+    );
+    env.direct().close_flow(77);
+    // The punch billed on flow 77, opening a per-flow meter bucket — the
+    // audit counts that as residue too, so release it like teardown would.
+    env.meter().release_flow(77);
     env.assert_no_residue();
 }
 
