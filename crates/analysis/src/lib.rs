@@ -14,7 +14,7 @@
 //! | `variant-exhaustive` | every `match` over `Variant` in non-test code names all variants — no `_` or binding catch-all, so adding a variant fails lint at every stale site |
 //! | `billing-pair` | `.begin_request(..)` calls balance `.finish_request(..)` calls within a function body |
 //! | `raw-channel-name` | queue/bucket/topic name literals (`fsd-f*`, `bucket-*`, `topic-*`) only appear inside `*_name` helper functions |
-//! | `teardown-pair` | every `pub fn create_*`/`provision_*` in `crates/core`/`crates/comm` has a `remove_*`/`delete_*`/`teardown_*`/`destroy_*` twin in the same module |
+//! | `teardown-pair` | every `pub fn create_*`/`provision_*` in `crates/core`/`crates/comm` has a `remove_*`/`delete_*`/`teardown_*`/`destroy_*` twin in the same module; every `pub fn insert_*` has an `evict_*` twin |
 //! | `no-unwrap` | no `.unwrap()`, bare/undocumented `.expect(..)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` in non-test library code |
 //! | `lock-across-blocking` | a live `.lock()` guard must not be held across `.wait*(`/`.recv*(`/`sleep(` (condvar waits that consume the guard are recognized and allowed) |
 //! | `retry-idempotent` | a `RetryPolicy` `.run(..)` closure must not call non-idempotent channel ops (`receive_wait`, `take_visible`, `poll`, `poll_and_stash`, `settle_receives`, `delete_batch`, `enqueue`) — a retried attempt repeats its calls, so only idempotent ops may sit inside one |
@@ -37,7 +37,7 @@ pub const LINT_VARIANT_EXHAUSTIVE: &str = "variant-exhaustive";
 pub const LINT_BILLING_PAIR: &str = "billing-pair";
 /// Lint name: raw channel-name string literal outside a `*_name` helper.
 pub const LINT_RAW_CHANNEL_NAME: &str = "raw-channel-name";
-/// Lint name: `create_*`/`provision_*` without a teardown twin.
+/// Lint name: `create_*`/`provision_*`/`insert_*` without a teardown twin.
 pub const LINT_TEARDOWN_PAIR: &str = "teardown-pair";
 /// Lint name: `unwrap`/undocumented `expect`/`panic!`-family in library code.
 pub const LINT_NO_UNWRAP: &str = "no-unwrap";
@@ -784,27 +784,33 @@ fn lint_teardown_pair(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     }
     let names: BTreeSet<&str> = pub_fns.iter().map(|(n, _, _)| n.as_str()).collect();
     for (name, line, _) in &pub_fns {
-        let suffix = if let Some(s) = name.strip_prefix("create_") {
-            s
-        } else if let Some(s) = name.strip_prefix("provision_") {
-            s
+        // `insert_*` populates a shared container and must be paired with
+        // an `evict_*` on the same surface; `create_*`/`provision_*` stand
+        // up cloud state and accept the wider teardown vocabulary.
+        let (twins, expected) = if let Some(s) = name.strip_prefix("insert_") {
+            (vec![format!("evict_{s}")], format!("evict_{s}"))
+        } else if let Some(s) = name
+            .strip_prefix("create_")
+            .or_else(|| name.strip_prefix("provision_"))
+        {
+            (
+                vec![
+                    format!("remove_{s}"),
+                    format!("delete_{s}"),
+                    format!("teardown_{s}"),
+                    format!("destroy_{s}"),
+                ],
+                format!("one of remove_{s}/delete_{s}/teardown_{s}/destroy_{s}"),
+            )
         } else {
             continue;
         };
-        let twins = [
-            format!("remove_{suffix}"),
-            format!("delete_{suffix}"),
-            format!("teardown_{suffix}"),
-            format!("destroy_{suffix}"),
-        ];
         if !twins.iter().any(|t| names.contains(t.as_str())) {
             ctx.push(
                 out,
                 *line,
                 LINT_TEARDOWN_PAIR,
-                format!(
-                    "pub fn {name} has no teardown twin (expected one of remove_{suffix}/delete_{suffix}/teardown_{suffix}/destroy_{suffix} in this module)"
-                ),
+                format!("pub fn {name} has no teardown twin (expected {expected} in this module)"),
             );
         }
     }

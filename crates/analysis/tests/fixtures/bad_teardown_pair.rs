@@ -6,3 +6,12 @@ pub fn create_session(&self, name: &str) -> Session {
 pub fn provision_lanes(&self, n: usize) -> Lanes {
     Lanes::new(n)
 }
+
+pub fn insert_block(&self, key: &str) {
+    self.blocks.lock().insert(key.to_string());
+}
+
+// A generic remover is not the insert twin: eviction must be spelled out.
+pub fn remove_block(&self, key: &str) {
+    self.blocks.lock().remove(key);
+}

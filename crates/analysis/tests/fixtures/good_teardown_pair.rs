@@ -14,3 +14,11 @@ pub fn provision_lanes(&self, n: usize) -> Lanes {
 pub fn teardown_lanes(&self, lanes: Lanes) {
     lanes.close();
 }
+
+pub fn insert_block(&self, key: &str) {
+    self.blocks.lock().insert(key.to_string());
+}
+
+pub fn evict_block(&self, key: &str) {
+    self.blocks.lock().remove(key);
+}

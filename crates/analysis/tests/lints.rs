@@ -78,7 +78,11 @@ fn teardown_pair_flags_orphan_provisioners() {
     let bad = include_str!("fixtures/bad_teardown_pair.rs");
     assert_eq!(
         findings(bad, "crates/core/src/fixture.rs"),
-        vec![("teardown-pair", 2), ("teardown-pair", 6)]
+        vec![
+            ("teardown-pair", 2),
+            ("teardown-pair", 6),
+            ("teardown-pair", 10),
+        ]
     );
     let good = include_str!("fixtures/good_teardown_pair.rs");
     assert_eq!(findings(good, "crates/core/src/fixture.rs"), vec![]);

@@ -59,6 +59,14 @@ pub const GATED: &[(&str, &[(&str, Direction)])] = &[
             ("success_rate_pct", Direction::HigherIsBetter),
         ],
     ),
+    (
+        "BENCH_cold_start.json",
+        &[
+            ("off_p50_us", Direction::LowerIsBetter),
+            ("miss_p50_us", Direction::LowerIsBetter),
+            ("hit_p50_us", Direction::LowerIsBetter),
+        ],
+    ),
 ];
 
 /// Which way a metric regresses.

@@ -7,6 +7,7 @@ use crate::meter::{MeterSnapshot, ServiceMeter};
 use crate::object::ObjectStore;
 use crate::pubsub::PubSub;
 use crate::queue::SqsQueue;
+use crate::stream::WeightNet;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -66,6 +67,7 @@ pub struct CloudEnv {
     pubsub: PubSub,
     store: ObjectStore,
     direct: DirectNet,
+    weights: WeightNet,
     queues: Mutex<HashMap<String, Arc<SqsQueue>>>,
 }
 
@@ -98,6 +100,12 @@ impl CloudEnv {
             jitter.clone(),
             faults.clone(),
         );
+        let weights = WeightNet::new(
+            meter.clone(),
+            config.latency,
+            jitter.clone(),
+            faults.clone(),
+        );
         Arc::new(CloudEnv {
             config,
             meter,
@@ -106,6 +114,7 @@ impl CloudEnv {
             pubsub,
             store,
             direct,
+            weights,
             queues: Mutex::new(HashMap::new()),
         })
     }
@@ -165,6 +174,11 @@ impl CloudEnv {
     /// The direct-exchange fabric (punched connections).
     pub fn direct(&self) -> &DirectNet {
         &self.direct
+    }
+
+    /// The weight-multicast fabric (cold-launch weight streaming).
+    pub fn weight_net(&self) -> &WeightNet {
+        &self.weights
     }
 
     /// Creates (or returns) the queue with the given name. Queues are
@@ -240,6 +254,10 @@ impl CloudEnv {
         if frames > 0 {
             residue.push(format!("{frames} undrained direct frame(s)"));
         }
+        let weight_frames = self.weights.undrained_frames();
+        if weight_frames > 0 {
+            residue.push(format!("{weight_frames} undrained weight frame(s)"));
+        }
         let flows = self.meter.tracked_flows();
         if flows > 0 {
             residue.push(format!("{flows} tracked billing flow(s)"));
@@ -272,6 +290,7 @@ impl CloudEnv {
             self.store.delete_prefix(&bucket_name(i), "");
         }
         self.direct.reset();
+        self.weights.reset();
     }
 }
 

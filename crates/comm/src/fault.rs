@@ -48,11 +48,17 @@ pub enum ApiClass {
     InstanceLaunch,
     /// Direct-exchange NAT punch / pairwise connection handshake.
     DirectPunch,
+    /// Weight-block frame forwarded down the launch cascade (multicast
+    /// weight streaming; a fault aborts the stream mid-flight).
+    WeightStream,
 }
 
 impl ApiClass {
+    /// Number of API classes (per-class table width).
+    pub const COUNT: usize = 10;
+
     /// Every class, in index order.
-    pub const ALL: [ApiClass; 9] = [
+    pub const ALL: [ApiClass; Self::COUNT] = [
         ApiClass::QueueSend,
         ApiClass::QueueReceive,
         ApiClass::QueueDelete,
@@ -62,6 +68,7 @@ impl ApiClass {
         ApiClass::ObjectDelete,
         ApiClass::InstanceLaunch,
         ApiClass::DirectPunch,
+        ApiClass::WeightStream,
     ];
 
     /// Dense index for per-class tables.
@@ -83,6 +90,7 @@ impl ApiClass {
             ApiClass::ObjectDelete => "object-delete",
             ApiClass::InstanceLaunch => "instance-launch",
             ApiClass::DirectPunch => "direct-punch",
+            ApiClass::WeightStream => "weight-stream",
         }
     }
 }
@@ -148,7 +156,7 @@ pub struct FaultPlan {
     /// jitter seed so fault schedules can vary while timing stays fixed).
     pub seed: u64,
     /// Per-class settings, indexed by [`ApiClass::index`].
-    pub classes: [ClassFaults; 9],
+    pub classes: [ClassFaults; ApiClass::COUNT],
 }
 
 impl FaultPlan {
@@ -156,7 +164,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
-            classes: [ClassFaults::default(); 9],
+            classes: [ClassFaults::default(); ApiClass::COUNT],
         }
     }
 
@@ -251,9 +259,9 @@ struct TargetedState {
 pub struct FaultStatsSnapshot {
     /// Injection decisions evaluated per class (only counted while a
     /// plan or targeted schedule is armed).
-    pub checks: [u64; 9],
+    pub checks: [u64; ApiClass::COUNT],
     /// Faults injected per class.
-    pub injected: [u64; 9],
+    pub injected: [u64; ApiClass::COUNT],
 }
 
 impl FaultStatsSnapshot {
@@ -276,8 +284,8 @@ pub struct FaultPlane {
     targeted: Mutex<Vec<TargetedState>>,
     /// Count of unfired targeted entries — lock-free fast path.
     armed: AtomicUsize,
-    checks: [AtomicU64; 9],
-    injected: [AtomicU64; 9],
+    checks: [AtomicU64; ApiClass::COUNT],
+    injected: [AtomicU64; ApiClass::COUNT],
 }
 
 impl FaultPlane {
@@ -379,7 +387,7 @@ impl FaultPlane {
     /// Current statistics.
     pub fn stats(&self) -> FaultStatsSnapshot {
         let mut snap = FaultStatsSnapshot::default();
-        for i in 0..9 {
+        for i in 0..ApiClass::COUNT {
             snap.checks[i] = self.checks[i].load(Ordering::Relaxed);
             snap.injected[i] = self.injected[i].load(Ordering::Relaxed);
         }

@@ -33,6 +33,7 @@ mod meter;
 mod object;
 mod pubsub;
 mod queue;
+mod stream;
 mod time;
 
 pub use direct::{DirectFrame, DirectNet};
@@ -47,4 +48,5 @@ pub use meter::{MeterSnapshot, ServiceMeter};
 pub use object::ObjectStore;
 pub use pubsub::{topic_name, PubSub};
 pub use queue::{PollKind, SqsQueue};
+pub use stream::{WeightFrame, WeightNet, WeightPayload};
 pub use time::{VClock, VirtualTime};

@@ -51,6 +51,12 @@ pub struct ServiceMeter {
     /// Bytes moved over punched direct connections (un-billed — direct's
     /// whole point is zero per-message API cost; tracked for validation).
     direct_bytes: AtomicU64,
+    /// Weight-stream frames forwarded down the launch cascade.
+    weight_frames: AtomicU64,
+    /// Weight bytes forwarded down the launch cascade (un-billed in
+    /// dollars — intra-flow transfer like direct — but attributed to the
+    /// *forwarding* flow so chaos replays and per-flow windows stay exact).
+    weight_bytes: AtomicU64,
     /// The same events bucketed per request flow (flow 0 excluded).
     flows: Mutex<HashMap<u64, MeterSnapshot>>,
 }
@@ -73,6 +79,8 @@ pub struct MeterSnapshot {
     pub direct_punch_failures: u64,
     pub direct_messages: u64,
     pub direct_bytes: u64,
+    pub weight_frames: u64,
+    pub weight_bytes: u64,
 }
 
 impl MeterSnapshot {
@@ -94,6 +102,8 @@ impl MeterSnapshot {
             direct_punch_failures: self.direct_punch_failures - earlier.direct_punch_failures,
             direct_messages: self.direct_messages - earlier.direct_messages,
             direct_bytes: self.direct_bytes - earlier.direct_bytes,
+            weight_frames: self.weight_frames - earlier.weight_frames,
+            weight_bytes: self.weight_bytes - earlier.weight_bytes,
         }
     }
 
@@ -115,6 +125,8 @@ impl MeterSnapshot {
             direct_punch_failures: self.direct_punch_failures + other.direct_punch_failures,
             direct_messages: self.direct_messages + other.direct_messages,
             direct_bytes: self.direct_bytes + other.direct_bytes,
+            weight_frames: self.weight_frames + other.weight_frames,
+            weight_bytes: self.weight_bytes + other.weight_bytes,
         }
     }
 }
@@ -210,6 +222,15 @@ impl ServiceMeter {
         });
     }
 
+    pub(crate) fn record_weight_send(&self, flow: u64, frames: u64, bytes: u64) {
+        self.weight_frames.fetch_add(frames, Ordering::Relaxed);
+        self.weight_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.with_flow(flow, |s| {
+            s.weight_frames += frames;
+            s.weight_bytes += bytes;
+        });
+    }
+
     /// Copies the current global counters.
     pub fn snapshot(&self) -> MeterSnapshot {
         MeterSnapshot {
@@ -228,6 +249,8 @@ impl ServiceMeter {
             direct_punch_failures: self.direct_punch_failures.load(Ordering::Relaxed),
             direct_messages: self.direct_messages.load(Ordering::Relaxed),
             direct_bytes: self.direct_bytes.load(Ordering::Relaxed),
+            weight_frames: self.weight_frames.load(Ordering::Relaxed),
+            weight_bytes: self.weight_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -267,6 +290,7 @@ mod tests {
         m.record_direct_punch(0, true);
         m.record_direct_punch(0, false);
         m.record_direct_send(0, 3, 900);
+        m.record_weight_send(0, 2, 700);
         let s = m.snapshot();
         assert_eq!(s.sns_publish_requests, 5);
         assert_eq!(s.sns_publish_batches, 2);
@@ -283,6 +307,8 @@ mod tests {
         assert_eq!(s.direct_punch_failures, 1);
         assert_eq!(s.direct_messages, 3);
         assert_eq!(s.direct_bytes, 900);
+        assert_eq!(s.weight_frames, 2);
+        assert_eq!(s.weight_bytes, 700);
         assert_eq!(m.tracked_flows(), 0, "flow 0 is never bucketed");
     }
 

@@ -8,33 +8,37 @@
 //! exactly this unpartitioned-weight read).
 
 use crate::wire;
-use fsd_comm::CloudEnv;
+use fsd_comm::{CloudEnv, VClock, VirtualTime};
 use fsd_faas::{FaasError, WorkerCtx};
 use fsd_model::SparseDnn;
 use fsd_partition::{CommPlan, Partition};
 use fsd_sparse::{codec, ColMajorBlock, CsrMatrix, SparseRows};
+use std::sync::Arc;
 
 /// Bucket holding model and input artifacts (distinct from the
 /// intermediate-result buckets so channel LIST scans never see them).
 pub const ARTIFACT_BUCKET: &str = "fsd-artifacts";
 
 /// Artifact parsing throughput (bytes/second on one full vCPU).
-const ARTIFACT_DECODE_BPS: f64 = 200e6;
+pub(crate) const ARTIFACT_DECODE_BPS: f64 = 200e6;
 
-/// Key layout helpers.
+/// Key layout helpers. The `worker_*` ones are crate-visible: the
+/// weight-streaming source enumerates every rank's keys to build its
+/// multicast manifest, and receivers enumerate their own to classify
+/// incoming frames.
 fn full_layer_key(model: &str, k: usize) -> String {
     format!("{model}/full/L{k}")
 }
-fn worker_layer_key(model: &str, p: u32, m: u32, k: usize) -> String {
+pub(crate) fn worker_layer_key(model: &str, p: u32, m: u32, k: usize) -> String {
     format!("{model}/p{p}/w{m}/L{k}")
 }
-fn worker_owned_key(model: &str, p: u32, m: u32) -> String {
+pub(crate) fn worker_owned_key(model: &str, p: u32, m: u32) -> String {
     format!("{model}/p{p}/w{m}/owned")
 }
-fn worker_send_key(model: &str, p: u32, m: u32) -> String {
+pub(crate) fn worker_send_key(model: &str, p: u32, m: u32) -> String {
     format!("{model}/p{p}/w{m}/send")
 }
-fn worker_recv_key(model: &str, p: u32, m: u32) -> String {
+pub(crate) fn worker_recv_key(model: &str, p: u32, m: u32) -> String {
     format!("{model}/p{p}/w{m}/recv")
 }
 fn input_full_key(input: &str) -> String {
@@ -146,13 +150,34 @@ pub fn stage_inputs(
     }
 }
 
+/// One layer's weight block: decoded and ready, or still the encoded
+/// bytes a streamed cold start received (λScale execute-while-load —
+/// layers decode lazily as compute reaches them, so first-layer compute
+/// overlaps later-layer transfer).
+pub enum LayerSlot {
+    /// Decoded column-major block, ready for the kernel.
+    Ready(ColMajorBlock),
+    /// Encoded bytes delivered by the weight stream, not yet decoded.
+    Pending {
+        /// The wire-encoded CSR sub-block.
+        body: Arc<[u8]>,
+        /// Virtual time the bytes finished arriving on this instance
+        /// ([`VirtualTime::ZERO`] for blocks served from the process-wide
+        /// weight cache: they are already resident memory).
+        available_at: VirtualTime,
+    },
+}
+
 /// Everything one distributed worker loads before inference starts
 /// (inputs are fetched separately, per batch — see [`load_input_share`]).
 pub struct WorkerArtifacts {
     /// Global row ids this worker owns (sorted).
     pub owned: Vec<u32>,
-    /// Column-major weight blocks, one per layer.
-    pub weights: Vec<ColMajorBlock>,
+    /// Per-layer weight blocks. Eager loads fill every slot
+    /// [`LayerSlot::Ready`]; streamed loads leave slots
+    /// [`LayerSlot::Pending`] until [`WorkerArtifacts::ensure_layer`]
+    /// decodes them on first use.
+    pub weights: Vec<LayerSlot>,
     /// Per-layer send maps `[(target, rows)]`.
     pub send: Vec<Vec<(u32, Vec<u32>)>>,
     /// Per-layer recv maps `[(source, rows)]`.
@@ -161,6 +186,48 @@ pub struct WorkerArtifacts {
     pub n_gets: u64,
     /// Tracked resident bytes for the FaaS memory model.
     pub mem_bytes: usize,
+}
+
+impl WorkerArtifacts {
+    /// Decodes layer `k` if it is still [`LayerSlot::Pending`]: waits (in
+    /// virtual time) for the bytes to finish arriving, then charges the
+    /// same decode bytes and transpose work an eager load charges — so a
+    /// streamed load's decoded blocks, outputs and work totals are
+    /// bit-identical to an independent load's. No-op on ready slots.
+    pub fn ensure_layer(&mut self, ctx: &mut WorkerCtx, k: usize) -> Result<(), FaasError> {
+        let (body, available_at) = match &self.weights[k] {
+            LayerSlot::Ready(_) => return Ok(()),
+            LayerSlot::Pending { body, available_at } => (body.clone(), *available_at),
+        };
+        ctx.clock_mut().observe(available_at);
+        ctx.charge_bytes(body.len() as u64, ARTIFACT_DECODE_BPS);
+        let sub = wire::decode_csr(&body)
+            .map_err(|e| FaasError::comm("decode", format!("layer {k}"), e))?;
+        let local_ids: Vec<u32> = (0..self.owned.len() as u32).collect();
+        let block = ColMajorBlock::from_layer(&sub, &local_ids);
+        ctx.charge_work(block.nnz() as u64 * 2); // transpose construction
+        ctx.track_free(body.len());
+        ctx.track_alloc(block.mem_bytes());
+        self.mem_bytes = self.mem_bytes.saturating_sub(body.len()) + block.mem_bytes();
+        ctx.check_limits()?;
+        self.weights[k] = LayerSlot::Ready(block);
+        Ok(())
+    }
+
+    /// The decoded block of layer `k`. Panics if the slot is still
+    /// pending — call [`WorkerArtifacts::ensure_layer`] first.
+    pub fn weight(&self, k: usize) -> &ColMajorBlock {
+        match &self.weights[k] {
+            LayerSlot::Ready(block) => block,
+            LayerSlot::Pending { .. } => {
+                // fsd_lint::allow(no-unwrap): load-order invariant — the
+                // batch loop decodes slot k (`ensure_layer`) before any read
+                // of it, so a pending slot here is a library bug, not a
+                // recoverable runtime state.
+                panic!("layer {k} weights not decoded; ensure_layer must run first")
+            }
+        }
+    }
 }
 
 fn fetch(ctx: &mut WorkerCtx, key: &str) -> Result<Vec<u8>, FaasError> {
@@ -174,6 +241,99 @@ fn fetch(ctx: &mut WorkerCtx, key: &str) -> Result<Vec<u8>, FaasError> {
     let body = res.map_err(|e| FaasError::comm("artifact", key, e))?;
     ctx.charge_bytes(body.len() as u64, ARTIFACT_DECODE_BPS);
     Ok(body.to_vec())
+}
+
+/// Retry-wrapped artifact GET against an arbitrary clock, returning the
+/// encoded bytes without charging decode time. The streaming source uses
+/// this with its pipelined fetch-slot clocks; decode is charged later, on
+/// whichever instance actually decodes ([`WorkerArtifacts::ensure_layer`]
+/// / [`assemble_streamed`]).
+pub(crate) fn fetch_encoded(
+    env: &CloudEnv,
+    clock: &mut VClock,
+    key: &str,
+) -> Result<Arc<[u8]>, FaasError> {
+    let (res, _) = crate::retry::RetryPolicy::default().run(clock, |clock| {
+        env.object_store().get(ARTIFACT_BUCKET, key, clock)
+    });
+    res.map_err(|e| FaasError::comm("artifact", key, e))
+}
+
+/// One artifact object as the weight stream delivered it: encoded bytes
+/// plus the virtual time they finished arriving ([`VirtualTime::ZERO`]
+/// when served from resident cache memory).
+pub(crate) struct StreamedPart {
+    pub body: Arc<[u8]>,
+    pub available_at: VirtualTime,
+}
+
+/// A worker's full artifact set in streamed form, before assembly.
+/// `n_gets` is the GET requests *this instance* issued (the multicast
+/// source counts its fetches; pure receivers count zero unless they fell
+/// back to direct loads).
+pub(crate) struct StreamedArtifacts {
+    pub owned: StreamedPart,
+    pub send: StreamedPart,
+    pub recv: StreamedPart,
+    pub layers: Vec<StreamedPart>,
+    pub n_gets: u64,
+}
+
+/// Assembles [`WorkerArtifacts`] from streamed parts: ownership and
+/// send/recv maps decode eagerly (the serve loop needs them before the
+/// first batch), weight layers stay [`LayerSlot::Pending`] for lazy
+/// decode. The caller must already have `track_alloc`ed every raw body as
+/// it arrived; this converts the map bodies to their decoded forms in the
+/// memory tracker and leaves layer bodies resident.
+pub(crate) fn assemble_streamed(
+    ctx: &mut WorkerCtx,
+    parts: StreamedArtifacts,
+) -> Result<WorkerArtifacts, FaasError> {
+    let StreamedArtifacts {
+        owned,
+        send,
+        recv,
+        layers,
+        n_gets,
+    } = parts;
+    ctx.clock_mut().observe(owned.available_at);
+    ctx.charge_bytes(owned.body.len() as u64, ARTIFACT_DECODE_BPS);
+    let owned_ids =
+        wire::decode_ids(&owned.body).map_err(|e| FaasError::comm("decode", "owned ids", e))?;
+    ctx.clock_mut().observe(send.available_at);
+    ctx.charge_bytes(send.body.len() as u64, ARTIFACT_DECODE_BPS);
+    let send_maps =
+        wire::decode_maps(&send.body).map_err(|e| FaasError::comm("decode", "send maps", e))?;
+    ctx.clock_mut().observe(recv.available_at);
+    ctx.charge_bytes(recv.body.len() as u64, ARTIFACT_DECODE_BPS);
+    let recv_maps =
+        wire::decode_maps(&recv.body).map_err(|e| FaasError::comm("decode", "recv maps", e))?;
+    let decoded_mem = owned_ids.len() * 4
+        + send_maps
+            .iter()
+            .chain(recv_maps.iter())
+            .flatten()
+            .map(|(_, r)| 8 + r.len() * 4)
+            .sum::<usize>();
+    ctx.track_free(owned.body.len() + send.body.len() + recv.body.len());
+    ctx.track_alloc(decoded_mem);
+    let mem = decoded_mem + layers.iter().map(|l| l.body.len()).sum::<usize>();
+    let weights = layers
+        .into_iter()
+        .map(|l| LayerSlot::Pending {
+            body: l.body,
+            available_at: l.available_at,
+        })
+        .collect();
+    ctx.check_limits()?;
+    Ok(WorkerArtifacts {
+        owned: owned_ids,
+        weights,
+        send: send_maps,
+        recv: recv_maps,
+        n_gets,
+        mem_bytes: mem,
+    })
 }
 
 /// Loads a distributed worker's artifacts, charging GET latencies, decode
@@ -200,7 +360,7 @@ pub fn load_worker_artifacts(
         let block = ColMajorBlock::from_layer(&sub, &local_ids);
         ctx.charge_work(block.nnz() as u64 * 2); // transpose construction
         mem += block.mem_bytes();
-        weights.push(block);
+        weights.push(LayerSlot::Ready(block));
     }
     let send = wire::decode_maps(&fetch(ctx, &worker_send_key(model_key, p, m))?)
         .map_err(|e| FaasError::comm("decode", "send maps", e))?;

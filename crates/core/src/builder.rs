@@ -98,6 +98,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Enables λScale-style cold-start weight streaming
+    /// ([`EngineConfig::stream_weights`]): cold tree launches provision
+    /// instances flat straight from the control plane (no coordinator
+    /// function cold-starts ahead of the workers), rank 0 multicasts
+    /// weight blocks down the launch tree, and fetched blocks populate
+    /// the service-wide [`crate::WeightCache`]. Off by default.
+    pub fn weight_streaming(mut self, enabled: bool) -> ServiceBuilder {
+        self.cfg.stream_weights = enabled;
+        self
+    }
+
     /// Convenience: jitter-free region and partitioning seeded with `seed`
     /// (the deterministic setup every test and validation run uses).
     pub fn deterministic(mut self, seed: u64) -> ServiceBuilder {

@@ -84,7 +84,10 @@ pub enum LaunchPath {
     /// The request paid the full launch bill: coordinator invoke + cold
     /// start, the hierarchical `launch_rounds(P, b)` tree invocations and
     /// per-worker weight loads (also reported by Serial runs and any
-    /// request of a service without a warm pool).
+    /// request of a service without a warm pool). With
+    /// [`EngineConfig::stream_weights`] the bill shrinks — instances are
+    /// provisioned flat and weights are multicast/cached instead of
+    /// independently fetched — but the path still reports `ColdStart`.
     ColdStart,
     /// The request was routed into an already-launched, weights-resident
     /// warm tree: no invocations, no cold starts, no launch rounds, no
@@ -119,6 +122,16 @@ pub struct EngineConfig {
     /// Memory for the FSD-Inf-Serial instance (defaults to Lambda's
     /// maximum, as in the paper; tests lower it to exercise OOM paths).
     pub serial_memory_mb: u32,
+    /// λScale-style cold-start weight streaming: when `true`, a cold tree
+    /// launch provisions all `P` instances flat (FaaSNet-style — the tree
+    /// distributes *state*, not invocations), rank 0 fetches every
+    /// partition's weight blocks once and multicasts them down the launch
+    /// tree over the weight fabric, descendants decode layers lazily as
+    /// compute reaches them (execute-while-load), and fetched blocks are
+    /// kept in the service-wide [`crate::WeightCache`]. `false` (the
+    /// default) keeps the original independent per-worker loads — and
+    /// their bit-stable timing — untouched.
+    pub stream_weights: bool,
 }
 
 impl Default for EngineConfig {
@@ -131,6 +144,7 @@ impl Default for EngineConfig {
             scheme: PartitionScheme::Hgp,
             seed: 0,
             serial_memory_mb: MAX_MEMORY_MB,
+            stream_weights: false,
         }
     }
 }

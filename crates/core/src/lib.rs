@@ -16,6 +16,10 @@
 //! * **[`DirectChannel`]** — FMI-style NAT-punched direct exchange, zero
 //!   per-message API cost after the pairwise handshake;
 //! * **hierarchical launch** — `worker_invoke_children` b-ary tree;
+//! * **multicast weight streaming** — [`EngineConfig::stream_weights`]:
+//!   λScale-style cold starts where rank 0 fetches each weight block once
+//!   and multicasts it down the launch-tree topology, with per-layer lazy
+//!   decode and a process-wide [`WeightCache`];
 //! * **collectives** — [`channel::barrier`] / [`channel::reduce`] built on
 //!   the same serverless primitives;
 //! * **cost model** (Section IV) — [`cost::CostModel`] with actual
@@ -74,12 +78,14 @@ mod retry;
 mod service;
 mod stats;
 mod warm;
+mod weight_cache;
+mod weight_stream;
 pub mod wire;
 pub mod worker;
 
 pub use artifacts::{
     load_full_model, load_input_share, load_worker_artifacts, stage_full_model, stage_inputs,
-    stage_partitioned_model, WorkerArtifacts, ARTIFACT_BUCKET,
+    stage_partitioned_model, LayerSlot, WorkerArtifacts, ARTIFACT_BUCKET,
 };
 pub use builder::ServiceBuilder;
 pub use channel::{barrier, reduce, FsiChannel, RecvTracker, Tag};
@@ -107,3 +113,4 @@ pub use recommend::{
 pub use service::{FailedAttemptBill, FsdService};
 pub use stats::{ChannelStats, ChannelStatsSnapshot};
 pub use warm::TreeKey;
+pub use weight_cache::{WeightCache, WeightCacheStats};

@@ -30,8 +30,9 @@ use crate::provider::ChannelRegistry;
 use crate::recommend::{self, Recommendation, WorkloadProfile};
 use crate::stats::ChannelStatsSnapshot;
 use crate::warm::{TreeKey, TreeParams, WorkItem, WorkerTree};
+use crate::weight_cache::WeightCache;
 use crate::worker::{run_serial, run_worker, WorkerOutput, WorkerParams};
-use fsd_comm::{ApiClass, CloudEnv, FaultKind, MeterSnapshot, TargetedFault, VirtualTime};
+use fsd_comm::{ApiClass, CloudEnv, FaultKind, MeterSnapshot, TargetedFault, VClock, VirtualTime};
 use fsd_faas::{launch, FaasError, FaasPlatform, FunctionConfig, InvocationReport, LambdaSnapshot};
 use fsd_model::SparseDnn;
 use fsd_partition::{partition_model, CommPlan, Partition};
@@ -107,6 +108,10 @@ pub struct FsdService {
     /// and re-parked (`ServiceBuilder::regenerate_poisoned`), billed to the
     /// unattributed flow like a pre-warm.
     regenerate_poisoned: bool,
+    /// Process-wide weight-block cache for streamed cold starts
+    /// (`EngineConfig::stream_weights`); idle — and never consulted —
+    /// otherwise. Invalidated alongside the warm pool.
+    weight_cache: Arc<WeightCache>,
     /// Bills accrued by request attempts that *failed* (AWS semantics:
     /// failed calls are billed). `finalize_report` folds each failed
     /// attempt's flow-scoped meters in here when it releases the flow, so
@@ -206,6 +211,7 @@ impl FsdService {
             requests: AtomicU64::new(0),
             pool,
             health: HealthBoard::new(),
+            weight_cache: Arc::new(WeightCache::new()),
             failed_bill: Mutex::new(FailedAttemptBill::default()),
             regenerate_poisoned,
             _reaper: reaper,
@@ -241,6 +247,29 @@ impl FsdService {
     /// Requests accepted so far (diagnostics).
     pub fn requests_served(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The service-wide weight-block cache streamed cold starts read
+    /// through (inspection/tests; empty and idle unless
+    /// [`EngineConfig::stream_weights`] is on).
+    pub fn weight_cache(&self) -> &Arc<WeightCache> {
+        &self.weight_cache
+    }
+
+    /// The request-independent launch parameters of a persistent tree of
+    /// `n_workers × memory_mb` instances — the single construction point,
+    /// so every launch path agrees on streaming mode and shares the one
+    /// weight cache.
+    fn tree_params(&self, n_workers: u32, memory_mb: u32) -> TreeParams {
+        TreeParams {
+            n_workers,
+            branching: self.cfg.branching,
+            memory_mb,
+            model_key: self.model_key.clone(),
+            spec: *self.dnn.spec(),
+            stream: self.cfg.stream_weights,
+            cache: self.weight_cache.clone(),
+        }
     }
 
     /// The partition used for `P` workers (staging it if needed). `P ≤ 1`
@@ -420,6 +449,10 @@ impl FsdService {
         self.env
             .object_store()
             .delete_prefix(ARTIFACT_BUCKET, &format!("{input_key}/"));
+        // Streamed launches close their flow's weight mailboxes after the
+        // last rank joins; repeat here unconditionally so an attempt that
+        // died before joining cannot leak parked frames past release.
+        self.env.weight_net().close_flow(flow);
         let comm = self.env.release_flow(flow);
         let lambda: LambdaSnapshot = self.platform.lambda_meter().release_flow(flow);
         let (root_out, reports, client, launch_path) = match launched {
@@ -665,13 +698,7 @@ impl FsdService {
         if let Some(tree) = self.pool.as_ref().and_then(|pool| pool.checkout(key)) {
             return Ok((tree, true));
         }
-        let params = TreeParams {
-            n_workers: key.workers,
-            branching: self.cfg.branching,
-            memory_mb: key.memory_mb,
-            model_key: self.model_key.clone(),
-            spec: *self.dnn.spec(),
-        };
+        let params = self.tree_params(key.workers, key.memory_mb);
         let generation = self.pool.as_ref().map_or(0, |pool| pool.generation());
         let tree = WorkerTree::launch(&self.platform, key, generation, params, flow)?;
         if let Some(pool) = &self.pool {
@@ -711,13 +738,7 @@ impl FsdService {
             workers: p,
             memory_mb,
         };
-        let params = TreeParams {
-            n_workers: p,
-            branching: self.cfg.branching,
-            memory_mb,
-            model_key: self.model_key.clone(),
-            spec: *self.dnn.spec(),
-        };
+        let params = self.tree_params(p, memory_mb);
         let tree = WorkerTree::launch(&self.platform, key, pool.generation(), params, 0)?;
         pool.record_created();
         pool.checkin(tree);
@@ -734,6 +755,10 @@ impl FsdService {
     /// resident and must never serve requests for newer artifacts.
     /// Returns how many parked trees were dropped; 0 without a pool.
     pub fn invalidate_warm_trees(&self) -> usize {
+        // The shared weight cache holds blocks of the same staged model the
+        // warm trees loaded: a redeploy that obsoletes the trees obsoletes
+        // the cached blocks with them.
+        self.weight_cache.invalidate();
         self.pool.as_ref().map_or(0, |p| p.invalidate())
     }
 
@@ -1017,13 +1042,7 @@ impl FsdService {
                     self.cfg.branching > 1 || launch::launch_rounds(p as usize, 1) == p as usize,
                     "branching=1 launch must degrade to a P-round serial loop"
                 );
-                let params = TreeParams {
-                    n_workers: p,
-                    branching: self.cfg.branching,
-                    memory_mb,
-                    model_key: self.model_key.clone(),
-                    spec: *self.dnn.spec(),
-                };
+                let params = self.tree_params(p, memory_mb);
                 let tree =
                     WorkerTree::launch(&self.platform, key, pool.generation(), params, flow)?;
                 pool.record_created();
@@ -1087,13 +1106,7 @@ impl FsdService {
     /// injected launch fault) leaves the shape cold rather than erroring
     /// the request a second time.
     fn regenerate_tree(&self, pool: &TreePool, key: TreeKey) {
-        let params = TreeParams {
-            n_workers: key.workers,
-            branching: self.cfg.branching,
-            memory_mb: key.memory_mb,
-            model_key: self.model_key.clone(),
-            spec: *self.dnn.spec(),
-        };
+        let params = self.tree_params(key.workers, key.memory_mb);
         if let Ok(tree) = WorkerTree::launch(&self.platform, key, pool.generation(), params, 0) {
             pool.record_created();
             pool.record_regenerated();
@@ -1143,6 +1156,9 @@ impl FsdService {
         widths: &[usize],
         flow: u64,
     ) -> Result<(WorkerOutput, Vec<(u32, InvocationReport)>), FaasError> {
+        if self.cfg.stream_weights {
+            return self.launch_tree_flat(channel, p, memory_mb, input_key, widths, flow);
+        }
         let params = WorkerParams {
             n_workers: p,
             branching: self.cfg.branching,
@@ -1151,6 +1167,8 @@ impl FsdService {
             input_key: input_key.to_string(),
             spec: *self.dnn.spec(),
             batch_widths: widths.to_vec(),
+            stream: false,
+            cache: self.weight_cache.clone(),
             abort: Arc::new(AtomicBool::new(false)),
         };
         let platform = self.platform.clone();
@@ -1172,6 +1190,100 @@ impl FsdService {
         let mut reports = vec![(0u32, root_report)];
         reports.extend(root_out.subtree_reports.iter().copied());
         Ok((root_out, reports))
+    }
+
+    /// Streamed cold start: FaaSNet-style flat, controller-driven
+    /// provisioning. The always-on control plane (this service — FaaSNet's
+    /// "function manager") invokes every rank directly instead of routing
+    /// the launch through a coordinator function that must itself cold
+    /// start first. Total invocations are `P` (the hierarchical launch
+    /// pays `1 + P`), each dispatch costs the controller one sequential
+    /// API round trip, and the launch-tree topology is used to multicast
+    /// weight blocks instead of invocations.
+    fn launch_tree_flat(
+        &self,
+        channel: Arc<dyn FsiChannel>,
+        p: u32,
+        memory_mb: u32,
+        input_key: &str,
+        widths: &[usize],
+        flow: u64,
+    ) -> Result<(WorkerOutput, Vec<(u32, InvocationReport)>), FaasError> {
+        let params = WorkerParams {
+            n_workers: p,
+            branching: self.cfg.branching,
+            memory_mb,
+            model_key: self.model_key.clone(),
+            input_key: input_key.to_string(),
+            spec: *self.dnn.spec(),
+            batch_widths: widths.to_vec(),
+            stream: true,
+            cache: self.weight_cache.clone(),
+            abort: Arc::new(AtomicBool::new(false)),
+        };
+        // The controller's dispatch clock: invokes are issued one API
+        // round trip apart (the instance-side invoke latency itself is
+        // charged inside `FaasPlatform::invoke`, exactly as on every
+        // other path).
+        let mut dispatch = VClock::default();
+        dispatch.set_flow(flow);
+        let mut invocations = Vec::with_capacity(p as usize);
+        for rank in 0..p {
+            if rank > 0 {
+                let lat = self.env.latency().lambda_invoke_us;
+                let jittered = self.env.jitter().apply(lat);
+                dispatch.advance_micros(jittered);
+            }
+            let at = dispatch.now();
+            let channel_r = channel.clone();
+            let params_r = params.clone();
+            let inv = self.platform.invoke(
+                FunctionConfig::worker(format!("fsd-worker-{rank}"), memory_mb).for_flow(flow),
+                at,
+                move |worker_ctx| run_worker(worker_ctx, channel_r, rank, params_r),
+            );
+            if inv.launch_error().is_some() {
+                // A refused rank tears the whole request; raise the
+                // abort flag so already-running peers unwedge from
+                // their stream-drain loops instead of waiting for
+                // frames that will never arrive.
+                params.abort.store(true, Ordering::Relaxed);
+            }
+            invocations.push((rank, inv));
+        }
+        let mut reports = Vec::with_capacity(p as usize);
+        let mut root_out = None;
+        let mut peer_gets = 0u64;
+        let mut peer_work = 0u64;
+        let mut first_err = None;
+        for (rank, inv) in invocations {
+            match inv.join() {
+                Ok((out, report)) => {
+                    debug_assert_eq!(out.rank, rank);
+                    reports.push((rank, report));
+                    if rank == 0 {
+                        root_out = Some(out);
+                    } else {
+                        peer_gets += out.artifact_gets;
+                        peer_work += out.work_done;
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        // Every rank is joined: any weight frames still parked in this
+        // flow's mailboxes belong to torn streams, not to a live reader.
+        // Drop them so the residue audit stays clean.
+        self.env.weight_net().close_flow(flow);
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let mut root = root_out.expect("rank 0 joined without error");
+        root.artifact_gets += peer_gets;
+        root.work_done += peer_work;
+        Ok((root, reports))
     }
 }
 

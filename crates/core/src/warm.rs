@@ -29,8 +29,9 @@
 use crate::artifacts::load_worker_artifacts;
 use crate::channel::FsiChannel;
 use crate::engine::Variant;
+use crate::weight_cache::WeightCache;
 use crate::worker::run_batches;
-use fsd_comm::VirtualTime;
+use fsd_comm::{CloudEnv, VClock, VirtualTime};
 use fsd_faas::{launch, FaasError, FaasPlatform, FunctionConfig, Invocation, InvocationReport};
 use fsd_model::DnnSpec;
 use fsd_sparse::SparseRows;
@@ -61,6 +62,11 @@ pub(crate) struct TreeParams {
     pub memory_mb: u32,
     pub model_key: String,
     pub spec: DnnSpec,
+    /// λScale-style streamed cold launch: instances are provisioned flat
+    /// by the coordinator and weights arrive multicast from rank 0.
+    pub stream: bool,
+    /// The service-wide weight-block cache streamed loads read through.
+    pub cache: Arc<WeightCache>,
 }
 
 /// One request routed into a parked tree.
@@ -128,8 +134,15 @@ fn serve_worker(
     shared: ServeShared,
 ) -> Result<(), FaasError> {
     let p = shared.params.n_workers;
-    // --- hierarchical launch, exactly as the one-shot path ---------------
-    for child in launch::children_of(rank as usize, shared.params.branching, p as usize) {
+    // --- hierarchical launch, exactly as the one-shot path (streamed
+    // launches are provisioned flat by the coordinator: the tree carries
+    // weight state, not invocations) --------------------------------------
+    let children = if shared.params.stream {
+        Vec::new()
+    } else {
+        launch::children_of(rank as usize, shared.params.branching, p as usize)
+    };
+    for child in children {
         let lat = ctx.env().latency().lambda_invoke_us;
         let jittered = ctx.env().jitter().apply(lat);
         ctx.clock_mut().advance_micros(jittered);
@@ -163,13 +176,26 @@ fn serve_worker(
         .expect("each rank takes its control receiver exactly once");
 
     // --- load weights and maps once; they stay resident while parked -----
-    let art = match load_worker_artifacts(
-        ctx,
-        &shared.params.model_key,
-        p,
-        rank,
-        shared.params.spec.layers,
-    ) {
+    let loaded = if shared.params.stream {
+        crate::weight_stream::stream_load(
+            ctx,
+            &shared.params.cache,
+            &shared.params.model_key,
+            rank,
+            p,
+            shared.params.spec.layers,
+            shared.params.branching,
+        )
+    } else {
+        load_worker_artifacts(
+            ctx,
+            &shared.params.model_key,
+            p,
+            rank,
+            shared.params.spec.layers,
+        )
+    };
+    let mut art = match loaded {
         Ok(art) => art,
         Err(e) => {
             shared.poison.store(true, Ordering::Relaxed);
@@ -201,7 +227,7 @@ fn serve_worker(
             rank,
             p,
             &shared.params.spec,
-            &art,
+            &mut art,
             &item.input_key,
             &item.batch_widths,
         ) {
@@ -245,6 +271,12 @@ pub(crate) struct WorkerTree {
     results: Receiver<WorkResult>,
     handles: Receiver<Invocation<()>>,
     joined: bool,
+    /// Region handle + launch flow for stream-mode teardown: once every
+    /// instance has joined, any weight frames still parked in the launch
+    /// flow's mailboxes (e.g. after an abort) have no receiver left.
+    env: Arc<CloudEnv>,
+    launch_flow: u64,
+    stream: bool,
 }
 
 impl WorkerTree {
@@ -283,31 +315,78 @@ impl WorkerTree {
         };
         let poison = shared.poison.clone();
         let memory_mb = params.memory_mb;
-        let platform_c = platform.clone();
-        let shared_c = shared.clone();
-        let coordinator = platform.invoke(
-            FunctionConfig::coordinator().for_flow(flow),
-            VirtualTime::ZERO,
-            move |ctx| {
-                ctx.charge_work(10_000); // request parsing
-                let at = ctx.now();
-                let cfg = FunctionConfig::worker("fsd-warm-0", memory_mb)
+        let stream = params.stream;
+        if stream {
+            // FaaSNet-style flat, controller-driven provisioning: the
+            // always-on control plane (FaaSNet's "function manager")
+            // dispatches every rank directly — no coordinator function to
+            // cold-start first, so the tree costs `P` invocations where
+            // the cascade pays `1 + P` — and the tree topology is used to
+            // multicast weights instead of invocations.
+            let env = platform.env();
+            let mut dispatch = VClock::default();
+            dispatch.set_flow(flow);
+            let mut refused_root = None;
+            for rank in 0..p {
+                if rank > 0 {
+                    // Each async Invoke call costs the controller one
+                    // sequential API round trip, as it costs a parent on
+                    // the hierarchical path.
+                    let lat = env.latency().lambda_invoke_us;
+                    let jittered = env.jitter().apply(lat);
+                    dispatch.advance_micros(jittered);
+                }
+                let cfg = FunctionConfig::worker(format!("fsd-warm-{rank}"), memory_mb)
                     .for_flow(flow)
                     .keep_alive();
-                let inv = platform_c.invoke(cfg, at, move |worker_ctx| {
-                    serve_worker(worker_ctx, 0, shared_c)
+                let shared_r = shared.clone();
+                let at = dispatch.now();
+                let inv = platform.clone().invoke(cfg, at, move |worker_ctx| {
+                    serve_worker(worker_ctx, rank, shared_r)
                 });
-                // Surface a refused rank-0 launch as a failed tree build
-                // (the handle still goes to the owner for cleanup).
-                let refused = inv.launch_error();
-                let _ = handle_tx.send(inv);
-                match refused {
-                    Some(e) => Err(e),
-                    None => Ok(()),
+                if let Some(e) = inv.launch_error() {
+                    if rank == 0 {
+                        // No multicast source: the build fails.
+                        refused_root.get_or_insert(e);
+                    } else {
+                        // A refused non-root rank poisons the tree;
+                        // peers unwedge through their limit checks.
+                        shared.poison.store(true, Ordering::Relaxed);
+                        let _ = shared.results.send((rank, Err(e)));
+                    }
                 }
-            },
-        );
-        coordinator.join()?;
+                let _ = handle_tx.send(inv);
+            }
+            if let Some(e) = refused_root {
+                return Err(e);
+            }
+        } else {
+            let platform_c = platform.clone();
+            let shared_c = shared.clone();
+            let coordinator = platform.invoke(
+                FunctionConfig::coordinator().for_flow(flow),
+                VirtualTime::ZERO,
+                move |ctx| {
+                    ctx.charge_work(10_000); // request parsing
+                    let at = ctx.now();
+                    let cfg = FunctionConfig::worker("fsd-warm-0", memory_mb)
+                        .for_flow(flow)
+                        .keep_alive();
+                    let inv = platform_c.invoke(cfg, at, move |worker_ctx| {
+                        serve_worker(worker_ctx, 0, shared_c)
+                    });
+                    // Surface a refused rank-0 launch as a failed tree build
+                    // (the handle still goes to the owner for cleanup).
+                    let refused = inv.launch_error();
+                    let _ = handle_tx.send(inv);
+                    match refused {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }
+                },
+            );
+            coordinator.join()?;
+        }
         Ok(WorkerTree {
             key,
             generation,
@@ -317,6 +396,9 @@ impl WorkerTree {
             results: result_rx,
             handles: handle_rx,
             joined: false,
+            env: platform.env().clone(),
+            launch_flow: flow,
+            stream,
         })
     }
 
@@ -420,6 +502,13 @@ impl WorkerTree {
                 }
                 Err(_) => break,
             }
+        }
+        // Every instance has joined: no receiver is left for any weight
+        // frame still parked under the launch flow (aborted streams,
+        // frames addressed to a rank that died booting) — drop them so
+        // the residue audit stays clean.
+        if self.stream {
+            self.env.weight_net().close_flow(self.launch_flow);
         }
     }
 }

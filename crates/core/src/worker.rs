@@ -12,6 +12,7 @@
 
 use crate::artifacts::{load_full_model, load_input_share, load_worker_artifacts};
 use crate::channel::{barrier, reduce, FsiChannel, RecvTracker, Tag};
+use crate::weight_cache::WeightCache;
 use fsd_faas::{launch, FaasError, FunctionConfig, InvocationReport, WorkerCtx};
 use fsd_model::DnnSpec;
 use fsd_sparse::{codec, layer_forward_reference, LayerAccumulator, SparseRows};
@@ -35,6 +36,12 @@ pub struct WorkerParams {
     pub spec: DnnSpec,
     /// Width (samples) of each successive batch.
     pub batch_widths: Vec<usize>,
+    /// λScale-style streamed cold start: workers are provisioned flat (no
+    /// child launches) and weights arrive multicast from rank 0 instead
+    /// of independent per-worker loads.
+    pub stream: bool,
+    /// The service-wide weight-block cache streamed loads read through.
+    pub cache: Arc<WeightCache>,
     /// Run-wide abort flag: raised by the first failing worker (including
     /// a child whose *launch* was refused), observed by every peer's
     /// [`WorkerCtx::check_limits`] mid-collective — a dead instance must
@@ -89,7 +96,7 @@ pub(crate) fn run_batches(
     rank: u32,
     n_workers: u32,
     spec: &DnnSpec,
-    art: &crate::artifacts::WorkerArtifacts,
+    art: &mut crate::artifacts::WorkerArtifacts,
     input_key: &str,
     batch_widths: &[usize],
 ) -> Result<BatchRunOutput, FaasError> {
@@ -105,6 +112,9 @@ pub(crate) fn run_batches(
 
         // --- the layer loop (Algorithms 1 & 2) --------------------------
         for k in 0..spec.layers {
+            // Streamed cold starts leave layers encoded until compute
+            // reaches them (execute-while-load); eager loads no-op here.
+            art.ensure_layer(ctx, k)?;
             let tag = layer_tag(spec, b, k);
             // Sends: extract and ship the rows each target needs.
             let sends: Vec<(u32, SparseRows)> = art.send[k]
@@ -119,7 +129,7 @@ pub(crate) fn run_batches(
             // numeric accumulation is deferred and done over the merged,
             // id-sorted input set — so the f32 summation order (and hence
             // the result) is bit-identical to the serial ground truth.
-            let local_work = art.weights[k].matched_work(&x);
+            let local_work = art.weight(k).matched_work(&x);
             ctx.charge_work(local_work);
             work_done += local_work;
 
@@ -130,7 +140,7 @@ pub(crate) fn run_batches(
                 ctx.check_limits()?;
                 let blocks = channel.receive_round(ctx, tag, rank, &mut tracker)?;
                 for (_, block) in blocks {
-                    let w = art.weights[k].matched_work(&block);
+                    let w = art.weight(k).matched_work(&block);
                     ctx.charge_work(w);
                     work_done += w;
                     ctx.track_alloc(block.mem_bytes());
@@ -141,7 +151,7 @@ pub(crate) fn run_batches(
             // One deterministic accumulation over all inputs (work already
             // charged above), then the activation x^k = f(z^k).
             acc.reset(art.owned.len());
-            acc.accumulate(&art.weights[k], &x);
+            acc.accumulate(art.weight(k), &x);
             let old_mem = x.mem_bytes();
             let (next, fw) = acc.finalize(&art.owned, spec.bias, spec.clip);
             ctx.charge_work(fw);
@@ -192,7 +202,15 @@ fn run_worker_inner(
     params: WorkerParams,
 ) -> Result<WorkerOutput, FaasError> {
     // --- 1. worker_invoke_children(): launch the subtree ---------------
-    let children = launch::children_of(rank as usize, params.branching, params.n_workers as usize);
+    // Streamed launches are provisioned flat (FaaSNet-style): the
+    // coordinator invokes every rank directly and the launch tree carries
+    // *weight state* instead of invocations, so no worker launches
+    // children here.
+    let children = if params.stream {
+        Vec::new()
+    } else {
+        launch::children_of(rank as usize, params.branching, params.n_workers as usize)
+    };
     let mut child_invocations = Vec::with_capacity(children.len());
     let mut launch_refused = None;
     for &child in &children {
@@ -224,13 +242,25 @@ fn run_worker_inner(
     let body = match launch_refused {
         Some(e) => Err(e),
         None => (|| {
-            let art = load_worker_artifacts(
-                ctx,
-                &params.model_key,
-                params.n_workers,
-                rank,
-                params.spec.layers,
-            )?;
+            let mut art = if params.stream {
+                crate::weight_stream::stream_load(
+                    ctx,
+                    &params.cache,
+                    &params.model_key,
+                    rank,
+                    params.n_workers,
+                    params.spec.layers,
+                    params.branching,
+                )?
+            } else {
+                load_worker_artifacts(
+                    ctx,
+                    &params.model_key,
+                    params.n_workers,
+                    rank,
+                    params.spec.layers,
+                )?
+            };
             let gets = art.n_gets;
             let run = run_batches(
                 ctx,
@@ -238,7 +268,7 @@ fn run_worker_inner(
                 rank,
                 params.n_workers,
                 &params.spec,
-                &art,
+                &mut art,
                 &params.input_key,
                 &params.batch_widths,
             )?;

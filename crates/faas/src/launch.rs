@@ -49,6 +49,39 @@ pub fn depth_of(rank: usize, branching: usize) -> usize {
     d
 }
 
+/// The child of `from` through which frames for `dst` travel: `dst`'s
+/// ancestor whose parent is `from` (or `dst` itself when it is a direct
+/// child). This is the weight-multicast routing step — a parent forwards
+/// a block one hop toward its final rank.
+///
+/// # Panics
+/// If `dst` is not in `from`'s subtree (the caller routed against the
+/// tree shape).
+pub fn hop_toward(from: usize, dst: usize, branching: usize) -> usize {
+    let mut hop = dst;
+    loop {
+        match parent_of(hop, branching) {
+            Some(p) if p == from => return hop,
+            Some(p) => hop = p,
+            // fsd_lint::allow(no-unwrap): tree-shape invariant — routing
+            // toward a rank outside the subtree is a caller bug.
+            None => panic!("rank {dst} is not in the subtree of rank {from}"),
+        }
+    }
+}
+
+/// Every rank in `root`'s subtree (including `root`), in BFS order — the
+/// set of destinations whose weight blocks travel through `root`.
+pub fn subtree_of(root: usize, branching: usize, total: usize) -> Vec<usize> {
+    let mut out = vec![root];
+    let mut i = 0;
+    while i < out.len() {
+        out.extend(children_of(out[i], branching, total));
+        i += 1;
+    }
+    out
+}
+
 /// Number of sequential invocation rounds to populate the whole tree —
 /// the launch critical path (tree height + 1 initial invocation).
 ///
@@ -124,5 +157,32 @@ mod tests {
     fn unary_tree_degenerates_to_chain() {
         assert_eq!(children_of(3, 1, 10), vec![4]);
         assert_eq!(launch_rounds(10, 1), 10);
+    }
+
+    #[test]
+    fn hop_toward_routes_one_step_down() {
+        // b=4, P=8: 0 → {1,2,3,4}, 1 → {5,6,7}.
+        assert_eq!(hop_toward(0, 3, 4), 3);
+        assert_eq!(hop_toward(0, 6, 4), 1);
+        assert_eq!(hop_toward(1, 6, 4), 6);
+        // Deep chain with b=1.
+        assert_eq!(hop_toward(2, 9, 1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the subtree")]
+    fn hop_toward_rejects_foreign_destinations() {
+        hop_toward(2, 1, 4);
+    }
+
+    #[test]
+    fn subtree_enumerates_descendants() {
+        assert_eq!(subtree_of(0, 4, 8), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(subtree_of(1, 4, 8), vec![1, 5, 6, 7]);
+        assert_eq!(subtree_of(3, 4, 8), vec![3]);
+        // Every dst in a subtree routes through that subtree's root.
+        for &dst in &subtree_of(1, 4, 62)[1..] {
+            assert_eq!(hop_toward(0, dst, 4), 1);
+        }
     }
 }

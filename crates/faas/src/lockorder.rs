@@ -25,6 +25,10 @@ pub mod rank {
     pub const POOL_SHELF: u16 = 10;
     /// Warm-pool counters (`TreePool::counters`) — only after the shelf.
     pub const POOL_COUNTERS: u16 = 20;
+    /// Shared weight-cache block map (`WeightCache`) — leaf-level: taken
+    /// briefly on the load path, never while invoking or waiting, so it
+    /// ranks after every pool lock.
+    pub const WEIGHT_CACHE: u16 = 30;
 }
 
 #[cfg(debug_assertions)]

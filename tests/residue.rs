@@ -179,6 +179,89 @@ fn audit_detects_planted_leaks() {
 }
 
 #[test]
+fn audit_detects_leaked_weight_stream_state() {
+    // Sensitivity checks for the two kinds of state multicast weight
+    // streaming adds: frames parked in a flow's mailboxes, and cache
+    // blocks surviving the retirement of their generation.
+    let (service, _) = service_for(98);
+    let env = service.env();
+
+    // A streamed launch that died between send and drain leaves its
+    // frames parked; the audit must see them.
+    let mut clock = fsd_inference::comm::VClock::default();
+    clock.set_flow(88);
+    env.weight_net()
+        .send_block(
+            &mut clock,
+            1,
+            3,
+            "model/p4/w3/owned",
+            Arc::from(&b"blk"[..]),
+        )
+        .expect("send succeeds without faults");
+    let report = env.residue_report();
+    assert!(
+        report.iter().any(|r| r.contains("weight frame")),
+        "planted undrained frame not reported: {report:?}"
+    );
+    // Teardown twin: closing the flow drops the mailboxes (the send also
+    // billed on flow 88, so release that window like teardown would).
+    assert_eq!(env.weight_net().close_flow(88), 1);
+    env.meter().release_flow(88);
+    env.assert_no_residue();
+
+    // A retired generation whose blocks were never swept is a leak the
+    // cache's own audit must flag — and purge_stale must clear.
+    let cache = service.weight_cache();
+    assert!(cache.insert_block(
+        "model/p4/w0/owned",
+        Arc::from(&b"blk"[..]),
+        cache.generation()
+    ));
+    cache.retire_generation();
+    let report = cache.residue_report();
+    assert!(
+        report
+            .iter()
+            .any(|r| r.contains("stale weight-cache block")),
+        "planted stale block not reported: {report:?}"
+    );
+    assert_eq!(cache.purge_stale(), 1);
+    assert!(cache.residue_report().is_empty());
+    assert_eq!(cache.len(), 0);
+}
+
+#[test]
+fn streamed_requests_leave_zero_residue() {
+    let _guard = engine_guard();
+    let s = spec(97);
+    let dnn = Arc::new(generate_dnn(&s));
+    let inputs = generate_inputs(s.neurons, &InputSpec::scaled(10, 97));
+    let service = ServiceBuilder::new(dnn)
+        .deterministic(97)
+        .weight_streaming(true)
+        .warm_pool(2, u64::MAX)
+        .build();
+    for rep in 0..2 {
+        service
+            .submit(&InferenceRequest {
+                variant: Variant::Queue,
+                workers: 4,
+                memory_mb: 1769,
+                inputs: inputs.clone(),
+            })
+            .unwrap_or_else(|e| panic!("rep {rep}: {e}"));
+    }
+    // Parked trees and cached blocks are legitimate warm capacity; an
+    // invalidation releases both, after which the region audits clean.
+    service.invalidate_warm_trees();
+    assert_eq!(service.weight_cache().len(), 0);
+    assert!(service.weight_cache().residue_report().is_empty());
+    audit(&service, "streamed requests after invalidate");
+    service.env().assert_no_residue();
+}
+
+#[test]
 fn remove_bucket_is_create_buckets_teardown_twin() {
     // The teardown-pair lint demands create_bucket/remove_bucket; prove the
     // pair actually round-trips.
